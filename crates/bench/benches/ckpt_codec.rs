@@ -1,0 +1,78 @@
+//! Checkpoint codec throughput.
+//!
+//! Paper §3.1: moving an image costs ≈ 5 s of period CPU per megabyte.
+//! The codec itself must be far faster than that budget on modern hardware
+//! (encode + CRC + decode of a half-megabyte image).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use condor_ckpt::delta::Delta;
+use condor_ckpt::image::{CheckpointBuilder, CheckpointImage, FileMode, SegmentKind};
+
+fn build_image(data_len: usize) -> CheckpointImage {
+    CheckpointBuilder::new(42, 7)
+        .segment(SegmentKind::Text, 0x0, vec![0x90u8; data_len / 4])
+        .segment(SegmentKind::Data, 0x10_000, vec![0xABu8; data_len / 2])
+        .segment(SegmentKind::Bss, 0x20_000, vec![0u8; data_len / 8])
+        .segment(SegmentKind::Stack, 0xF0_000, vec![0xCDu8; data_len / 8])
+        .registers(0x1234, 0xF456, (0..16).collect())
+        .open_file(0, "/dev/tty", FileMode::Read, 0)
+        .open_file(3, "/u/sim/results.out", FileMode::Append, 1 << 20)
+        .build()
+        .expect("quiescent")
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckpt_codec");
+    // The paper's mean image is 0.5 MB; also test 2 MB for larger programs.
+    for &size in &[500_000usize, 2_000_000] {
+        let image = build_image(size);
+        group.throughput(Throughput::Bytes(image.size_bytes()));
+        group.bench_with_input(BenchmarkId::new("encode", size), &image, |b, img| {
+            b.iter(|| black_box(img.encode()));
+        });
+        let frame: Bytes = image.encode();
+        group.bench_with_input(BenchmarkId::new("decode", size), &frame, |b, f| {
+            b.iter(|| black_box(CheckpointImage::decode(f.clone()).expect("valid")));
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip", size), &image, |b, img| {
+            b.iter(|| {
+                let f = img.encode();
+                black_box(CheckpointImage::decode(f).expect("valid"))
+            });
+        });
+    }
+    // Delta checkpoints: a 2 MB image with ~1% of pages dirtied. The
+    // delta should encode in a fraction of the full-image time and size.
+    {
+        let base = build_image(2_000_000);
+        let mut dirty = vec![0xABu8; 1_000_000];
+        for i in (0..dirty.len()).step_by(97_000) {
+            dirty[i] ^= 0xFF;
+        }
+        let new = CheckpointBuilder::new(42, 8)
+            .segment(SegmentKind::Text, 0x0, vec![0x90u8; 500_000])
+            .segment(SegmentKind::Data, 0x10_000, dirty)
+            .segment(SegmentKind::Bss, 0x20_000, vec![0u8; 250_000])
+            .segment(SegmentKind::Stack, 0xF0_000, vec![0xCDu8; 250_000])
+            .registers(0x1234, 0xF456, (0..16).collect())
+            .build()
+            .expect("quiescent");
+        assert!(
+            Delta::diff(&base, &new).encoded_size() < new.size_bytes() / 10,
+            "1% dirty pages should shrink the transfer by >10x"
+        );
+        group.bench_function("delta_diff_2mb_1pct", |b| {
+            b.iter(|| black_box(Delta::diff(&base, &new)));
+        });
+        let delta = Delta::diff(&base, &new);
+        group.bench_function("delta_apply_2mb_1pct", |b| {
+            b.iter(|| black_box(delta.apply(&base).expect("apply")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

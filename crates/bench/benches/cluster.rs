@@ -1,0 +1,75 @@
+//! End-to-end cluster simulation speed: how fast the full Condor model
+//! simulates a day/week of 23-station operation, and how placement +
+//! checkpoint costs scale with image size (the 5 s/MB rule).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use condor_core::cluster::run_cluster;
+use condor_core::config::ClusterConfig;
+use condor_core::job::{JobId, JobSpec, UserId};
+use condor_model::costs::CostModel;
+use condor_net::NodeId;
+use condor_sim::time::{SimDuration, SimTime};
+
+fn jobs(n: u64, image_bytes: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| JobSpec {
+            id: JobId(i),
+            user: UserId((i % 3) as u32),
+            home: NodeId::new((i % 5) as u32),
+            arrival: SimTime::from_secs(i * 13 * 60),
+            demand: SimDuration::from_hours(1 + i % 4),
+            image_bytes,
+            syscalls_per_cpu_sec: 0.5,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+        })
+        .collect()
+}
+
+fn config() -> ClusterConfig {
+    ClusterConfig {
+        stations: 23,
+        record_trace: false, // measure the simulation, not trace memory
+        ..ClusterConfig::default()
+    }
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(20);
+    for &days in &[1u64, 7] {
+        group.bench_with_input(BenchmarkId::new("simulate_days", days), &days, |b, &d| {
+            b.iter(|| {
+                let out = run_cluster(config(), jobs(40, 500_000), SimDuration::from_days(d));
+                black_box(out.totals.placements)
+            });
+        });
+    }
+    // Transfer-cost model: 5 s/MB means bigger images cost linearly more
+    // local CPU; verify the accounting scales.
+    for &mb in &[1u64, 4] {
+        group.bench_with_input(BenchmarkId::new("image_mb", mb), &mb, |b, &mb| {
+            b.iter(|| {
+                let out = run_cluster(
+                    config(),
+                    jobs(20, mb * 1_000_000),
+                    SimDuration::from_days(1),
+                );
+                let support: u64 = out.jobs.iter().map(|j| j.support_us).sum();
+                black_box(support)
+            });
+        });
+    }
+    group.finish();
+    // Sanity check outside measurement: the cost model is exactly linear.
+    let costs = CostModel::default();
+    assert_eq!(
+        costs.transfer_cpu_cost(4_000_000).as_millis(),
+        4 * costs.transfer_cpu_cost(1_000_000).as_millis()
+    );
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Event-engine throughput: how many events per second the discrete-event
+//! kernel dispatches. Supports the claim that month-scale cluster runs are
+//! interactive (tens of milliseconds).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use condor_sim::engine::{Engine, Model, Scheduler};
+use condor_sim::time::{SimDuration, SimTime};
+
+struct PingPong {
+    remaining: u64,
+}
+
+impl Model for PingPong {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(SimDuration::MILLISECOND, ev.wrapping_add(1));
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &events in &[1_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("dispatch", events), &events, |b, &n| {
+            b.iter(|| {
+                let mut eng = Engine::new(PingPong { remaining: n });
+                eng.scheduler().at(SimTime::ZERO, 0u32);
+                eng.run_to_completion();
+                black_box(eng.events_dispatched())
+            });
+        });
+    }
+    // Queue churn with many concurrent timers (cancellation-heavy).
+    group.bench_function("schedule_cancel_10k", |b| {
+        b.iter(|| {
+            let mut q = condor_sim::event::EventQueue::new();
+            let tokens: Vec<_> = (0..10_000u64)
+                .map(|i| q.schedule(SimTime::from_millis(i % 977), i))
+                .collect();
+            for t in tokens.iter().step_by(2) {
+                q.cancel(*t);
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Up-Down decision cost vs cluster size.
+//!
+//! Paper §3.1: the coordinator consumed < 1% of its host even at 40
+//! stations, and the authors projected comfortable scaling to 100. This
+//! bench measures one full poll decision (snapshot → orders) at 23, 100,
+//! and 1000 stations: decision cost must grow roughly linearly and stay
+//! far below the 2-minute poll budget.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use condor_core::policy::{AllocationPolicy, StationView};
+use condor_core::updown::{UpDown, UpDownConfig};
+use condor_net::NodeId;
+use condor_sim::time::SimTime;
+
+fn make_views(n: usize) -> (Vec<StationView>, Vec<NodeId>) {
+    let views: Vec<StationView> = (0..n)
+        .map(|i| StationView {
+            node: NodeId::new(i as u32),
+            can_host: i % 3 == 0,
+            hosting_for: (i % 3 == 1).then(|| NodeId::new((i % 7) as u32)),
+            waiting_jobs: if i % 5 == 0 { 4 } else { 0 },
+        })
+        .collect();
+    let free = views.iter().filter(|v| v.can_host).map(|v| v.node).collect();
+    (views, free)
+}
+
+fn bench_updown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updown_decide");
+    for &n in &[23usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (views, free) = make_views(n);
+            let mut policy = UpDown::new(UpDownConfig::default());
+            b.iter(|| {
+                let orders = policy.decide(SimTime::ZERO, &views, &free, 1);
+                black_box(orders)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updown);
+criterion_main!(benches);

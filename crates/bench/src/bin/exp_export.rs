@@ -1,0 +1,110 @@
+//! Exports every figure's data series as CSV for external plotting.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_export [DIR]`
+//! (default output directory: `figures/`).
+
+use std::path::PathBuf;
+
+use condor_bench::{is_light, run_scenario, EXPERIMENT_SEED};
+use condor_core::job::UserId;
+use condor_metrics::buckets::{checkpoint_rate_by_demand, leverage_by_demand, wait_ratio_by_demand};
+use condor_metrics::export::CsvSeries;
+use condor_sim::stats::Cdf;
+use condor_sim::time::{SimDuration, SimTime};
+use condor_workload::scenarios::{one_week, paper_month};
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figures".into())
+        .into();
+    let month = run_scenario(paper_month(EXPERIMENT_SEED));
+    let week = run_scenario(one_week(EXPERIMENT_SEED));
+
+    // Fig. 2 — demand CDF.
+    {
+        let hours: Vec<f64> = month.jobs.iter().map(|j| j.spec.demand.as_hours_f64()).collect();
+        let cdf = Cdf::from_values(hours);
+        let grid: Vec<f64> = (0..=24).map(f64::from).collect();
+        let mut s = CsvSeries::new(&["demand_hours", "fraction_below"]);
+        for (x, f) in cdf.evaluate_on(&grid) {
+            s.row(&[x, f]);
+        }
+        s.write_to(&dir.join("fig2_demand_cdf.csv"))?;
+    }
+
+    // Figs. 3 & 7 — queue lengths (month hourly, week hourly).
+    for (name, out) in [("fig3_month_queue.csv", &month), ("fig7_week_queue.csv", &week)] {
+        let step = SimDuration::HOUR;
+        let total = out.queue_total.resample_mean(SimTime::ZERO, out.horizon, step);
+        let mut light = vec![0.0; total.len()];
+        for (user, series) in &out.queue_by_user {
+            if *user == UserId(0) {
+                continue;
+            }
+            for (i, v) in series
+                .resample_mean(SimTime::ZERO, out.horizon, step)
+                .into_iter()
+                .enumerate()
+            {
+                light[i] += v;
+            }
+        }
+        let mut s = CsvSeries::new(&["hour", "total_queue", "light_queue"]);
+        for (h, (t, l)) in total.iter().zip(&light).enumerate() {
+            s.row(&[h as f64, *t, *l]);
+        }
+        s.write_to(&dir.join(name))?;
+    }
+
+    // Fig. 4 — wait ratio vs demand (all + light).
+    {
+        let mut s = CsvSeries::new(&["demand_mid_hours", "wait_ratio_all", "wait_ratio_light"]);
+        let all = wait_ratio_by_demand(&month.jobs, |_| true);
+        let light = wait_ratio_by_demand(&month.jobs, is_light);
+        for p in &all {
+            let l = light
+                .iter()
+                .find(|q| (q.mid() - p.mid()).abs() < 1e-9)
+                .map(|q| q.mean)
+                .unwrap_or(f64::NAN);
+            s.row(&[p.mid(), p.mean, l]);
+        }
+        s.write_to(&dir.join("fig4_wait_ratio.csv"))?;
+    }
+
+    // Figs. 5 & 6 — utilization (month, week).
+    for (name, out) in [
+        ("fig5_month_utilization.csv", &month),
+        ("fig6_week_utilization.csv", &week),
+    ] {
+        let system = out.system_utilization_hourly();
+        let local = out.local_utilization_hourly();
+        let mut s = CsvSeries::new(&["hour", "system_utilization", "local_utilization"]);
+        for (h, (sys, loc)) in system.iter().zip(&local).enumerate() {
+            s.row(&[h as f64, *sys, *loc]);
+        }
+        s.write_to(&dir.join(name))?;
+    }
+
+    // Fig. 8 — checkpoint rate vs demand.
+    {
+        let mut s = CsvSeries::new(&["demand_mid_hours", "checkpoints_per_hour", "jobs"]);
+        for p in checkpoint_rate_by_demand(&month.jobs, |_| true) {
+            s.row(&[p.mid(), p.mean, p.jobs as f64]);
+        }
+        s.write_to(&dir.join("fig8_checkpoint_rate.csv"))?;
+    }
+
+    // Fig. 9 — leverage vs demand.
+    {
+        let mut s = CsvSeries::new(&["demand_mid_hours", "mean_leverage", "jobs"]);
+        for p in leverage_by_demand(&month.jobs, |_| true) {
+            s.row(&[p.mid(), p.mean, p.jobs as f64]);
+        }
+        s.write_to(&dir.join("fig9_leverage.csv"))?;
+    }
+
+    println!("wrote 8 figure CSVs to {}", dir.display());
+    Ok(())
+}

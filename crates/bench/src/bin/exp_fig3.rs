@@ -1,0 +1,59 @@
+//! Figure 3 — hourly queue length over the month, total vs light users.
+//!
+//! Paper shape: the heavy user keeps > 30 jobs in the system for long
+//! periods; light users appear as small batches of ≈ 5; jobs in service
+//! count as queued.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_fig3`
+
+use condor_bench::{run_scenario, EXPERIMENT_SEED};
+use condor_core::job::UserId;
+use condor_metrics::plot::{chart, Series};
+use condor_sim::time::{SimDuration, SimTime};
+use condor_workload::scenarios::paper_month;
+
+fn main() {
+    let out = run_scenario(paper_month(EXPERIMENT_SEED));
+    let step = SimDuration::HOUR;
+    let total = out.queue_total.resample_mean(SimTime::ZERO, out.horizon, step);
+    // Light users: everyone but A (user 0).
+    let mut light = vec![0.0; total.len()];
+    for (user, series) in &out.queue_by_user {
+        if *user == UserId(0) {
+            continue;
+        }
+        for (i, v) in series
+            .resample_mean(SimTime::ZERO, out.horizon, step)
+            .into_iter()
+            .enumerate()
+        {
+            light[i] += v;
+        }
+    }
+
+    println!("== Fig. 3: Queue Length (hourly, one month) ==");
+    println!(
+        "{}",
+        chart(
+            &[
+                Series { label: "total", glyph: '*', values: &total },
+                Series { label: "light users", glyph: '.', values: &light },
+            ],
+            100,
+            16,
+        )
+    );
+    let peak_total = total.iter().cloned().fold(0.0, f64::max);
+    let peak_light = light.iter().cloned().fold(0.0, f64::max);
+    let above30 = total.iter().filter(|&&v| v > 30.0).count();
+    println!("peak total queue  : {peak_total:.0} jobs (paper: >40 at peaks)");
+    println!("peak light queue  : {peak_light:.0} jobs (paper: batches of ~5)");
+    println!(
+        "hours with total > 30 jobs: {above30} of {} — the heavy user's standing backlog",
+        total.len()
+    );
+    println!("\nhour, total, light");
+    for (i, (t, l)) in total.iter().zip(&light).enumerate().step_by(6) {
+        println!("{i:5}, {t:6.1}, {l:6.1}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 4 — average wait ratio vs service demand, all jobs vs light
+//! users.
+//!
+//! Paper shape: light users barely wait at all (the Up-Down algorithm
+//! shields them); the all-jobs curve is dominated by the heavy user, who
+//! waits substantially.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_fig4`
+
+use condor_bench::{is_light, run_scenario, EXPERIMENT_SEED};
+use condor_metrics::buckets::wait_ratio_by_demand;
+use condor_metrics::plot::points_block;
+use condor_metrics::summary::mean_wait_ratio;
+use condor_workload::scenarios::paper_month;
+
+fn main() {
+    let out = run_scenario(paper_month(EXPERIMENT_SEED));
+    let all = wait_ratio_by_demand(&out.jobs, |_| true);
+    let light = wait_ratio_by_demand(&out.jobs, is_light);
+
+    println!("== Fig. 4: Average Wait Ratio vs Service Demand ==");
+    println!(
+        "{}",
+        points_block(
+            "all jobs: (demand bucket midpoint h, mean wait ratio)",
+            &all.iter().map(|p| (p.mid(), p.mean)).collect::<Vec<_>>()
+        )
+    );
+    println!(
+        "{}",
+        points_block(
+            "light users: (demand bucket midpoint h, mean wait ratio)",
+            &light.iter().map(|p| (p.mid(), p.mean)).collect::<Vec<_>>()
+        )
+    );
+    let mean_all = mean_wait_ratio(&out.jobs, |_| true).unwrap_or(0.0);
+    let mean_light = mean_wait_ratio(&out.jobs, is_light).unwrap_or(0.0);
+    let mean_heavy = mean_wait_ratio(&out.jobs, |j| !is_light(j)).unwrap_or(0.0);
+    println!("mean wait ratio, all jobs    : {mean_all:.2}");
+    println!("mean wait ratio, light users : {mean_light:.2}   (paper: 'in most cases light users did not wait at all')");
+    println!("mean wait ratio, heavy user  : {mean_heavy:.2}   (paper: 'waited significantly more')");
+    assert!(
+        mean_light < mean_heavy,
+        "Up-Down must favour light users (light {mean_light} vs heavy {mean_heavy})"
+    );
+    let zero_wait_light = out
+        .jobs
+        .iter()
+        .filter(|j| is_light(j))
+        .filter_map(|j| j.wait_ratio())
+        .filter(|w| *w < 0.05)
+        .count();
+    let light_total = out.jobs.iter().filter(|j| is_light(j)).count();
+    println!(
+        "light jobs with (near-)zero wait: {zero_wait_light}/{light_total}"
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 5 — utilization of remote resources over the month.
+//!
+//! Paper shape: local activity stays low (~25% average) while system
+//! utilization (local + Condor) is far higher, often saturating the fleet.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_fig5`
+
+use condor_bench::{run_scenario, EXPERIMENT_SEED};
+use condor_metrics::plot::{chart, Series};
+use condor_workload::scenarios::paper_month;
+
+fn main() {
+    let out = run_scenario(paper_month(EXPERIMENT_SEED));
+    let system: Vec<f64> = out
+        .system_utilization_hourly()
+        .iter()
+        .map(|u| u * 100.0)
+        .collect();
+    let local: Vec<f64> = out
+        .local_utilization_hourly()
+        .iter()
+        .map(|u| u * 100.0)
+        .collect();
+
+    println!("== Fig. 5: Utilization of Remote Resources (one month, % of 23 stations) ==");
+    println!(
+        "{}",
+        chart(
+            &[
+                Series { label: "system (local + remote)", glyph: '*', values: &system },
+                Series { label: "local only", glyph: '.', values: &local },
+            ],
+            100,
+            16,
+        )
+    );
+    let mean_sys = system.iter().sum::<f64>() / system.len() as f64;
+    let mean_loc = local.iter().sum::<f64>() / local.len() as f64;
+    let saturated = system.iter().filter(|&&u| u > 90.0).count();
+    println!("mean local utilization : {mean_loc:.0}%  (paper: 25%)");
+    println!("mean system utilization: {mean_sys:.0}%");
+    println!(
+        "hours with system > 90%: {saturated} — 'often all workstations were utilized'"
+    );
+    println!("\nday, mean system %, mean local %");
+    for d in 0..(system.len() / 24) {
+        let s = system[d * 24..(d + 1) * 24].iter().sum::<f64>() / 24.0;
+        let l = local[d * 24..(d + 1) * 24].iter().sum::<f64>() / 24.0;
+        println!("{d:3}, {s:6.1}, {l:6.1}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 6 — utilization close-up over one working week.
+//!
+//! Paper shape: local activity peaks in weekday afternoons (~50%) and
+//! drops to ~20% in evenings and nights; the whole fleet is saturated by
+//! Condor for long stretches.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_fig6`
+
+use condor_bench::{run_scenario, EXPERIMENT_SEED};
+use condor_metrics::plot::{chart, Series};
+use condor_workload::scenarios::one_week;
+
+fn main() {
+    let out = run_scenario(one_week(EXPERIMENT_SEED));
+    let system: Vec<f64> = out
+        .system_utilization_hourly()
+        .iter()
+        .map(|u| u * 100.0)
+        .collect();
+    let local: Vec<f64> = out
+        .local_utilization_hourly()
+        .iter()
+        .map(|u| u * 100.0)
+        .collect();
+
+    println!("== Fig. 6: Utilization for One Week (Mon..Sun, % of 23 stations) ==");
+    println!(
+        "{}",
+        chart(
+            &[
+                Series { label: "system", glyph: '*', values: &system },
+                Series { label: "local", glyph: '.', values: &local },
+            ],
+            // One column per hour of the week.
+            168,
+            16,
+        )
+    );
+    // Day/night local split on weekdays.
+    let mut afternoon = Vec::new();
+    let mut night = Vec::new();
+    for (h, &l) in local.iter().enumerate() {
+        let day = h / 24;
+        let hour = h % 24;
+        if day < 5 {
+            if (12..=16).contains(&hour) {
+                afternoon.push(l);
+            } else if !(8..=21).contains(&hour) {
+                night.push(l);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "weekday afternoon local utilization: {:.0}%  (paper: ~50% short peaks)",
+        mean(&afternoon)
+    );
+    println!(
+        "weekday night/evening local utilization: {:.0}%  (paper: ~20%)",
+        mean(&night)
+    );
+    println!("\nhour-of-week, system %, local %");
+    for (h, (s, l)) in system.iter().zip(&local).enumerate() {
+        if h % 4 == 0 {
+            println!("{h:4}, {s:6.1}, {l:6.1}");
+        }
+    }
+}

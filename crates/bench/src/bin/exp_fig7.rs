@@ -1,0 +1,63 @@
+//! Figure 7 — queue lengths for one week, total vs light users.
+//!
+//! Paper shape: sharp rises from batch arrivals; the heavy user's queue
+//! often exceeds the number of machines; light users' contribution stays
+//! small.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_fig7`
+
+use condor_bench::{run_scenario, EXPERIMENT_SEED};
+use condor_core::job::UserId;
+use condor_metrics::plot::{chart, Series};
+use condor_sim::time::{SimDuration, SimTime};
+use condor_workload::scenarios::one_week;
+
+fn main() {
+    let out = run_scenario(one_week(EXPERIMENT_SEED));
+    let step = SimDuration::HOUR;
+    let total = out.queue_total.resample_mean(SimTime::ZERO, out.horizon, step);
+    let mut light = vec![0.0; total.len()];
+    for (user, series) in &out.queue_by_user {
+        if *user == UserId(0) {
+            continue;
+        }
+        for (i, v) in series
+            .resample_mean(SimTime::ZERO, out.horizon, step)
+            .into_iter()
+            .enumerate()
+        {
+            light[i] += v;
+        }
+    }
+
+    println!("== Fig. 7: Queue Lengths for One Week ==");
+    println!(
+        "{}",
+        chart(
+            &[
+                Series { label: "total", glyph: '*', values: &total },
+                Series { label: "light users", glyph: '.', values: &light },
+            ],
+            168,
+            16,
+        )
+    );
+    let stations = out.stations as f64;
+    let above_fleet = total.iter().filter(|&&v| v > stations).count();
+    println!(
+        "hours where the backlog exceeded the {} machines: {above_fleet} (paper: 'much of the time')",
+        out.stations
+    );
+    // Batch arrivals show as jumps.
+    let mut max_jump = 0.0f64;
+    for w in total.windows(2) {
+        max_jump = max_jump.max(w[1] - w[0]);
+    }
+    println!("largest hourly queue jump: {max_jump:.0} jobs — batch arrivals");
+    println!("\nhour-of-week, total, light");
+    for (h, (t, l)) in total.iter().zip(&light).enumerate() {
+        if h % 4 == 0 {
+            println!("{h:4}, {t:6.1}, {l:6.1}");
+        }
+    }
+}

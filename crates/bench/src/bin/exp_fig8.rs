@@ -1,0 +1,55 @@
+//! Figure 8 — rate of checkpointing vs service demand.
+//!
+//! Paper shape: moves per hour are relatively steady across demands except
+//! for short jobs, which move more per hour; long jobs settle onto
+//! stations with long available intervals and move less.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_fig8`
+
+use condor_bench::{run_scenario, EXPERIMENT_SEED};
+use condor_metrics::buckets::checkpoint_rate_by_demand;
+use condor_metrics::plot::points_block;
+use condor_workload::scenarios::paper_month;
+
+fn main() {
+    let out = run_scenario(paper_month(EXPERIMENT_SEED));
+    let pts = checkpoint_rate_by_demand(&out.jobs, |_| true);
+
+    println!("== Fig. 8: Rate of Checkpointing (moves per demand-hour) ==");
+    println!(
+        "{}",
+        points_block(
+            "(demand bucket midpoint h, checkpoints per hour, jobs in bucket)",
+            &pts.iter().map(|p| (p.mid(), p.mean)).collect::<Vec<_>>()
+        )
+    );
+    for p in &pts {
+        println!(
+            "bucket {:>5.1}h: {:>6.3} moves/h over {} jobs",
+            p.mid(),
+            p.mean,
+            p.jobs
+        );
+    }
+    // Shape check: short jobs move more per hour than long ones.
+    let short: Vec<&_> = pts.iter().filter(|p| p.mid() < 2.0).collect();
+    let long: Vec<&_> = pts.iter().filter(|p| p.mid() >= 6.0).collect();
+    let mean = |v: &[&condor_metrics::buckets::BucketPoint]| {
+        v.iter().map(|p| p.mean).sum::<f64>() / v.len().max(1) as f64
+    };
+    let (s, l) = (mean(&short), mean(&long));
+    println!("\nshort jobs (<2 h): {s:.2} moves/h;  long jobs (≥6 h): {l:.2} moves/h");
+    println!("paper: short jobs checkpoint at a higher hourly rate; long jobs settle down");
+    assert!(
+        s > l,
+        "short jobs must move more per hour than long jobs ({s:.2} vs {l:.2})"
+    );
+    // Context: per-move cost.
+    let mean_image = out.jobs.iter().map(|j| j.spec.image_bytes as f64).sum::<f64>()
+        / out.jobs.len() as f64;
+    println!(
+        "mean image {:.2} MB → {:.1} s of local CPU per move at 5 s/MB (paper: ~2.5 s)",
+        mean_image / 1e6,
+        5.0 * mean_image / 1e6
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 9 — remote-execution leverage vs service demand.
+//!
+//! Paper shape: average leverage ≈ 1300 (a minute of local CPU buys ~22
+//! hours of remote CPU); longer jobs have higher leverage; jobs under two
+//! hours still average ≈ 600.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_fig9`
+
+use condor_bench::{run_scenario, EXPERIMENT_SEED};
+use condor_metrics::buckets::leverage_by_demand;
+use condor_metrics::plot::points_block;
+use condor_metrics::summary::mean_leverage;
+use condor_workload::scenarios::paper_month;
+
+fn main() {
+    let out = run_scenario(paper_month(EXPERIMENT_SEED));
+    let pts = leverage_by_demand(&out.jobs, |_| true);
+
+    println!("== Fig. 9: Remote Execution Leverage ==");
+    println!(
+        "{}",
+        points_block(
+            "(demand bucket midpoint h, mean leverage)",
+            &pts.iter().map(|p| (p.mid(), p.mean)).collect::<Vec<_>>()
+        )
+    );
+    for p in &pts {
+        println!(
+            "bucket {:>5.1}h: leverage {:>8.0} over {} jobs",
+            p.mid(),
+            p.mean,
+            p.jobs
+        );
+    }
+    let overall = mean_leverage(&out.jobs, |_| true).unwrap();
+    let short = mean_leverage(&out.jobs, |j| j.spec.demand.as_hours_f64() < 2.0).unwrap();
+    let long = mean_leverage(&out.jobs, |j| j.spec.demand.as_hours_f64() >= 6.0).unwrap();
+    println!("\noverall mean leverage     : {overall:>6.0}   (paper ≈ 1300)");
+    println!("jobs under 2 h            : {short:>6.0}   (paper ≈ 600)");
+    println!("jobs of 6 h and more      : {long:>6.0}   (longer jobs leverage higher)");
+    println!(
+        "interpretation: 1 minute of local capacity buys {:.1} hours of remote capacity",
+        overall / 60.0
+    );
+    assert!(long > short, "leverage must grow with demand ({long:.0} vs {short:.0})");
+}

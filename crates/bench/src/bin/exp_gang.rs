@@ -1,0 +1,115 @@
+//! §5 future-work item 2 — parallel programs (gang scheduling).
+//!
+//! "We are considering the implementation of the unix system calls fork(2),
+//! exec(2), and pipe(2) to allow parallel programs to be executed on the
+//! system. This facility would introduce many scheduling problems."
+//!
+//! A width-k gang needs k machines *simultaneously*; any owner's return
+//! suspends the whole program, and evictions checkpoint all k members as a
+//! coordinated cut. This experiment quantifies the predicted scheduling
+//! problems: keeping total work constant, wider gangs wait longer for
+//! machines, get interrupted more often (any of k owners), and burn more
+//! transfer support per unit of work.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_gang`
+
+use condor_bench::EXPERIMENT_SEED;
+use condor_core::cluster::run_cluster;
+use condor_core::config::ClusterConfig;
+use condor_core::job::{JobId, JobSpec, UserId};
+use condor_metrics::replicate::replicate;
+use condor_metrics::table::{num, Align, Table};
+use condor_net::NodeId;
+use condor_sim::time::{SimDuration, SimTime};
+
+/// Total work is fixed at 96 machine-hours; width trades job count for
+/// machines-per-job: 8×(1×12h), 4×(2×12h), 2×(4×12h), 1×(8×12h).
+fn workload(width: u32) -> Vec<JobSpec> {
+    let n_jobs = 8 / width as u64;
+    (0..n_jobs)
+        .map(|i| JobSpec {
+            id: JobId(i),
+            user: UserId(0),
+            home: NodeId::new(0),
+            arrival: SimTime::from_hours(i),
+            demand: SimDuration::from_hours(12),
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 1.0,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width,
+        })
+        .collect()
+}
+
+fn main() {
+    println!("== §5(2): gang scheduling — 96 machine-hours at widths 1..8, 12 stations ==");
+    let seeds: Vec<u64> = (0..6).map(|i| EXPERIMENT_SEED + i).collect();
+    let mut t = Table::new(
+        vec![
+            "Width",
+            "Jobs",
+            "Turnaround (h)",
+            "Owner interrupts",
+            "Migrations",
+            "Mean leverage",
+        ],
+        vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right, Align::Right],
+    );
+    let mut turnarounds = Vec::new();
+    for width in [1u32, 2, 4, 8] {
+        let run_one = |seed: u64, metric: &dyn Fn(&condor_core::cluster::RunOutput) -> f64| {
+            let config = ClusterConfig {
+                stations: 12,
+                seed,
+                ..ClusterConfig::default()
+            };
+            let out = run_cluster(config, workload(width), SimDuration::from_days(20));
+            metric(&out)
+        };
+        let turnaround = replicate(&seeds, |s| {
+            run_one(s, &|o| {
+                o.completed_jobs()
+                    .map(|j| j.turnaround().unwrap().as_hours_f64())
+                    .sum::<f64>()
+                    / o.completed_jobs().count().max(1) as f64
+            })
+        });
+        let interrupts =
+            replicate(&seeds, |s| run_one(s, &|o| o.totals.preemptions_owner as f64));
+        let migrations = replicate(&seeds, |s| run_one(s, &|o| o.totals.migrations as f64));
+        let leverage = replicate(&seeds, |s| {
+            run_one(s, &|o| {
+                condor_metrics::summary::mean_leverage(&o.jobs, |_| true).unwrap_or(0.0)
+            })
+        });
+        // Completion check across all seeds.
+        for &s in &seeds {
+            let config = ClusterConfig { stations: 12, seed: s, ..ClusterConfig::default() };
+            let out = run_cluster(config, workload(width), SimDuration::from_days(20));
+            assert_eq!(
+                out.completed_jobs().count() as u64,
+                8 / u64::from(width),
+                "width {width}, seed {s}: {:?}",
+                out.totals
+            );
+        }
+        t.row(vec![
+            width.to_string(),
+            (8 / width).to_string(),
+            format!("{:.1} ± {:.1}", turnaround.mean, turnaround.half_width),
+            format!("{:.1} ± {:.1}", interrupts.mean, interrupts.half_width),
+            format!("{:.1} ± {:.1}", migrations.mean, migrations.half_width),
+            num(leverage.mean, 0),
+        ]);
+        turnarounds.push(turnaround.mean);
+    }
+    println!("{}", t.render());
+    println!("same total work, very different schedules: a width-8 program is hostage to");
+    println!("eight owners at once — every return suspends all eight machines, and every");
+    println!("eviction ships eight images. 'Many scheduling problems' indeed (paper §5).");
+    assert!(
+        turnarounds[3] > turnarounds[0],
+        "wider gangs must turn around slower ({turnarounds:?})"
+    );
+}

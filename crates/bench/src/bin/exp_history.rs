@@ -1,0 +1,91 @@
+//! §5 future-work item 1 — history-aware placement.
+//!
+//! The paper observes (via its companion study) that stations with long
+//! available intervals tend to stay that way, and proposes choosing cycle
+//! sources by availability history to cut preemptions of long jobs. Our
+//! coordinator optionally ranks free machines by an EWMA of their past
+//! idle-interval lengths; this experiment measures the effect.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_history`
+
+use condor_bench::EXPERIMENT_SEED;
+use condor_core::cluster::run_cluster;
+use condor_core::config::ClusterConfig;
+use condor_metrics::replicate::{replicate, MeanCi};
+use condor_metrics::table::{Align, Table};
+use condor_workload::scenarios::paper_month;
+
+const SEEDS: [u64; 8] = [EXPERIMENT_SEED, 7, 42, 1234, 9, 77, 4096, 31337];
+
+fn run_metric(aware: bool, metric: impl Fn(&condor_core::cluster::RunOutput) -> f64) -> MeanCi {
+    replicate(&SEEDS, |seed| {
+        let scenario = paper_month(seed);
+        let config = ClusterConfig {
+            history_aware_placement: aware,
+            ..scenario.config
+        };
+        let out = run_cluster(config, scenario.jobs, scenario.horizon);
+        metric(&out)
+    })
+}
+
+fn long_job_moves(out: &condor_core::cluster::RunOutput) -> f64 {
+    let long: Vec<&condor_core::job::Job> = out
+        .jobs
+        .iter()
+        .filter(|j| j.spec.demand.as_hours_f64() >= 6.0)
+        .collect();
+    long.iter().map(|j| f64::from(j.checkpoints)).sum::<f64>() / long.len().max(1) as f64
+}
+
+fn main() {
+    println!(
+        "== §5(1): history-aware placement ablation (paper month, {} seeds, 95% CI) ==",
+        SEEDS.len()
+    );
+    let mut t = Table::new(
+        vec![
+            "Placement",
+            "Migrations",
+            "Moves/long-job",
+            "Mean leverage",
+            "Mean wait ratio",
+        ],
+        vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right],
+    );
+    let mut long_moves = Vec::new();
+    for (name, aware) in [("id-order (paper)", false), ("history-aware", true)] {
+        let migs = run_metric(aware, |o| o.totals.migrations as f64);
+        let moves = run_metric(aware, long_job_moves);
+        let lev = run_metric(aware, |o| {
+            condor_metrics::summary::mean_leverage(&o.jobs, |_| true).unwrap_or(0.0)
+        });
+        let wait = run_metric(aware, |o| {
+            condor_metrics::summary::mean_wait_ratio(&o.jobs, |_| true).unwrap_or(0.0)
+        });
+        t.row(vec![
+            name.into(),
+            format!("{:.0} ± {:.0}", migs.mean, migs.half_width),
+            moves.to_string(),
+            format!("{:.0} ± {:.0}", lev.mean, lev.half_width),
+            wait.to_string(),
+        ]);
+        long_moves.push(moves);
+    }
+    println!("{}", t.render());
+    println!(
+        "long-job moves: {} (id-order) vs {} (history-aware){}",
+        long_moves[0],
+        long_moves[1],
+        if long_moves[1].significantly_below(&long_moves[0]) {
+            " — significant at 95%"
+        } else {
+            ""
+        }
+    );
+    println!("paper §5: choosing sources by interval history should reduce preemptions of long jobs");
+    assert!(
+        long_moves[1].mean < long_moves[0].mean,
+        "history-aware placement must reduce long-job moves on average"
+    );
+}

@@ -1,0 +1,94 @@
+//! §3 headline numbers: available vs consumed capacity, utilizations,
+//! leverage, and control-plane overheads.
+//!
+//! Paper values (23 stations, one month): 12438 station-hours available,
+//! 4771 consumed (~200 CPU-days), availability ≈ 75%, local utilization
+//! ≈ 25%, average leverage ≈ 1300, coordinator and local scheduler < 1%.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_summary`
+
+use condor_bench::{run_scenario, EXPERIMENT_SEED};
+use condor_metrics::summary::summarize;
+use condor_metrics::table::{num, Align, Table};
+use condor_workload::scenarios::paper_month;
+
+fn main() {
+    let started = std::time::Instant::now();
+    let scenario = paper_month(EXPERIMENT_SEED);
+    let out = run_scenario(scenario);
+    let s = summarize(&out);
+
+    println!("== §3 summary: one month, {} stations ==", s.stations);
+    let mut t = Table::new(
+        vec!["Metric", "Paper", "Measured"],
+        vec![Align::Left, Align::Right, Align::Right],
+    );
+    t.row(vec!["Jobs submitted".into(), "918".into(), s.jobs_submitted.to_string()]);
+    t.row(vec!["Jobs completed".into(), "(most)".into(), s.jobs_completed.to_string()]);
+    t.row(vec![
+        "Available station-hours".into(),
+        "12438".into(),
+        num(s.available_hours, 0),
+    ]);
+    t.row(vec![
+        "Consumed CPU-hours".into(),
+        "4771".into(),
+        num(s.consumed_hours, 0),
+    ]);
+    t.row(vec![
+        "Consumed CPU-days".into(),
+        "~200".into(),
+        num(s.consumed_hours / 24.0, 0),
+    ]);
+    t.row(vec![
+        "Availability".into(),
+        "~75%".into(),
+        format!("{:.0}%", s.availability * 100.0),
+    ]);
+    t.row(vec![
+        "Local utilization".into(),
+        "~25%".into(),
+        format!("{:.0}%", s.local_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "System utilization".into(),
+        "(fig 5)".into(),
+        format!("{:.0}%", s.system_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "Mean leverage".into(),
+        "~1300".into(),
+        num(s.mean_leverage, 0),
+    ]);
+    t.row(vec![
+        "Mean wait ratio".into(),
+        "(fig 4)".into(),
+        num(s.mean_wait_ratio, 2),
+    ]);
+    t.row(vec![
+        "Mean moves per job".into(),
+        "(fig 8)".into(),
+        num(s.mean_checkpoints, 2),
+    ]);
+    t.row(vec!["Placements".into(), "-".into(), s.placements.to_string()]);
+    t.row(vec!["Migrations".into(), "-".into(), s.migrations.to_string()]);
+    println!("{}", t.render());
+
+    println!(
+        "control plane: {} polls, coordinator overhead (configured) {:.1}%, local scheduler {:.1}%",
+        out.totals.polls,
+        100.0 * condor_model::costs::CostModel::default().coordinator_overhead,
+        100.0 * condor_model::costs::CostModel::default().local_scheduler_overhead,
+    );
+    println!(
+        "owner interference from detection latency: {:.1} min total across {} owner preemptions",
+        out.totals.interference_ms as f64 / 60_000.0,
+        out.totals.preemptions_owner,
+    );
+    println!(
+        "network: {} transfers, {:.1} MB moved",
+        out.bus_transfers,
+        out.bus_bytes_moved as f64 / 1e6
+    );
+    eprintln!("[exp_summary ran in {:.2?}]", started.elapsed());
+}

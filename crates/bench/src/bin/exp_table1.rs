@@ -1,0 +1,64 @@
+//! Table 1 — profile of user service requests.
+//!
+//! Paper rows (jobs, % jobs, mean demand h, total h, % demand):
+//! A 690/75/6.2/4278/90 · B 138/15/2.5/345/7 · C 39/4/2.6/101/2 ·
+//! D 40/4/0.7/28/0.6 · E 11/1/1.7/19/0.4 · Total 918/100/5.2/4771/100.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin exp_table1`
+
+use condor_bench::EXPERIMENT_SEED;
+use condor_metrics::table::{num, Align, Table};
+use condor_workload::scenarios::paper_month;
+use condor_workload::trace::table1_rows;
+
+fn main() {
+    let scenario = paper_month(EXPERIMENT_SEED);
+    let rows = table1_rows(&scenario.jobs);
+
+    println!("== Table 1: Profile of User Service Requests ==");
+    let mut t = Table::new(
+        vec![
+            "User",
+            "Number of Jobs",
+            "% of Total Jobs",
+            "Avg Demand/Job (h)",
+            "Total Demand (h)",
+            "% of Total Demand",
+        ],
+        vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    );
+    let mut total_jobs = 0usize;
+    let mut total_demand = 0.0f64;
+    for r in &rows {
+        t.row(vec![
+            r.user.to_string(),
+            r.jobs.to_string(),
+            num(r.pct_jobs, 0),
+            num(r.mean_demand_hours, 1),
+            num(r.total_demand_hours, 0),
+            num(r.pct_demand, 1),
+        ]);
+        total_jobs += r.jobs;
+        total_demand += r.total_demand_hours;
+    }
+    t.rule();
+    t.row(vec![
+        "Total".into(),
+        total_jobs.to_string(),
+        "100".into(),
+        num(total_demand / total_jobs as f64, 1),
+        num(total_demand, 0),
+        "100".into(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "paper: A 690/6.2h, B 138/2.5h, C 39/2.6h, D 40/0.7h, E 11/1.7h; total 918 jobs, 4771 h"
+    );
+}

@@ -1,0 +1,167 @@
+//! Error types for checkpoint encoding, decoding, and storage.
+
+use std::fmt;
+
+/// Errors arising while decoding a checkpoint image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the structure was complete.
+    UnexpectedEof {
+        /// What was being decoded when the data ran out.
+        context: &'static str,
+    },
+    /// The leading magic bytes did not identify a checkpoint image.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is not supported by this library.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// A checksum mismatch: the image is corrupt or truncated.
+    ChecksumMismatch {
+        /// Checksum recorded in the frame.
+        expected: u32,
+        /// Checksum recomputed over the payload.
+        actual: u32,
+    },
+    /// A varint was longer than the maximum for its type.
+    VarintOverflow,
+    /// A length field exceeded the sanity bound.
+    LengthOutOfBounds {
+        /// The offending length.
+        len: u64,
+        /// The maximum allowed.
+        max: u64,
+    },
+    /// An enum discriminant had no corresponding variant.
+    InvalidDiscriminant {
+        /// The type being decoded.
+        what: &'static str,
+        /// The raw value found.
+        value: u64,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// Trailing bytes remained after the structure was fully decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            DecodeError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:02x?}, not a checkpoint image")
+            }
+            DecodeError::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint format version {found}")
+            }
+            DecodeError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: recorded {expected:#010x}, computed {actual:#010x}")
+            }
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            DecodeError::LengthOutOfBounds { len, max } => {
+                write!(f, "length field {len} exceeds sanity bound {max}")
+            }
+            DecodeError::InvalidDiscriminant { what, value } => {
+                write!(f, "invalid {what} discriminant {value}")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after complete image")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Errors arising from the checkpoint store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Not enough free space on the destination disk.
+    DiskFull {
+        /// Bytes the image needs.
+        needed: u64,
+        /// Bytes actually free.
+        available: u64,
+    },
+    /// No checkpoint is stored under the requested key.
+    NotFound {
+        /// The missing key, rendered for diagnostics.
+        key: String,
+    },
+    /// A stored image failed validation when read back.
+    Corrupt(DecodeError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DiskFull { needed, available } => {
+                write!(f, "disk full: need {needed} bytes, {available} available")
+            }
+            StoreError::NotFound { key } => write!(f, "no checkpoint stored for {key}"),
+            StoreError::Corrupt(e) => write!(f, "stored checkpoint is corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> Self {
+        StoreError::Corrupt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DecodeError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = DecodeError::BadMagic { found: *b"ELF\x7f" };
+        assert!(e.to_string().contains("magic"));
+        let e = StoreError::DiskFull { needed: 100, available: 10 };
+        assert!(e.to_string().contains("disk full"));
+        let e = StoreError::NotFound { key: "job-7".into() };
+        assert!(e.to_string().contains("job-7"));
+    }
+
+    #[test]
+    fn store_error_sources_chain() {
+        use std::error::Error;
+        let inner = DecodeError::InvalidUtf8;
+        let outer: StoreError = inner.clone().into();
+        assert_eq!(
+            outer.source().expect("has source").to_string(),
+            inner.to_string()
+        );
+        assert!(StoreError::NotFound { key: "x".into() }.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeError>();
+        assert_send_sync::<StoreError>();
+    }
+}

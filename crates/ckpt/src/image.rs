@@ -1,0 +1,632 @@
+//! The checkpoint image: everything needed to restart a job elsewhere.
+//!
+//! Paper §2.3: *"The state of an RU program is the text, data, bss, and the
+//! stack segments of the program, the registers, the status of open files,
+//! and any messages sent by the program to its shadow for which a reply has
+//! not been received."* Condor sidesteps the last item by deferring the
+//! checkpoint until all shadow replies have arrived; we encode that rule in
+//! [`CheckpointBuilder::build`], which refuses to produce an image while
+//! replies are outstanding.
+//!
+//! The text segment is included even though it is immutable (paper §2.3):
+//! jobs may run for months, and the user must be free to recompile the
+//! executable while an old copy is still running remotely.
+
+use bytes::Bytes;
+
+use crate::codec::{Decoder, Encoder};
+use crate::error::DecodeError;
+
+/// Magic bytes at the start of every checkpoint image ("CKPT").
+pub const MAGIC: [u8; 4] = *b"CKPT";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// The kind of a memory segment in a checkpoint image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Executable code (immutable during execution, but saved anyway so
+    /// the on-disk binary may be recompiled while the job runs).
+    Text,
+    /// Initialised variables.
+    Data,
+    /// Uninitialised variables (stored run-length-compressed in spirit; we
+    /// store the payload verbatim but it is typically zeros).
+    Bss,
+    /// The stack.
+    Stack,
+}
+
+impl SegmentKind {
+    fn discriminant(self) -> u64 {
+        match self {
+            SegmentKind::Text => 0,
+            SegmentKind::Data => 1,
+            SegmentKind::Bss => 2,
+            SegmentKind::Stack => 3,
+        }
+    }
+
+    fn from_discriminant(v: u64) -> Result<Self, DecodeError> {
+        Ok(match v {
+            0 => SegmentKind::Text,
+            1 => SegmentKind::Data,
+            2 => SegmentKind::Bss,
+            3 => SegmentKind::Stack,
+            _ => {
+                return Err(DecodeError::InvalidDiscriminant {
+                    what: "SegmentKind",
+                    value: v,
+                })
+            }
+        })
+    }
+
+    /// All segment kinds, in canonical image order.
+    pub const ALL: [SegmentKind; 4] = [
+        SegmentKind::Text,
+        SegmentKind::Data,
+        SegmentKind::Bss,
+        SegmentKind::Stack,
+    ];
+}
+
+impl std::fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SegmentKind::Text => "text",
+            SegmentKind::Data => "data",
+            SegmentKind::Bss => "bss",
+            SegmentKind::Stack => "stack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory segment of a checkpointed process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    kind: SegmentKind,
+    /// Virtual base address at which the segment must be restored.
+    base: u64,
+    payload: Bytes,
+}
+
+impl Segment {
+    /// Creates a segment of `kind` at virtual base `base`.
+    pub fn new(kind: SegmentKind, base: u64, payload: impl Into<Bytes>) -> Self {
+        Segment {
+            kind,
+            base,
+            payload: payload.into(),
+        }
+    }
+
+    /// The segment's kind.
+    pub fn kind(&self) -> SegmentKind {
+        self.kind
+    }
+
+    /// The virtual base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The segment contents.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Length of the contents in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// `true` when the segment carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.kind.discriminant());
+        e.put_varint(self.base);
+        e.put_bytes(&self.payload);
+    }
+
+    fn decode(d: &mut Decoder) -> Result<Self, DecodeError> {
+        let kind = SegmentKind::from_discriminant(d.get_varint("segment kind")?)?;
+        let base = d.get_varint("segment base")?;
+        let payload = d.get_bytes("segment payload")?;
+        Ok(Segment { kind, base, payload })
+    }
+}
+
+/// Saved CPU register file.
+///
+/// Registers are stored as an opaque ordered list — the set differs per
+/// architecture (the paper targeted the VAX; the live runtime stores its
+/// virtual-machine registers here).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegisterFile {
+    /// Program counter.
+    pub pc: u64,
+    /// Stack pointer.
+    pub sp: u64,
+    /// General-purpose registers.
+    pub gprs: Vec<u64>,
+}
+
+impl RegisterFile {
+    /// Creates a register file.
+    pub fn new(pc: u64, sp: u64, gprs: Vec<u64>) -> Self {
+        RegisterFile { pc, sp, gprs }
+    }
+
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.pc);
+        e.put_varint(self.sp);
+        e.put_varint(self.gprs.len() as u64);
+        for &g in &self.gprs {
+            e.put_varint(g);
+        }
+    }
+
+    fn decode(d: &mut Decoder) -> Result<Self, DecodeError> {
+        let pc = d.get_varint("pc")?;
+        let sp = d.get_varint("sp")?;
+        let n = d.get_varint("gpr count")?;
+        if n > 4096 {
+            return Err(DecodeError::LengthOutOfBounds { len: n, max: 4096 });
+        }
+        let mut gprs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            gprs.push(d.get_varint("gpr")?);
+        }
+        Ok(RegisterFile { pc, sp, gprs })
+    }
+}
+
+/// Access mode of an open file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileMode {
+    /// Opened read-only.
+    Read,
+    /// Opened write-only.
+    Write,
+    /// Opened read-write.
+    ReadWrite,
+    /// Opened write-only in append mode.
+    Append,
+}
+
+impl FileMode {
+    fn discriminant(self) -> u64 {
+        match self {
+            FileMode::Read => 0,
+            FileMode::Write => 1,
+            FileMode::ReadWrite => 2,
+            FileMode::Append => 3,
+        }
+    }
+
+    fn from_discriminant(v: u64) -> Result<Self, DecodeError> {
+        Ok(match v {
+            0 => FileMode::Read,
+            1 => FileMode::Write,
+            2 => FileMode::ReadWrite,
+            3 => FileMode::Append,
+            _ => {
+                return Err(DecodeError::InvalidDiscriminant {
+                    what: "FileMode",
+                    value: v,
+                })
+            }
+        })
+    }
+}
+
+/// The saved status of one open file descriptor.
+///
+/// Remote jobs do their I/O through the shadow on the home machine, so the
+/// path is interpreted relative to the *submitting* workstation when the job
+/// is restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenFile {
+    /// Descriptor number in the process.
+    pub fd: u32,
+    /// Path on the home workstation.
+    pub path: String,
+    /// Open mode.
+    pub mode: FileMode,
+    /// Current seek offset.
+    pub offset: u64,
+}
+
+impl OpenFile {
+    /// Creates an open-file record.
+    pub fn new(fd: u32, path: impl Into<String>, mode: FileMode, offset: u64) -> Self {
+        OpenFile {
+            fd,
+            path: path.into(),
+            mode,
+            offset,
+        }
+    }
+
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(u64::from(self.fd));
+        e.put_str(&self.path);
+        e.put_varint(self.mode.discriminant());
+        e.put_varint(self.offset);
+    }
+
+    fn decode(d: &mut Decoder) -> Result<Self, DecodeError> {
+        let fd = d.get_varint("fd")? as u32;
+        let path = d.get_str("file path")?;
+        let mode = FileMode::from_discriminant(d.get_varint("file mode")?)?;
+        let offset = d.get_varint("file offset")?;
+        Ok(OpenFile { fd, path, mode, offset })
+    }
+}
+
+/// A complete, restorable checkpoint of a running job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointImage {
+    job_id: u64,
+    /// Monotonic checkpoint sequence number for this job; restores must use
+    /// the highest sequence available.
+    sequence: u32,
+    segments: Vec<Segment>,
+    registers: RegisterFile,
+    open_files: Vec<OpenFile>,
+}
+
+impl CheckpointImage {
+    /// The id of the checkpointed job.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// The checkpoint sequence number (higher = more recent).
+    pub fn sequence(&self) -> u32 {
+        self.sequence
+    }
+
+    /// The memory segments, in canonical order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Looks up a segment by kind.
+    pub fn segment(&self, kind: SegmentKind) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.kind() == kind)
+    }
+
+    /// The saved registers.
+    pub fn registers(&self) -> &RegisterFile {
+        &self.registers
+    }
+
+    /// The saved open-file table.
+    pub fn open_files(&self) -> &[OpenFile] {
+        &self.open_files
+    }
+
+    /// Total size of the encoded image in bytes (the quantity the paper's
+    /// 5 s/MB transfer-cost model applies to).
+    pub fn size_bytes(&self) -> u64 {
+        self.encode().len() as u64
+    }
+
+    /// Encodes the image into a checksummed byte frame.
+    pub fn encode(&self) -> Bytes {
+        let mut e = Encoder::with_capacity(
+            64 + self.segments.iter().map(|s| s.len() + 16).sum::<usize>(),
+        );
+        e.put_raw(&MAGIC);
+        e.put_u16(VERSION);
+        e.put_varint(self.job_id);
+        e.put_varint(u64::from(self.sequence));
+        e.put_varint(self.segments.len() as u64);
+        for s in &self.segments {
+            s.encode(&mut e);
+        }
+        self.registers.encode(&mut e);
+        e.put_varint(self.open_files.len() as u64);
+        for f in &self.open_files {
+            f.encode(&mut e);
+        }
+        e.finish_frame()
+    }
+
+    /// Decodes and validates an image from a checksummed frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`]: corruption (checksum), truncation, bad magic or
+    /// version, malformed fields, or trailing garbage.
+    pub fn decode(frame: Bytes) -> Result<Self, DecodeError> {
+        let mut d = Decoder::from_frame(frame)?;
+        let magic = d.get_raw(4, "magic")?;
+        if magic.as_ref() != MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(&magic);
+            return Err(DecodeError::BadMagic { found });
+        }
+        let version = d.get_u16("version")?;
+        if version != VERSION {
+            return Err(DecodeError::UnsupportedVersion { found: version });
+        }
+        let job_id = d.get_varint("job id")?;
+        let sequence = d.get_varint("sequence")? as u32;
+        let n_segs = d.get_varint("segment count")?;
+        if n_segs > 64 {
+            return Err(DecodeError::LengthOutOfBounds { len: n_segs, max: 64 });
+        }
+        let mut segments = Vec::with_capacity(n_segs as usize);
+        for _ in 0..n_segs {
+            segments.push(Segment::decode(&mut d)?);
+        }
+        let registers = RegisterFile::decode(&mut d)?;
+        let n_files = d.get_varint("open file count")?;
+        if n_files > 65_536 {
+            return Err(DecodeError::LengthOutOfBounds { len: n_files, max: 65_536 });
+        }
+        let mut open_files = Vec::with_capacity(n_files as usize);
+        for _ in 0..n_files {
+            open_files.push(OpenFile::decode(&mut d)?);
+        }
+        d.finish()?;
+        Ok(CheckpointImage {
+            job_id,
+            sequence,
+            segments,
+            registers,
+            open_files,
+        })
+    }
+}
+
+/// Incrementally assembles a [`CheckpointImage`].
+///
+/// # Examples
+///
+/// ```
+/// use condor_ckpt::image::{CheckpointBuilder, SegmentKind, FileMode};
+///
+/// let image = CheckpointBuilder::new(7, 1)
+///     .segment(SegmentKind::Text, 0x1000, vec![0x90; 128])
+///     .segment(SegmentKind::Data, 0x8000, vec![1, 2, 3])
+///     .registers(0x1010, 0xFF00, vec![0; 16])
+///     .open_file(3, "/u/mike/output.dat", FileMode::Append, 4096)
+///     .build()
+///     .expect("no replies outstanding");
+/// assert_eq!(image.job_id(), 7);
+/// let bytes = image.encode();
+/// let back = condor_ckpt::image::CheckpointImage::decode(bytes).unwrap();
+/// assert_eq!(back, image);
+/// ```
+#[derive(Debug)]
+pub struct CheckpointBuilder {
+    job_id: u64,
+    sequence: u32,
+    segments: Vec<Segment>,
+    registers: RegisterFile,
+    open_files: Vec<OpenFile>,
+    outstanding_replies: u32,
+}
+
+impl CheckpointBuilder {
+    /// Starts a checkpoint for `job_id` with the given sequence number.
+    pub fn new(job_id: u64, sequence: u32) -> Self {
+        CheckpointBuilder {
+            job_id,
+            sequence,
+            segments: Vec::new(),
+            registers: RegisterFile::default(),
+            open_files: Vec::new(),
+            outstanding_replies: 0,
+        }
+    }
+
+    /// Adds a memory segment.
+    pub fn segment(mut self, kind: SegmentKind, base: u64, payload: impl Into<Bytes>) -> Self {
+        self.segments.push(Segment::new(kind, base, payload));
+        self
+    }
+
+    /// Sets the register file.
+    pub fn registers(mut self, pc: u64, sp: u64, gprs: Vec<u64>) -> Self {
+        self.registers = RegisterFile::new(pc, sp, gprs);
+        self
+    }
+
+    /// Records an open file descriptor.
+    pub fn open_file(
+        mut self,
+        fd: u32,
+        path: impl Into<String>,
+        mode: FileMode,
+        offset: u64,
+    ) -> Self {
+        self.open_files.push(OpenFile::new(fd, path, mode, offset));
+        self
+    }
+
+    /// Declares that `n` shadow replies are still in flight. Condor defers
+    /// checkpoints until the count is zero (paper §2.3), so a non-zero
+    /// count makes [`CheckpointBuilder::build`] fail.
+    pub fn outstanding_replies(mut self, n: u32) -> Self {
+        self.outstanding_replies = n;
+        self
+    }
+
+    /// Finalises the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::RepliesOutstanding`] if shadow replies are in
+    /// flight — checkpointing now would have to save in-transit messages.
+    pub fn build(self) -> Result<CheckpointImage, BuildError> {
+        if self.outstanding_replies > 0 {
+            return Err(BuildError::RepliesOutstanding {
+                count: self.outstanding_replies,
+            });
+        }
+        Ok(CheckpointImage {
+            job_id: self.job_id,
+            sequence: self.sequence,
+            segments: self.segments,
+            registers: self.registers,
+            open_files: self.open_files,
+        })
+    }
+}
+
+/// Errors from [`CheckpointBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// Shadow replies are still in flight; defer the checkpoint.
+    RepliesOutstanding {
+        /// Number of unanswered messages.
+        count: u32,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::RepliesOutstanding { count } => write!(
+                f,
+                "cannot checkpoint with {count} shadow replies outstanding; defer until quiescent"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> CheckpointImage {
+        CheckpointBuilder::new(42, 3)
+            .segment(SegmentKind::Text, 0x0, vec![0xAA; 64])
+            .segment(SegmentKind::Data, 0x1000, vec![0xBB; 32])
+            .segment(SegmentKind::Bss, 0x2000, vec![0x00; 16])
+            .segment(SegmentKind::Stack, 0xF000, vec![0xCC; 48])
+            .registers(0x24, 0xF020, vec![1, 2, 3, 4])
+            .open_file(0, "/dev/tty", FileMode::Read, 0)
+            .open_file(3, "/u/sim/results.out", FileMode::Append, 12_345)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let img = sample_image();
+        let back = CheckpointImage::decode(img.encode()).unwrap();
+        assert_eq!(back, img);
+        assert_eq!(back.job_id(), 42);
+        assert_eq!(back.sequence(), 3);
+        assert_eq!(back.segments().len(), 4);
+        assert_eq!(back.open_files().len(), 2);
+        assert_eq!(back.registers().pc, 0x24);
+    }
+
+    #[test]
+    fn segment_lookup_by_kind() {
+        let img = sample_image();
+        assert_eq!(img.segment(SegmentKind::Stack).unwrap().len(), 48);
+        assert_eq!(img.segment(SegmentKind::Text).unwrap().base(), 0x0);
+        let no_text = CheckpointBuilder::new(1, 1).build().unwrap();
+        assert!(no_text.segment(SegmentKind::Text).is_none());
+    }
+
+    #[test]
+    fn size_matches_encoding() {
+        let img = sample_image();
+        assert_eq!(img.size_bytes(), img.encode().len() as u64);
+        assert!(img.size_bytes() > 64 + 32 + 16 + 48);
+    }
+
+    #[test]
+    fn outstanding_replies_block_build() {
+        let err = CheckpointBuilder::new(1, 1)
+            .outstanding_replies(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::RepliesOutstanding { count: 2 });
+        assert!(err.to_string().contains("2 shadow replies"));
+        // Once replies drain, the build succeeds.
+        let ok = CheckpointBuilder::new(1, 1).outstanding_replies(0).build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let img = sample_image();
+        let frame = img.encode();
+        // Rebuild the frame with clobbered magic (and fixed checksum so we
+        // exercise the magic check, not the CRC).
+        let mut d = crate::codec::Decoder::from_frame(frame).unwrap();
+        let mut payload = d.get_raw(d.remaining(), "all").unwrap().to_vec();
+        payload[0] = b'X';
+        let mut e = Encoder::new();
+        e.put_raw(&payload);
+        match CheckpointImage::decode(e.finish_frame()) {
+            Err(DecodeError::BadMagic { found }) => assert_eq!(found[0], b'X'),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let img = sample_image();
+        let mut d = crate::codec::Decoder::from_frame(img.encode()).unwrap();
+        let mut payload = d.get_raw(d.remaining(), "all").unwrap().to_vec();
+        payload[4] = 0xFF; // version low byte
+        let mut e = Encoder::new();
+        e.put_raw(&payload);
+        assert!(matches!(
+            CheckpointImage::decode(e.finish_frame()),
+            Err(DecodeError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let img = sample_image();
+        let mut bytes = img.encode().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            CheckpointImage::decode(Bytes::from(bytes)),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_image_is_valid() {
+        let img = CheckpointBuilder::new(0, 0).build().unwrap();
+        let back = CheckpointImage::decode(img.encode()).unwrap();
+        assert_eq!(back, img);
+        assert!(back.segments().is_empty());
+        assert!(back.open_files().is_empty());
+    }
+
+    #[test]
+    fn segment_kind_display_and_all() {
+        let names: Vec<String> = SegmentKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, vec!["text", "data", "bss", "stack"]);
+    }
+
+    #[test]
+    fn higher_sequence_means_newer() {
+        let a = CheckpointBuilder::new(9, 1).build().unwrap();
+        let b = CheckpointBuilder::new(9, 2).build().unwrap();
+        assert!(b.sequence() > a.sequence());
+    }
+}

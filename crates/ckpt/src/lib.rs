@@ -1,0 +1,57 @@
+//! # condor-ckpt — checkpoint images for migratable jobs
+//!
+//! The defining feature of Condor's Remote Unix facility is
+//! **checkpointing**: saving a running job's complete state so it can be
+//! restarted *at any time, on any machine* (paper §2.3). This crate provides:
+//!
+//! * [`image`] — the [`image::CheckpointImage`] structure (text/data/bss/
+//!   stack segments, registers, open-file table) and a builder that enforces
+//!   the paper's quiescence rule (no checkpoint while shadow replies are in
+//!   flight);
+//! * [`codec`] — the self-describing binary format with CRC-32 framing, so
+//!   truncated or corrupted images are rejected rather than restored;
+//! * [`store`] — a fixed-capacity checkpoint volume with the disk-space
+//!   accounting that drives the placement constraints of paper §4;
+//! * [`delta`] — block-level delta checkpoints, shipping only changed
+//!   pages between successive images (the natural answer to §4's concern
+//!   about periodic-checkpoint transfer costs).
+//!
+//! ## Example
+//!
+//! ```
+//! use condor_ckpt::image::{CheckpointBuilder, CheckpointImage, SegmentKind};
+//! use condor_ckpt::store::CheckpointStore;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A job checkpoints on preemption...
+//! let image = CheckpointBuilder::new(17, 1)
+//!     .segment(SegmentKind::Data, 0x1000, vec![42u8; 1024])
+//!     .registers(0x2000, 0xF000, vec![0; 8])
+//!     .build()?;
+//!
+//! // ...the image travels back to the submitting machine's disk...
+//! let mut home_disk = CheckpointStore::new(10 << 20);
+//! home_disk.put(&image)?;
+//!
+//! // ...and is later restored on a different idle workstation.
+//! let restored = home_disk.get(17)?;
+//! assert_eq!(restored, image);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+pub mod delta;
+pub mod error;
+pub mod image;
+pub mod store;
+
+pub use delta::Delta;
+pub use error::{DecodeError, StoreError};
+pub use image::{
+    CheckpointBuilder, CheckpointImage, FileMode, OpenFile, RegisterFile, Segment, SegmentKind,
+};
+pub use store::CheckpointStore;

@@ -1,0 +1,3185 @@
+//! The complete Condor cluster simulation.
+//!
+//! [`Cluster`] is a [`condor_sim::engine::Model`] binding together all the
+//! moving parts of the paper's system:
+//!
+//! * per-station **owner processes** (condor-model) deciding when machines
+//!   are usable;
+//! * per-station **local schedulers**: a background queue, owner-activity
+//!   detection on the 30-second grid, the 5-minute eviction grace period,
+//!   and checkpoint logistics;
+//! * the **central coordinator**: a 2-minute poll loop feeding an
+//!   [`AllocationPolicy`] (Up-Down in production) and executing its
+//!   placement/preemption orders — at most one placement per poll, per the
+//!   paper's §4 throttle;
+//! * the **shared network** (condor-net) serialising image transfers;
+//! * the **shadow cost ledgers**: every placement, checkpoint, and remote
+//!   system call charges the home workstation, feeding the leverage
+//!   numbers of Fig. 9.
+//!
+//! Use [`run_cluster`] for the common case: build, run to a horizon, and
+//! collect a [`RunOutput`].
+
+use std::collections::BTreeMap;
+
+use condor_model::owner::{build_fleet, OwnerState};
+use condor_net::{NodeId, SharedBus};
+use condor_sim::engine::{Engine, Model, Scheduler};
+use condor_sim::event::EventToken;
+use condor_sim::series::{BucketAccumulator, StepSeries};
+use condor_sim::time::{SimDuration, SimTime};
+
+use crate::config::{ClusterConfig, EvictionStrategy, PolicyKind};
+use crate::job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
+use crate::policy::{
+    AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy, StationView,
+};
+use crate::queue::BackgroundQueue;
+use crate::trace::{Trace, TraceKind};
+use crate::updown::UpDown;
+
+/// Events driving the cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A job reaches its home station's queue.
+    Arrival(JobId),
+    /// A station's owner switches between active and idle.
+    OwnerFlip {
+        /// Station index.
+        station: u32,
+    },
+    /// The local scheduler's 30-second-grid check fires.
+    DetectOwner {
+        /// Station index.
+        station: u32,
+    },
+    /// The coordinator's poll cycle.
+    Poll,
+    /// A placement image transfer finished.
+    PlacementDone {
+        /// The job placed.
+        job: JobId,
+        /// Destination station.
+        target: u32,
+        /// The transfer sequence this completion belongs to; completions of
+        /// transfers that died with a crashed station are stale and dropped.
+        seq: u32,
+    },
+    /// A checkpoint transfer back home finished.
+    CheckpointDone {
+        /// The job moved.
+        job: JobId,
+        /// Station vacated.
+        from: u32,
+        /// Transfer sequence (see [`Event::PlacementDone::seq`]).
+        seq: u32,
+    },
+    /// A running job delivered all its demand.
+    Finish {
+        /// The job.
+        job: JobId,
+        /// Hosting station.
+        on: u32,
+    },
+    /// The eviction grace period expired with the owner still around.
+    GraceOver {
+        /// Station index.
+        station: u32,
+        /// The suspended job.
+        job: JobId,
+    },
+    /// Periodic while-running checkpoint (immediate-kill strategy).
+    PeriodicCkpt {
+        /// The job.
+        job: JobId,
+        /// Hosting station.
+        on: u32,
+        /// Run epoch the checkpoint belongs to (stale epochs are ignored).
+        epoch: u32,
+    },
+    /// A reservation window opens.
+    ReservationStart {
+        /// Index into the config's reservation list.
+        idx: u32,
+    },
+    /// A reservation window closes.
+    ReservationEnd {
+        /// Index into the config's reservation list.
+        idx: u32,
+    },
+    /// A workstation crashes (failure injection).
+    StationCrash {
+        /// Station index.
+        station: u32,
+    },
+    /// A crashed workstation comes back online.
+    StationRecover {
+        /// Station index.
+        station: u32,
+    },
+}
+
+/// Phase of a foreign job occupying a station.
+#[derive(Debug)]
+enum Phase {
+    /// Image inbound.
+    Arriving,
+    /// Member of a multi-machine gang (paper §5(2) parallel programs);
+    /// the gang's collective state lives in the cluster's gang table, and
+    /// its timers in [`GangState`], not in per-station slots.
+    GangMember,
+    /// Executing; `finish` is the pending completion event.
+    Running { finish: EventToken },
+    /// Stopped by owner activity; `grace` is the pending eviction timer.
+    Suspended { grace: EventToken },
+    /// Image outbound.
+    Departing,
+}
+
+#[derive(Debug)]
+struct ForeignSlot {
+    job: JobId,
+    phase: Phase,
+}
+
+/// Collective state of a width-k gang occupying k stations.
+#[derive(Debug)]
+struct GangState {
+    /// Member stations, lead first.
+    members: Vec<u32>,
+    /// Members whose inbound image has arrived.
+    staged: u32,
+    /// Members whose outbound checkpoint has completed.
+    departed: u32,
+    /// Pending completion event while running.
+    finish: Option<EventToken>,
+    /// Pending eviction timer while suspended.
+    grace: Option<EventToken>,
+    /// All members executing.
+    running: bool,
+    /// Checkpoint-out in progress.
+    departing: bool,
+}
+
+/// Per-station simulation state (the "local scheduler" plus hardware).
+#[derive(Debug)]
+struct Station {
+    owner: condor_model::owner::OwnerProcess,
+    /// Persistent per-station stream for owner dwell draws.
+    rng: condor_sim::rng::SimRng,
+    owner_state: OwnerState,
+    owner_active_since: Option<SimTime>,
+    idle_since: Option<SimTime>,
+    /// EWMA of completed idle-interval lengths, seconds (history-aware
+    /// placement score).
+    ewma_idle_secs: f64,
+    queue: BackgroundQueue,
+    foreign: Option<ForeignSlot>,
+    disk_capacity: u64,
+    disk_used: u64,
+    detection_pending: bool,
+    /// Crashed and not yet repaired.
+    failed: bool,
+    /// Fenced for a reservation holder: only that station's queue may be
+    /// served here while set.
+    reserved_for: Option<NodeId>,
+    /// Owner-active intervals overlapping the current run segment (owner
+    /// flickers shorter than the detection interval). Excised from the
+    /// remote utilization deposit so a machine never accounts as more than
+    /// 100% busy in any bucket.
+    run_overlaps: Vec<(SimTime, SimTime)>,
+}
+
+impl Station {
+    fn idle_score(&self, now: SimTime) -> f64 {
+        let current_streak = self
+            .idle_since
+            .map(|t| now.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.0);
+        self.ewma_idle_secs.max(current_streak)
+    }
+}
+
+/// Aggregate counters over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Placements started (initial and migratory).
+    pub placements: u64,
+    /// Checkpoint migrations completed (job moved off a machine).
+    pub migrations: u64,
+    /// Periodic while-running checkpoints taken.
+    pub periodic_checkpoints: u64,
+    /// Jobs killed without an outgoing checkpoint.
+    pub kills: u64,
+    /// Evictions caused by returning owners.
+    pub preemptions_owner: u64,
+    /// Evictions ordered by the coordinator's policy.
+    pub preemptions_priority: u64,
+    /// Suspended jobs that resumed in place within the grace period.
+    pub resumes_in_place: u64,
+    /// Placements abandoned because the target disk was full.
+    pub placement_disk_rejections: u64,
+    /// Grants wasted because none of the home's waiting jobs had a binary
+    /// for (or was unbound from) the granted machine's architecture.
+    pub arch_starvation: u64,
+    /// Jobs rejected at submission (home disk full).
+    pub submit_rejections: u64,
+    /// Coordinator poll cycles executed.
+    pub polls: u64,
+    /// Owner-active time overlapping a running foreign job (detection
+    /// latency interference), in milliseconds.
+    pub interference_ms: u64,
+    /// Placements made onto fenced machines for reservation holders.
+    pub reservation_placements: u64,
+    /// Gang (width > 1) placements started.
+    pub gang_placements: u64,
+    /// Station crashes injected.
+    pub station_failures: u64,
+    /// Jobs rolled back to their last checkpoint by a host crash.
+    pub crash_rollbacks: u64,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Name of the allocation policy used.
+    pub policy_name: String,
+    /// Number of stations simulated.
+    pub stations: usize,
+    /// The run horizon (end of observation).
+    pub horizon: SimTime,
+    /// Final job table (index = job id).
+    pub jobs: Vec<Job>,
+    /// The event trace (empty if disabled).
+    pub trace: Trace,
+    /// Aggregate counters.
+    pub totals: Totals,
+    /// Jobs in the system over time (queued + placed + running — the
+    /// paper's Fig. 3/7 "queue length" counts jobs in service).
+    pub queue_total: StepSeries,
+    /// Per-user queue lengths.
+    pub queue_by_user: BTreeMap<UserId, StepSeries>,
+    /// Owner-active CPU-milliseconds per hourly bucket (local utilization
+    /// numerator).
+    pub local_busy: BucketAccumulator,
+    /// Foreign-job CPU-milliseconds per hourly bucket (remote utilization
+    /// numerator).
+    pub remote_busy: BucketAccumulator,
+    /// Total payload bytes moved over the network.
+    pub bus_bytes_moved: u64,
+    /// Bulk transfers booked on the network.
+    pub bus_transfers: u64,
+}
+
+impl RunOutput {
+    /// Station-hours the fleet was available for remote execution
+    /// (owner idle), the paper's "12438 hours were available" figure.
+    pub fn available_station_hours(&self) -> f64 {
+        let total = self.horizon.as_hours_f64() * self.stations as f64;
+        total - self.local_busy.total() / 3_600_000.0
+    }
+
+    /// CPU-hours actually consumed by remote execution (the paper's 4771).
+    pub fn consumed_cpu_hours(&self) -> f64 {
+        self.remote_busy.total() / 3_600_000.0
+    }
+
+    /// Mean local (owner) utilization over the run.
+    pub fn mean_local_utilization(&self) -> f64 {
+        self.local_busy.total() / (self.horizon.as_millis() as f64 * self.stations as f64)
+    }
+
+    /// Mean system utilization (owners + foreign jobs).
+    pub fn mean_system_utilization(&self) -> f64 {
+        (self.local_busy.total() + self.remote_busy.total())
+            / (self.horizon.as_millis() as f64 * self.stations as f64)
+    }
+
+    /// Hourly local-utilization series (fractions of fleet capacity).
+    pub fn local_utilization_hourly(&self) -> Vec<f64> {
+        let n = (self.horizon.as_millis() / 3_600_000) as usize;
+        let cap = 3_600_000.0 * self.stations as f64;
+        self.local_busy
+            .bucket_totals(n)
+            .into_iter()
+            .map(|v| v / cap)
+            .collect()
+    }
+
+    /// Hourly system-utilization series (local + remote fractions).
+    pub fn system_utilization_hourly(&self) -> Vec<f64> {
+        let n = (self.horizon.as_millis() / 3_600_000) as usize;
+        let cap = 3_600_000.0 * self.stations as f64;
+        let local = self.local_busy.bucket_totals(n);
+        let remote = self.remote_busy.bucket_totals(n);
+        local
+            .into_iter()
+            .zip(remote)
+            .map(|(l, r)| (l + r) / cap)
+            .collect()
+    }
+
+    /// Completed jobs only.
+    pub fn completed_jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.iter().filter(|j| j.state == JobState::Completed)
+    }
+}
+
+/// The cluster model. Most users go through [`run_cluster`]; direct use
+/// allows mid-run inspection and fault injection (see
+/// [`Cluster::set_coordinator_down`]).
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    stations: Vec<Station>,
+    jobs: Vec<Job>,
+    policy: PolicyHolder,
+    bus: SharedBus,
+    trace: Trace,
+    totals: Totals,
+    queue_total: StepSeries,
+    queue_by_user: BTreeMap<UserId, StepSeries>,
+    local_busy: BucketAccumulator,
+    remote_busy: BucketAccumulator,
+    coordinator_down: bool,
+    /// Reverse dependency edges: completing `key` may release the listed
+    /// jobs (paper §5(2) pipelines / DAGs).
+    dependents: std::collections::HashMap<JobId, Vec<JobId>>,
+    /// Outstanding dependency count per job.
+    pending_deps: Vec<u32>,
+    /// Gangs currently holding stations, by job id.
+    gangs: std::collections::HashMap<JobId, GangState>,
+}
+
+/// Owned polymorphic policy (kept concrete-debuggable).
+#[derive(Debug)]
+enum PolicyHolder {
+    UpDown(UpDown),
+    Fifo(FifoPolicy),
+    RoundRobin(RoundRobinPolicy),
+    Random(RandomPolicy),
+}
+
+impl PolicyHolder {
+    fn as_dyn(&mut self) -> &mut dyn AllocationPolicy {
+        match self {
+            PolicyHolder::UpDown(p) => p,
+            PolicyHolder::Fifo(p) => p,
+            PolicyHolder::RoundRobin(p) => p,
+            PolicyHolder::Random(p) => p,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            PolicyHolder::UpDown(_) => "up-down",
+            PolicyHolder::Fifo(_) => "fifo",
+            PolicyHolder::RoundRobin(_) => "round-robin",
+            PolicyHolder::Random(_) => "random",
+        }
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster from a configuration and the complete set of job
+    /// submissions (arrival events are planted by [`run_cluster`] /
+    /// [`Cluster::prime`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or job ids are not the dense
+    /// sequence `0..n` in order.
+    pub fn new(config: ClusterConfig, specs: Vec<JobSpec>) -> Self {
+        config.validate();
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i, "job ids must be dense and ordered");
+            assert!(
+                (s.home.as_usize()) < config.stations,
+                "job {} homed at nonexistent station {}",
+                s.id,
+                s.home
+            );
+            for dep in &s.depends_on {
+                assert!(
+                    dep.0 < s.id.0,
+                    "job {} depends on {} — dependencies must reference lower ids",
+                    s.id,
+                    dep
+                );
+            }
+            assert!(s.width >= 1, "job {} has zero width", s.id);
+            assert!(
+                (s.width as usize) <= config.stations,
+                "job {} needs {} machines but the fleet has {}",
+                s.id,
+                s.width,
+                config.stations
+            );
+        }
+        let owners = build_fleet(
+            config.stations,
+            &config.owner,
+            config.owner_heterogeneity,
+            config.seed,
+        );
+        let root = condor_sim::rng::SimRng::seed_from(config.seed);
+        let stations = owners
+            .into_iter()
+            .enumerate()
+            .map(|(i, owner)| {
+                let owner_state = owner.state();
+                Station {
+                    rng: root.substream(config.seed, &format!("station-dwell-{i}")),
+                    owner,
+                    owner_state,
+                    owner_active_since: None,
+                    idle_since: Some(SimTime::ZERO),
+                    ewma_idle_secs: 0.0,
+                    queue: BackgroundQueue::new(config.local_order),
+                    foreign: None,
+                    disk_capacity: config.station.disk_capacity,
+                    disk_used: 0,
+                    detection_pending: false,
+                    failed: false,
+                    reserved_for: None,
+                    run_overlaps: Vec::new(),
+                }
+            })
+            .collect();
+        let policy = match config.policy {
+            PolicyKind::UpDown(ud) => PolicyHolder::UpDown(UpDown::new(ud)),
+            PolicyKind::Fifo => PolicyHolder::Fifo(FifoPolicy::new()),
+            PolicyKind::RoundRobin => PolicyHolder::RoundRobin(RoundRobinPolicy::new()),
+            PolicyKind::Random => PolicyHolder::Random(RandomPolicy::new(config.seed)),
+        };
+        let trace = if config.record_trace {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
+        let bus = SharedBus::new(config.bus);
+        let mut dependents: std::collections::HashMap<JobId, Vec<JobId>> =
+            std::collections::HashMap::new();
+        let pending_deps: Vec<u32> = specs
+            .iter()
+            .map(|s| {
+                for dep in &s.depends_on {
+                    dependents.entry(*dep).or_default().push(s.id);
+                }
+                s.depends_on.len() as u32
+            })
+            .collect();
+        Cluster {
+            stations,
+            dependents,
+            pending_deps,
+            gangs: std::collections::HashMap::new(),
+            jobs: specs.into_iter().map(Job::new).collect(),
+            policy,
+            bus,
+            trace,
+            totals: Totals::default(),
+            queue_total: StepSeries::new(0.0),
+            queue_by_user: BTreeMap::new(),
+            local_busy: BucketAccumulator::new(SimDuration::HOUR),
+            remote_busy: BucketAccumulator::new(SimDuration::HOUR),
+            coordinator_down: false,
+            config,
+        }
+    }
+
+    /// Plants the initial event set: job arrivals, owner transitions, and
+    /// the first coordinator poll. Call once before running the engine.
+    pub fn prime(engine: &mut Engine<Cluster>) {
+        let first_poll = engine.model().config.costs.coordinator_poll_interval;
+        let n_jobs = engine.model().jobs.len();
+        let n_stations = engine.model().stations.len();
+        // Owner processes: fix initial active intervals and first flips.
+        for i in 0..n_stations {
+            let (dwell, state) = {
+                let st = &mut engine.model_mut().stations[i];
+                let dwell = st.owner.dwell_and_flip(SimTime::ZERO, &mut st.rng);
+                (dwell, st.owner_state)
+            };
+            if state == OwnerState::Active {
+                let st = &mut engine.model_mut().stations[i];
+                st.owner_active_since = Some(SimTime::ZERO);
+                st.idle_since = None;
+            }
+            engine
+                .scheduler()
+                .at(SimTime::ZERO + dwell, Event::OwnerFlip { station: i as u32 });
+        }
+        for j in 0..n_jobs {
+            let at = engine.model().jobs[j].spec.arrival;
+            engine.scheduler().at(at, Event::Arrival(JobId(j as u64)));
+        }
+        let reservations = engine.model().config.reservations.clone();
+        for (idx, r) in reservations.iter().enumerate() {
+            engine
+                .scheduler()
+                .at(r.from, Event::ReservationStart { idx: idx as u32 });
+            engine
+                .scheduler()
+                .at(r.until, Event::ReservationEnd { idx: idx as u32 });
+        }
+        if let Some(failures) = engine.model().config.failures {
+            for i in 0..n_stations {
+                let ttf = {
+                    let st = &mut engine.model_mut().stations[i];
+                    SimDuration::from_secs_f64(st.rng.exponential(failures.mtbf.as_secs_f64()))
+                        .max(SimDuration::SECOND)
+                };
+                engine
+                    .scheduler()
+                    .at(SimTime::ZERO + ttf, Event::StationCrash { station: i as u32 });
+            }
+        }
+        engine.scheduler().at(SimTime::ZERO + first_poll, Event::Poll);
+    }
+
+    /// Takes the coordinator offline (`true`) or back online. While down,
+    /// polls are skipped: no new placements or priority preemptions, but
+    /// running jobs, owner detection, grace timers, and checkpoints proceed
+    /// untouched — the paper's §2.1 failure-isolation property.
+    pub fn set_coordinator_down(&mut self, down: bool) {
+        self.coordinator_down = down;
+    }
+
+    /// The job table (current states mid-run).
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Aggregate counters so far.
+    pub fn totals(&self) -> &Totals {
+        &self.totals
+    }
+
+    /// The Up-Down schedule index of a station, if the Up-Down policy is in
+    /// force.
+    pub fn updown_index(&self, node: NodeId) -> Option<f64> {
+        match &self.policy {
+            PolicyHolder::UpDown(p) => Some(p.index_of(node)),
+            _ => None,
+        }
+    }
+
+    /// The architecture of station `i` under the configured pattern.
+    pub fn station_arch(&self, i: usize) -> condor_model::station::Arch {
+        self.config.arch_pattern[i % self.config.arch_pattern.len()]
+    }
+
+    /// Whether `station`'s foreign slot holds `job` in a phase accepted by
+    /// `phase_pred`.
+    fn slot_is(&self, station: usize, job: JobId, phase_pred: impl Fn(&Phase) -> bool) -> bool {
+        self.stations[station]
+            .foreign
+            .as_ref()
+            .is_some_and(|slot| slot.job == job && phase_pred(&slot.phase))
+    }
+
+    // ----- queue-length bookkeeping -------------------------------------
+
+    fn queue_delta(&mut self, now: SimTime, user: UserId, delta: f64) {
+        self.queue_total.add(now, delta);
+        self.queue_by_user
+            .entry(user)
+            .or_insert_with(|| StepSeries::new(0.0))
+            .add(now, delta);
+    }
+
+    // ----- owner handling ------------------------------------------------
+
+    fn on_owner_flip(&mut self, now: SimTime, station: u32, sched: &mut Scheduler<Event>) {
+        let i = station as usize;
+        let new_state = self.stations[i].owner.state();
+        let dwell = {
+            let st = &mut self.stations[i];
+            st.owner.dwell_and_flip(now, &mut st.rng)
+        };
+        sched.at(now + dwell, Event::OwnerFlip { station });
+        let st = &mut self.stations[i];
+        st.owner_state = new_state;
+        match new_state {
+            OwnerState::Active => {
+                st.owner_active_since = Some(now);
+                if let Some(t) = st.idle_since.take() {
+                    let len = now.since(t).as_secs_f64();
+                    st.ewma_idle_secs = if st.ewma_idle_secs == 0.0 {
+                        len
+                    } else {
+                        0.7 * st.ewma_idle_secs + 0.3 * len
+                    };
+                }
+                self.trace
+                    .record(now, TraceKind::OwnerActive { station: NodeId::new(station) });
+            }
+            OwnerState::Idle => {
+                if let Some(t) = st.owner_active_since.take() {
+                    self.local_busy
+                        .deposit_interval(t, now, now.since(t).as_millis() as f64);
+                    // The foreign job ran right through this owner visit
+                    // (it was shorter than the detection interval): that
+                    // span belongs to the owner in the utilization ledger.
+                    let counts_as_running = st.foreign.as_ref().is_some_and(|slot| {
+                        matches!(slot.phase, Phase::Running { .. })
+                            || (matches!(slot.phase, Phase::GangMember)
+                                && self.gangs.get(&slot.job).is_some_and(|g| g.running))
+                    });
+                    if counts_as_running {
+                        st.run_overlaps.push((t, now));
+                    }
+                }
+                st.idle_since = Some(now);
+                self.trace
+                    .record(now, TraceKind::OwnerIdle { station: NodeId::new(station) });
+            }
+        }
+        // Schedule a local-scheduler check on the 30-second grid if a
+        // foreign job might need suspending or resuming.
+        let needs_check = match (&self.stations[i].foreign, new_state) {
+            (Some(slot), OwnerState::Active) => matches!(
+                slot.phase,
+                Phase::Running { .. } | Phase::Arriving | Phase::GangMember
+            ),
+            (Some(slot), OwnerState::Idle) => {
+                matches!(slot.phase, Phase::Suspended { .. } | Phase::GangMember)
+            }
+            (None, _) => false,
+        };
+        if needs_check && !self.stations[i].detection_pending {
+            self.stations[i].detection_pending = true;
+            let grid = self.config.costs.owner_check_interval;
+            let next = now.align_down(grid) + grid;
+            sched.at(next, Event::DetectOwner { station });
+        }
+    }
+
+    fn on_detect_owner(&mut self, now: SimTime, station: u32, sched: &mut Scheduler<Event>) {
+        let i = station as usize;
+        self.stations[i].detection_pending = false;
+        let owner_state = self.stations[i].owner_state;
+        enum SlotInfo {
+            Running(EventToken, JobId),
+            Suspended(EventToken, JobId),
+            Other,
+        }
+        // Gang members reconcile collectively.
+        if let Some(slot) = &self.stations[i].foreign {
+            if matches!(slot.phase, Phase::GangMember) {
+                let job = slot.job;
+                let Some(gang) = self.gangs.get(&job) else { return };
+                if gang.departing {
+                    return;
+                }
+                match owner_state {
+                    OwnerState::Active if gang.running => {
+                        self.gang_suspend(now, job, station, sched);
+                    }
+                    OwnerState::Idle if !gang.running => {
+                        // Maybe everyone is idle again (or the last image
+                        // just arrived): try to (re)start.
+                        self.gang_try_start(now, job, sched);
+                    }
+                    _ => {}
+                }
+                return;
+            }
+        }
+        let info = match &self.stations[i].foreign {
+            None => return,
+            Some(slot) => match &slot.phase {
+                Phase::Running { finish } => SlotInfo::Running(*finish, slot.job),
+                Phase::Suspended { grace } => SlotInfo::Suspended(*grace, slot.job),
+                _ => SlotInfo::Other,
+            },
+        };
+        match (owner_state, info) {
+            (OwnerState::Active, SlotInfo::Running(finish, job)) => {
+                sched.cancel(finish);
+                let owner_back = self.stations[i].owner_active_since.unwrap_or(now);
+                self.stop_running_segment(now, i, job, owner_back);
+                // Interference: the owner shared the machine from their
+                // return until this detection.
+                if let Some(active_since) = self.stations[i].owner_active_since {
+                    let overlap = now.saturating_since(active_since);
+                    self.totals.interference_ms += overlap.as_millis();
+                }
+                self.totals.preemptions_owner += 1;
+                match self.config.eviction {
+                    EvictionStrategy::GraceThenCheckpoint { grace } => {
+                        let token = sched.at(now + grace, Event::GraceOver { station, job });
+                        self.stations[i].foreign = Some(ForeignSlot {
+                            job,
+                            phase: Phase::Suspended { grace: token },
+                        });
+                        self.jobs[job.0 as usize].state =
+                            JobState::Suspended { on: NodeId::new(station) };
+                        self.trace.record(
+                            now,
+                            TraceKind::JobSuspended { job, on: NodeId::new(station) },
+                        );
+                    }
+                    EvictionStrategy::ImmediateKill { .. } => {
+                        self.kill_in_place(now, i, job);
+                    }
+                }
+            }
+            (OwnerState::Idle, SlotInfo::Suspended(grace, job)) => {
+                sched.cancel(grace);
+                self.start_running(now, i, job, sched);
+                self.totals.resumes_in_place += 1;
+                self.trace.record(
+                    now,
+                    TraceKind::JobResumedInPlace { job, on: NodeId::new(station) },
+                );
+            }
+            _ => {} // owner flickered; nothing to reconcile
+        }
+    }
+
+    // ----- job lifecycle helpers ------------------------------------------
+
+    /// Closes the current run segment: accrues work/remote CPU and deposits
+    /// the interval into the remote-utilization accumulator. Does not
+    /// change `state`/`foreign`.
+    ///
+    /// `util_end` caps the utilization deposit: when the segment ends
+    /// because the owner returned, the tail between the owner's return and
+    /// its detection belongs to the *owner* in the utilization ledgers
+    /// (the machine cannot be more than 100% busy), even though the job
+    /// accrues the full wall time of background cycles it received.
+    fn stop_running_segment(&mut self, now: SimTime, station: usize, job: JobId, util_end: SimTime) {
+        let running_since = {
+            let j = &mut self.jobs[job.0 as usize];
+            let wall = now.since(j.running_since);
+            let work = self.config.station.work_done_in(wall);
+            j.accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
+            j.running_since
+        };
+        self.deposit_run_utilization(station, running_since, util_end.min(now));
+    }
+
+    /// Deposits the remote-utilization share of a run segment, excising
+    /// any owner-flicker overlap intervals accumulated on the station so
+    /// each hourly bucket stays within physical capacity.
+    fn deposit_run_utilization(&mut self, station: usize, running_since: SimTime, util_end: SimTime) {
+        let overlaps = std::mem::take(&mut self.stations[station].run_overlaps);
+        let mut cursor = running_since;
+        for (o_start, o_end) in overlaps {
+            let o_start = o_start.max(cursor).min(util_end);
+            let o_end = o_end.max(cursor).min(util_end);
+            if o_start > cursor {
+                self.remote_busy.deposit_interval(
+                    cursor,
+                    o_start,
+                    o_start.since(cursor).as_millis() as f64,
+                );
+            }
+            cursor = cursor.max(o_end);
+        }
+        if util_end > cursor {
+            self.remote_busy.deposit_interval(
+                cursor,
+                util_end,
+                util_end.since(cursor).as_millis() as f64,
+            );
+        }
+    }
+
+    /// Starts (or resumes) execution at `station`, scheduling completion.
+    fn start_running(
+        &mut self,
+        now: SimTime,
+        station: usize,
+        job: JobId,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let remaining = self.jobs[job.0 as usize].remaining();
+        debug_assert!(!remaining.is_zero(), "starting a finished job");
+        let wall = self.config.station.wall_time_for(remaining);
+        let finish = sched.at(
+            now + wall,
+            Event::Finish { job, on: station as u32 },
+        );
+        self.stations[station].foreign = Some(ForeignSlot {
+            job,
+            phase: Phase::Running { finish },
+        });
+        self.stations[station].run_overlaps.clear();
+        let arch = self.station_arch(station);
+        let j = &mut self.jobs[job.0 as usize];
+        debug_assert!(
+            j.bound_arch.is_none_or(|b| b == arch),
+            "job bound to {:?} started on {arch:?}",
+            j.bound_arch
+        );
+        // First execution binds the job's progress to this architecture.
+        j.bound_arch = Some(arch);
+        j.state = JobState::Running { on: NodeId::new(station as u32) };
+        j.running_since = now;
+        j.epoch += 1;
+        if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.config.eviction {
+            sched.at(
+                now + checkpoint_every,
+                Event::PeriodicCkpt {
+                    job,
+                    on: station as u32,
+                    epoch: j.epoch,
+                },
+            );
+        }
+        self.trace.record(
+            now,
+            TraceKind::JobStarted { job, on: NodeId::new(station as u32) },
+        );
+    }
+
+    /// Immediate-kill eviction: the job vanishes from the station at once;
+    /// un-checkpointed work is lost.
+    fn kill_in_place(&mut self, now: SimTime, station: usize, job: JobId) {
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        self.stations[station].disk_used -= image;
+        self.stations[station].foreign = None;
+        let j = &mut self.jobs[job.0 as usize];
+        j.revert_to_checkpoint();
+        j.state = JobState::Queued;
+        let home = j.spec.home.as_usize();
+        let remaining = j.remaining();
+        self.stations[home].queue.enqueue_front(job, remaining);
+        self.totals.kills += 1;
+        self.trace
+            .record(now, TraceKind::JobKilled { job, on: NodeId::new(station as u32) });
+    }
+
+    /// Starts the checkpoint-out transfer for a job stopped at `station`.
+    fn begin_checkpoint_out(
+        &mut self,
+        now: SimTime,
+        station: usize,
+        job: JobId,
+        reason: PreemptReason,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let (image, home, seq) = {
+            let j = &mut self.jobs[job.0 as usize];
+            let image = j.spec.image_bytes;
+            let home = j.spec.home;
+            j.state = JobState::CheckpointingOut { from: NodeId::new(station as u32) };
+            j.charge_transfer(self.config.costs.transfer_cpu_cost(image));
+            j.transfer_seq += 1;
+            (image, home, j.transfer_seq)
+        };
+        self.stations[station].foreign = Some(ForeignSlot {
+            job,
+            phase: Phase::Departing,
+        });
+        let booking = self
+            .bus
+            .book_transfer(now, NodeId::new(station as u32), home, image);
+        sched.at(
+            booking.completes_at,
+            Event::CheckpointDone { job, from: station as u32, seq },
+        );
+        self.trace.record(
+            now,
+            TraceKind::CheckpointStarted { job, from: NodeId::new(station as u32), reason },
+        );
+    }
+
+    // ----- event handlers --------------------------------------------------
+
+    fn on_arrival(&mut self, now: SimTime, job: JobId) {
+        let j = &self.jobs[job.0 as usize];
+        let home = j.spec.home.as_usize();
+        let image = j.spec.image_bytes;
+        let user = j.spec.user;
+        // With a dedicated checkpoint server (paper §4's disk-server idea),
+        // standing images do not occupy the submitting machine's disk.
+        if !self.config.checkpoint_server {
+            if self.stations[home].disk_used + image > self.stations[home].disk_capacity {
+                self.totals.submit_rejections += 1;
+                self.jobs[job.0 as usize].rejected = true;
+                self.trace.record(now, TraceKind::JobRejected { job });
+                return;
+            }
+            self.stations[home].disk_used += image;
+        }
+        self.queue_delta(now, user, 1.0);
+        self.trace.record(now, TraceKind::JobArrived { job });
+        // §5(2) pipelines: jobs with incomplete dependencies are held; the
+        // completion of the last dependency releases them into the queue.
+        let unresolved = self.jobs[job.0 as usize]
+            .spec
+            .depends_on
+            .iter()
+            .filter(|d| self.jobs[d.0 as usize].state != JobState::Completed)
+            .count() as u32;
+        self.pending_deps[job.0 as usize] = unresolved;
+        if unresolved > 0 {
+            self.jobs[job.0 as usize].state = JobState::Held;
+            return;
+        }
+        let remaining = self.jobs[job.0 as usize].remaining();
+        self.stations[home].queue.enqueue(job, remaining);
+    }
+
+    fn on_poll(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        sched.at(now + self.config.costs.coordinator_poll_interval, Event::Poll);
+        if self.coordinator_down {
+            return;
+        }
+        self.totals.polls += 1;
+        // Reserved machines are served first, outside the general policy:
+        // one placement per poll for the whole system (the §4 throttle),
+        // with reservation holders at the front of the line.
+        let mut placements = 0u32;
+        let mut budget = self.config.placements_per_poll;
+        for i in 0..self.stations.len() {
+            if budget == 0 {
+                break;
+            }
+            let Some(holder) = self.stations[i].reserved_for else {
+                continue;
+            };
+            let st = &self.stations[i];
+            if st.failed || st.owner_state != OwnerState::Idle || st.foreign.is_some() {
+                continue;
+            }
+            if self.stations[holder.as_usize()].queue.is_empty() {
+                continue;
+            }
+            let target = NodeId::new(i as u32);
+            let mut pool = vec![target];
+            if self.execute_assign(now, holder, target, &mut pool, sched) {
+                placements += 1;
+                budget -= 1;
+                self.totals.reservation_placements += 1;
+            }
+        }
+        // Assemble the poll snapshot.
+        let views: Vec<StationView> = self
+            .stations
+            .iter()
+            .enumerate()
+            .map(|(i, st)| StationView {
+                node: NodeId::new(i as u32),
+                can_host: !st.failed
+                    && st.reserved_for.is_none()
+                    && st.owner_state == OwnerState::Idle
+                    && st.foreign.is_none(),
+                // Fenced machines are invisible to the general policy: it
+                // may neither assign them nor preempt the holder's jobs on
+                // them.
+                hosting_for: if st.reserved_for.is_some() {
+                    None
+                } else {
+                    st.foreign.as_ref().and_then(|slot| {
+                        let counts = matches!(slot.phase, Phase::Running { .. })
+                            || (matches!(slot.phase, Phase::GangMember)
+                                && self.gangs.get(&slot.job).is_some_and(|g| g.running));
+                        counts.then(|| self.jobs[slot.job.0 as usize].spec.home)
+                    })
+                },
+                // A downed station's local scheduler is unreachable; its
+                // queue thaws on recovery.
+                waiting_jobs: if st.failed { 0 } else { st.queue.len() },
+            })
+            .collect();
+        let mut free: Vec<NodeId> = views.iter().filter(|v| v.can_host).map(|v| v.node).collect();
+        if self.config.history_aware_placement {
+            // Longest expected idle first; stable so ids break ties.
+            free.sort_by(|a, b| {
+                let sa = self.stations[a.as_usize()].idle_score(now);
+                let sb = self.stations[b.as_usize()].idle_score(now);
+                sb.partial_cmp(&sa).expect("no NaN scores")
+            });
+        }
+        let orders = self.policy.as_dyn().decide(now, &views, &free, budget);
+        debug_assert!(
+            crate::policy::validate_orders(&orders, &views).is_ok(),
+            "policy emitted invalid orders: {orders:?}"
+        );
+        let mut preemptions = 0u32;
+        let mut pool = free.clone();
+        for order in orders {
+            match order {
+                Order::Assign { home, target } => {
+                    if self.execute_assign(now, home, target, &mut pool, sched) {
+                        placements += 1;
+                    }
+                }
+                Order::Preempt { target } => {
+                    if self.execute_preempt(now, target, sched) {
+                        preemptions += 1;
+                    }
+                }
+            }
+        }
+        let waiting: u32 = self.stations.iter().map(|s| s.queue.len() as u32).sum();
+        self.trace.record(
+            now,
+            TraceKind::CoordinatorPolled {
+                free_machines: free.len() as u32,
+                waiting_jobs: waiting,
+                placements,
+                preemptions,
+            },
+        );
+    }
+
+    /// Executes one `Assign` grant. The policy names a preferred `target`,
+    /// but the local scheduler negotiates: if none of the home's waiting
+    /// jobs can use that machine (wrong architecture, full disk), the
+    /// grant falls back to another machine still free this poll — the
+    /// placement budget is what the paper's §4 throttle limits, not the
+    /// specific machine.
+    fn execute_assign(
+        &mut self,
+        now: SimTime,
+        home: NodeId,
+        target: NodeId,
+        pool: &mut Vec<NodeId>,
+        sched: &mut Scheduler<Event>,
+    ) -> bool {
+        let h = home.as_usize();
+        if self.stations[h].queue.is_empty() {
+            return false; // policy over-granted this home
+        }
+        // Candidates: the policy's choice first, then the rest of this
+        // poll's free machines in preference order.
+        let mut candidates: Vec<NodeId> = Vec::new();
+        if pool.contains(&target) {
+            candidates.push(target);
+        }
+        candidates.extend(pool.iter().copied().filter(|t| *t != target));
+        // Job-major negotiation: the local scheduler walks its queue in
+        // service order and places the first job for which enough
+        // compatible machines are free — one machine normally, k for a
+        // width-k gang.
+        let mut disk_blocked: Option<(JobId, NodeId)> = None;
+        let mut chosen: Option<(JobId, Vec<NodeId>)> = None;
+        for cand_job in self.stations[h].queue.ids_in_service_order() {
+            let j = &self.jobs[cand_job.0 as usize];
+            let width = j.spec.width.max(1) as usize;
+            let image = j.spec.image_bytes;
+            let mut machines = Vec::with_capacity(width);
+            let mut arch_ok_but_disk_full: Option<NodeId> = None;
+            for cand in &candidates {
+                if machines.len() == width {
+                    break;
+                }
+                let c = cand.as_usize();
+                if !j.can_run_on(self.station_arch(c)) {
+                    continue;
+                }
+                let disk_free = self.stations[c].disk_capacity - self.stations[c].disk_used;
+                if image > disk_free {
+                    // Paper §4: an idle processor is useless if its disk
+                    // is full.
+                    arch_ok_but_disk_full.get_or_insert(*cand);
+                    continue;
+                }
+                machines.push(*cand);
+            }
+            if machines.len() == width {
+                chosen = Some((cand_job, machines));
+                break;
+            }
+            if let Some(c) = arch_ok_but_disk_full {
+                disk_blocked.get_or_insert((cand_job, c));
+            }
+        }
+        let Some((job, machines)) = chosen else {
+            if let Some((job, target)) = disk_blocked {
+                self.totals.placement_disk_rejections += 1;
+                self.trace
+                    .record(now, TraceKind::PlacementDiskRejected { job, target });
+            } else {
+                self.totals.arch_starvation += 1;
+            }
+            return false;
+        };
+        self.stations[h].queue.remove(job);
+        pool.retain(|t| !machines.contains(t));
+        if machines.len() > 1 {
+            self.gang_place(now, home, job, machines.iter().map(|m| m.index()).collect(), sched);
+            return true;
+        }
+        let target = machines[0];
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        let t = target.as_usize();
+        self.stations[t].disk_used += image;
+        self.stations[t].foreign = Some(ForeignSlot {
+            job,
+            phase: Phase::Arriving,
+        });
+        let seq = {
+            let j = &mut self.jobs[job.0 as usize];
+            j.state = JobState::Placing { target };
+            j.charge_transfer(self.config.costs.transfer_cpu_cost(image));
+            j.transfer_seq += 1;
+            j.transfer_seq
+        };
+        let booking = self.bus.book_transfer(now, home, target, image);
+        sched.at(
+            booking.completes_at,
+            Event::PlacementDone { job, target: target.index(), seq },
+        );
+        self.totals.placements += 1;
+        self.trace
+            .record(now, TraceKind::PlacementStarted { job, target });
+        true
+    }
+
+    fn execute_preempt(
+        &mut self,
+        now: SimTime,
+        target: NodeId,
+        sched: &mut Scheduler<Event>,
+    ) -> bool {
+        let t = target.as_usize();
+        // Preempting any member of a running gang vacates the whole gang
+        // (its processes cannot run partially).
+        let gang_job = self.stations[t].foreign.as_ref().and_then(|slot| {
+            (matches!(slot.phase, Phase::GangMember)
+                && self.gangs.get(&slot.job).is_some_and(|g| g.running))
+            .then_some(slot.job)
+        });
+        if let Some(job) = gang_job {
+            self.gang_stop_accrual(now, job, sched);
+            self.totals.preemptions_priority += 1;
+            self.gang_checkpoint_out(now, job, PreemptReason::PriorityPreemption, sched);
+            return true;
+        }
+        let running = self.stations[t].foreign.as_ref().and_then(|slot| match &slot.phase {
+            Phase::Running { finish } => Some((*finish, slot.job)),
+            _ => None,
+        });
+        let Some((finish, job)) = running else {
+            return false;
+        };
+        sched.cancel(finish);
+        self.stop_running_segment(now, t, job, now);
+        self.totals.preemptions_priority += 1;
+        self.begin_checkpoint_out(now, t, job, PreemptReason::PriorityPreemption, sched);
+        true
+    }
+
+    fn on_placement_done(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        target: u32,
+        seq: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let t = target as usize;
+        // Stale completion: the transfer's endpoint crashed and the job has
+        // moved on.
+        if self.jobs[job.0 as usize].transfer_seq != seq {
+            return;
+        }
+        if self.slot_is(t, job, |p| matches!(p, Phase::GangMember)) {
+            let gang = self.gangs.get_mut(&job).expect("gang exists");
+            gang.staged += 1;
+            self.jobs[job.0 as usize].placements += 1;
+            self.gang_try_start(now, job, sched);
+            return;
+        }
+        if !self.slot_is(t, job, |p| matches!(p, Phase::Arriving)) {
+            return;
+        }
+        self.jobs[job.0 as usize].placements += 1;
+        if self.stations[t].owner_state == OwnerState::Idle {
+            self.start_running(now, t, job, sched);
+        } else {
+            // The owner came back while the image was in flight.
+            match self.config.eviction {
+                EvictionStrategy::GraceThenCheckpoint { grace } => {
+                    let token = sched.at(
+                        now + grace,
+                        Event::GraceOver { station: target, job },
+                    );
+                    self.stations[t].foreign = Some(ForeignSlot {
+                        job,
+                        phase: Phase::Suspended { grace: token },
+                    });
+                    self.jobs[job.0 as usize].state =
+                        JobState::Suspended { on: NodeId::new(target) };
+                    self.trace.record(
+                        now,
+                        TraceKind::JobSuspended { job, on: NodeId::new(target) },
+                    );
+                }
+                EvictionStrategy::ImmediateKill { .. } => {
+                    self.jobs[job.0 as usize].state = JobState::Queued;
+                    self.kill_in_place(now, t, job);
+                }
+            }
+        }
+    }
+
+    fn on_checkpoint_done(&mut self, now: SimTime, job: JobId, from: u32, seq: u32) {
+        let f = from as usize;
+        if self.jobs[job.0 as usize].transfer_seq != seq {
+            return;
+        }
+        if self.slot_is(f, job, |p| matches!(p, Phase::GangMember)) {
+            let image = self.jobs[job.0 as usize].spec.image_bytes;
+            self.stations[f].disk_used -= image;
+            self.stations[f].foreign = None;
+            let gang = self.gangs.get_mut(&job).expect("gang exists");
+            debug_assert!(gang.departing);
+            gang.departed += 1;
+            self.trace.record(
+                now,
+                TraceKind::CheckpointCompleted { job, from: NodeId::new(from) },
+            );
+            if gang.departed == gang.members.len() as u32 {
+                self.gangs.remove(&job);
+                let j = &mut self.jobs[job.0 as usize];
+                j.mark_checkpointed();
+                j.checkpoints += 1;
+                j.state = JobState::Queued;
+                let home = j.spec.home.as_usize();
+                let remaining = j.remaining();
+                self.totals.migrations += 1;
+                self.stations[home].queue.enqueue_front(job, remaining);
+            }
+            return;
+        }
+        if !self.slot_is(f, job, |p| matches!(p, Phase::Departing)) {
+            return;
+        }
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        self.stations[f].disk_used -= image;
+        self.stations[f].foreign = None;
+        let j = &mut self.jobs[job.0 as usize];
+        j.mark_checkpointed();
+        j.checkpoints += 1;
+        j.state = JobState::Queued;
+        let home = j.spec.home.as_usize();
+        let remaining = j.remaining();
+        self.totals.migrations += 1;
+        self.stations[home].queue.enqueue_front(job, remaining);
+        self.trace.record(
+            now,
+            TraceKind::CheckpointCompleted { job, from: NodeId::new(from) },
+        );
+    }
+
+    fn on_finish(&mut self, now: SimTime, job: JobId, on: u32) {
+        let o = on as usize;
+        if self.jobs[job.0 as usize].spec.width > 1 {
+            // Gang completion: the single Finish event covers all members.
+            if !self.gangs.get(&job).is_some_and(|g| g.running) {
+                return;
+            }
+            let members = {
+                let gang = self.gangs.get_mut(&job).expect("gang exists");
+                gang.running = false;
+                gang.finish = None;
+                gang.members.clone()
+            };
+            let running_since = self.jobs[job.0 as usize].running_since;
+            {
+                let j = &mut self.jobs[job.0 as usize];
+                let remaining = j.remaining();
+                j.accrue_run(remaining, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
+            }
+            let image = self.jobs[job.0 as usize].spec.image_bytes;
+            for &m in &members {
+                let util_end = self.stations[m as usize]
+                    .owner_active_since
+                    .map_or(now, |t| t.min(now));
+                self.deposit_run_utilization(m as usize, running_since, util_end.max(running_since));
+                self.stations[m as usize].disk_used -= image;
+                self.stations[m as usize].foreign = None;
+            }
+            self.gangs.remove(&job);
+            self.finish_bookkeeping(now, job, on);
+            return;
+        }
+        if !self.slot_is(o, job, |p| matches!(p, Phase::Running { .. })) {
+            return;
+        }
+        // The finish event corresponds exactly to the remaining work at the
+        // segment start: accrue precisely that, avoiding rounding residue.
+        {
+            let util_end = self.stations[o]
+                .owner_active_since
+                .map_or(now, |t| t.min(now));
+            let running_since = {
+                let j = &mut self.jobs[job.0 as usize];
+                let remaining = j.remaining();
+                j.accrue_run(remaining, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
+                j.running_since
+            };
+            self.deposit_run_utilization(o, running_since, util_end);
+        }
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        self.stations[o].disk_used -= image;
+        self.stations[o].foreign = None;
+        self.finish_bookkeeping(now, job, on);
+    }
+
+    /// Shared completion tail: home disk, state, queue-length series,
+    /// trace, and dependency release.
+    fn finish_bookkeeping(&mut self, now: SimTime, job: JobId, on: u32) {
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        if !self.config.checkpoint_server {
+            let home = self.jobs[job.0 as usize].spec.home.as_usize();
+            self.stations[home].disk_used -= image;
+        }
+        let user = self.jobs[job.0 as usize].spec.user;
+        {
+            let j = &mut self.jobs[job.0 as usize];
+            j.state = JobState::Completed;
+            j.completed_at = Some(now);
+        }
+        self.queue_delta(now, user, -1.0);
+        self.trace
+            .record(now, TraceKind::JobCompleted { job, on: NodeId::new(on) });
+        // Release any jobs that were held on this one.
+        if let Some(dependents) = self.dependents.get(&job).cloned() {
+            for d in dependents {
+                if self.jobs[d.0 as usize].state != JobState::Held {
+                    continue; // not yet arrived (or rejected): arrival recounts
+                }
+                let count = &mut self.pending_deps[d.0 as usize];
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    let home = self.jobs[d.0 as usize].spec.home.as_usize();
+                    let remaining = self.jobs[d.0 as usize].remaining();
+                    self.jobs[d.0 as usize].state = JobState::Queued;
+                    self.stations[home].queue.enqueue(d, remaining);
+                }
+            }
+        }
+    }
+
+    fn on_grace_over(
+        &mut self,
+        now: SimTime,
+        station: u32,
+        job: JobId,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let i = station as usize;
+        if self.jobs[job.0 as usize].spec.width > 1 {
+            // The gang grace token is cancelled on resume, so reaching here
+            // means some member's owner is still around: coordinated
+            // checkpoint of the whole program.
+            if self.gangs.get(&job).is_some_and(|g| !g.departing && !g.running) {
+                self.gangs.get_mut(&job).expect("gang exists").grace = None;
+                self.gang_checkpoint_out(now, job, PreemptReason::OwnerReturned, sched);
+            }
+            return;
+        }
+        // The token is cancelled on resume (and on crash), so reaching here
+        // normally means the job is still suspended: vacate.
+        if !self.slot_is(i, job, |p| matches!(p, Phase::Suspended { .. })) {
+            return;
+        }
+        self.begin_checkpoint_out(now, i, job, PreemptReason::OwnerReturned, sched);
+    }
+
+    fn on_periodic_ckpt(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        on: u32,
+        epoch: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        // Stale chain from a previous run segment?
+        let j = &self.jobs[job.0 as usize];
+        if j.epoch != epoch {
+            return;
+        }
+        let still_running = self.slot_is(on as usize, job, |p| matches!(p, Phase::Running { .. }));
+        if !still_running {
+            return;
+        }
+        let image = j.spec.image_bytes;
+        let home = j.spec.home;
+        // The checkpoint captures the work level at this instant.
+        let elapsed = now.since(j.running_since);
+        let work_now = self.jobs[job.0 as usize].work_done + self.config.station.work_done_in(elapsed);
+        {
+            let j = &mut self.jobs[job.0 as usize];
+            j.work_checkpointed = work_now;
+            j.charge_transfer(self.config.costs.transfer_cpu_cost(image));
+        }
+        // The image travels home while the job keeps running.
+        self.bus.book_transfer(now, NodeId::new(on), home, image);
+        self.totals.periodic_checkpoints += 1;
+        if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.config.eviction {
+            sched.at(
+                now + checkpoint_every,
+                Event::PeriodicCkpt { job, on, epoch },
+            );
+        }
+        self.trace
+            .record(now, TraceKind::PeriodicCheckpoint { job, on: NodeId::new(on) });
+    }
+
+    // ----- gangs: §5(2) parallel programs ---------------------------------
+
+    /// Starts the placement of a width-k gang onto `machines`.
+    fn gang_place(
+        &mut self,
+        now: SimTime,
+        home: NodeId,
+        job: JobId,
+        machines: Vec<u32>,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let (image, seq) = {
+            let j = &mut self.jobs[job.0 as usize];
+            j.state = JobState::Placing { target: NodeId::new(machines[0]) };
+            j.transfer_seq += 1;
+            (j.spec.image_bytes, j.transfer_seq)
+        };
+        for &m in &machines {
+            let t = m as usize;
+            self.stations[t].disk_used += image;
+            self.stations[t].foreign = Some(ForeignSlot { job, phase: Phase::GangMember });
+            self.jobs[job.0 as usize]
+                .charge_transfer(self.config.costs.transfer_cpu_cost(image));
+            let booking = self.bus.book_transfer(now, home, NodeId::new(m), image);
+            sched.at(booking.completes_at, Event::PlacementDone { job, target: m, seq });
+            self.trace
+                .record(now, TraceKind::PlacementStarted { job, target: NodeId::new(m) });
+        }
+        self.gangs.insert(
+            job,
+            GangState {
+                members: machines,
+                staged: 0,
+                departed: 0,
+                finish: None,
+                grace: None,
+                running: false,
+                departing: false,
+            },
+        );
+        self.totals.placements += 1;
+        self.totals.gang_placements += 1;
+    }
+
+    /// All images staged: start executing if every member's owner is idle,
+    /// otherwise enter the suspended/grace state.
+    fn gang_try_start(&mut self, now: SimTime, job: JobId, sched: &mut Scheduler<Event>) {
+        let gang = &self.gangs[&job];
+        if gang.running || gang.departing || gang.staged < gang.members.len() as u32 {
+            return;
+        }
+        let all_idle = gang
+            .members
+            .iter()
+            .all(|&m| self.stations[m as usize].owner_state == OwnerState::Idle);
+        let lead = gang.members[0];
+        if all_idle {
+            let pending_grace = self.gangs.get_mut(&job).expect("gang exists").grace.take();
+            if let Some(t) = pending_grace {
+                sched.cancel(t);
+                self.totals.resumes_in_place += 1;
+                self.trace.record(
+                    now,
+                    TraceKind::JobResumedInPlace { job, on: NodeId::new(lead) },
+                );
+            }
+            let remaining = self.jobs[job.0 as usize].remaining();
+            debug_assert!(!remaining.is_zero());
+            let wall = self.config.station.wall_time_for(remaining);
+            let finish = sched.at(now + wall, Event::Finish { job, on: lead });
+            let gang = self.gangs.get_mut(&job).expect("gang exists");
+            gang.running = true;
+            gang.finish = Some(finish);
+            gang.grace = None;
+            for m in gang.members.clone() {
+                self.stations[m as usize].run_overlaps.clear();
+            }
+            let j = &mut self.jobs[job.0 as usize];
+            j.state = JobState::Running { on: NodeId::new(lead) };
+            j.running_since = now;
+            j.epoch += 1;
+            self.trace
+                .record(now, TraceKind::JobStarted { job, on: NodeId::new(lead) });
+        } else if self.gangs[&job].grace.is_none() {
+            // Staged onto at least one busy machine: wait out the grace
+            // period for the owners to leave (gangs always use the grace
+            // strategy — uncoordinated kills would forfeit the §2.3
+            // completion guarantee for the whole program).
+            let grace = self.gang_grace();
+            let token = sched.at(now + grace, Event::GraceOver { station: lead, job });
+            self.gangs.get_mut(&job).expect("gang exists").grace = Some(token);
+            self.jobs[job.0 as usize].state = JobState::Suspended { on: NodeId::new(lead) };
+            self.trace
+                .record(now, TraceKind::JobSuspended { job, on: NodeId::new(lead) });
+        }
+    }
+
+    fn gang_grace(&self) -> SimDuration {
+        match self.config.eviction {
+            EvictionStrategy::GraceThenCheckpoint { grace } => grace,
+            // Gangs cannot be safely killed without coordination; fall
+            // back to the paper's grace value.
+            EvictionStrategy::ImmediateKill { .. } => SimDuration::from_minutes(5),
+        }
+    }
+
+    /// Stops a running gang's accrual (owner detected on `station` or a
+    /// priority preemption) and deposits each member's utilization.
+    fn gang_stop_accrual(&mut self, now: SimTime, job: JobId, sched: &mut Scheduler<Event>) {
+        let gang = self.gangs.get_mut(&job).expect("gang exists");
+        debug_assert!(gang.running);
+        gang.running = false;
+        if let Some(finish) = gang.finish.take() {
+            sched.cancel(finish);
+        }
+        let members = gang.members.clone();
+        let running_since = self.jobs[job.0 as usize].running_since;
+        let wall = now.since(running_since);
+        let work = self.config.station.work_done_in(wall);
+        self.jobs[job.0 as usize]
+            .accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
+        for &m in &members {
+            let util_end = self.stations[m as usize]
+                .owner_active_since
+                .map_or(now, |t| t.min(now));
+            self.deposit_run_utilization(m as usize, running_since, util_end.max(running_since));
+        }
+    }
+
+    /// Owner detected on a member while the gang runs: the whole program
+    /// blocks (its processes communicate), so everyone suspends together.
+    fn gang_suspend(&mut self, now: SimTime, job: JobId, station: u32, sched: &mut Scheduler<Event>) {
+        self.gang_stop_accrual(now, job, sched);
+        if let Some(active_since) = self.stations[station as usize].owner_active_since {
+            self.totals.interference_ms += now.saturating_since(active_since).as_millis();
+        }
+        self.totals.preemptions_owner += 1;
+        let lead = self.gangs[&job].members[0];
+        let grace = self.gang_grace();
+        let token = sched.at(now + grace, Event::GraceOver { station: lead, job });
+        self.gangs.get_mut(&job).expect("gang exists").grace = Some(token);
+        self.jobs[job.0 as usize].state = JobState::Suspended { on: NodeId::new(lead) };
+        self.trace
+            .record(now, TraceKind::JobSuspended { job, on: NodeId::new(station) });
+    }
+
+    /// Grace expired or priority preemption: coordinated checkpoint of all
+    /// members back to the home station.
+    fn gang_checkpoint_out(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        reason: PreemptReason,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let members = {
+            let gang = self.gangs.get_mut(&job).expect("gang exists");
+            debug_assert!(!gang.departing);
+            gang.departing = true;
+            gang.departed = 0;
+            gang.grace = None;
+            gang.members.clone()
+        };
+        let (image, home, seq) = {
+            let j = &mut self.jobs[job.0 as usize];
+            j.transfer_seq += 1;
+            j.state = JobState::CheckpointingOut { from: NodeId::new(members[0]) };
+            (j.spec.image_bytes, j.spec.home, j.transfer_seq)
+        };
+        for &m in &members {
+            self.jobs[job.0 as usize]
+                .charge_transfer(self.config.costs.transfer_cpu_cost(image));
+            let booking = self.bus.book_transfer(now, NodeId::new(m), home, image);
+            sched.at(booking.completes_at, Event::CheckpointDone { job, from: m, seq });
+            self.trace.record(
+                now,
+                TraceKind::CheckpointStarted { job, from: NodeId::new(m), reason },
+            );
+        }
+    }
+
+    /// Frees every member slot and image; optionally rolls the job back to
+    /// its last checkpoint (crash path); requeues at home.
+    fn gang_teardown_and_requeue(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        rollback: bool,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let gang = self.gangs.remove(&job).expect("gang exists");
+        if let Some(t) = gang.finish {
+            sched.cancel(t);
+        }
+        if let Some(t) = gang.grace {
+            sched.cancel(t);
+        }
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        if gang.running {
+            // Crash mid-run: charge the gross consumption before reverting.
+            let running_since = self.jobs[job.0 as usize].running_since;
+            let wall = now.since(running_since);
+            let work = self.config.station.work_done_in(wall);
+            self.jobs[job.0 as usize]
+                .accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
+            for &m in &gang.members {
+                if self.stations[m as usize].foreign.is_some() {
+                    let util_end = self.stations[m as usize]
+                        .owner_active_since
+                        .map_or(now, |t| t.min(now));
+                    self.deposit_run_utilization(
+                        m as usize,
+                        running_since,
+                        util_end.max(running_since),
+                    );
+                }
+            }
+        }
+        for &m in &gang.members {
+            let st = &mut self.stations[m as usize];
+            if st.foreign.as_ref().is_some_and(|slot| slot.job == job) {
+                st.foreign = None;
+                st.disk_used -= image;
+            }
+        }
+        let j = &mut self.jobs[job.0 as usize];
+        if rollback {
+            j.revert_to_checkpoint();
+            self.totals.crash_rollbacks += 1;
+        }
+        j.state = JobState::Queued;
+        let home = j.spec.home.as_usize();
+        let remaining = j.remaining();
+        self.stations[home].queue.enqueue_front(job, remaining);
+    }
+
+    fn on_reservation_start(&mut self, now: SimTime, idx: u32, sched: &mut Scheduler<Event>) {
+        let r = self.config.reservations[idx as usize];
+        // Fence machines for the holder: idle free stations first, then
+        // stations hosting other users' running jobs (evicted through the
+        // normal checkpoint path). The holder's own machine and machines
+        // already fenced are skipped.
+        let mut fenced = 0usize;
+        // Pass 1: free idle machines.
+        for i in 0..self.stations.len() {
+            if fenced >= r.machines {
+                break;
+            }
+            let st = &mut self.stations[i];
+            if st.reserved_for.is_none()
+                && !st.failed
+                && st.foreign.is_none()
+                && i != r.holder.as_usize()
+            {
+                st.reserved_for = Some(r.holder);
+                fenced += 1;
+            }
+        }
+        // Pass 2: evict other users' running jobs to free more machines.
+        for i in 0..self.stations.len() {
+            if fenced >= r.machines {
+                break;
+            }
+            if self.stations[i].reserved_for.is_some() || i == r.holder.as_usize() {
+                continue;
+            }
+            let running_other = self.stations[i].foreign.as_ref().is_some_and(|slot| {
+                matches!(slot.phase, Phase::Running { .. })
+                    && self.jobs[slot.job.0 as usize].spec.home != r.holder
+            });
+            if running_other {
+                let target = NodeId::new(i as u32);
+                if self.execute_preempt(now, target, sched) {
+                    self.stations[i].reserved_for = Some(r.holder);
+                    fenced += 1;
+                }
+            }
+        }
+        self.trace.record(
+            now,
+            TraceKind::ReservationStarted { holder: r.holder, machines: fenced as u32 },
+        );
+    }
+
+    fn on_reservation_end(&mut self, now: SimTime, idx: u32) {
+        let r = self.config.reservations[idx as usize];
+        for st in &mut self.stations {
+            if st.reserved_for == Some(r.holder) {
+                st.reserved_for = None;
+            }
+        }
+        self.trace
+            .record(now, TraceKind::ReservationEnded { holder: r.holder });
+    }
+
+    fn on_station_crash(&mut self, now: SimTime, station: u32, sched: &mut Scheduler<Event>) {
+        let i = station as usize;
+        debug_assert!(!self.stations[i].failed, "double crash");
+        self.stations[i].failed = true;
+        self.stations[i].reserved_for = None;
+        self.totals.station_failures += 1;
+        self.trace
+            .record(now, TraceKind::StationFailed { station: NodeId::new(station) });
+        // Any foreign job here loses everything since its last durable
+        // checkpoint — the §2.3 guarantee is that it restarts from that
+        // checkpoint at another machine, not that nothing is lost.
+        if let Some(slot) = self.stations[i].foreign.take() {
+            let job = slot.job;
+            match slot.phase {
+                Phase::Running { finish } => {
+                    sched.cancel(finish);
+                    // The cycles were really consumed (gross ledger), but
+                    // the progress is gone.
+                    self.stop_running_segment(now, i, job, now);
+                }
+                Phase::Suspended { grace } => {
+                    sched.cancel(grace);
+                }
+                Phase::Arriving | Phase::Departing => {
+                    // In-flight transfer dies; its completion event is
+                    // recognised as stale by the transfer sequence.
+                }
+                Phase::GangMember => {
+                    // One member down kills the whole parallel program:
+                    // tear the gang off every station and restart it from
+                    // the last coordinated checkpoint.
+                    let image = self.jobs[job.0 as usize].spec.image_bytes;
+                    self.stations[i].disk_used -= image;
+                    self.gang_teardown_and_requeue(now, job, true, sched);
+                    self.trace.record(
+                        now,
+                        TraceKind::CrashRollback { job, on: NodeId::new(station) },
+                    );
+                    if station == self.config.coordinator_host {
+                        self.coordinator_down = true;
+                    }
+                    self.schedule_repair(now, station, sched);
+                    return;
+                }
+            }
+            let image = self.jobs[job.0 as usize].spec.image_bytes;
+            self.stations[i].disk_used -= image;
+            let j = &mut self.jobs[job.0 as usize];
+            j.revert_to_checkpoint();
+            j.state = JobState::Queued;
+            let home = j.spec.home.as_usize();
+            let remaining = j.remaining();
+            self.totals.crash_rollbacks += 1;
+            self.stations[home].queue.enqueue_front(job, remaining);
+            self.trace
+                .record(now, TraceKind::CrashRollback { job, on: NodeId::new(station) });
+        }
+        // Coordinator failover: while its host is down, allocation stops
+        // (paper §2.1: "Only the allocation of new capacity ... is
+        // affected").
+        if station == self.config.coordinator_host {
+            self.coordinator_down = true;
+        }
+        self.schedule_repair(now, station, sched);
+    }
+
+    /// With stochastic failures configured, repairs self-schedule;
+    /// manually injected crashes (tests, what-if scripts) stay down until
+    /// a manual `StationRecover`.
+    fn schedule_repair(&mut self, now: SimTime, station: u32, sched: &mut Scheduler<Event>) {
+        if let Some(failures) = self.config.failures {
+            let i = station as usize;
+            let repair = {
+                let st = &mut self.stations[i];
+                SimDuration::from_secs_f64(st.rng.exponential(failures.mttr.as_secs_f64()))
+                    .max(SimDuration::SECOND)
+            };
+            sched.at(now + repair, Event::StationRecover { station });
+        }
+    }
+
+    fn on_station_recover(&mut self, now: SimTime, station: u32, sched: &mut Scheduler<Event>) {
+        let i = station as usize;
+        debug_assert!(self.stations[i].failed, "recovery without crash");
+        self.stations[i].failed = false;
+        self.trace
+            .record(now, TraceKind::StationRecovered { station: NodeId::new(station) });
+        if station == self.config.coordinator_host {
+            self.coordinator_down = false;
+        }
+        if let Some(failures) = self.config.failures {
+            let ttf = {
+                let st = &mut self.stations[i];
+                SimDuration::from_secs_f64(st.rng.exponential(failures.mtbf.as_secs_f64()))
+                    .max(SimDuration::SECOND)
+            };
+            sched.at(now + ttf, Event::StationCrash { station });
+        }
+    }
+
+    /// Closes open accounting intervals at the end of observation.
+    fn finalize(&mut self, horizon: SimTime) {
+        // Running gangs: accrue and deposit each member's utilization.
+        let running_gangs: Vec<JobId> = self
+            .gangs
+            .iter()
+            .filter(|(_, g)| g.running)
+            .map(|(j, _)| *j)
+            .collect();
+        for job in running_gangs {
+            let running_since = self.jobs[job.0 as usize].running_since;
+            if running_since >= horizon {
+                continue;
+            }
+            let wall = horizon.since(running_since);
+            let work = self.config.station.work_done_in(wall);
+            self.jobs[job.0 as usize]
+                .accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
+            let members = self.gangs[&job].members.clone();
+            for &m in &members {
+                let cap = self.stations[m as usize]
+                    .owner_active_since
+                    .unwrap_or(horizon)
+                    .min(horizon);
+                self.deposit_run_utilization(m as usize, running_since, cap.max(running_since));
+            }
+            self.jobs[job.0 as usize].running_since = horizon;
+        }
+        for i in 0..self.stations.len() {
+            if let Some(t) = self.stations[i].owner_active_since {
+                if t < horizon {
+                    self.local_busy
+                        .deposit_interval(t, horizon, horizon.since(t).as_millis() as f64);
+                }
+                self.stations[i].owner_active_since = Some(horizon);
+            }
+            let running_job = self.stations[i].foreign.as_ref().and_then(|slot| {
+                matches!(slot.phase, Phase::Running { .. }).then_some(slot.job)
+            });
+            if let Some(job) = running_job {
+                let since = self.jobs[job.0 as usize].running_since;
+                if since < horizon {
+                    // Cap at the owner's return if the segment is inside a
+                    // not-yet-detected interference window.
+                    let cap = self.stations[i]
+                        .owner_active_since
+                        .unwrap_or(horizon)
+                        .min(horizon);
+                    self.stop_running_segment(horizon, i, job, cap);
+                    self.jobs[job.0 as usize].running_since = horizon;
+                }
+            }
+        }
+    }
+}
+
+impl Model for Cluster {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<Event>) {
+        match ev {
+            Event::Arrival(job) => self.on_arrival(now, job),
+            Event::OwnerFlip { station } => self.on_owner_flip(now, station, sched),
+            Event::DetectOwner { station } => self.on_detect_owner(now, station, sched),
+            Event::Poll => self.on_poll(now, sched),
+            Event::PlacementDone { job, target, seq } => {
+                self.on_placement_done(now, job, target, seq, sched)
+            }
+            Event::CheckpointDone { job, from, seq } => {
+                self.on_checkpoint_done(now, job, from, seq)
+            }
+            Event::Finish { job, on } => self.on_finish(now, job, on),
+            Event::GraceOver { station, job } => self.on_grace_over(now, station, job, sched),
+            Event::PeriodicCkpt { job, on, epoch } => {
+                self.on_periodic_ckpt(now, job, on, epoch, sched)
+            }
+            Event::ReservationStart { idx } => self.on_reservation_start(now, idx, sched),
+            Event::ReservationEnd { idx } => self.on_reservation_end(now, idx),
+            Event::StationCrash { station } => self.on_station_crash(now, station, sched),
+            Event::StationRecover { station } => self.on_station_recover(now, station, sched),
+        }
+    }
+}
+
+/// Builds, primes, and runs a cluster for `horizon`, returning the
+/// complete output.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::cluster::run_cluster;
+/// use condor_core::config::ClusterConfig;
+/// use condor_core::job::{JobId, JobSpec, UserId};
+/// use condor_net::NodeId;
+/// use condor_sim::time::{SimDuration, SimTime};
+///
+/// let spec = JobSpec {
+///     id: JobId(0),
+///     user: UserId(0),
+///     home: NodeId::new(0),
+///     arrival: SimTime::from_hours(1),
+///     demand: SimDuration::from_hours(2),
+///     image_bytes: 500_000,
+///     syscalls_per_cpu_sec: 1.0,
+///     binaries: Default::default(),
+///     depends_on: Vec::new(),
+///     width: 1,
+/// };
+/// let out = run_cluster(ClusterConfig::default(), vec![spec], SimDuration::from_days(2));
+/// assert_eq!(out.jobs.len(), 1);
+/// ```
+pub fn run_cluster(config: ClusterConfig, specs: Vec<JobSpec>, horizon: SimDuration) -> RunOutput {
+    let cluster = Cluster::new(config, specs);
+    let mut engine = Engine::new(cluster);
+    Cluster::prime(&mut engine);
+    let end = SimTime::ZERO + horizon;
+    engine.run_until(end);
+    let mut model = engine.into_model();
+    model.finalize(end);
+    let policy_name = model.policy.name().to_string();
+    RunOutput {
+        policy_name,
+        stations: model.config.stations,
+        horizon: end,
+        bus_bytes_moved: model.bus.bytes_moved(),
+        bus_transfers: model.bus.transfers_booked(),
+        jobs: model.jobs,
+        trace: model.trace,
+        totals: model.totals,
+        queue_total: model.queue_total,
+        queue_by_user: model.queue_by_user,
+        local_busy: model.local_busy,
+        remote_busy: model.remote_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condor_model::diurnal::DiurnalProfile;
+    use condor_model::owner::OwnerConfig;
+
+    fn spec(id: u64, user: u32, home: u32, arrival_h: u64, demand_h: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            user: UserId(user),
+            home: NodeId::new(home),
+            arrival: SimTime::from_hours(arrival_h),
+            demand: SimDuration::from_hours(demand_h),
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 1.0,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+        }
+    }
+
+    /// A config with quiet owners so jobs run undisturbed unless a test
+    /// wants otherwise.
+    fn quiet_config(stations: usize) -> ClusterConfig {
+        ClusterConfig {
+            stations,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.02),
+                ..OwnerConfig::default()
+            },
+            owner_heterogeneity: 0.0,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// A config with busy, flappy owners to exercise preemption paths.
+    fn stormy_config(stations: usize) -> ClusterConfig {
+        ClusterConfig {
+            stations,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.5),
+                mean_active_period: SimDuration::from_minutes(8),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_job_completes_with_correct_accounting() {
+        let out = run_cluster(
+            quiet_config(4),
+            vec![spec(0, 0, 0, 1, 3)],
+            SimDuration::from_days(1),
+        );
+        let j = &out.jobs[0];
+        assert_eq!(j.state, JobState::Completed, "job should finish: {j:?}");
+        assert!(j.work_done >= j.spec.demand);
+        assert!(j.placements >= 1);
+        let wr = j.wait_ratio().unwrap();
+        assert!(wr < 0.5, "quiet cluster wait ratio {wr}");
+        let lev = j.leverage().unwrap();
+        // 3 h at 1 syscall/s → 108 s syscall support + 2.5 s/move.
+        assert!(lev > 50.0 && lev < 200.0, "leverage {lev}");
+        assert_eq!(out.totals.placements, u64::from(j.placements));
+    }
+
+    #[test]
+    fn all_jobs_eventually_complete_under_load() {
+        let jobs: Vec<JobSpec> = (0..12).map(|i| spec(i, 0, 0, 1, 2)).collect();
+        let out = run_cluster(quiet_config(6), jobs, SimDuration::from_days(4));
+        let done = out.completed_jobs().count();
+        assert_eq!(done, 12, "totals: {:?}", out.totals);
+        // Guaranteed-completion property: no work lost under grace strategy.
+        for j in &out.jobs {
+            assert_eq!(j.work_lost, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn placement_throttle_spaces_placements() {
+        let jobs: Vec<JobSpec> = (0..6).map(|i| spec(i, 0, 0, 0, 10)).collect();
+        let out = run_cluster(quiet_config(8), jobs, SimDuration::from_hours(2));
+        // One placement per 2-minute poll at most.
+        let starts: Vec<SimTime> = out
+            .trace
+            .filtered(|k| matches!(k, TraceKind::PlacementStarted { .. }))
+            .map(|e| e.at)
+            .collect();
+        assert!(starts.len() >= 5, "expected several placements, got {}", starts.len());
+        for w in starts.windows(2) {
+            assert!(
+                w[1].since(w[0]) >= SimDuration::from_minutes(2),
+                "placements {} and {} too close",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn owner_return_suspends_then_checkpoints_and_job_survives() {
+        // One station hosts; owners are extremely busy so preemption is
+        // guaranteed, but the job still completes thanks to checkpointing.
+        let cfg = ClusterConfig {
+            stations: 3,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.6),
+                mean_active_period: SimDuration::from_minutes(20),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let out = run_cluster(cfg, vec![spec(0, 0, 0, 0, 8)], SimDuration::from_days(6));
+        let j = &out.jobs[0];
+        assert_eq!(j.state, JobState::Completed, "{:?}", out.totals);
+        assert!(
+            out.totals.preemptions_owner > 0,
+            "busy owners must preempt at least once: {:?}",
+            out.totals
+        );
+        assert_eq!(j.work_lost, SimDuration::ZERO, "grace strategy never loses work");
+        assert_eq!(j.work_done, j.spec.demand);
+    }
+
+    #[test]
+    fn immediate_kill_loses_work_but_completes() {
+        let cfg = ClusterConfig {
+            eviction: EvictionStrategy::ImmediateKill {
+                checkpoint_every: SimDuration::from_minutes(30),
+            },
+            ..stormy_config(3)
+        };
+        let out = run_cluster(cfg, vec![spec(0, 0, 0, 0, 6)], SimDuration::from_days(10));
+        let j = &out.jobs[0];
+        if out.totals.kills > 0 {
+            assert!(
+                j.remote_cpu >= j.work_done,
+                "gross consumption must cover redone work"
+            );
+        }
+        assert_eq!(j.state, JobState::Completed, "{:?}", out.totals);
+        assert!(out.totals.periodic_checkpoints > 0 || out.totals.kills == 0);
+    }
+
+    #[test]
+    fn heavy_user_cannot_starve_light_user() {
+        // Heavy user floods from station 0; light user submits one batch
+        // from station 1 much later. Up-Down must serve the light user
+        // promptly.
+        let mut jobs: Vec<JobSpec> = (0..30).map(|i| spec(i, 0, 0, 0, 12)).collect();
+        for k in 0..3 {
+            jobs.push(spec(30 + k, 1, 1, 48, 1));
+        }
+        let out = run_cluster(quiet_config(6), jobs, SimDuration::from_days(7));
+        let light_done: Vec<&Job> = out
+            .jobs
+            .iter()
+            .filter(|j| j.spec.user == UserId(1) && j.state == JobState::Completed)
+            .collect();
+        assert_eq!(light_done.len(), 3, "light user's batch must complete");
+        for j in &light_done {
+            let wr = j.wait_ratio().unwrap();
+            assert!(wr < 3.0, "light user wait ratio {wr} too high");
+        }
+    }
+
+    #[test]
+    fn updown_preempts_for_light_user() {
+        // Saturate: as many heavy jobs as stations, then a light request.
+        let mut jobs: Vec<JobSpec> = (0..8).map(|i| spec(i, 0, 0, 0, 200)).collect();
+        jobs.push(spec(8, 1, 1, 24, 1));
+        let out = run_cluster(quiet_config(4), jobs, SimDuration::from_days(3));
+        assert!(
+            out.totals.preemptions_priority > 0,
+            "light user should trigger a priority preemption: {:?}",
+            out.totals
+        );
+        let light = &out.jobs[8];
+        assert_eq!(light.state, JobState::Completed);
+    }
+
+    #[test]
+    fn coordinator_failure_leaves_running_jobs_alone() {
+        let cfg = quiet_config(4);
+        let jobs = vec![spec(0, 0, 0, 0, 4), spec(1, 0, 0, 0, 4)];
+        let cluster = Cluster::new(cfg, jobs);
+        let mut engine = Engine::new(cluster);
+        Cluster::prime(&mut engine);
+        // Let the first job get placed and start running.
+        engine.run_until(SimTime::from_hours(1));
+        let running_before: Vec<JobState> =
+            engine.model().jobs().iter().map(|j| j.state).collect();
+        assert!(
+            running_before.iter().any(|s| matches!(s, JobState::Running { .. })),
+            "setup: at least one job should be running, got {running_before:?}"
+        );
+        // Coordinator dies for 10 hours.
+        engine.model_mut().set_coordinator_down(true);
+        engine.run_until(SimTime::from_hours(11));
+        // The running job kept running (and likely finished); no *new*
+        // placements happened while the coordinator was down.
+        let placements_during = engine
+            .model()
+            .trace()
+            .filtered(|k| matches!(k, TraceKind::PlacementStarted { .. }))
+            .filter(|e| e.at > SimTime::from_hours(1))
+            .count();
+        assert_eq!(placements_during, 0, "no placements while coordinator down");
+        let j0 = &engine.model().jobs()[0];
+        assert!(
+            j0.state == JobState::Completed || matches!(j0.state, JobState::Running { .. }),
+            "running job unaffected by coordinator failure: {:?}",
+            j0.state
+        );
+        // Recovery: bring it back, the queued job gets served.
+        engine.model_mut().set_coordinator_down(false);
+        engine.run_until(SimTime::from_hours(40));
+        assert!(
+            engine.model().jobs().iter().all(|j| j.state == JobState::Completed),
+            "after recovery all jobs complete: {:?}",
+            engine.model().jobs().iter().map(|j| j.state).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn disk_full_blocks_placement_but_not_forever() {
+        // Tiny disks: only one foreign image fits per station.
+        let cfg = ClusterConfig {
+            station: condor_model::station::StationProfile::new(1.0, 600_000),
+            ..quiet_config(3)
+        };
+        let jobs: Vec<JobSpec> = (0..4).map(|i| spec(i, 0, 0, 0, 1)).collect();
+        let out = run_cluster(cfg, jobs, SimDuration::from_days(2));
+        // Home station 0 holds 4 × 0.5 MB of checkpoint files — more than
+        // 0.6 MB of disk — so some submissions are rejected outright.
+        assert!(
+            out.totals.submit_rejections > 0,
+            "tiny home disk must reject some submissions: {:?}",
+            out.totals
+        );
+        let admitted = out.jobs.iter().filter(|j| !j.rejected).count();
+        let done = out.completed_jobs().count();
+        assert_eq!(done, admitted, "all admitted jobs complete");
+    }
+
+    #[test]
+    fn conservation_work_done_equals_demand_for_completed() {
+        let jobs: Vec<JobSpec> = (0..10).map(|i| spec(i, (i % 3) as u32, (i % 4) as u32, i, 3)).collect();
+        let out = run_cluster(stormy_config(4), jobs, SimDuration::from_days(10));
+        for j in out.completed_jobs() {
+            assert_eq!(j.work_done, j.spec.demand, "exact completion for {}", j.spec.id);
+            assert!(j.remote_cpu >= j.work_done);
+            assert!(j.completed_at.unwrap() >= j.spec.arrival + j.spec.demand);
+        }
+    }
+
+    #[test]
+    fn trace_protocol_invariants() {
+        let jobs: Vec<JobSpec> = (0..8).map(|i| spec(i, 0, (i % 3) as u32, i, 2)).collect();
+        let out = run_cluster(stormy_config(3), jobs, SimDuration::from_days(8));
+        // Every job: arrivals == 1; starts >= placements related events...
+        for j in 0..8u64 {
+            let arr = out.trace.count(
+                |k| matches!(k, TraceKind::JobArrived { job } if *job == JobId(j)),
+            );
+            assert_eq!(arr, 1, "job {j} must arrive exactly once");
+            let completed = out.trace.count(
+                |k| matches!(k, TraceKind::JobCompleted { job, .. } if *job == JobId(j)),
+            );
+            assert!(completed <= 1);
+        }
+        // Placement starts equal placement totals + disk rejections traced
+        // separately.
+        let starts = out
+            .trace
+            .count(|k| matches!(k, TraceKind::PlacementStarted { .. }));
+        assert_eq!(starts as u64, out.totals.placements);
+        // Checkpoint starts match completions (no transfer is lost).
+        let ck_start = out
+            .trace
+            .count(|k| matches!(k, TraceKind::CheckpointStarted { .. }));
+        let ck_done = out
+            .trace
+            .count(|k| matches!(k, TraceKind::CheckpointCompleted { .. }));
+        assert_eq!(ck_start, ck_done);
+        assert_eq!(ck_done as u64, out.totals.migrations);
+    }
+
+    #[test]
+    fn queue_series_returns_to_zero_when_all_done() {
+        let jobs: Vec<JobSpec> = (0..5).map(|i| spec(i, 0, 0, 0, 1)).collect();
+        let out = run_cluster(quiet_config(4), jobs, SimDuration::from_days(2));
+        assert_eq!(out.completed_jobs().count(), 5);
+        assert_eq!(out.queue_total.value_at_end(), 0.0);
+        let user_q = out.queue_by_user.get(&UserId(0)).unwrap();
+        assert_eq!(user_q.value_at_end(), 0.0);
+        // Peak queue was 5 right after the batch arrived.
+        assert_eq!(out.queue_total.max_in(SimTime::ZERO, out.horizon), 5.0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let jobs: Vec<JobSpec> = (0..6).map(|i| spec(i, 0, (i % 2) as u32, i, 2)).collect();
+        let a = run_cluster(stormy_config(4), jobs.clone(), SimDuration::from_days(3));
+        let b = run_cluster(stormy_config(4), jobs.clone(), SimDuration::from_days(3));
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.state, y.state);
+            assert_eq!(x.work_done, y.work_done);
+            assert_eq!(x.support_us, y.support_us);
+        }
+        // Different seed → different trace (statistically certain).
+        let mut cfg2 = stormy_config(4);
+        cfg2.seed = 777;
+        let c = run_cluster(cfg2, jobs, SimDuration::from_days(3));
+        assert_ne!(a.trace.len(), c.trace.len());
+    }
+
+    #[test]
+    fn utilization_accounting_is_bounded() {
+        let jobs: Vec<JobSpec> = (0..10).map(|i| spec(i, 0, 0, 0, 5)).collect();
+        let out = run_cluster(stormy_config(5), jobs, SimDuration::from_days(5));
+        let local = out.mean_local_utilization();
+        let system = out.mean_system_utilization();
+        assert!((0.0..=1.0).contains(&local), "local {local}");
+        assert!(system >= local, "system {system} >= local {local}");
+        assert!(system <= 1.0 + 1e-9, "system {system}");
+        for u in out.system_utilization_hourly() {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "hourly {u}");
+        }
+        assert!(out.available_station_hours() > 0.0);
+        assert!(out.consumed_cpu_hours() > 0.0);
+    }
+
+    #[test]
+    fn history_aware_placement_runs_and_differs() {
+        let jobs: Vec<JobSpec> = (0..10).map(|i| spec(i, 0, 0, 0, 4)).collect();
+        let base = stormy_config(6);
+        let aware = ClusterConfig {
+            history_aware_placement: true,
+            ..base.clone()
+        };
+        let a = run_cluster(base, jobs.clone(), SimDuration::from_days(4));
+        let b = run_cluster(aware, jobs, SimDuration::from_days(4));
+        // Both make progress; the placement order differs at some point.
+        assert!(a.completed_jobs().count() > 0);
+        assert!(b.completed_jobs().count() > 0);
+    }
+
+    #[test]
+    fn baseline_policies_run_to_completion() {
+        for policy in [PolicyKind::Fifo, PolicyKind::RoundRobin, PolicyKind::Random] {
+            let cfg = ClusterConfig {
+                policy,
+                ..quiet_config(4)
+            };
+            let jobs: Vec<JobSpec> = (0..6).map(|i| spec(i, (i % 2) as u32, (i % 2) as u32, 0, 1)).collect();
+            let out = run_cluster(cfg, jobs, SimDuration::from_days(2));
+            assert_eq!(out.completed_jobs().count(), 6, "policy {policy:?}");
+            assert_eq!(out.totals.preemptions_priority, 0, "baselines never preempt");
+        }
+    }
+
+    #[test]
+    fn resume_in_place_happens_with_short_owner_bursts() {
+        // Owners with very short active bursts (well under the 5-minute
+        // grace): suspended jobs should frequently resume in place.
+        let cfg = ClusterConfig {
+            stations: 3,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.3),
+                mean_active_period: SimDuration::from_secs(90),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let out = run_cluster(cfg, vec![spec(0, 0, 0, 0, 20)], SimDuration::from_days(6));
+        assert!(
+            out.totals.resumes_in_place > 0,
+            "short bursts should produce in-place resumes: {:?}",
+            out.totals
+        );
+        assert!(
+            out.totals.resumes_in_place + out.totals.migrations >= out.totals.preemptions_owner,
+            "every owner preemption resolves via resume or migration"
+        );
+    }
+
+    #[test]
+    fn interference_is_bounded_by_detection_latency() {
+        let out = run_cluster(
+            stormy_config(4),
+            (0..6).map(|i| spec(i, 0, 0, 0, 10)).collect(),
+            SimDuration::from_days(4),
+        );
+        // Each owner preemption can contribute at most one detection
+        // interval (30 s) of interference.
+        let bound = out.totals.preemptions_owner * 30_000;
+        assert!(
+            out.totals.interference_ms <= bound,
+            "interference {} > bound {}",
+            out.totals.interference_ms,
+            bound
+        );
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::config::FailureConfig;
+    use condor_model::diurnal::DiurnalProfile;
+    use condor_model::owner::OwnerConfig;
+
+    fn spec(id: u64, home: u32, demand_h: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            user: UserId(0),
+            home: NodeId::new(home),
+            arrival: SimTime::from_hours(1),
+            demand: SimDuration::from_hours(demand_h),
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 1.0,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+        }
+    }
+
+    fn crashy_config(stations: usize, mtbf_h: u64, mttr_h: u64) -> ClusterConfig {
+        ClusterConfig {
+            stations,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.05),
+                ..OwnerConfig::default()
+            },
+            failures: Some(FailureConfig {
+                mtbf: SimDuration::from_hours(mtbf_h),
+                mttr: SimDuration::from_hours(mttr_h),
+            }),
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn jobs_survive_station_crashes() {
+        // Frequent crashes: MTBF 12 h per station over a 20-day run.
+        let jobs: Vec<JobSpec> = (0..8).map(|i| spec(i, (i % 2) as u32, 6)).collect();
+        let out = run_cluster(crashy_config(5, 12, 1), jobs, SimDuration::from_days(20));
+        assert!(out.totals.station_failures > 10, "{:?}", out.totals);
+        assert_eq!(
+            out.completed_jobs().count(),
+            8,
+            "every job must complete despite crashes: {:?}",
+            out.totals
+        );
+        for j in out.completed_jobs() {
+            assert_eq!(j.work_done, j.spec.demand);
+        }
+    }
+
+    #[test]
+    fn crashes_roll_back_to_last_checkpoint() {
+        let jobs: Vec<JobSpec> = (0..6).map(|i| spec(i, 0, 10)).collect();
+        let out = run_cluster(crashy_config(4, 8, 1), jobs, SimDuration::from_days(25));
+        assert!(out.totals.crash_rollbacks > 0, "{:?}", out.totals);
+        // Rollbacks redo work: gross consumption exceeds net for some job.
+        let lost: f64 = out.jobs.iter().map(|j| j.work_lost.as_hours_f64()).sum();
+        assert!(lost > 0.0, "crashes must lose un-checkpointed work");
+        // But the guarantee holds.
+        assert_eq!(out.completed_jobs().count(), 6);
+    }
+
+    #[test]
+    fn coordinator_host_crash_stalls_allocation_only() {
+        // Deterministic scripted crash via direct model driving.
+        let cfg = ClusterConfig {
+            stations: 4,
+            coordinator_host: 0,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.02),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let jobs = vec![spec(0, 1, 4), spec(1, 1, 4), spec(2, 1, 4)];
+        let cluster = Cluster::new(cfg, jobs);
+        let mut engine = Engine::new(cluster);
+        Cluster::prime(&mut engine);
+        // Let one job start.
+        engine.run_until(SimTime::from_hours(2));
+        let placements_before = engine.model().totals().placements;
+        assert!(placements_before >= 1);
+        // Crash the coordinator host.
+        engine
+            .scheduler()
+            .immediately(Event::StationCrash { station: 0 });
+        engine.run_until(SimTime::from_hours(2) + SimDuration::from_secs(1));
+        // For the next 6 hours no new placements may start, but running
+        // jobs keep finishing.
+        engine.run_until(SimTime::from_hours(8));
+        let placements_during = engine.model().totals().placements;
+        assert_eq!(
+            placements_during, placements_before,
+            "no allocation while the coordinator host is down"
+        );
+        let finished: usize = engine
+            .model()
+            .jobs()
+            .iter()
+            .filter(|j| j.state == JobState::Completed)
+            .count();
+        assert!(finished >= 1, "running jobs complete during the outage");
+        // Recover and drain.
+        engine
+            .scheduler()
+            .immediately(Event::StationRecover { station: 0 });
+        engine.run_until(SimTime::from_hours(40));
+        assert!(engine
+            .model()
+            .jobs()
+            .iter()
+            .all(|j| j.state == JobState::Completed));
+    }
+
+    #[test]
+    fn checkpoint_server_lifts_home_disk_limit() {
+        // Tiny home disks: without a server most submissions bounce;
+        // with the §4 checkpoint server everything is admitted.
+        let base = ClusterConfig {
+            station: condor_model::station::StationProfile::new(1.0, 600_000),
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.02),
+                ..OwnerConfig::default()
+            },
+            stations: 4,
+            ..ClusterConfig::default()
+        };
+        let jobs: Vec<JobSpec> = (0..6).map(|i| spec(i, 0, 1)).collect();
+        let without = run_cluster(base.clone(), jobs.clone(), SimDuration::from_days(2));
+        assert!(without.totals.submit_rejections > 0);
+        let with = run_cluster(
+            ClusterConfig { checkpoint_server: true, ..base },
+            jobs,
+            SimDuration::from_days(2),
+        );
+        assert_eq!(with.totals.submit_rejections, 0, "server absorbs the images");
+        assert_eq!(with.completed_jobs().count(), 6);
+    }
+
+    #[test]
+    fn crash_and_transfer_race_is_harmless() {
+        // Pathological setup: constant crashing with long repairs while
+        // transfers are slow (tiny bandwidth). Exercises the stale
+        // transfer-sequence guards; the run must neither panic nor violate
+        // conservation.
+        let mut cfg = crashy_config(3, 4, 2);
+        cfg.bus = condor_net::BusConfig {
+            bandwidth_bytes_per_sec: 20_000, // 25 s per image
+            ..condor_net::BusConfig::default()
+        };
+        let jobs: Vec<JobSpec> = (0..5).map(|i| spec(i, (i % 3) as u32, 3)).collect();
+        let out = run_cluster(cfg, jobs, SimDuration::from_days(30));
+        for j in &out.jobs {
+            assert!(j.work_done <= j.spec.demand);
+            assert!(j.remote_cpu >= j.work_done);
+            if j.state == JobState::Completed {
+                assert_eq!(j.work_done, j.spec.demand);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod arch_tests {
+    use super::*;
+    use condor_model::diurnal::DiurnalProfile;
+    use condor_model::owner::OwnerConfig;
+    use condor_model::station::{Arch, ArchSet};
+
+    fn spec_with_binaries(id: u64, home: u32, demand_h: u64, binaries: ArchSet) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            user: UserId(0),
+            home: NodeId::new(home),
+            arrival: SimTime::from_hours(1),
+            demand: SimDuration::from_hours(demand_h),
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 1.0,
+            binaries,
+            depends_on: Vec::new(),
+            width: 1,
+        }
+    }
+
+    fn mixed_fleet(stations: usize) -> ClusterConfig {
+        ClusterConfig {
+            stations,
+            arch_pattern: vec![Arch::Vax, Arch::Sun],
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.02),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn vax_only_jobs_never_run_on_suns() {
+        // Fleet alternates VAX (even) / SUN (odd).
+        let jobs: Vec<JobSpec> =
+            (0..6).map(|i| spec_with_binaries(i, 0, 2, ArchSet::vax_only())).collect();
+        let out = run_cluster(mixed_fleet(6), jobs, SimDuration::from_days(3));
+        assert_eq!(out.completed_jobs().count(), 6);
+        for ev in out.trace.events() {
+            if let TraceKind::JobStarted { on, .. } = ev.kind {
+                assert_eq!(
+                    on.index() % 2,
+                    0,
+                    "VAX-only job started on SUN station {on}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dual_binary_jobs_use_the_whole_fleet() {
+        let jobs: Vec<JobSpec> =
+            (0..8).map(|i| spec_with_binaries(i, 0, 3, ArchSet::both())).collect();
+        let out = run_cluster(mixed_fleet(4), jobs, SimDuration::from_days(4));
+        assert_eq!(out.completed_jobs().count(), 8);
+        let mut archs_used = std::collections::HashSet::new();
+        for ev in out.trace.events() {
+            if let TraceKind::JobStarted { on, .. } = ev.kind {
+                archs_used.insert(on.index() % 2);
+            }
+        }
+        assert_eq!(archs_used.len(), 2, "dual binaries should reach both arches");
+    }
+
+    #[test]
+    fn work_binds_jobs_to_their_first_architecture() {
+        // Stormy owners force migrations; a dual-binary job must keep
+        // migrating within its first architecture.
+        let cfg = ClusterConfig {
+            stations: 6,
+            arch_pattern: vec![Arch::Vax, Arch::Sun],
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.5),
+                mean_active_period: SimDuration::from_minutes(15),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let jobs = vec![spec_with_binaries(0, 0, 20, ArchSet::both())];
+        let out = run_cluster(cfg, jobs, SimDuration::from_days(12));
+        let hosts: Vec<u32> = out
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::JobStarted { on, .. } => Some(on.index()),
+                _ => None,
+            })
+            .collect();
+        assert!(hosts.len() > 1, "expected migrations, hosts: {hosts:?}");
+        let first_arch = hosts[0] % 2;
+        assert!(
+            hosts.iter().all(|h| h % 2 == first_arch),
+            "job crossed architectures after binding: {hosts:?}"
+        );
+        assert_eq!(out.jobs[0].state, JobState::Completed);
+        assert_eq!(
+            out.jobs[0].bound_arch,
+            Some(if first_arch == 0 { Arch::Vax } else { Arch::Sun })
+        );
+    }
+
+    #[test]
+    fn arch_starvation_is_counted() {
+        // Only SUN machines are ever idle (1-station VAX fleet is the
+        // home and owner-busy there is irrelevant: home hosts jobs too).
+        // Construct: 2 stations [Vax, Sun]; a SUN-only... simpler: jobs are
+        // SUN-only, fleet has a VAX; grants to the VAX waste.
+        let cfg = ClusterConfig {
+            stations: 2,
+            arch_pattern: vec![Arch::Vax, Arch::Sun],
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.02),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let jobs: Vec<JobSpec> =
+            (0..3).map(|i| spec_with_binaries(i, 0, 1, ArchSet::sun_only())).collect();
+        let out = run_cluster(cfg, jobs, SimDuration::from_days(2));
+        assert_eq!(out.completed_jobs().count(), 3, "{:?}", out.totals);
+        assert!(
+            out.totals.arch_starvation > 0,
+            "grants to the VAX machine must be wasted: {:?}",
+            out.totals
+        );
+        for ev in out.trace.events() {
+            if let TraceKind::JobStarted { on, .. } = ev.kind {
+                assert_eq!(on.index(), 1, "SUN-only job on the VAX");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod reservation_tests {
+    use super::*;
+    use crate::config::Reservation;
+    use condor_model::diurnal::DiurnalProfile;
+    use condor_model::owner::OwnerConfig;
+
+    fn spec(id: u64, user: u32, home: u32, arrival_h: u64, demand_h: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            user: UserId(user),
+            home: NodeId::new(home),
+            arrival: SimTime::from_hours(arrival_h),
+            demand: SimDuration::from_hours(demand_h),
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 1.0,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+        }
+    }
+
+    fn flooded_config(reservations: Vec<Reservation>) -> ClusterConfig {
+        ClusterConfig {
+            stations: 6,
+            reservations,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.02),
+                ..OwnerConfig::default()
+            },
+            owner_heterogeneity: 0.0,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// A heavy flood from station 0 plus a 3-job batch from station 1 that
+    /// arrives exactly when its reservation window opens.
+    fn duel_jobs() -> Vec<JobSpec> {
+        let mut jobs: Vec<JobSpec> = (0..40).map(|i| spec(i, 0, 0, 0, 50)).collect();
+        for k in 0..3 {
+            jobs.push(spec(40 + k, 1, 1, 48, 2));
+        }
+        jobs
+    }
+
+    #[test]
+    fn reservation_fences_machines_and_serves_the_holder() {
+        let reservation = Reservation {
+            holder: NodeId::new(1),
+            machines: 3,
+            from: SimTime::from_hours(48),
+            until: SimTime::from_hours(60),
+        };
+        let out = run_cluster(
+            flooded_config(vec![reservation]),
+            duel_jobs(),
+            SimDuration::from_days(4),
+        );
+        // The reservation evicted heavy jobs at the window start.
+        let started = out
+            .trace
+            .filtered(|k| matches!(k, TraceKind::ReservationStarted { .. }))
+            .next()
+            .expect("reservation started");
+        assert_eq!(started.at, SimTime::from_hours(48));
+        if let TraceKind::ReservationStarted { machines, holder } = started.kind {
+            assert_eq!(holder, NodeId::new(1));
+            assert_eq!(machines, 3, "all three machines fenced (by eviction)");
+        }
+        assert!(out.totals.reservation_placements >= 3, "{:?}", out.totals);
+        // The holder's jobs all complete inside the window with near-zero
+        // wait (2 h jobs, 12 h window, 3 machines).
+        for j in out.jobs.iter().filter(|j| j.spec.user == UserId(1)) {
+            assert_eq!(j.state, JobState::Completed, "{:?}", j.spec.id);
+            let done = j.completed_at.unwrap();
+            assert!(
+                done <= SimTime::from_hours(60),
+                "job {} finished at {done}, after the window",
+                j.spec.id
+            );
+        }
+        let ended = out
+            .trace
+            .count(|k| matches!(k, TraceKind::ReservationEnded { .. }));
+        assert_eq!(ended, 1);
+    }
+
+    #[test]
+    fn without_reservation_the_flood_delays_the_batch() {
+        // Control for the test above: same workload, no reservation, FIFO
+        // policy (no Up-Down protection) — the batch waits far longer.
+        let mut with_r = f64::NAN;
+        let mut without = f64::NAN;
+        for (reserve, out_var) in [(true, 0usize), (false, 1usize)] {
+            let reservations = if reserve {
+                vec![Reservation {
+                    holder: NodeId::new(1),
+                    machines: 3,
+                    from: SimTime::from_hours(48),
+                    until: SimTime::from_hours(60),
+                }]
+            } else {
+                Vec::new()
+            };
+            let cfg = ClusterConfig {
+                policy: crate::config::PolicyKind::Fifo,
+                ..flooded_config(reservations)
+            };
+            let out = run_cluster(cfg, duel_jobs(), SimDuration::from_days(10));
+            // For jobs still waiting at the horizon, use the elapsed wait
+            // as a lower bound so an unserved batch counts as a huge (not
+            // missing) wait.
+            let mean_wait: f64 = {
+                let waits: Vec<f64> = out
+                    .jobs
+                    .iter()
+                    .filter(|j| j.spec.user == UserId(1))
+                    .map(|j| {
+                        j.wait_ratio().unwrap_or_else(|| {
+                            let waited = out.horizon.saturating_since(j.spec.arrival);
+                            waited.as_secs_f64() / j.spec.demand.as_secs_f64()
+                        })
+                    })
+                    .collect();
+                waits.iter().sum::<f64>() / waits.len().max(1) as f64
+            };
+            if out_var == 0 {
+                with_r = mean_wait;
+            } else {
+                without = mean_wait;
+            }
+        }
+        assert!(
+            with_r < without / 2.0,
+            "reservation must slash the batch's wait: {with_r:.2} vs {without:.2}"
+        );
+    }
+
+    #[test]
+    fn fence_lifts_after_the_window() {
+        let reservation = Reservation {
+            holder: NodeId::new(1),
+            machines: 3,
+            from: SimTime::from_hours(10),
+            until: SimTime::from_hours(12),
+        };
+        // Only the heavy user; the holder never uses its window. Enough
+        // work that the backlog outlives the reservation window.
+        let jobs: Vec<JobSpec> = (0..20).map(|i| spec(i, 0, 0, 0, 12)).collect();
+        let out = run_cluster(
+            flooded_config(vec![reservation]),
+            jobs,
+            SimDuration::from_days(4),
+        );
+        // Heavy placements continue after the window closes and all jobs
+        // eventually complete.
+        assert_eq!(out.completed_jobs().count(), 20, "{:?}", out.totals);
+        let placements_after_window = out
+            .trace
+            .filtered(|k| matches!(k, TraceKind::PlacementStarted { .. }))
+            .filter(|e| e.at > SimTime::from_hours(12))
+            .count();
+        assert!(placements_after_window > 0, "pool must reopen");
+    }
+
+    #[test]
+    fn owner_activity_beats_reservations() {
+        // Owners on fenced machines still preempt the holder's jobs.
+        let reservation = Reservation {
+            holder: NodeId::new(1),
+            machines: 2,
+            from: SimTime::from_hours(1),
+            until: SimTime::from_hours(40),
+        };
+        let cfg = ClusterConfig {
+            stations: 4,
+            reservations: vec![reservation],
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.5),
+                mean_active_period: SimDuration::from_minutes(30),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let jobs = vec![spec(0, 1, 1, 1, 15)];
+        let out = run_cluster(cfg, jobs, SimDuration::from_days(5));
+        assert_eq!(out.jobs[0].state, JobState::Completed);
+        assert!(
+            out.totals.preemptions_owner > 0,
+            "owners must still preempt on fenced machines: {:?}",
+            out.totals
+        );
+    }
+}
+
+#[cfg(test)]
+mod dependency_tests {
+    use super::*;
+    use condor_model::diurnal::DiurnalProfile;
+    use condor_model::owner::OwnerConfig;
+
+    fn spec_dep(id: u64, arrival_h: u64, demand_h: u64, deps: Vec<u64>) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            user: UserId(0),
+            home: NodeId::new(0),
+            arrival: SimTime::from_hours(arrival_h),
+            demand: SimDuration::from_hours(demand_h),
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 0.5,
+            binaries: Default::default(),
+            depends_on: deps.into_iter().map(JobId).collect(),
+            width: 1,
+        }
+    }
+
+    fn quiet(stations: usize) -> ClusterConfig {
+        ClusterConfig {
+            stations,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.02),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_in_order() {
+        // A → B → C, all submitted at once on a big idle cluster.
+        let jobs = vec![
+            spec_dep(0, 0, 2, vec![]),
+            spec_dep(1, 0, 2, vec![0]),
+            spec_dep(2, 0, 2, vec![1]),
+        ];
+        let out = run_cluster(quiet(6), jobs, SimDuration::from_days(2));
+        assert_eq!(out.completed_jobs().count(), 3);
+        let done: Vec<SimTime> = out.jobs.iter().map(|j| j.completed_at.unwrap()).collect();
+        assert!(done[0] < done[1] && done[1] < done[2], "{done:?}");
+        // B could not start before A finished.
+        let b_start = out
+            .trace
+            .filtered(|k| matches!(k, TraceKind::JobStarted { job, .. } if *job == JobId(1)))
+            .next()
+            .unwrap()
+            .at;
+        assert!(b_start >= done[0], "B started {b_start} before A finished {}", done[0]);
+    }
+
+    #[test]
+    fn diamond_joins_wait_for_both_parents() {
+        //   0
+        //  / \
+        // 1   2   (1 is short, 2 is long)
+        //  \ /
+        //   3
+        let jobs = vec![
+            spec_dep(0, 0, 1, vec![]),
+            spec_dep(1, 0, 1, vec![0]),
+            spec_dep(2, 0, 6, vec![0]),
+            spec_dep(3, 0, 1, vec![1, 2]),
+        ];
+        let out = run_cluster(quiet(6), jobs, SimDuration::from_days(2));
+        assert_eq!(out.completed_jobs().count(), 4);
+        let done_2 = out.jobs[2].completed_at.unwrap();
+        let start_3 = out
+            .trace
+            .filtered(|k| matches!(k, TraceKind::JobStarted { job, .. } if *job == JobId(3)))
+            .next()
+            .unwrap()
+            .at;
+        assert!(start_3 >= done_2, "join started before the slow parent finished");
+    }
+
+    #[test]
+    fn dependency_completed_before_arrival_does_not_hold() {
+        // Parent at t=0 (1 h); child arrives at t=30 h, long after.
+        let jobs = vec![spec_dep(0, 0, 1, vec![]), spec_dep(1, 30, 1, vec![0])];
+        let out = run_cluster(quiet(4), jobs, SimDuration::from_days(3));
+        assert_eq!(out.completed_jobs().count(), 2);
+        let child = &out.jobs[1];
+        // Served promptly: wait ratio near zero.
+        assert!(child.wait_ratio().unwrap() < 0.5, "{:?}", child.wait_ratio());
+    }
+
+    #[test]
+    fn held_jobs_count_in_the_queue_but_never_place() {
+        let jobs = vec![spec_dep(0, 0, 4, vec![]), spec_dep(1, 0, 1, vec![0])];
+        let cluster = Cluster::new(quiet(4), jobs);
+        let mut engine = Engine::new(cluster);
+        Cluster::prime(&mut engine);
+        engine.run_until(SimTime::from_hours(2));
+        let m = engine.model();
+        assert_eq!(m.jobs()[1].state, JobState::Held);
+        // No placement of the held job yet.
+        let placed = m
+            .trace()
+            .count(|k| matches!(k, TraceKind::PlacementStarted { job, .. } if *job == JobId(1)));
+        assert_eq!(placed, 0);
+        engine.run_until(SimTime::from_hours(30));
+        assert_eq!(engine.model().jobs()[1].state, JobState::Completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependencies must reference lower ids")]
+    fn forward_dependencies_rejected() {
+        let jobs = vec![spec_dep(0, 0, 1, vec![1]), spec_dep(1, 0, 1, vec![])];
+        Cluster::new(quiet(2), jobs);
+    }
+}
+
+#[cfg(test)]
+mod gang_tests {
+    use super::*;
+    use condor_model::diurnal::DiurnalProfile;
+    use condor_model::owner::OwnerConfig;
+
+    fn gang_spec(id: u64, width: u32, demand_h: u64, arrival_h: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            user: UserId(0),
+            home: NodeId::new(0),
+            arrival: SimTime::from_hours(arrival_h),
+            demand: SimDuration::from_hours(demand_h),
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 1.0,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width,
+        }
+    }
+
+    fn quiet(stations: usize) -> ClusterConfig {
+        ClusterConfig {
+            stations,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.02),
+                ..OwnerConfig::default()
+            },
+            owner_heterogeneity: 0.0,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn stormy(stations: usize) -> ClusterConfig {
+        ClusterConfig {
+            stations,
+            owner: OwnerConfig {
+                profile: DiurnalProfile::flat(0.4),
+                mean_active_period: SimDuration::from_minutes(20),
+                ..OwnerConfig::default()
+            },
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn gang_runs_on_k_machines_and_completes() {
+        let out = run_cluster(quiet(6), vec![gang_spec(0, 3, 4, 0)], SimDuration::from_days(1));
+        let j = &out.jobs[0];
+        assert_eq!(j.state, JobState::Completed, "{:?}", out.totals);
+        assert_eq!(j.work_done, SimDuration::from_hours(4));
+        // Capacity consumed = width × work.
+        assert_eq!(j.remote_cpu, SimDuration::from_hours(12));
+        assert!(out.totals.gang_placements >= 1);
+        // Every gang placement round ships exactly width images.
+        let member_placements = out
+            .trace
+            .count(|k| matches!(k, TraceKind::PlacementStarted { .. }));
+        assert_eq!(member_placements as u64, 3 * out.totals.gang_placements);
+        // Utilization ledger saw 3 machine-streams of ~4 h.
+        assert!(
+            (out.consumed_cpu_hours() - 12.0).abs() < 0.5,
+            "consumed {}",
+            out.consumed_cpu_hours()
+        );
+    }
+
+    #[test]
+    fn gang_waits_until_enough_machines() {
+        // 4 stations; a width-3 gang plus enough singles to crowd it out
+        // initially. The gang must eventually assemble 3 machines.
+        let mut jobs = vec![gang_spec(0, 3, 2, 0)];
+        for i in 1..4 {
+            jobs.push(gang_spec(i, 1, 6, 0));
+        }
+        let out = run_cluster(quiet(4), jobs, SimDuration::from_days(2));
+        assert_eq!(out.completed_jobs().count(), 4, "{:?}", out.totals);
+    }
+
+    #[test]
+    fn owner_on_any_member_suspends_the_whole_gang() {
+        // Stormy owners: the width-3 gang will be interrupted repeatedly
+        // but must finish with exact work accounting.
+        let out = run_cluster(stormy(6), vec![gang_spec(0, 3, 10, 0)], SimDuration::from_days(20));
+        let j = &out.jobs[0];
+        assert_eq!(j.state, JobState::Completed, "{:?}", out.totals);
+        assert_eq!(j.work_done, j.spec.demand);
+        assert_eq!(j.work_lost, SimDuration::ZERO, "grace checkpointing never loses work");
+        assert!(
+            out.totals.preemptions_owner > 0,
+            "storms must interrupt: {:?}",
+            out.totals
+        );
+        // Gross consumption covers width × net work.
+        assert!(j.remote_cpu >= j.work_done * 3);
+    }
+
+    #[test]
+    fn gang_eviction_moves_all_members() {
+        let out = run_cluster(stormy(8), vec![gang_spec(0, 4, 12, 0)], SimDuration::from_days(20));
+        let j = &out.jobs[0];
+        assert_eq!(j.state, JobState::Completed, "{:?}", out.totals);
+        if j.checkpoints > 0 {
+            // Each gang migration ships width images home.
+            let ckpt_transfers = out
+                .trace
+                .count(|k| matches!(k, TraceKind::CheckpointCompleted { .. }));
+            assert_eq!(ckpt_transfers as u32, j.checkpoints * 4);
+        }
+    }
+
+    #[test]
+    fn gang_survives_member_crash() {
+        let cfg = ClusterConfig {
+            failures: Some(crate::config::FailureConfig {
+                mtbf: SimDuration::from_hours(30),
+                mttr: SimDuration::from_hours(1),
+            }),
+            ..quiet(6)
+        };
+        let out = run_cluster(cfg, vec![gang_spec(0, 3, 12, 0)], SimDuration::from_days(25));
+        let j = &out.jobs[0];
+        assert_eq!(j.state, JobState::Completed, "{:?}", out.totals);
+        assert_eq!(j.work_done, j.spec.demand);
+        if out.totals.crash_rollbacks > 0 {
+            assert!(j.remote_cpu > j.spec.demand * 3, "redone work shows in gross ledger");
+        }
+    }
+
+    #[test]
+    fn no_station_hosts_two_jobs_even_with_gangs() {
+        // Mixed gang + single workload under storms; replay residency.
+        let mut jobs = vec![gang_spec(0, 3, 5, 0), gang_spec(1, 2, 4, 2)];
+        for i in 2..8 {
+            jobs.push(gang_spec(i, 1, 3, i));
+        }
+        let out = run_cluster(stormy(8), jobs, SimDuration::from_days(15));
+        assert_eq!(out.completed_jobs().count(), 8, "{:?}", out.totals);
+        // Replay per-station occupancy from placement/teardown events.
+        use std::collections::HashMap;
+        let mut resident: HashMap<u32, JobId> = HashMap::new();
+        for ev in out.trace.events() {
+            match ev.kind {
+                TraceKind::PlacementStarted { job, target } => {
+                    if let Some(&other) = resident.get(&target.index()) {
+                        panic!("{target} got {job} while holding {other} at {}", ev.at);
+                    }
+                    resident.insert(target.index(), job);
+                }
+                TraceKind::CheckpointCompleted { job, from } => {
+                    assert_eq!(resident.remove(&from.index()), Some(job));
+                }
+                TraceKind::CrashRollback { job, on } => {
+                    // Crash frees every member of that job wherever it is.
+                    resident.retain(|_, r| *r != job);
+                    let _ = on;
+                }
+                TraceKind::JobCompleted { job, .. } => {
+                    resident.retain(|_, r| *r != job);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn priority_preemption_vacates_whole_gang() {
+        // Saturate 4 machines with a width-4 gang from a heavy home, then
+        // a light home requests: Up-Down preempts, freeing all 4.
+        let mut jobs = vec![gang_spec(0, 4, 300, 0)];
+        jobs.push(JobSpec {
+            id: JobId(1),
+            user: UserId(1),
+            home: NodeId::new(1),
+            arrival: SimTime::from_hours(24),
+            demand: SimDuration::HOUR,
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 0.5,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+        });
+        let out = run_cluster(quiet(4), jobs, SimDuration::from_days(4));
+        assert_eq!(out.jobs[1].state, JobState::Completed, "{:?}", out.totals);
+        assert!(out.totals.preemptions_priority > 0, "{:?}", out.totals);
+        // The gang's coordinated eviction shipped 4 images at once.
+        let evicted_images = out
+            .trace
+            .count(|k| matches!(k, TraceKind::CheckpointStarted { .. }));
+        assert!(evicted_images >= 4, "{evicted_images}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 5 machines but the fleet has 4")]
+    fn oversized_gang_rejected() {
+        let _ = Cluster::new(quiet(4), vec![gang_spec(0, 5, 1, 0)]);
+    }
+}

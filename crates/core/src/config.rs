@@ -1,0 +1,338 @@
+//! Cluster configuration.
+
+use condor_model::costs::CostModel;
+use condor_model::owner::OwnerConfig;
+use condor_model::station::{Arch, StationProfile};
+use condor_net::{BusConfig, NodeId};
+use condor_sim::time::{SimDuration, SimTime};
+
+use crate::queue::LocalOrder;
+use crate::updown::UpDownConfig;
+
+/// Stochastic station-failure injection.
+///
+/// The paper's §1 requirement: *"if a remote site running a background job
+/// fails, the job should be restarted automatically at some other location
+/// to guarantee job completion."* With failures enabled, each station
+/// crashes after an exponential time-to-failure and recovers after an
+/// exponential repair time; a crash destroys the foreign image on that
+/// station (the job restarts from its last checkpoint at home) and freezes
+/// the station's own queue until recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureConfig {
+    /// Mean time between failures per station.
+    pub mtbf: SimDuration,
+    /// Mean time to repair.
+    pub mttr: SimDuration,
+}
+
+impl FailureConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is zero.
+    pub fn validate(&self) {
+        assert!(!self.mtbf.is_zero(), "zero MTBF");
+        assert!(!self.mttr.is_zero(), "zero MTTR");
+    }
+}
+
+/// An advance reservation of remote capacity (paper §5, future-work item
+/// 3: "Reservations guarantee computing capacity for users in advance in
+/// order to conduct experiments in distributed computations").
+///
+/// During the window, up to `machines` stations are *fenced* for the
+/// holder: foreign jobs of other users are evicted at the start, and only
+/// the holder's queue may be served on fenced machines. Owners always keep
+/// absolute priority — a fenced machine whose owner sits down is still
+/// surrendered immediately, exactly like any other.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reservation {
+    /// The station whose queue the reserved capacity serves.
+    pub holder: NodeId,
+    /// Number of machines to fence.
+    pub machines: usize,
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+impl Reservation {
+    /// Validates the reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or zero machines.
+    pub fn validate(&self, stations: usize) {
+        assert!(self.machines > 0, "zero-machine reservation");
+        assert!(self.from < self.until, "empty reservation window");
+        assert!(
+            self.holder.as_usize() < stations,
+            "reservation holder {} outside the fleet",
+            self.holder
+        );
+        assert!(
+            self.machines < stations,
+            "cannot reserve the entire fleet ({} of {stations})",
+            self.machines
+        );
+    }
+}
+
+/// What happens when a workstation owner returns while a foreign job runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvictionStrategy {
+    /// The 1988 implementation (paper §4): stop the job in place and wait
+    /// out a grace period; if the owner is still active when it expires,
+    /// checkpoint and move. No work is ever lost, but the job's image
+    /// occupies the owner's disk during the grace window.
+    GraceThenCheckpoint {
+        /// How long to wait before vacating (paper: 5 minutes).
+        grace: SimDuration,
+    },
+    /// The §4 alternative the authors were considering: kill the job
+    /// immediately (minimal owner interference) and rely on periodic
+    /// checkpoints; work since the last checkpoint is redone.
+    ImmediateKill {
+        /// Interval between periodic while-running checkpoints.
+        checkpoint_every: SimDuration,
+    },
+}
+
+impl Default for EvictionStrategy {
+    fn default() -> Self {
+        EvictionStrategy::GraceThenCheckpoint {
+            grace: SimDuration::from_minutes(5),
+        }
+    }
+}
+
+/// Which allocation policy the coordinator runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// The paper's Up-Down algorithm.
+    UpDown(UpDownConfig),
+    /// First-come-first-served over stations; no preemption.
+    Fifo,
+    /// Round-robin over demanding stations; no preemption.
+    RoundRobin,
+    /// Uniformly random demanding station; no preemption.
+    Random,
+}
+
+impl Default for PolicyKind {
+    fn default() -> Self {
+        PolicyKind::UpDown(UpDownConfig::default())
+    }
+}
+
+/// Full configuration of a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of workstations (the paper observed 23).
+    pub stations: usize,
+    /// Master seed; every stochastic component derives a substream.
+    pub seed: u64,
+    /// The coordinator's allocation policy.
+    pub policy: PolicyKind,
+    /// Control-plane intervals and per-operation costs.
+    pub costs: CostModel,
+    /// Owner-return handling.
+    pub eviction: EvictionStrategy,
+    /// Owner-activity process parameters (shared base; stations get
+    /// heterogeneous scales via `owner_heterogeneity`).
+    pub owner: OwnerConfig,
+    /// Spread of per-station activity scales (0 = identical owners).
+    pub owner_heterogeneity: f64,
+    /// Hardware profile applied to every station.
+    pub station: StationProfile,
+    /// Network parameters.
+    pub bus: BusConfig,
+    /// How local schedulers order their own queues.
+    pub local_order: LocalOrder,
+    /// Maximum placements started per coordinator poll (paper §4: one).
+    pub placements_per_poll: usize,
+    /// Prefer placement targets with the longest expected idle periods
+    /// (paper §5 future-work item 1).
+    pub history_aware_placement: bool,
+    /// Optional stochastic station failures (None = stations never fail).
+    pub failures: Option<FailureConfig>,
+    /// The station hosting the central coordinator (paper §2.1: "One
+    /// workstation holds the central coordinator"). If that station fails,
+    /// allocation of new capacity stops until it recovers — running jobs
+    /// are unaffected.
+    pub coordinator_host: u32,
+    /// Architecture of each station, cycled over the fleet (station `i`
+    /// has `arch_pattern[i % len]`). The 1988 fleet is all-VAX
+    /// (`vec![Arch::Vax]`); a mixed pattern reproduces the §5(4) planned
+    /// SUN port, where placement must respect job binaries.
+    pub arch_pattern: Vec<Arch>,
+    /// Store checkpoint files on a dedicated checkpoint server instead of
+    /// the submitting workstation's disk (the §4 disk-server idea). The
+    /// server has unbounded capacity, so home disks only gate the number
+    /// of *executable* images, not standing checkpoints.
+    pub checkpoint_server: bool,
+    /// Advance capacity reservations (paper §5(3)).
+    pub reservations: Vec<Reservation>,
+    /// Record the full event trace (disable for huge benchmark runs).
+    pub record_trace: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            stations: 23,
+            seed: 1988,
+            policy: PolicyKind::default(),
+            costs: CostModel::default(),
+            eviction: EvictionStrategy::default(),
+            owner: OwnerConfig::default(),
+            owner_heterogeneity: 0.4,
+            station: StationProfile::default(),
+            bus: BusConfig::default(),
+            local_order: LocalOrder::Fifo,
+            placements_per_poll: 1,
+            history_aware_placement: false,
+            failures: None,
+            coordinator_host: 0,
+            arch_pattern: vec![Arch::Vax],
+            checkpoint_server: false,
+            reservations: Vec::new(),
+            record_trace: true,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally impossible configurations.
+    pub fn validate(&self) {
+        assert!(self.stations > 0, "a cluster needs at least one station");
+        assert!(
+            self.placements_per_poll > 0,
+            "placements_per_poll must be positive"
+        );
+        assert!(
+            !self.costs.coordinator_poll_interval.is_zero(),
+            "zero poll interval"
+        );
+        assert!(
+            !self.costs.owner_check_interval.is_zero(),
+            "zero owner-check interval"
+        );
+        if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.eviction {
+            assert!(!checkpoint_every.is_zero(), "zero periodic-checkpoint interval");
+        }
+        if let Some(f) = &self.failures {
+            f.validate();
+        }
+        assert!(
+            (self.coordinator_host as usize) < self.stations,
+            "coordinator host {} outside the fleet",
+            self.coordinator_host
+        );
+        assert!(!self.arch_pattern.is_empty(), "empty architecture pattern");
+        for r in &self.reservations {
+            r.validate(self.stations);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_setup() {
+        let c = ClusterConfig::default();
+        c.validate();
+        assert_eq!(c.stations, 23);
+        assert_eq!(c.placements_per_poll, 1);
+        assert!(matches!(c.policy, PolicyKind::UpDown(_)));
+        assert!(matches!(
+            c.eviction,
+            EvictionStrategy::GraceThenCheckpoint { grace } if grace == SimDuration::from_minutes(5)
+        ));
+        assert!(!c.history_aware_placement);
+        assert!(c.failures.is_none());
+        assert_eq!(c.coordinator_host, 0);
+        assert!(!c.checkpoint_server);
+        assert_eq!(c.arch_pattern, vec![Arch::Vax]);
+        assert!(c.reservations.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "entire fleet")]
+    fn whole_fleet_reservation_rejected() {
+        ClusterConfig {
+            reservations: vec![Reservation {
+                holder: NodeId::new(0),
+                machines: 23,
+                from: SimTime::ZERO,
+                until: SimTime::from_hours(1),
+            }],
+            ..ClusterConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero MTBF")]
+    fn zero_mtbf_rejected() {
+        ClusterConfig {
+            failures: Some(FailureConfig {
+                mtbf: SimDuration::ZERO,
+                mttr: SimDuration::HOUR,
+            }),
+            ..ClusterConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the fleet")]
+    fn coordinator_host_must_exist() {
+        ClusterConfig {
+            coordinator_host: 99,
+            ..ClusterConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_rejected() {
+        ClusterConfig {
+            stations: 0,
+            ..ClusterConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_placements_rejected() {
+        ClusterConfig {
+            placements_per_poll: 0,
+            ..ClusterConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic-checkpoint")]
+    fn zero_periodic_checkpoint_rejected() {
+        ClusterConfig {
+            eviction: EvictionStrategy::ImmediateKill {
+                checkpoint_every: SimDuration::ZERO,
+            },
+            ..ClusterConfig::default()
+        }
+        .validate();
+    }
+}

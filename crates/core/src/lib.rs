@@ -1,0 +1,62 @@
+//! # condor-core — the Condor scheduler
+//!
+//! A faithful reconstruction of the scheduling system of *Condor — A Hunter
+//! of Idle Workstations* (Litzkow, Livny & Mutka, ICDCS 1988):
+//!
+//! * [`job`] — job specifications, lifecycle, and the per-job ledgers
+//!   behind the paper's wait-ratio, checkpoint-rate, and leverage figures;
+//! * [`queue`] — the autonomous per-station background queue;
+//! * [`policy`] — the coordinator-side allocation policies: the trait, and
+//!   FIFO / round-robin / random baselines;
+//! * [`updown`] — the Up-Down fair-allocation algorithm (paper §2.4);
+//! * [`config`] — cluster configuration, including the §4 eviction
+//!   strategies (grace-then-checkpoint vs immediate-kill);
+//! * [`cluster`] — the full discrete-event cluster model binding owners,
+//!   local schedulers, the coordinator, the network, and cost accounting;
+//! * [`trace`] — the replayable event trace experiments consume.
+//!
+//! ## Example: run a small cluster
+//!
+//! ```
+//! use condor_core::cluster::run_cluster;
+//! use condor_core::config::ClusterConfig;
+//! use condor_core::job::{JobId, JobSpec, UserId};
+//! use condor_net::NodeId;
+//! use condor_sim::time::{SimDuration, SimTime};
+//!
+//! let jobs: Vec<JobSpec> = (0..4)
+//!     .map(|i| JobSpec {
+//!         id: JobId(i),
+//!         user: UserId(0),
+//!         home: NodeId::new(0),
+//!         arrival: SimTime::from_hours(1),
+//!         demand: SimDuration::from_hours(2),
+//!         image_bytes: 500_000,
+//!         syscalls_per_cpu_sec: 1.0,
+//!         binaries: Default::default(),
+//!         depends_on: Vec::new(),
+//!         width: 1,
+//!     })
+//!     .collect();
+//! let out = run_cluster(ClusterConfig::default(), jobs, SimDuration::from_days(3));
+//! assert!(out.totals.placements > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod config;
+pub mod job;
+pub mod policy;
+pub mod queue;
+pub mod trace;
+pub mod updown;
+
+pub use cluster::{run_cluster, Cluster, Event, RunOutput, Totals};
+pub use config::{ClusterConfig, EvictionStrategy, FailureConfig, PolicyKind, Reservation};
+pub use job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
+pub use policy::{AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy, StationView};
+pub use queue::{BackgroundQueue, LocalOrder};
+pub use trace::{Trace, TraceEvent, TraceKind};
+pub use updown::{UpDown, UpDownConfig};

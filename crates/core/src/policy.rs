@@ -1,0 +1,445 @@
+//! Capacity-allocation policies for the central coordinator.
+//!
+//! Each poll cycle the coordinator assembles a [`StationView`] per
+//! workstation and asks its [`AllocationPolicy`] what to do. The policy
+//! returns [`Order`]s: *assign* a free machine to a requesting station, or
+//! *preempt* a foreign job to free capacity for a higher-priority station.
+//!
+//! The coordinator deliberately knows nothing about individual jobs — which
+//! job runs next is the local scheduler's decision (paper §2.1). Policies
+//! therefore reason purely about **stations**: who is idle, who is hosting
+//! for whom, and who has work waiting.
+//!
+//! The paper's production policy is [Up-Down](crate::updown::UpDown); the
+//! baselines here ([`FifoPolicy`], [`RoundRobinPolicy`], [`RandomPolicy`])
+//! exist to reproduce its fairness comparison.
+
+use condor_net::NodeId;
+use condor_sim::rng::SimRng;
+use condor_sim::time::SimTime;
+
+/// What the coordinator learned about one station during a poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StationView {
+    /// The station.
+    pub node: NodeId,
+    /// `true` when the station can host a foreign job right now: owner
+    /// idle, no foreign job present (running, suspended, or in transfer),
+    /// and disk space available.
+    pub can_host: bool,
+    /// If a foreign job is *running* here, the home station it belongs to.
+    pub hosting_for: Option<NodeId>,
+    /// Jobs waiting in this station's background queue.
+    pub waiting_jobs: usize,
+}
+
+/// An instruction from the coordinator to the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Grant the free machine `target` to `home`; the local scheduler at
+    /// `home` places its next queued job there.
+    Assign {
+        /// The station whose queue is served.
+        home: NodeId,
+        /// The idle machine granted.
+        target: NodeId,
+    },
+    /// Checkpoint the foreign job running at `target` and send it home, so
+    /// the capacity can be re-granted (normally to a higher-priority
+    /// station at a subsequent poll).
+    Preempt {
+        /// The machine to vacate.
+        target: NodeId,
+    },
+}
+
+/// A capacity-allocation policy.
+///
+/// Implementations must be deterministic given their construction seed and
+/// the sequence of `decide` calls.
+pub trait AllocationPolicy: std::fmt::Debug {
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides this poll's orders.
+    ///
+    /// * `views` — one entry per station, indexed by station id.
+    /// * `free` — machines able to host, in the **cluster's placement
+    ///   preference order** (plain id order normally; longest-expected-idle
+    ///   first when history-aware placement is enabled). Policies take
+    ///   targets from the front of this list.
+    /// * `max_placements` — upper bound on `Assign` orders this cycle
+    ///   (paper §4: one placement per two minutes protects the network and
+    ///   the submitting machines).
+    ///
+    /// Policies must not assign the same target twice, must only assign
+    /// targets drawn from `free`, and must only preempt stations with
+    /// `hosting_for` set.
+    fn decide(
+        &mut self,
+        now: SimTime,
+        views: &[StationView],
+        free: &[NodeId],
+        max_placements: usize,
+    ) -> Vec<Order>;
+}
+
+/// Serves requesting stations in the order their demand was first seen;
+/// never preempts. The station at the head of the line gets every free
+/// machine until its queue drains — exactly the monopolisation behaviour
+/// the Up-Down algorithm was designed to prevent.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    /// Homes with outstanding demand, oldest first.
+    line: Vec<NodeId>,
+}
+
+impl FifoPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FifoPolicy::default()
+    }
+
+    fn refresh_line(&mut self, views: &[StationView]) {
+        // Drop homes that no longer want capacity (or vanished — fleets
+        // can shrink between polls)…
+        self.line
+            .retain(|h| {
+                views
+                    .get(h.as_usize())
+                    .is_some_and(|v| v.waiting_jobs > 0)
+            });
+        // …and append newly demanding homes in id order (within one poll
+        // we cannot observe finer arrival order; polls are the clock).
+        for v in views {
+            if v.waiting_jobs > 0 && !self.line.contains(&v.node) {
+                self.line.push(v.node);
+            }
+        }
+    }
+}
+
+impl AllocationPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn decide(
+        &mut self,
+        _now: SimTime,
+        views: &[StationView],
+        free: &[NodeId],
+        max_placements: usize,
+    ) -> Vec<Order> {
+        self.refresh_line(views);
+        let mut free: Vec<NodeId> = free.to_vec();
+        free.reverse(); // pop() yields the most-preferred machine first
+        let mut remaining: Vec<usize> = self
+            .line
+            .iter()
+            .map(|h| views[h.as_usize()].waiting_jobs)
+            .collect();
+        let mut orders = Vec::new();
+        'outer: for (i, home) in self.line.iter().enumerate() {
+            while remaining[i] > 0 {
+                if orders.len() >= max_placements {
+                    break 'outer;
+                }
+                let Some(target) = free.pop() else { break 'outer };
+                orders.push(Order::Assign {
+                    home: *home,
+                    target,
+                });
+                remaining[i] -= 1;
+            }
+        }
+        orders
+    }
+}
+
+/// Rotates a cursor over the stations, granting one machine to each
+/// demanding station in turn; never preempts.
+#[derive(Debug, Default)]
+pub struct RoundRobinPolicy {
+    cursor: usize,
+}
+
+impl RoundRobinPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RoundRobinPolicy::default()
+    }
+}
+
+impl AllocationPolicy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn decide(
+        &mut self,
+        _now: SimTime,
+        views: &[StationView],
+        free: &[NodeId],
+        max_placements: usize,
+    ) -> Vec<Order> {
+        let n = views.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Fleets can shrink between polls; keep the cursor in range.
+        self.cursor %= n;
+        let mut free: Vec<NodeId> = free.to_vec();
+        free.reverse();
+        let mut demand: Vec<usize> = views.iter().map(|v| v.waiting_jobs).collect();
+        let mut orders = Vec::new();
+        // Walk at most n stations per free machine so one decide() always
+        // terminates even when every queue is deep.
+        while orders.len() < max_placements && !free.is_empty() && demand.iter().any(|&d| d > 0) {
+            // Find the next demanding station at or after the cursor.
+            let mut advanced = 0;
+            while demand[self.cursor] == 0 && advanced < n {
+                self.cursor = (self.cursor + 1) % n;
+                advanced += 1;
+            }
+            if demand[self.cursor] == 0 {
+                break;
+            }
+            let target = free.pop().expect("checked non-empty");
+            orders.push(Order::Assign {
+                home: views[self.cursor].node,
+                target,
+            });
+            demand[self.cursor] -= 1;
+            self.cursor = (self.cursor + 1) % n;
+        }
+        orders
+    }
+}
+
+/// Grants each free machine to a uniformly random demanding station;
+/// never preempts. Deterministic for a given seed.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: SimRng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with its own random stream.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: SimRng::seed_from(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+}
+
+impl AllocationPolicy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn decide(
+        &mut self,
+        _now: SimTime,
+        views: &[StationView],
+        free: &[NodeId],
+        max_placements: usize,
+    ) -> Vec<Order> {
+        let mut free: Vec<NodeId> = free.to_vec();
+        free.reverse();
+        let mut demand: Vec<(NodeId, usize)> = views
+            .iter()
+            .filter(|v| v.waiting_jobs > 0)
+            .map(|v| (v.node, v.waiting_jobs))
+            .collect();
+        let mut orders = Vec::new();
+        while orders.len() < max_placements && !free.is_empty() && !demand.is_empty() {
+            let pick = self.rng.index(demand.len());
+            let target = free.pop().expect("checked non-empty");
+            orders.push(Order::Assign {
+                home: demand[pick].0,
+                target,
+            });
+            demand[pick].1 -= 1;
+            if demand[pick].1 == 0 {
+                demand.remove(pick);
+            }
+        }
+        orders
+    }
+}
+
+/// Validates an order batch against the views (used by the cluster in
+/// debug builds and by policy tests): no duplicate targets, assignments
+/// only to hostable machines, preemptions only of hosting machines.
+pub fn validate_orders(orders: &[Order], views: &[StationView]) -> Result<(), String> {
+    let mut used = std::collections::HashSet::new();
+    for o in orders {
+        match *o {
+            Order::Assign { home, target } => {
+                if !views[target.as_usize()].can_host {
+                    return Err(format!("assign to non-hostable {target}"));
+                }
+                if views[home.as_usize()].waiting_jobs == 0 {
+                    return Err(format!("assign to home {home} with no demand"));
+                }
+                if !used.insert(target) {
+                    return Err(format!("target {target} assigned twice"));
+                }
+            }
+            Order::Preempt { target } => {
+                if views[target.as_usize()].hosting_for.is_none() {
+                    return Err(format!("preempt of non-hosting {target}"));
+                }
+                if !used.insert(target) {
+                    return Err(format!("target {target} ordered twice"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free_of(views: &[StationView]) -> Vec<NodeId> {
+        views.iter().filter(|v| v.can_host).map(|v| v.node).collect()
+    }
+
+    fn views(spec: &[(bool, Option<u32>, usize)]) -> Vec<StationView> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(can_host, hosting, waiting))| StationView {
+                node: NodeId::new(i as u32),
+                can_host,
+                hosting_for: hosting.map(NodeId::new),
+                waiting_jobs: waiting,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_serves_head_of_line_first() {
+        let mut p = FifoPolicy::new();
+        // Station 2 demands 3 jobs, station 0 demands 1; machines 3,4 free.
+        let v = views(&[
+            (false, None, 1),
+            (false, None, 0),
+            (false, None, 3),
+            (true, None, 0),
+            (true, None, 0),
+        ]);
+        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 10);
+        validate_orders(&orders, &v).unwrap();
+        // Station 0 first in id order, then 2 gets the rest.
+        assert_eq!(orders.len(), 2);
+        assert!(matches!(orders[0], Order::Assign { home, .. } if home == NodeId::new(0)));
+        assert!(matches!(orders[1], Order::Assign { home, .. } if home == NodeId::new(2)));
+    }
+
+    #[test]
+    fn fifo_line_persists_across_polls() {
+        let mut p = FifoPolicy::new();
+        // Poll 1: only station 1 demands; no machines.
+        let v1 = views(&[(false, None, 0), (false, None, 2)]);
+        assert!(p.decide(SimTime::ZERO, &v1, &free_of(&v1), 10).is_empty());
+        // Poll 2: station 0 also demands; one machine — station 1 was first.
+        let v2 = views(&[(false, None, 2), (false, None, 2), (true, None, 0)]);
+        let orders = p.decide(SimTime::ZERO, &v2, &free_of(&v2), 10);
+        assert_eq!(
+            orders,
+            vec![Order::Assign { home: NodeId::new(1), target: NodeId::new(2) }]
+        );
+    }
+
+    #[test]
+    fn fifo_respects_placement_budget() {
+        let mut p = FifoPolicy::new();
+        let v = views(&[(false, None, 5), (true, None, 0), (true, None, 0), (true, None, 0)]);
+        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        assert_eq!(orders.len(), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_across_demanders() {
+        let mut p = RoundRobinPolicy::new();
+        let v = views(&[
+            (false, None, 5),
+            (false, None, 5),
+            (true, None, 0),
+            (true, None, 0),
+        ]);
+        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 10);
+        validate_orders(&orders, &v).unwrap();
+        let homes: Vec<NodeId> = orders
+            .iter()
+            .map(|o| match o {
+                Order::Assign { home, .. } => *home,
+                _ => panic!("unexpected preempt"),
+            })
+            .collect();
+        assert_eq!(homes, vec![NodeId::new(0), NodeId::new(1)]);
+        // Next poll continues after the cursor.
+        let v2 = views(&[
+            (false, None, 4),
+            (false, None, 4),
+            (true, None, 0),
+        ]);
+        let orders2 = p.decide(SimTime::ZERO, &v2, &free_of(&v2), 10);
+        assert!(matches!(orders2[0], Order::Assign { home, .. } if home == NodeId::new(0)));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_valid() {
+        let run = |seed| {
+            let mut p = RandomPolicy::new(seed);
+            let v = views(&[
+                (false, None, 3),
+                (false, None, 3),
+                (true, None, 0),
+                (true, None, 0),
+                (true, None, 0),
+            ]);
+            let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 10);
+            validate_orders(&orders, &v).unwrap();
+            orders
+        };
+        assert_eq!(run(1), run(1));
+        assert_eq!(run(1).len(), 3);
+    }
+
+    #[test]
+    fn no_policy_assigns_without_demand_or_machines() {
+        let idle_system = views(&[(true, None, 0), (true, None, 0)]);
+        let starved = views(&[(false, None, 4), (false, Some(0), 0)]);
+        let mut fifo = FifoPolicy::new();
+        let mut rr = RoundRobinPolicy::new();
+        let mut rnd = RandomPolicy::new(3);
+        for v in [&idle_system, &starved] {
+            assert!(fifo.decide(SimTime::ZERO, v, &free_of(v), 10).is_empty());
+            assert!(rr.decide(SimTime::ZERO, v, &free_of(v), 10).is_empty());
+            assert!(rnd.decide(SimTime::ZERO, v, &free_of(v), 10).is_empty());
+        }
+    }
+
+    #[test]
+    fn validate_orders_catches_bad_batches() {
+        let v = views(&[(true, None, 1), (false, Some(0), 0)]);
+        let double = vec![
+            Order::Assign { home: NodeId::new(0), target: NodeId::new(0) },
+            Order::Assign { home: NodeId::new(0), target: NodeId::new(0) },
+        ];
+        assert!(validate_orders(&double, &v).is_err());
+        let bad_target = vec![Order::Assign { home: NodeId::new(0), target: NodeId::new(1) }];
+        assert!(validate_orders(&bad_target, &v).is_err());
+        let bad_preempt = vec![Order::Preempt { target: NodeId::new(0) }];
+        assert!(validate_orders(&bad_preempt, &v).is_err());
+        let good = vec![
+            Order::Assign { home: NodeId::new(0), target: NodeId::new(0) },
+            Order::Preempt { target: NodeId::new(1) },
+        ];
+        assert!(validate_orders(&good, &v).is_ok());
+    }
+}

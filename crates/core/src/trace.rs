@@ -1,0 +1,261 @@
+//! The cluster's event trace: a replayable record of everything observable.
+//!
+//! Experiments and the metrics crate consume this trace instead of poking
+//! at simulator internals; integration tests assert protocol invariants
+//! over it (e.g. *every placement is eventually matched by a checkpoint,
+//! kill, or completion*).
+
+use condor_net::NodeId;
+use condor_sim::time::SimTime;
+
+use crate::job::{JobId, PreemptReason};
+
+/// One observable event in a cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A job entered its home station's queue.
+    JobArrived {
+        /// The job.
+        job: JobId,
+    },
+    /// A job was rejected at submission (home disk full).
+    JobRejected {
+        /// The job.
+        job: JobId,
+    },
+    /// The coordinator granted a machine and the image transfer began.
+    PlacementStarted {
+        /// The job.
+        job: JobId,
+        /// Destination machine.
+        target: NodeId,
+    },
+    /// A granted placement was abandoned because the target's disk was
+    /// full (paper §4).
+    PlacementDiskRejected {
+        /// The job.
+        job: JobId,
+        /// The machine that could not take the image.
+        target: NodeId,
+    },
+    /// The image arrived and the job started (or resumed) executing.
+    JobStarted {
+        /// The job.
+        job: JobId,
+        /// Hosting machine.
+        on: NodeId,
+    },
+    /// The owner returned; the job was stopped in place pending the grace
+    /// period.
+    JobSuspended {
+        /// The job.
+        job: JobId,
+        /// Hosting machine.
+        on: NodeId,
+    },
+    /// The owner left again within the grace period; the job resumed where
+    /// it was.
+    JobResumedInPlace {
+        /// The job.
+        job: JobId,
+        /// Hosting machine.
+        on: NodeId,
+    },
+    /// A checkpoint transfer back to the home station began.
+    CheckpointStarted {
+        /// The job.
+        job: JobId,
+        /// Machine being vacated.
+        from: NodeId,
+        /// Why the job is leaving.
+        reason: PreemptReason,
+    },
+    /// The checkpoint landed at home; the job is queued again.
+    CheckpointCompleted {
+        /// The job.
+        job: JobId,
+        /// Machine vacated.
+        from: NodeId,
+    },
+    /// The job was killed without an outgoing checkpoint (immediate-kill
+    /// strategy); work since the last periodic checkpoint was lost.
+    JobKilled {
+        /// The job.
+        job: JobId,
+        /// Machine it was killed on.
+        on: NodeId,
+    },
+    /// A periodic (while-running) checkpoint completed.
+    PeriodicCheckpoint {
+        /// The job.
+        job: JobId,
+        /// Hosting machine.
+        on: NodeId,
+    },
+    /// All demand delivered.
+    JobCompleted {
+        /// The job.
+        job: JobId,
+        /// Machine it finished on.
+        on: NodeId,
+    },
+    /// A workstation owner started using their machine.
+    OwnerActive {
+        /// The station.
+        station: NodeId,
+    },
+    /// A workstation owner went idle.
+    OwnerIdle {
+        /// The station.
+        station: NodeId,
+    },
+    /// A workstation crashed; any foreign image on it is lost.
+    StationFailed {
+        /// The station.
+        station: NodeId,
+    },
+    /// A crashed workstation came back.
+    StationRecovered {
+        /// The station.
+        station: NodeId,
+    },
+    /// A foreign job's progress was rolled back to its last checkpoint
+    /// because its host crashed.
+    CrashRollback {
+        /// The job.
+        job: JobId,
+        /// The crashed host.
+        on: NodeId,
+    },
+    /// A capacity reservation window opened; fenced machines now serve
+    /// only the holder.
+    ReservationStarted {
+        /// Beneficiary station.
+        holder: NodeId,
+        /// Machines fenced.
+        machines: u32,
+    },
+    /// A reservation window closed; its machines rejoin the general pool.
+    ReservationEnded {
+        /// Beneficiary station.
+        holder: NodeId,
+    },
+    /// One coordinator poll cycle ran.
+    CoordinatorPolled {
+        /// Machines currently able to host.
+        free_machines: u32,
+        /// Jobs waiting across all queues.
+        waiting_jobs: u32,
+        /// Placement orders issued this cycle.
+        placements: u32,
+        /// Preemption orders issued this cycle.
+        preemptions: u32,
+    },
+}
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An append-only trace with query helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled trace.
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace (events are dropped); cuts memory for very
+    /// long benchmark runs.
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Appends an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { at, kind });
+        }
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events matching a predicate.
+    pub fn filtered<'a, F>(&'a self, mut pred: F) -> impl Iterator<Item = &'a TraceEvent>
+    where
+        F: FnMut(&TraceKind) -> bool + 'a,
+    {
+        self.events.iter().filter(move |e| pred(&e.kind))
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count<F>(&self, pred: F) -> usize
+    where
+        F: FnMut(&TraceKind) -> bool,
+    {
+        let mut pred = pred;
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(1), TraceKind::JobArrived { job: JobId(1) });
+        t.record(
+            SimTime::from_secs(2),
+            TraceKind::OwnerActive { station: NodeId::new(3) },
+        );
+        t.record(SimTime::from_secs(3), TraceKind::JobArrived { job: JobId(2) });
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let arrivals = t.count(|k| matches!(k, TraceKind::JobArrived { .. }));
+        assert_eq!(arrivals, 2);
+        let first = t
+            .filtered(|k| matches!(k, TraceKind::OwnerActive { .. }))
+            .next()
+            .unwrap();
+        assert_eq!(first.at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceKind::JobArrived { job: JobId(1) });
+        assert!(t.is_empty());
+        assert_eq!(t.events(), &[]);
+    }
+}

@@ -1,0 +1,449 @@
+//! The Up-Down algorithm (Mutka & Livny 1987; paper §2.4).
+//!
+//! The coordinator keeps a **schedule index** per workstation. The index
+//! goes *up* while the station consumes remote capacity and *down* while it
+//! waits for capacity it was denied; stations with **lower** index have
+//! higher priority. The effect is the paper's headline fairness result:
+//! heavy users keep steady access to leftover capacity, but can never lock
+//! light users out — a light user's index is near zero (or negative), so
+//! its occasional batches are served immediately, preempting the heavy
+//! user if necessary.
+//!
+//! Parametrisation (our reconstruction; the 1987 paper gives the scheme,
+//! not the constants):
+//!
+//! * `up_per_machine` — index increase per poll per remote machine in use;
+//! * `down_when_denied` — index decrease per poll while the station has
+//!   waiting jobs that were not granted capacity;
+//! * `idle_drift` — pull toward zero per poll when the station neither
+//!   uses nor wants capacity, so history fades and a reformed heavy user
+//!   is not punished forever;
+//! * `preemption_margin` — how much *lower* a requester's index must be
+//!   than a consumer's before the consumer's job is preempted, adding
+//!   hysteresis so near-equals do not thrash.
+
+use std::collections::HashMap;
+
+use condor_net::NodeId;
+use condor_sim::time::SimTime;
+
+use crate::policy::{AllocationPolicy, Order, StationView};
+
+/// Tunables of the Up-Down algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpDownConfig {
+    /// Index increase per poll per machine of remote capacity in use.
+    pub up_per_machine: f64,
+    /// Index decrease per poll while demand goes unmet.
+    pub down_when_denied: f64,
+    /// Magnitude of the per-poll pull toward zero when inactive.
+    pub idle_drift: f64,
+    /// Required index gap before preempting a running consumer.
+    pub preemption_margin: f64,
+    /// Maximum preemptions issued per poll (capacity freed by a preemption
+    /// is only assignable at a later poll, after the checkpoint completes).
+    pub max_preemptions_per_poll: usize,
+}
+
+impl Default for UpDownConfig {
+    fn default() -> Self {
+        UpDownConfig {
+            up_per_machine: 1.0,
+            down_when_denied: 1.0,
+            idle_drift: 0.25,
+            preemption_margin: 2.0,
+            max_preemptions_per_poll: 1,
+        }
+    }
+}
+
+/// The Up-Down allocation policy.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::updown::{UpDown, UpDownConfig};
+/// use condor_core::policy::AllocationPolicy;
+///
+/// let policy = UpDown::new(UpDownConfig::default());
+/// assert_eq!(policy.name(), "up-down");
+/// ```
+#[derive(Debug)]
+pub struct UpDown {
+    config: UpDownConfig,
+    index: HashMap<NodeId, f64>,
+}
+
+impl UpDown {
+    /// Creates the policy with all indices at zero.
+    pub fn new(config: UpDownConfig) -> Self {
+        assert!(config.up_per_machine >= 0.0, "negative up rate");
+        assert!(config.down_when_denied >= 0.0, "negative down rate");
+        assert!(config.idle_drift >= 0.0, "negative drift");
+        UpDown {
+            config,
+            index: HashMap::new(),
+        }
+    }
+
+    /// The current schedule index of a station (zero if never seen).
+    pub fn index_of(&self, node: NodeId) -> f64 {
+        self.index.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &UpDownConfig {
+        &self.config
+    }
+
+    fn drift_toward_zero(value: f64, drift: f64) -> f64 {
+        if value > 0.0 {
+            (value - drift).max(0.0)
+        } else {
+            (value + drift).min(0.0)
+        }
+    }
+}
+
+impl AllocationPolicy for UpDown {
+    fn name(&self) -> &'static str {
+        "up-down"
+    }
+
+    fn decide(
+        &mut self,
+        _now: SimTime,
+        views: &[StationView],
+        free: &[NodeId],
+        max_placements: usize,
+    ) -> Vec<Order> {
+        // 1. How many remote machines does each home currently use?
+        let mut machines_used: HashMap<NodeId, usize> = HashMap::new();
+        for v in views {
+            if let Some(home) = v.hosting_for {
+                *machines_used.entry(home).or_insert(0) += 1;
+            }
+        }
+
+        // 2. Requesters sorted by (index, node id) — lowest index wins.
+        let mut requesters: Vec<(f64, NodeId, usize)> = views
+            .iter()
+            .filter(|v| v.waiting_jobs > 0)
+            .map(|v| (self.index_of(v.node), v.node, v.waiting_jobs))
+            .collect();
+        requesters.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN index").then(a.1.cmp(&b.1)));
+
+        // 3. Free machines in the cluster's preference order (history-aware
+        //    placement reorders this list before the call).
+        let mut free: Vec<NodeId> = free.to_vec();
+        free.reverse();
+
+        // 4. Grant machines round-robin across requesters in priority
+        //    order, one per round, until machines or budget run out.
+        let mut orders = Vec::new();
+        let mut granted: HashMap<NodeId, usize> = HashMap::new();
+        let mut progress = true;
+        while progress && orders.len() < max_placements && !free.is_empty() {
+            progress = false;
+            for &(_, home, demand) in &requesters {
+                if orders.len() >= max_placements || free.is_empty() {
+                    break;
+                }
+                let got = granted.get(&home).copied().unwrap_or(0);
+                if got < demand {
+                    let target = free.pop().expect("checked non-empty");
+                    orders.push(Order::Assign { home, target });
+                    *granted.entry(home).or_insert(0) += 1;
+                    progress = true;
+                }
+            }
+        }
+
+        // 5. Preemption: requesters that remain unsatisfied with no free
+        //    machines may claim capacity from consumers whose index exceeds
+        //    theirs by the margin. Victim = running job whose *home* has
+        //    the highest index.
+        let mut preemptions = 0usize;
+        if free.is_empty() {
+            let mut victims: Vec<(f64, NodeId, NodeId)> = views
+                .iter()
+                .filter_map(|v| {
+                    v.hosting_for
+                        .map(|home| (self.index_of(home), home, v.node))
+                })
+                .collect();
+            // Highest-index consumer first; ties broken by target id so the
+            // choice is deterministic.
+            victims.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN").then(a.2.cmp(&b.2)));
+            let mut victim_iter = victims.into_iter();
+            for &(req_idx, req_home, demand) in &requesters {
+                if preemptions >= self.config.max_preemptions_per_poll {
+                    break;
+                }
+                let got = granted.get(&req_home).copied().unwrap_or(0);
+                if got >= demand {
+                    continue;
+                }
+                // Find the next victim not belonging to the requester
+                // itself and exceeding the margin.
+                let victim = victim_iter
+                    .by_ref()
+                    .find(|&(v_idx, v_home, _)| {
+                        v_home != req_home && v_idx > req_idx + self.config.preemption_margin
+                    });
+                match victim {
+                    Some((_, _, target)) => {
+                        orders.push(Order::Preempt { target });
+                        preemptions += 1;
+                    }
+                    None => break, // victims are sorted; nobody further qualifies
+                }
+            }
+        }
+
+        // 6. Index updates: up for usage (including fresh grants), down for
+        //    denial, drift toward zero otherwise.
+        for v in views {
+            let used = machines_used.get(&v.node).copied().unwrap_or(0)
+                + granted.get(&v.node).copied().unwrap_or(0);
+            let entry = self.index.entry(v.node).or_insert(0.0);
+            if used > 0 {
+                *entry += self.config.up_per_machine * used as f64;
+            }
+            let unmet = v.waiting_jobs > granted.get(&v.node).copied().unwrap_or(0);
+            if unmet {
+                *entry -= self.config.down_when_denied;
+            }
+            if used == 0 && !unmet {
+                *entry = Self::drift_toward_zero(*entry, self.config.idle_drift);
+            }
+        }
+
+        orders
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::validate_orders;
+
+    fn free_of(views: &[StationView]) -> Vec<NodeId> {
+        views.iter().filter(|v| v.can_host).map(|v| v.node).collect()
+    }
+
+    fn views(spec: &[(bool, Option<u32>, usize)]) -> Vec<StationView> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(can_host, hosting, waiting))| StationView {
+                node: NodeId::new(i as u32),
+                can_host,
+                hosting_for: hosting.map(NodeId::new),
+                waiting_jobs: waiting,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn indices_rise_with_usage_and_fall_with_denial() {
+        let mut p = UpDown::new(UpDownConfig::default());
+        // Station 0 hosts nothing but uses stations 1 and 2; station 3
+        // wants capacity and is denied (no free machines).
+        let v = views(&[
+            (false, None, 0),
+            (false, Some(0), 0),
+            (false, Some(0), 0),
+            (false, None, 2),
+        ]);
+        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        // Preemption margin (2.0) not yet exceeded: index of 0 is 0 at
+        // decision time.
+        assert!(orders.is_empty());
+        assert_eq!(p.index_of(NodeId::new(0)), 2.0); // two machines
+        assert_eq!(p.index_of(NodeId::new(3)), -1.0); // denied
+    }
+
+    #[test]
+    fn light_user_eventually_preempts_heavy_user() {
+        let mut p = UpDown::new(UpDownConfig::default());
+        // Heavy user = station 0, hogging both machines. Light user =
+        // station 3, always denied. Eventually the gap exceeds the margin
+        // and a preemption is ordered.
+        let v = views(&[
+            (false, None, 5),
+            (false, Some(0), 0),
+            (false, Some(0), 0),
+            (false, None, 1),
+        ]);
+        let mut preempted_at = None;
+        for poll in 0..10 {
+            let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+            validate_orders(&orders, &v).unwrap();
+            if orders.iter().any(|o| matches!(o, Order::Preempt { .. })) {
+                preempted_at = Some(poll);
+                break;
+            }
+        }
+        let poll = preempted_at.expect("light user must eventually preempt");
+        assert!(poll >= 1, "margin must delay the first preemption");
+        assert!(
+            p.index_of(NodeId::new(0)) > p.index_of(NodeId::new(3)) + 2.0,
+            "gap at preemption time"
+        );
+    }
+
+    #[test]
+    fn preemption_never_targets_requesters_own_jobs() {
+        let mut p = UpDown::new(UpDownConfig {
+            preemption_margin: 0.0,
+            ..UpDownConfig::default()
+        });
+        // Station 0 both uses machines AND has more demand; it must not
+        // preempt itself even though its own index is the highest.
+        let v = views(&[
+            (false, None, 5),
+            (false, Some(0), 0),
+            (false, Some(0), 0),
+        ]);
+        for _ in 0..5 {
+            let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+            assert!(
+                orders.iter().all(|o| !matches!(o, Order::Preempt { .. })),
+                "self-preemption ordered: {orders:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_priorities_share_machines_round_robin() {
+        let mut p = UpDown::new(UpDownConfig::default());
+        let v = views(&[
+            (false, None, 3),
+            (false, None, 3),
+            (true, None, 0),
+            (true, None, 0),
+        ]);
+        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 10);
+        validate_orders(&orders, &v).unwrap();
+        let homes: Vec<NodeId> = orders
+            .iter()
+            .filter_map(|o| match o {
+                Order::Assign { home, .. } => Some(*home),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(homes, vec![NodeId::new(0), NodeId::new(1)], "one each");
+    }
+
+    #[test]
+    fn lower_index_station_is_served_first() {
+        let mut p = UpDown::new(UpDownConfig::default());
+        // Warm-up: station 0 consumes for 3 polls → high index.
+        let warm = views(&[(false, None, 0), (false, Some(0), 0)]);
+        for _ in 0..3 {
+            p.decide(SimTime::ZERO, &warm, &free_of(&warm), 1);
+        }
+        // Now both 0 and 2 want the single free machine.
+        let v = views(&[
+            (false, None, 2),
+            (false, None, 0),
+            (false, None, 2),
+            (true, None, 0),
+        ]);
+        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        assert_eq!(
+            orders,
+            vec![Order::Assign { home: NodeId::new(2), target: NodeId::new(3) }]
+        );
+    }
+
+    #[test]
+    fn idle_drift_pulls_indices_back_to_zero() {
+        let mut p = UpDown::new(UpDownConfig::default());
+        let consuming = views(&[(false, None, 0), (false, Some(0), 0)]);
+        for _ in 0..4 {
+            p.decide(SimTime::ZERO, &consuming, &free_of(&consuming), 1);
+        }
+        let peak = p.index_of(NodeId::new(0));
+        assert!(peak >= 4.0);
+        // Station 0 stops using and wanting capacity.
+        let quiet = views(&[(false, None, 0), (false, None, 0)]);
+        for _ in 0..100 {
+            p.decide(SimTime::ZERO, &quiet, &free_of(&quiet), 1);
+        }
+        assert_eq!(p.index_of(NodeId::new(0)), 0.0, "history fades");
+        // Negative indices drift up toward zero as well.
+        let denied = views(&[(false, None, 1), (false, None, 0)]);
+        p.decide(SimTime::ZERO, &denied, &free_of(&denied), 0); // budget 0: denial guaranteed
+        assert!(p.index_of(NodeId::new(0)) < 0.0);
+        for _ in 0..100 {
+            p.decide(SimTime::ZERO, &quiet, &free_of(&quiet), 1);
+        }
+        assert_eq!(p.index_of(NodeId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn placement_budget_is_respected() {
+        let mut p = UpDown::new(UpDownConfig::default());
+        let v = views(&[
+            (false, None, 4),
+            (true, None, 0),
+            (true, None, 0),
+            (true, None, 0),
+        ]);
+        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        assert_eq!(orders.len(), 1);
+    }
+
+    #[test]
+    fn max_preemptions_per_poll_caps_evictions() {
+        let mut p = UpDown::new(UpDownConfig {
+            preemption_margin: 0.5,
+            max_preemptions_per_poll: 1,
+            ..UpDownConfig::default()
+        });
+        // Make station 0 heavy.
+        let warm = views(&[
+            (false, None, 0),
+            (false, Some(0), 0),
+            (false, Some(0), 0),
+            (false, Some(0), 0),
+        ]);
+        for _ in 0..5 {
+            p.decide(SimTime::ZERO, &warm, &free_of(&warm), 1);
+        }
+        // Two light stations now demand; only one preemption per poll.
+        let v = views(&[
+            (false, None, 0),
+            (false, Some(0), 0),
+            (false, Some(0), 0),
+            (false, Some(0), 0),
+            (false, None, 1),
+            (false, None, 1),
+        ]);
+        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        let preempts = orders
+            .iter()
+            .filter(|o| matches!(o, Order::Preempt { .. }))
+            .count();
+        assert_eq!(preempts, 1);
+    }
+
+    #[test]
+    fn decide_is_deterministic() {
+        let run = || {
+            let mut p = UpDown::new(UpDownConfig::default());
+            let mut all = Vec::new();
+            for i in 0..20u32 {
+                let v = views(&[
+                    (i % 3 == 0, None, (i % 4) as usize),
+                    (false, (i % 2 == 0).then_some(0), 0),
+                    (i % 5 == 0, None, 1),
+                ]);
+                all.push(p.decide(SimTime::ZERO, &v, &free_of(&v), 1));
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+}

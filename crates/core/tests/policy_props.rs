@@ -1,0 +1,214 @@
+//! Property-based tests for the allocation policies: whatever the
+//! snapshot, every policy must emit only legal orders, and the Up-Down
+//! index dynamics must stay sane.
+
+use condor_core::policy::{
+    validate_orders, AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy,
+    StationView,
+};
+use condor_core::updown::{UpDown, UpDownConfig};
+use condor_net::NodeId;
+use condor_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// Arbitrary poll snapshots: per station, (can_host, hosting_for, waiting).
+/// The station count is fixed within one generated sequence (a real fleet
+/// does not change size between polls), but policies are additionally
+/// hardened against shrinking fleets — see `fleet_shrinkage_is_tolerated`.
+fn arb_views(stations: usize) -> impl Strategy<Value = Vec<StationView>> {
+    prop::collection::vec(
+        (any::<bool>(), prop::option::of(0u32..8), 0usize..6),
+        stations..=stations,
+    )
+    .prop_map(|raw| {
+        let n = raw.len() as u32;
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (free, hosting, waiting))| {
+                let hosting = hosting.map(|h| NodeId::new(h % n));
+                StationView {
+                    node: NodeId::new(i as u32),
+                    // A station cannot both host and be free.
+                    can_host: free && hosting.is_none(),
+                    hosting_for: hosting,
+                    waiting_jobs: waiting,
+                }
+            })
+            .collect()
+    })
+}
+
+fn free_of(views: &[StationView]) -> Vec<NodeId> {
+    views.iter().filter(|v| v.can_host).map(|v| v.node).collect()
+}
+
+proptest! {
+    /// Every policy emits only valid orders and respects the placement
+    /// budget, over arbitrary sequences of snapshots.
+    #[test]
+    fn all_policies_emit_legal_orders(
+        snapshots in prop::collection::vec(arb_views(12), 1..20),
+        budget in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut policies: Vec<Box<dyn AllocationPolicy>> = vec![
+            Box::new(UpDown::new(UpDownConfig::default())),
+            Box::new(FifoPolicy::new()),
+            Box::new(RoundRobinPolicy::new()),
+            Box::new(RandomPolicy::new(seed)),
+        ];
+        for views in &snapshots {
+            let free = free_of(views);
+            for p in &mut policies {
+                let orders = p.decide(SimTime::ZERO, views, &free, budget);
+                prop_assert!(
+                    validate_orders(&orders, views).is_ok(),
+                    "{} emitted invalid orders {orders:?} for {views:?}",
+                    p.name()
+                );
+                let placements = orders
+                    .iter()
+                    .filter(|o| matches!(o, Order::Assign { .. }))
+                    .count();
+                prop_assert!(placements <= budget, "{} broke the budget", p.name());
+                // Assignments only to genuinely free machines, each once.
+                let mut used = std::collections::HashSet::new();
+                for o in &orders {
+                    if let Order::Assign { target, .. } = o {
+                        prop_assert!(free.contains(target));
+                        prop_assert!(used.insert(*target));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Up-Down never self-preempts: no preemption order ever targets a
+    /// machine hosting for a station that is itself requesting.
+    #[test]
+    fn updown_never_preempts_own_requester(
+        snapshots in prop::collection::vec(arb_views(10), 1..30),
+    ) {
+        let mut p = UpDown::new(UpDownConfig {
+            preemption_margin: 0.0, // most aggressive
+            ..UpDownConfig::default()
+        });
+        for views in &snapshots {
+            let free = free_of(views);
+            let orders = p.decide(SimTime::ZERO, views, &free, 1);
+            for o in &orders {
+                if let Order::Preempt { target } = o {
+                    let victim_home = views[target.as_usize()].hosting_for.expect("validated");
+                    // The victim's home must not be the top-priority
+                    // requester that triggered the preemption. Weaker,
+                    // always-checkable invariant: a preemption only fires
+                    // when some OTHER station requests.
+                    let some_other_requester = views
+                        .iter()
+                        .any(|v| v.waiting_jobs > 0 && v.node != victim_home);
+                    prop_assert!(
+                        some_other_requester,
+                        "preempted {victim_home} with no competing demand"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Up-Down index stays bounded by cumulative activity: after any
+    /// run it cannot exceed (polls × stations × up_rate) in magnitude, and
+    /// with no usage and no demand it decays to zero.
+    #[test]
+    fn updown_index_is_bounded_and_decays(
+        snapshots in prop::collection::vec(arb_views(8), 1..40),
+    ) {
+        let mut p = UpDown::new(UpDownConfig::default());
+        let n_polls = snapshots.len() as f64;
+        let mut max_stations = 0usize;
+        for views in &snapshots {
+            max_stations = max_stations.max(views.len());
+            let free = free_of(views);
+            let _ = p.decide(SimTime::ZERO, views, &free, 1);
+        }
+        let bound = n_polls * max_stations as f64 + 1.0;
+        for i in 0..max_stations {
+            let idx = p.index_of(NodeId::new(i as u32));
+            prop_assert!(idx.abs() <= bound, "index {idx} exceeds bound {bound}");
+        }
+        // Quiet polls decay everything to zero.
+        let quiet: Vec<StationView> = (0..max_stations)
+            .map(|i| StationView {
+                node: NodeId::new(i as u32),
+                can_host: false,
+                hosting_for: None,
+                waiting_jobs: 0,
+            })
+            .collect();
+        for _ in 0..((bound / 0.25) as usize + 2) {
+            let _ = p.decide(SimTime::ZERO, &quiet, &[], 1);
+        }
+        for i in 0..max_stations {
+            prop_assert_eq!(p.index_of(NodeId::new(i as u32)), 0.0);
+        }
+    }
+
+    /// Determinism across identical replays, for every policy.
+    #[test]
+    fn policies_are_deterministic(
+        snapshots in prop::collection::vec(arb_views(8), 1..15),
+        seed in any::<u64>(),
+    ) {
+        let run = |mut p: Box<dyn AllocationPolicy>| {
+            snapshots
+                .iter()
+                .map(|v| p.decide(SimTime::ZERO, v, &free_of(v), 2))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(Box::new(UpDown::new(UpDownConfig::default()))),
+            run(Box::new(UpDown::new(UpDownConfig::default())))
+        );
+        assert_eq!(run(Box::new(FifoPolicy::new())), run(Box::new(FifoPolicy::new())));
+        assert_eq!(
+            run(Box::new(RoundRobinPolicy::new())),
+            run(Box::new(RoundRobinPolicy::new()))
+        );
+        assert_eq!(
+            run(Box::new(RandomPolicy::new(seed))),
+            run(Box::new(RandomPolicy::new(seed)))
+        );
+    }
+}
+
+
+/// Regression: a fleet that shrinks between polls (stations removed from
+/// the configuration) must not panic any policy — found by
+/// `all_policies_emit_legal_orders` before the generator pinned the size.
+#[test]
+fn fleet_shrinkage_is_tolerated() {
+    let big: Vec<StationView> = (0..8)
+        .map(|i| StationView {
+            node: NodeId::new(i),
+            can_host: false,
+            hosting_for: None,
+            waiting_jobs: 3,
+        })
+        .collect();
+    let small: Vec<StationView> = vec![StationView {
+        node: NodeId::new(0),
+        can_host: true,
+        hosting_for: None,
+        waiting_jobs: 1,
+    }];
+    let mut policies: Vec<Box<dyn AllocationPolicy>> = vec![
+        Box::new(UpDown::new(UpDownConfig::default())),
+        Box::new(FifoPolicy::new()),
+        Box::new(RoundRobinPolicy::new()),
+        Box::new(RandomPolicy::new(7)),
+    ];
+    for p in &mut policies {
+        let _ = p.decide(SimTime::ZERO, &big, &free_of(&big), 2);
+        let orders = p.decide(SimTime::ZERO, &small, &free_of(&small), 2);
+        assert!(validate_orders(&orders, &small).is_ok(), "{}", p.name());
+    }
+}

@@ -1,0 +1,116 @@
+//! CSV export of figure data, for plotting outside the terminal.
+//!
+//! The experiment binaries print ASCII renderings; this module writes the
+//! same series as plain CSV so the figures can be regenerated in gnuplot,
+//! matplotlib, or a spreadsheet.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A rectangular data set destined for one CSV file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvSeries {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows; every row must match the column count.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl CsvSeries {
+    /// Creates an empty series with the given columns.
+    pub fn new(columns: &[&str]) -> CsvSeries {
+        assert!(!columns.is_empty(), "CSV needs columns");
+        CsvSeries {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn row(&mut self, values: &[f64]) -> &mut CsvSeries {
+        assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(values.to_vec());
+        self
+    }
+
+    /// Builds a series from two parallel columns (the common x/y case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_xy(x_name: &str, y_name: &str, xs: &[f64], ys: &[f64]) -> CsvSeries {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        let mut s = CsvSeries::new(&[x_name, y_name]);
+        for (&x, &y) in xs.iter().zip(ys) {
+            s.row(&[x, y]);
+        }
+        s
+    }
+
+    /// Renders the CSV text (header + rows, `\n`-terminated).
+    pub fn render(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut s = CsvSeries::new(&["hour", "queue"]);
+        s.row(&[0.0, 3.0]).row(&[1.0, 4.5]);
+        let text = s.render();
+        assert_eq!(text, "hour,queue\n0,3\n1,4.5\n");
+    }
+
+    #[test]
+    fn from_xy_zips() {
+        let s = CsvSeries::from_xy("x", "y", &[1.0, 2.0], &[10.0, 20.0]);
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[1], vec![2.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        CsvSeries::new(&["a", "b"]).row(&[1.0]);
+    }
+
+    #[test]
+    fn writes_file_with_parents() {
+        let dir = std::env::temp_dir().join(format!("condor-export-{}", std::process::id()));
+        let path = dir.join("sub/fig.csv");
+        let mut s = CsvSeries::new(&["v"]);
+        s.row(&[7.0]);
+        s.write_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "v\n7\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

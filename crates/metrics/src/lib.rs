@@ -1,0 +1,41 @@
+//! # condor-metrics — estimators and reports for the paper's evaluation
+//!
+//! Everything needed to turn a [`condor_core::cluster::RunOutput`] into the
+//! paper's tables and figures:
+//!
+//! * [`buckets`] — per-demand-bucket means (the shared x-axis of Figures
+//!   4, 8, and 9: wait ratio, checkpoint rate, leverage);
+//! * [`summary`] — headline run statistics (§3's available/consumed hours,
+//!   utilizations, mean leverage) and heavy/light user classification;
+//! * [`table`] — monospace table rendering (Table 1);
+//! * [`plot`] — ASCII line charts for eyeballing figure shapes from a
+//!   terminal.
+//!
+//! ## Example
+//!
+//! ```
+//! use condor_metrics::table::{Align, Table};
+//!
+//! let mut t = Table::new(vec!["User", "Jobs"], vec![Align::Left, Align::Right]);
+//! t.row(vec!["A".into(), "690".into()]);
+//! println!("{}", t.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod availability;
+pub mod buckets;
+pub mod export;
+pub mod plot;
+pub mod replicate;
+pub mod summary;
+pub mod table;
+
+pub use availability::{availability_profile, lag1_autocorr, AvailabilityProfile, StationAvailability};
+pub use buckets::{by_demand_bucket, checkpoint_rate_by_demand, leverage_by_demand, wait_ratio_by_demand, BucketPoint};
+pub use export::CsvSeries;
+pub use plot::{chart, points_block, Series};
+pub use replicate::{replicate, MeanCi};
+pub use summary::{heavy_users, mean_leverage, mean_wait_ratio, summarize, RunSummary};
+pub use table::{num, Align, Table};

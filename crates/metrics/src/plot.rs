@@ -1,0 +1,175 @@
+//! ASCII line charts for experiment binaries.
+//!
+//! The paper's figures are line plots; the experiment binaries print both
+//! the raw series (machine-readable) and a quick visual rendering so the
+//! shape is checkable from a terminal.
+
+/// One named series for a chart.
+#[derive(Debug, Clone)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// The glyph used for this series' points.
+    pub glyph: char,
+    /// y-values, one per x-position.
+    pub values: &'a [f64],
+}
+
+/// Renders one or more series as an ASCII chart of the given size.
+///
+/// All series share the x-axis (index) and y-axis (global min/max).
+/// Values are linearly binned to `width` columns by averaging, so long
+/// series compress cleanly.
+///
+/// # Examples
+///
+/// ```
+/// use condor_metrics::plot::{chart, Series};
+///
+/// let vals: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+/// let s = chart(&[Series { label: "sine", glyph: '*', values: &vals }], 60, 10);
+/// assert!(s.contains('*'));
+/// ```
+pub fn chart(series: &[Series<'_>], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 3, "chart too small");
+    assert!(!series.is_empty(), "no series");
+    let max_len = series.iter().map(|s| s.values.len()).max().unwrap_or(0);
+    if max_len == 0 {
+        return String::from("(no data)\n");
+    }
+    // Global y-range over all series.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in series {
+        for &v in s.values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::from("(no finite data)\n");
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        // Bin values into `width` columns (mean per column).
+        let columns: Vec<Option<f64>> = (0..width)
+            .map(|c| {
+                let from = c * s.values.len() / width;
+                let to = (((c + 1) * s.values.len()) / width).max(from + 1);
+                let slice = &s.values[from.min(s.values.len().saturating_sub(1))
+                    ..to.min(s.values.len())];
+                if slice.is_empty() {
+                    None
+                } else {
+                    Some(slice.iter().sum::<f64>() / slice.len() as f64)
+                }
+            })
+            .collect();
+        for (c, v) in columns.iter().enumerate() {
+            if let Some(v) = v {
+                let frac = (v - lo) / (hi - lo);
+                let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][c] = s.glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_label = if r == 0 {
+            format!("{hi:>9.2} ")
+        } else if r == height - 1 {
+            format!("{lo:>9.2} ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&y_label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // Legend.
+    out.push_str(&" ".repeat(11));
+    for s in series {
+        out.push_str(&format!("{} {}   ", s.glyph, s.label));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders `(x, y)` points as a labelled series list (machine-readable
+/// companion to [`chart`]).
+pub fn points_block(title: &str, pts: &[(f64, f64)]) -> String {
+    let mut out = format!("# {title}\n");
+    for (x, y) in pts {
+        out.push_str(&format!("{x:10.3} {y:12.4}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_glyphs_and_legend() {
+        let up: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let down: Vec<f64> = (0..50).map(|i| 49.0 - i as f64).collect();
+        let s = chart(
+            &[
+                Series { label: "up", glyph: '*', values: &up },
+                Series { label: "down", glyph: 'o', values: &down },
+            ],
+            40,
+            8,
+        );
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("* up"));
+        assert!(s.contains("o down"));
+        // Axis labels show the range.
+        assert!(s.contains("49.00"));
+        assert!(s.contains("0.00"));
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        let up: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let s = chart(&[Series { label: "up", glyph: '*', values: &up }], 40, 10);
+        // First glyph in the top row must be to the right of the first
+        // glyph in the bottom row.
+        let lines: Vec<&str> = s.lines().collect();
+        let top_pos = lines[0].find('*');
+        let bottom_pos = lines[9].find('*');
+        assert!(top_pos.unwrap() > bottom_pos.unwrap(), "{s}");
+    }
+
+    #[test]
+    fn empty_and_flat_series_handled() {
+        assert_eq!(chart(&[Series { label: "e", glyph: '*', values: &[] }], 20, 5), "(no data)\n");
+        let flat = vec![5.0; 30];
+        let s = chart(&[Series { label: "flat", glyph: '*', values: &flat }], 20, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn points_block_is_parseable() {
+        let s = points_block("fig", &[(1.0, 2.0), (3.0, 4.0)]);
+        assert!(s.starts_with("# fig\n"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        chart(&[Series { label: "x", glyph: '*', values: &[1.0] }], 5, 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Multi-seed replication: means with confidence intervals.
+//!
+//! Single simulation runs are noisy; the paper itself reports one month of
+//! one reality. For ablations (history-aware placement, eviction
+//! strategies) we replicate across seeds and report a mean with a 95%
+//! confidence half-width, so "A beats B" claims are statistically
+//! defensible.
+
+use condor_sim::stats::Running;
+
+/// A replicated estimate: mean over independent runs plus a confidence
+/// half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Mean over replications.
+    pub mean: f64,
+    /// 95% confidence half-width (normal approximation; replications are
+    /// independent seeds).
+    pub half_width: f64,
+    /// Number of replications.
+    pub n: u64,
+}
+
+impl MeanCi {
+    /// Computes the estimate from per-replication values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input.
+    pub fn from_values(values: &[f64]) -> MeanCi {
+        assert!(!values.is_empty(), "no replications");
+        let r: Running = values.iter().copied().collect();
+        let n = r.count();
+        let half_width = if n < 2 {
+            f64::INFINITY
+        } else {
+            1.96 * (r.sample_variance() / n as f64).sqrt()
+        };
+        MeanCi {
+            mean: r.mean(),
+            half_width,
+            n,
+        }
+    }
+
+    /// Whether this estimate is significantly below `other` (intervals do
+    /// not overlap).
+    pub fn significantly_below(&self, other: &MeanCi) -> bool {
+        self.mean + self.half_width < other.mean - other.half_width
+    }
+}
+
+impl std::fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.half_width.is_finite() {
+            write!(f, "{:.2} ± {:.2}", self.mean, self.half_width)
+        } else {
+            write!(f, "{:.2} (n=1)", self.mean)
+        }
+    }
+}
+
+/// Runs `f` once per seed and aggregates the returned metric.
+pub fn replicate<F>(seeds: &[u64], mut f: F) -> MeanCi
+where
+    F: FnMut(u64) -> f64,
+{
+    let values: Vec<f64> = seeds.iter().map(|&s| f(s)).collect();
+    MeanCi::from_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_half_width() {
+        let ci = MeanCi::from_values(&[10.0, 12.0, 8.0, 10.0]);
+        assert_eq!(ci.mean, 10.0);
+        assert_eq!(ci.n, 4);
+        // s² = (0+4+4+0)/3 = 8/3; hw = 1.96·sqrt(8/12) ≈ 1.6.
+        assert!((ci.half_width - 1.96 * (8.0f64 / 12.0).sqrt()).abs() < 1e-9);
+        assert_eq!(format!("{ci}"), format!("10.00 ± {:.2}", ci.half_width));
+    }
+
+    #[test]
+    fn single_replication_has_infinite_width() {
+        let ci = MeanCi::from_values(&[5.0]);
+        assert_eq!(ci.mean, 5.0);
+        assert!(ci.half_width.is_infinite());
+        assert!(format!("{ci}").contains("n=1"));
+    }
+
+    #[test]
+    fn significance_requires_separation() {
+        let low = MeanCi { mean: 1.0, half_width: 0.5, n: 10 };
+        let high = MeanCi { mean: 3.0, half_width: 0.5, n: 10 };
+        assert!(low.significantly_below(&high));
+        assert!(!high.significantly_below(&low));
+        let wide = MeanCi { mean: 3.0, half_width: 3.0, n: 3 };
+        assert!(!low.significantly_below(&wide), "overlapping intervals");
+    }
+
+    #[test]
+    fn replicate_runs_per_seed() {
+        let ci = replicate(&[1, 2, 3, 4], |s| s as f64);
+        assert_eq!(ci.mean, 2.5);
+        assert_eq!(ci.n, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replications")]
+    fn empty_input_rejected() {
+        MeanCi::from_values(&[]);
+    }
+}

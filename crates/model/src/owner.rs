@@ -1,0 +1,393 @@
+//! The owner-activity process: when is a workstation's owner at the keyboard?
+//!
+//! Each station alternates between **Active** (owner using it — Condor must
+//! stay away) and **Idle** (available as a cycle server). The process has
+//! three structural features taken from the paper and its companion study
+//! (Mutka & Livny, *Profiling Workstations' Available Capacity*, ref. \[1\]):
+//!
+//! 1. **Diurnal/weekly modulation** — the probability of being active
+//!    follows a [`DiurnalProfile`] (afternoon peaks, quiet nights and
+//!    weekends), realised by stretching idle periods when target activity
+//!    is low;
+//! 2. **Regime persistence** — stations that just had a long available
+//!    interval tend to have another long one (and vice versa). A latent
+//!    two-state regime (Long/Short) persists across intervals with
+//!    configurable probability, multiplying idle durations by reciprocal
+//!    factors so the *mean* stays on target while autocorrelation appears;
+//! 3. **Station heterogeneity** — owners differ; each station carries an
+//!    `activity_scale` so some machines are habitually busier than others.
+
+use condor_sim::rng::SimRng;
+use condor_sim::time::{SimDuration, SimTime};
+
+use crate::diurnal::DiurnalProfile;
+
+/// Whether the owner is using the workstation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OwnerState {
+    /// The owner is at the keyboard; no foreign job may run.
+    Active,
+    /// The station is idle and available as a source of remote cycles.
+    Idle,
+}
+
+impl OwnerState {
+    /// The other state.
+    pub fn flipped(self) -> OwnerState {
+        match self {
+            OwnerState::Active => OwnerState::Idle,
+            OwnerState::Idle => OwnerState::Active,
+        }
+    }
+}
+
+/// Latent availability regime (paper ref. \[1\]: interval lengths are
+/// positively autocorrelated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    Long,
+    Short,
+}
+
+/// Parameters of the owner-activity process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnerConfig {
+    /// Weekly activity-level profile.
+    pub profile: DiurnalProfile,
+    /// Mean length of one active (owner-present) period.
+    pub mean_active_period: SimDuration,
+    /// Probability that the availability regime persists from one idle
+    /// interval to the next (0.5 = no correlation).
+    pub regime_persistence: f64,
+    /// Idle-duration multiplier in the Long regime; the Short regime uses
+    /// `2 - long_factor` so the expected multiplier is 1.
+    pub long_regime_factor: f64,
+    /// Per-station multiplier on the profile's activity level (1.0 =
+    /// typical owner; busier owners > 1).
+    pub activity_scale: f64,
+}
+
+impl Default for OwnerConfig {
+    fn default() -> Self {
+        OwnerConfig {
+            profile: DiurnalProfile::paper_department(),
+            mean_active_period: SimDuration::from_minutes(30),
+            regime_persistence: 0.8,
+            long_regime_factor: 1.6,
+            activity_scale: 1.0,
+        }
+    }
+}
+
+impl OwnerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters.
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.regime_persistence),
+            "regime persistence {} outside [0, 1]",
+            self.regime_persistence
+        );
+        assert!(
+            (1.0..2.0).contains(&self.long_regime_factor),
+            "long regime factor {} outside [1, 2)",
+            self.long_regime_factor
+        );
+        assert!(
+            self.activity_scale > 0.0 && self.activity_scale.is_finite(),
+            "bad activity scale {}",
+            self.activity_scale
+        );
+        assert!(!self.mean_active_period.is_zero(), "zero active period");
+    }
+}
+
+/// One station's owner, stepped by the cluster simulation.
+///
+/// # Examples
+///
+/// ```
+/// use condor_model::owner::{OwnerConfig, OwnerProcess, OwnerState};
+/// use condor_sim::rng::SimRng;
+/// use condor_sim::time::SimTime;
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let mut owner = OwnerProcess::new(OwnerConfig::default(), &mut rng);
+/// let dwell = owner.dwell_and_flip(SimTime::ZERO, &mut rng);
+/// assert!(!dwell.is_zero());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OwnerProcess {
+    config: OwnerConfig,
+    state: OwnerState,
+    regime: Regime,
+}
+
+impl OwnerProcess {
+    /// Creates the process, drawing the initial state from the profile's
+    /// level at time zero.
+    pub fn new(config: OwnerConfig, rng: &mut SimRng) -> Self {
+        config.validate();
+        let a = Self::effective_activity(&config, SimTime::ZERO);
+        let state = if rng.chance(a) {
+            OwnerState::Active
+        } else {
+            OwnerState::Idle
+        };
+        let regime = if rng.chance(0.5) { Regime::Long } else { Regime::Short };
+        OwnerProcess {
+            config,
+            state,
+            regime,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> OwnerState {
+        self.state
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OwnerConfig {
+        &self.config
+    }
+
+    fn effective_activity(config: &OwnerConfig, now: SimTime) -> f64 {
+        (config.profile.level_at(now) * config.activity_scale).clamp(0.005, 0.95)
+    }
+
+    /// Draws how long the *current* state lasts starting at `now`, then
+    /// flips into the next state. The caller schedules the transition event
+    /// `dwell` in the future.
+    pub fn dwell_and_flip(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        let a = Self::effective_activity(&self.config, now);
+        let mean_active_s = self.config.mean_active_period.as_secs_f64();
+        let dwell_s = match self.state {
+            OwnerState::Active => rng.exponential(mean_active_s),
+            OwnerState::Idle => {
+                // Possibly switch regime, then stretch/shrink the idle
+                // interval by the regime factor.
+                if !rng.chance(self.config.regime_persistence) {
+                    self.regime = match self.regime {
+                        Regime::Long => Regime::Short,
+                        Regime::Short => Regime::Long,
+                    };
+                }
+                let factor = match self.regime {
+                    Regime::Long => self.config.long_regime_factor,
+                    Regime::Short => 2.0 - self.config.long_regime_factor,
+                };
+                // Stationary activity = active / (active + idle) = a
+                // → mean idle = mean_active · (1 − a)/a.
+                let mean_idle_s = mean_active_s * (1.0 - a) / a;
+                rng.exponential(mean_idle_s * factor)
+            }
+        };
+        self.state = self.state.flipped();
+        // At least one millisecond so transition events always advance time.
+        SimDuration::from_secs_f64(dwell_s).max(SimDuration::MILLISECOND)
+    }
+}
+
+/// Builds a heterogeneous fleet of owner processes with per-station
+/// substreams, so adding stations never perturbs existing ones.
+///
+/// Station activity scales are spread uniformly over
+/// `[1 − spread, 1 + spread]`.
+pub fn build_fleet(
+    n: usize,
+    base: &OwnerConfig,
+    heterogeneity_spread: f64,
+    seed: u64,
+) -> Vec<OwnerProcess> {
+    assert!(
+        (0.0..1.0).contains(&heterogeneity_spread),
+        "spread {heterogeneity_spread} outside [0, 1)"
+    );
+    let root = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let mut rng = root.substream(seed, &format!("owner-{i}"));
+            let scale = if heterogeneity_spread == 0.0 {
+                1.0
+            } else {
+                rng.uniform_range_f64(1.0 - heterogeneity_spread, 1.0 + heterogeneity_spread)
+            };
+            let cfg = OwnerConfig {
+                activity_scale: base.activity_scale * scale,
+                ..base.clone()
+            };
+            OwnerProcess::new(cfg, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate one owner for `horizon` and return the fraction of time
+    /// spent Active.
+    fn active_fraction(config: OwnerConfig, seed: u64, horizon: SimDuration) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        let mut p = OwnerProcess::new(config, &mut rng);
+        let mut now = SimTime::ZERO;
+        let end = SimTime::ZERO + horizon;
+        let mut active = SimDuration::ZERO;
+        while now < end {
+            let state = p.state();
+            let dwell = p.dwell_and_flip(now, &mut rng);
+            let until = (now + dwell).min(end);
+            if state == OwnerState::Active {
+                active += until.since(now);
+            }
+            now += dwell;
+        }
+        active.as_secs_f64() / horizon.as_secs_f64()
+    }
+
+    #[test]
+    fn long_run_activity_tracks_profile_mean() {
+        let cfg = OwnerConfig::default();
+        let target = cfg.profile.weekly_mean();
+        let got = active_fraction(cfg, 42, SimDuration::from_days(56));
+        assert!(
+            (got - target).abs() < 0.05,
+            "activity {got} vs profile mean {target}"
+        );
+    }
+
+    #[test]
+    fn flat_profile_hits_exact_target() {
+        let cfg = OwnerConfig {
+            profile: DiurnalProfile::flat(0.4),
+            ..OwnerConfig::default()
+        };
+        let got = active_fraction(cfg, 7, SimDuration::from_days(60));
+        assert!((got - 0.4).abs() < 0.03, "activity {got}");
+    }
+
+    #[test]
+    fn busier_owner_is_busier() {
+        let base = OwnerConfig {
+            profile: DiurnalProfile::flat(0.3),
+            ..OwnerConfig::default()
+        };
+        let busy = OwnerConfig {
+            activity_scale: 1.5,
+            profile: DiurnalProfile::flat(0.3),
+            ..OwnerConfig::default()
+        };
+        let f_base = active_fraction(base, 11, SimDuration::from_days(40));
+        let f_busy = active_fraction(busy, 11, SimDuration::from_days(40));
+        assert!(
+            f_busy > f_base + 0.08,
+            "busy {f_busy} should exceed base {f_base}"
+        );
+    }
+
+    #[test]
+    fn idle_interval_autocorrelation_is_positive() {
+        // With strong regime persistence, consecutive idle intervals
+        // correlate; with none, they do not (statistically).
+        fn idle_autocorr(persistence: f64, seed: u64) -> f64 {
+            let cfg = OwnerConfig {
+                profile: DiurnalProfile::flat(0.3),
+                regime_persistence: persistence,
+                long_regime_factor: 1.9,
+                ..OwnerConfig::default()
+            };
+            let mut rng = SimRng::seed_from(seed);
+            let mut p = OwnerProcess::new(cfg, &mut rng);
+            let mut now = SimTime::ZERO;
+            let mut idles = Vec::new();
+            for _ in 0..40_000 {
+                let state = p.state();
+                let dwell = p.dwell_and_flip(now, &mut rng);
+                if state == OwnerState::Idle {
+                    idles.push(dwell.as_secs_f64());
+                }
+                now += dwell;
+            }
+            let n = idles.len() - 1;
+            let mean = idles.iter().sum::<f64>() / idles.len() as f64;
+            let var = idles.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / idles.len() as f64;
+            let cov = (0..n)
+                .map(|i| (idles[i] - mean) * (idles[i + 1] - mean))
+                .sum::<f64>()
+                / n as f64;
+            cov / var
+        }
+        let correlated = idle_autocorr(0.9, 3);
+        let uncorrelated = idle_autocorr(0.5, 3);
+        assert!(correlated > 0.05, "autocorr {correlated} should be positive");
+        assert!(
+            uncorrelated.abs() < 0.05,
+            "autocorr {uncorrelated} should be near zero"
+        );
+        assert!(correlated > uncorrelated + 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            let mut p = OwnerProcess::new(OwnerConfig::default(), &mut rng);
+            let mut now = SimTime::ZERO;
+            let mut out = Vec::new();
+            for _ in 0..100 {
+                let d = p.dwell_and_flip(now, &mut rng);
+                now += d;
+                out.push(d.as_millis());
+            }
+            out
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn dwell_is_never_zero() {
+        let mut rng = SimRng::seed_from(9);
+        let mut p = OwnerProcess::new(OwnerConfig::default(), &mut rng);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let d = p.dwell_and_flip(now, &mut rng);
+            assert!(!d.is_zero());
+            now += d;
+        }
+    }
+
+    #[test]
+    fn fleet_is_heterogeneous_and_stable() {
+        let base = OwnerConfig::default();
+        let fleet = build_fleet(23, &base, 0.4, 99);
+        assert_eq!(fleet.len(), 23);
+        let scales: Vec<f64> = fleet.iter().map(|p| p.config().activity_scale).collect();
+        let min = scales.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = scales.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.2, "fleet should vary: {min}..{max}");
+        // Same seed → identical fleet.
+        let fleet2 = build_fleet(23, &base, 0.4, 99);
+        let scales2: Vec<f64> = fleet2.iter().map(|p| p.config().activity_scale).collect();
+        assert_eq!(scales, scales2);
+        // Prefix-stability: station i is the same in a bigger fleet.
+        let bigger = build_fleet(40, &base, 0.4, 99);
+        let scales3: Vec<f64> = bigger.iter().take(23).map(|p| p.config().activity_scale).collect();
+        assert_eq!(scales, scales3);
+    }
+
+    #[test]
+    #[should_panic(expected = "regime persistence")]
+    fn bad_persistence_rejected() {
+        let cfg = OwnerConfig {
+            regime_persistence: 1.5,
+            ..OwnerConfig::default()
+        };
+        let mut rng = SimRng::seed_from(1);
+        OwnerProcess::new(cfg, &mut rng);
+    }
+}

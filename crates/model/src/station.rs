@@ -1,0 +1,209 @@
+//! Static per-workstation hardware profile.
+//!
+//! The scheduler needs two hardware facts about a station (paper §4):
+//! how fast it is (all VAXstation IIs in the paper — but the §5 future-work
+//! item about SUN ports motivates a speed factor) and how much disk is free
+//! for foreign checkpoint images.
+
+use condor_sim::time::SimDuration;
+
+/// Hardware profile of one workstation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationProfile {
+    /// CPU speed relative to the reference VAXstation II (1.0 = reference).
+    /// A job with 1 h of demand takes `1 h / cpu_factor` of wall time.
+    pub cpu_factor: f64,
+    /// Disk bytes available for foreign checkpoint/executable images.
+    pub disk_capacity: u64,
+}
+
+impl Default for StationProfile {
+    fn default() -> Self {
+        StationProfile {
+            cpu_factor: 1.0,
+            // Enough scratch for a heavy user's standing queue of
+            // half-megabyte images (the paper's users were occasionally
+            // disk-limited, but Table 1's 918 jobs were all admitted).
+            disk_capacity: 100_000_000,
+        }
+    }
+}
+
+impl StationProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_factor` is not strictly positive and finite.
+    pub fn new(cpu_factor: f64, disk_capacity: u64) -> Self {
+        assert!(
+            cpu_factor.is_finite() && cpu_factor > 0.0,
+            "bad cpu factor {cpu_factor}"
+        );
+        StationProfile {
+            cpu_factor,
+            disk_capacity,
+        }
+    }
+
+    /// Wall-clock time to deliver `demand` of reference-CPU work on this
+    /// station.
+    pub fn wall_time_for(&self, demand: SimDuration) -> SimDuration {
+        demand.mul_f64(1.0 / self.cpu_factor)
+    }
+
+    /// Reference-CPU work delivered by running on this station for `wall`.
+    pub fn work_done_in(&self, wall: SimDuration) -> SimDuration {
+        wall.mul_f64(self.cpu_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_station_is_identity() {
+        let s = StationProfile::default();
+        let d = SimDuration::from_hours(3);
+        assert_eq!(s.wall_time_for(d), d);
+        assert_eq!(s.work_done_in(d), d);
+    }
+
+    #[test]
+    fn fast_station_finishes_sooner() {
+        let s = StationProfile::new(2.0, 0);
+        let d = SimDuration::from_hours(2);
+        assert_eq!(s.wall_time_for(d), SimDuration::from_hours(1));
+        assert_eq!(s.work_done_in(SimDuration::from_hours(1)), SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn wall_and_work_are_inverse() {
+        let s = StationProfile::new(1.7, 0);
+        let d = SimDuration::from_minutes(90);
+        let roundtrip = s.work_done_in(s.wall_time_for(d));
+        let err = roundtrip.as_millis() as i64 - d.as_millis() as i64;
+        assert!(err.abs() <= 1, "rounding drift {err} ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cpu factor")]
+    fn zero_speed_rejected() {
+        StationProfile::new(0.0, 0);
+    }
+}
+
+/// Workstation architecture (paper §5, future-work item 4: the planned SUN
+/// port, where a job compiled into two binaries could start on either
+/// architecture but, once run on one, could not move to the other without
+/// losing all its work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// DEC VAXstation II — the paper's fleet.
+    Vax,
+    /// SUN workstation — the planned port target.
+    Sun,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arch::Vax => f.write_str("vax"),
+            Arch::Sun => f.write_str("sun"),
+        }
+    }
+}
+
+/// The set of architectures a job has binaries for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchSet {
+    vax: bool,
+    sun: bool,
+}
+
+impl ArchSet {
+    /// A VAX-only binary.
+    pub const fn vax_only() -> Self {
+        ArchSet { vax: true, sun: false }
+    }
+
+    /// A SUN-only binary.
+    pub const fn sun_only() -> Self {
+        ArchSet { vax: false, sun: true }
+    }
+
+    /// Binaries for both architectures.
+    pub const fn both() -> Self {
+        ArchSet { vax: true, sun: true }
+    }
+
+    /// The singleton set for one architecture.
+    pub const fn only(arch: Arch) -> Self {
+        match arch {
+            Arch::Vax => ArchSet::vax_only(),
+            Arch::Sun => ArchSet::sun_only(),
+        }
+    }
+
+    /// Whether the job can start on `arch`.
+    pub const fn supports(self, arch: Arch) -> bool {
+        match arch {
+            Arch::Vax => self.vax,
+            Arch::Sun => self.sun,
+        }
+    }
+
+    /// Number of supported architectures.
+    pub const fn len(self) -> usize {
+        self.vax as usize + self.sun as usize
+    }
+
+    /// `true` for the (invalid in practice) empty set.
+    pub const fn is_empty(self) -> bool {
+        !self.vax && !self.sun
+    }
+}
+
+impl Default for ArchSet {
+    /// The paper's 1988 reality: everything is a VAX binary.
+    fn default() -> Self {
+        ArchSet::vax_only()
+    }
+}
+
+impl std::fmt::Display for ArchSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.vax, self.sun) {
+            (true, true) => f.write_str("vax+sun"),
+            (true, false) => f.write_str("vax"),
+            (false, true) => f.write_str("sun"),
+            (false, false) => f.write_str("(none)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod arch_tests {
+    use super::*;
+
+    #[test]
+    fn arch_set_membership() {
+        assert!(ArchSet::vax_only().supports(Arch::Vax));
+        assert!(!ArchSet::vax_only().supports(Arch::Sun));
+        assert!(ArchSet::both().supports(Arch::Vax));
+        assert!(ArchSet::both().supports(Arch::Sun));
+        assert_eq!(ArchSet::only(Arch::Sun), ArchSet::sun_only());
+        assert_eq!(ArchSet::both().len(), 2);
+        assert!(!ArchSet::both().is_empty());
+        assert_eq!(ArchSet::default(), ArchSet::vax_only());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Arch::Vax.to_string(), "vax");
+        assert_eq!(Arch::Sun.to_string(), "sun");
+        assert_eq!(ArchSet::both().to_string(), "vax+sun");
+        assert_eq!(ArchSet::sun_only().to_string(), "sun");
+    }
+}

@@ -1,0 +1,78 @@
+//! Node identities on the simulated network.
+
+use std::fmt;
+
+/// Identifies one workstation on the LAN.
+///
+/// Plain index newtype: workstations are dense and created once at cluster
+/// construction, so an index into the cluster's station table is the natural
+/// identity.
+///
+/// # Examples
+///
+/// ```
+/// use condor_net::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "ws03");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense station index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The underlying station index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Usable as a `usize` index into per-station tables.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ws{:02}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.as_usize(), 7);
+        assert_eq!(NodeId::from(7u32), n);
+    }
+
+    #[test]
+    fn display_pads_small_indices() {
+        assert_eq!(NodeId::new(0).to_string(), "ws00");
+        assert_eq!(NodeId::new(23).to_string(), "ws23");
+        assert_eq!(NodeId::new(123).to_string(), "ws123");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        let mut v = vec![NodeId::new(5), NodeId::new(1), NodeId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId::new(1), NodeId::new(3), NodeId::new(5)]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the shared-medium network model.
+
+use condor_net::{BusConfig, NodeId, SharedBus};
+use condor_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Transfers never overlap on the medium, always start at or after
+    /// their request, and complete after they start.
+    #[test]
+    fn transfers_serialize_without_overlap(
+        requests in prop::collection::vec((0u64..100_000, 1u64..5_000_000), 1..60),
+    ) {
+        let mut bus = SharedBus::new(BusConfig::default());
+        let mut requests = requests;
+        requests.sort_by_key(|r| r.0); // callers book in time order
+        let mut prev_end = SimTime::ZERO;
+        for (at_ms, bytes) in requests {
+            let now = SimTime::from_millis(at_ms);
+            let t = bus.book_transfer(now, NodeId::new(0), NodeId::new(1), bytes);
+            prop_assert!(t.starts_at >= now, "transfer started before request");
+            prop_assert!(t.starts_at >= prev_end, "transfers overlap");
+            prop_assert!(t.completes_at > t.starts_at);
+            prev_end = t.completes_at;
+        }
+    }
+
+    /// Transfer duration is monotone in payload size and linear at the
+    /// configured bandwidth.
+    #[test]
+    fn duration_is_linear_in_size(bytes in 1u64..10_000_000) {
+        let cfg = BusConfig::default();
+        let t1 = cfg.transmission_time(bytes);
+        let t2 = cfg.transmission_time(bytes * 2);
+        // Within rounding, doubling bytes doubles time.
+        let ratio = t2.as_millis() as f64 / t1.as_millis().max(1) as f64;
+        prop_assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    /// Accounting: bytes_moved and transfers_booked track every booking,
+    /// and busy_time equals the sum of occupation spans.
+    #[test]
+    fn accounting_is_exact(
+        sizes in prop::collection::vec(1u64..2_000_000, 1..40),
+    ) {
+        let mut bus = SharedBus::new(BusConfig::default());
+        let mut expect_busy = SimDuration::ZERO;
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let t = bus.book_transfer(
+                SimTime::from_secs(i as u64),
+                NodeId::new(0),
+                NodeId::new(1),
+                bytes,
+            );
+            expect_busy += t.completes_at.since(t.starts_at);
+        }
+        prop_assert_eq!(bus.transfers_booked(), sizes.len() as u64);
+        prop_assert_eq!(bus.bytes_moved(), sizes.iter().sum::<u64>());
+        prop_assert_eq!(bus.busy_time(), expect_busy);
+    }
+
+    /// Utilization is always in [0, 1].
+    #[test]
+    fn utilization_is_a_fraction(
+        sizes in prop::collection::vec(1u64..5_000_000, 0..30),
+        horizon_s in 1u64..100_000,
+    ) {
+        let mut bus = SharedBus::new(BusConfig::default());
+        for &bytes in &sizes {
+            bus.book_transfer(SimTime::ZERO, NodeId::new(0), NodeId::new(1), bytes);
+        }
+        let u = bus.utilization(SimTime::from_secs(horizon_s));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    }
+}

@@ -1,0 +1,590 @@
+//! The live coordinator: Up-Down scheduling over real worker threads.
+//!
+//! [`Runtime`] is a miniature, in-process Condor pool. Worker threads play
+//! workstations (with owner-activity flags), jobs are real
+//! [`JobProgram`](crate::program::JobProgram) computations, checkpoints are
+//! real `condor-ckpt` images held in per-home [`CheckpointStore`]s, and the
+//! coordinator is the *same* [`UpDown`] policy the simulator uses —
+//! demonstrating that the control plane is independent of the substrate.
+//!
+//! Timescales shrink (a "2-minute poll" becomes ~20 ms) but every protocol
+//! element of the paper is present: polling, queueing at the home station,
+//! placement, owner detection between work slices, a grace period,
+//! eviction checkpoints, and migration with zero lost results.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use condor_ckpt::image::CheckpointBuilder;
+use condor_ckpt::image::SegmentKind;
+use condor_ckpt::store::CheckpointStore;
+use condor_core::policy::{AllocationPolicy, Order, StationView};
+use condor_core::updown::{UpDown, UpDownConfig};
+use condor_net::NodeId;
+use crossbeam::channel::Receiver;
+
+use crate::worker::{Command, Worker, WorkerEvent};
+
+/// Tunables of the live runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads ("workstations").
+    pub workers: usize,
+    /// Work units per slice between owner checks.
+    pub slice_units: u64,
+    /// Coordinator poll interval (the paper's 2 minutes, scaled).
+    pub poll_interval: Duration,
+    /// Grace period before an interrupted job is evicted (the paper's
+    /// 5 minutes, scaled — keep the 2.5× ratio to the poll).
+    pub grace: Duration,
+    /// Maximum placements per poll (the paper's throttle).
+    pub placements_per_poll: usize,
+    /// Per-home checkpoint-store capacity in bytes.
+    pub store_capacity: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            slice_units: 2_000,
+            poll_interval: Duration::from_millis(20),
+            grace: Duration::from_millis(50),
+            placements_per_poll: 1,
+            store_capacity: 64 << 20,
+        }
+    }
+}
+
+/// Where a live job is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveState {
+    /// Waiting in the home queue.
+    Queued,
+    /// Placement command sent; not yet confirmed started.
+    Placing {
+        /// Destination worker.
+        on: usize,
+    },
+    /// Executing.
+    Running {
+        /// Hosting worker.
+        on: usize,
+    },
+    /// Owner active at the host; grace clock running.
+    Suspended {
+        /// Hosting worker.
+        on: usize,
+    },
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug)]
+struct LiveJob {
+    home: usize,
+    kind: String,
+    state: LiveState,
+    suspended_at: Option<Instant>,
+    evict_sent: bool,
+    migrations: u32,
+    units_total: u64,
+    result: Option<Vec<u8>>,
+}
+
+/// Final report of a [`Runtime::run`] call.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Results of completed jobs, by job id.
+    pub results: HashMap<u64, Vec<u8>>,
+    /// Jobs still unfinished when the deadline hit.
+    pub unfinished: Vec<u64>,
+    /// Total eviction migrations performed.
+    pub migrations: u64,
+    /// Owner interruptions observed.
+    pub interruptions: u64,
+    /// In-place resumes (owner left within the grace period).
+    pub resumes_in_place: u64,
+    /// Coordinator polls executed.
+    pub polls: u64,
+}
+
+/// A live mini-Condor pool.
+///
+/// # Examples
+///
+/// ```
+/// use condor_runtime::program::{JobProgram, PrimeCounter};
+/// use condor_runtime::runtime::{Runtime, RuntimeConfig};
+/// use std::time::Duration;
+///
+/// let mut rt = Runtime::new(RuntimeConfig { workers: 2, ..RuntimeConfig::default() });
+/// let job = rt.submit(0, &PrimeCounter::new(2_000));
+/// let report = rt.run(Duration::from_secs(30));
+/// assert_eq!(
+///     u64::from_le_bytes(report.results[&job].clone().try_into().unwrap()),
+///     303, // primes below 2000
+/// );
+/// ```
+#[derive(Debug)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    workers: Vec<Worker>,
+    event_rx: Receiver<WorkerEvent>,
+    policy: UpDown,
+    jobs: HashMap<u64, LiveJob>,
+    queues: Vec<VecDeque<u64>>,
+    hosting: Vec<Option<u64>>,
+    stores: Vec<CheckpointStore>,
+    next_job: u64,
+    migrations: u64,
+    interruptions: u64,
+    resumes: u64,
+    polls: u64,
+}
+
+impl Runtime {
+    /// Spawns the worker threads and an idle coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-worker configuration.
+    pub fn new(config: RuntimeConfig) -> Runtime {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.placements_per_poll > 0, "placement budget");
+        let (event_tx, event_rx) = crossbeam::channel::unbounded();
+        let workers: Vec<Worker> = (0..config.workers)
+            .map(|i| Worker::spawn(i, config.slice_units, event_tx.clone()))
+            .collect();
+        let stores = (0..config.workers)
+            .map(|_| CheckpointStore::new(config.store_capacity))
+            .collect();
+        Runtime {
+            workers,
+            event_rx,
+            policy: UpDown::new(UpDownConfig::default()),
+            jobs: HashMap::new(),
+            queues: vec![VecDeque::new(); config.workers],
+            hosting: vec![None; config.workers],
+            stores,
+            next_job: 0,
+            migrations: 0,
+            interruptions: 0,
+            resumes: 0,
+            polls: 0,
+            config,
+        }
+    }
+
+    /// Submits a program from `home`'s queue; returns the job id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is out of range or the home checkpoint store is
+    /// full.
+    pub fn submit(&mut self, home: usize, program: &dyn crate::program::JobProgram) -> u64 {
+        assert!(home < self.config.workers, "home {home} out of range");
+        let id = self.next_job;
+        self.next_job += 1;
+        let snapshot = program.snapshot();
+        self.store_snapshot(home, id, 0, &snapshot);
+        self.jobs.insert(
+            id,
+            LiveJob {
+                home,
+                kind: program.kind().to_string(),
+                state: LiveState::Queued,
+                suspended_at: None,
+                evict_sent: false,
+                migrations: 0,
+                units_total: 0,
+                result: None,
+            },
+        );
+        self.queues[home].push_back(id);
+        id
+    }
+
+    /// Simulates the owner of worker `station` arriving or leaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `station` is out of range.
+    pub fn set_owner_active(&self, station: usize, active: bool) {
+        self.workers[station].set_owner_active(active);
+    }
+
+    /// The owner flags of every worker, for an external owner driver.
+    pub fn owner_flags(&self) -> Vec<std::sync::Arc<std::sync::atomic::AtomicBool>> {
+        self.workers.iter().map(|w| w.owner_flag()).collect()
+    }
+
+    /// The Up-Down schedule index of a station's home (for inspection).
+    pub fn updown_index(&self, station: usize) -> f64 {
+        self.policy.index_of(NodeId::new(station as u32))
+    }
+
+    fn store_snapshot(&mut self, home: usize, job: u64, sequence: u32, snapshot: &[u8]) {
+        let image = CheckpointBuilder::new(job, sequence)
+            .segment(SegmentKind::Data, 0, snapshot.to_vec())
+            .build()
+            .expect("no outstanding replies in the live runtime");
+        self.stores[home]
+            .put(&image)
+            .expect("home checkpoint store full");
+    }
+
+    fn fetch_snapshot(&self, home: usize, job: u64) -> Vec<u8> {
+        let image = self.stores[home].get(job).expect("snapshot stored at home");
+        image
+            .segment(SegmentKind::Data)
+            .expect("data segment present")
+            .payload()
+            .to_vec()
+    }
+
+    fn drain_events(&mut self) {
+        while let Ok(ev) = self.event_rx.try_recv() {
+            match ev {
+                WorkerEvent::Started { worker, job } => {
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.state = LiveState::Running { on: worker };
+                    }
+                }
+                WorkerEvent::PlaceFailed { worker, job, reason } => {
+                    // Snapshot corrupt at the host: requeue from home copy.
+                    self.hosting[worker] = None;
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.state = LiveState::Queued;
+                        let home = j.home;
+                        self.queues[home].push_front(job);
+                    }
+                    debug_assert!(false, "placement failed: {reason}");
+                }
+                WorkerEvent::OwnerInterrupted { worker, job } => {
+                    self.interruptions += 1;
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.state = LiveState::Suspended { on: worker };
+                        j.suspended_at = Some(Instant::now());
+                    }
+                }
+                WorkerEvent::ResumedInPlace { worker, job } => {
+                    self.resumes += 1;
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.state = LiveState::Running { on: worker };
+                        j.suspended_at = None;
+                        j.evict_sent = false;
+                    }
+                }
+                WorkerEvent::Finished { worker, job, result, units_here } => {
+                    self.hosting[worker] = None;
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.state = LiveState::Done;
+                        j.result = Some(result);
+                        j.units_total += units_here;
+                        let home = j.home;
+                        self.stores[home].remove(job);
+                    }
+                }
+                WorkerEvent::Evicted { worker, job, snapshot, kind: _, units_here } => {
+                    self.hosting[worker] = None;
+                    self.migrations += 1;
+                    let (home, seq) = {
+                        let j = self.jobs.get_mut(&job).expect("evicted job known");
+                        j.migrations += 1;
+                        j.units_total += units_here;
+                        j.state = LiveState::Queued;
+                        j.suspended_at = None;
+                        j.evict_sent = false;
+                        (j.home, j.migrations)
+                    };
+                    self.store_snapshot(home, job, seq, &snapshot);
+                    self.queues[home].push_front(job);
+                }
+                WorkerEvent::Killed { worker, job } => {
+                    self.hosting[worker] = None;
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        // Restart from the last stored checkpoint.
+                        j.state = LiveState::Queued;
+                        j.suspended_at = None;
+                        j.evict_sent = false;
+                        let home = j.home;
+                        self.queues[home].push_front(job);
+                    }
+                }
+                WorkerEvent::CommandMiss { .. } => {}
+            }
+        }
+    }
+
+    fn enforce_grace(&mut self) {
+        let grace = self.config.grace;
+        let mut evictions: Vec<(usize, u64)> = Vec::new();
+        for (&id, j) in &mut self.jobs {
+            if let LiveState::Suspended { on } = j.state {
+                if !j.evict_sent
+                    && j.suspended_at.is_some_and(|t| t.elapsed() >= grace)
+                {
+                    j.evict_sent = true;
+                    evictions.push((on, id));
+                }
+            }
+        }
+        for (worker, job) in evictions {
+            self.workers[worker].send(Command::Evict { job });
+        }
+    }
+
+    fn poll(&mut self) {
+        self.polls += 1;
+        let views: Vec<StationView> = (0..self.config.workers)
+            .map(|i| StationView {
+                node: NodeId::new(i as u32),
+                can_host: !self.workers[i].owner_active() && self.hosting[i].is_none(),
+                hosting_for: self.hosting[i].and_then(|job| {
+                    let j = &self.jobs[&job];
+                    matches!(j.state, LiveState::Running { .. })
+                        .then(|| NodeId::new(j.home as u32))
+                }),
+                waiting_jobs: self.queues[i].len(),
+            })
+            .collect();
+        let free: Vec<NodeId> = views.iter().filter(|v| v.can_host).map(|v| v.node).collect();
+        let orders = self.policy.decide(
+            Default::default(),
+            &views,
+            &free,
+            self.config.placements_per_poll,
+        );
+        for order in orders {
+            match order {
+                Order::Assign { home, target } => {
+                    let Some(job) = self.queues[home.as_usize()].pop_front() else {
+                        continue;
+                    };
+                    let snapshot = self.fetch_snapshot(home.as_usize(), job);
+                    let kind = self.jobs[&job].kind.clone();
+                    self.hosting[target.as_usize()] = Some(job);
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.state = LiveState::Placing { on: target.as_usize() };
+                    }
+                    self.workers[target.as_usize()].send(Command::Place { job, kind, snapshot });
+                }
+                Order::Preempt { target } => {
+                    if let Some(job) = self.hosting[target.as_usize()] {
+                        self.workers[target.as_usize()].send(Command::Evict { job });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives the pool until every submitted job completes or `deadline`
+    /// elapses, then reports. Owner flags may be toggled concurrently from
+    /// other threads (or between `run` calls).
+    pub fn run(&mut self, deadline: Duration) -> RuntimeReport {
+        let started = Instant::now();
+        let mut last_poll = Instant::now() - self.config.poll_interval;
+        while started.elapsed() < deadline {
+            self.drain_events();
+            self.enforce_grace();
+            if last_poll.elapsed() >= self.config.poll_interval {
+                last_poll = Instant::now();
+                self.poll();
+            }
+            if self.jobs.values().all(|j| j.state == LiveState::Done) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.drain_events();
+        let mut results = HashMap::new();
+        let mut unfinished = Vec::new();
+        for (&id, j) in &self.jobs {
+            match (&j.state, &j.result) {
+                (LiveState::Done, Some(r)) => {
+                    results.insert(id, r.clone());
+                }
+                _ => unfinished.push(id),
+            }
+        }
+        unfinished.sort_unstable();
+        RuntimeReport {
+            results,
+            unfinished,
+            migrations: self.migrations,
+            interruptions: self.interruptions,
+            resumes_in_place: self.resumes,
+            polls: self.polls,
+        }
+    }
+
+    /// Stops all workers and returns the total units they executed.
+    pub fn shutdown(self) -> u64 {
+        self.workers.into_iter().map(Worker::shutdown).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{run_to_completion, MonteCarloPi, PrimeCounter, SeriesSum};
+
+    fn fast_config(workers: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            workers,
+            slice_units: 500,
+            poll_interval: Duration::from_millis(5),
+            grace: Duration::from_millis(15),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut rt = Runtime::new(fast_config(2));
+        let job = rt.submit(0, &PrimeCounter::new(3_000));
+        let report = rt.run(Duration::from_secs(30));
+        assert!(report.unfinished.is_empty(), "{report:?}");
+        let expected = run_to_completion(&mut PrimeCounter::new(3_000));
+        assert_eq!(report.results[&job], expected);
+        assert!(rt.shutdown() > 0);
+    }
+
+    #[test]
+    fn many_jobs_from_many_homes_all_complete() {
+        let mut rt = Runtime::new(fast_config(4));
+        let mut expected = HashMap::new();
+        for i in 0..8u64 {
+            let prog = SeriesSum::new(200_000 + i * 10_000, 1_000_003);
+            let want = {
+                let mut p = prog.clone();
+                run_to_completion(&mut p)
+            };
+            let id = rt.submit((i % 4) as usize, &prog);
+            expected.insert(id, want);
+        }
+        let report = rt.run(Duration::from_secs(60));
+        assert!(report.unfinished.is_empty(), "{report:?}");
+        for (id, want) in expected {
+            assert_eq!(report.results[&id], want, "job {id}");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn owner_interference_migrates_without_corrupting_results() {
+        let mut rt = Runtime::new(fast_config(3));
+        // Long-ish stochastic job: the RNG stream must survive migration.
+        let prog = MonteCarloPi::new(42, 40_000_000);
+        let expected = {
+            let mut p = prog.clone();
+            run_to_completion(&mut p)
+        };
+        let job = rt.submit(0, &prog);
+        // Harass whichever machines host it: flip owners on and off.
+        let flip = |rt: &Runtime, on: bool| {
+            for w in 0..3 {
+                rt.set_owner_active(w, on && w != 0);
+            }
+        };
+        let mut report = None;
+        for round in 0..200 {
+            flip(&rt, round % 2 == 0);
+            let r = rt.run(Duration::from_millis(100));
+            if r.unfinished.is_empty() {
+                report = Some(r);
+                break;
+            }
+        }
+        // Clear owners and finish if still pending.
+        flip(&rt, false);
+        let report = match report {
+            Some(r) => r,
+            None => rt.run(Duration::from_secs(120)),
+        };
+        assert!(report.unfinished.is_empty(), "{report:?}");
+        assert_eq!(report.results[&job], expected, "result corrupted by migration");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn grace_period_evicts_persistently_busy_station() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            slice_units: 200,
+            poll_interval: Duration::from_millis(5),
+            grace: Duration::from_millis(10),
+            ..RuntimeConfig::default()
+        });
+        let prog = SeriesSum::new(u64::MAX / 4, 1_000_003); // effectively endless
+        let _job = rt.submit(0, &prog);
+        // Let it get placed and start.
+        let _ = rt.run(Duration::from_millis(200));
+        // Make every station busy: the job gets interrupted, grace expires,
+        // and an eviction checkpoint happens.
+        rt.set_owner_active(0, true);
+        rt.set_owner_active(1, true);
+        let _ = rt.run(Duration::from_millis(300));
+        assert!(rt.migrations >= 1 || rt.interruptions >= 1, "no interference observed");
+        rt.set_owner_active(0, false);
+        rt.set_owner_active(1, false);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn updown_index_rises_for_consuming_home() {
+        let mut rt = Runtime::new(fast_config(3));
+        let _ = rt.submit(0, &SeriesSum::new(500_000_000, 1_000_003));
+        let _ = rt.run(Duration::from_millis(300));
+        assert!(
+            rt.updown_index(0) > 0.0,
+            "home 0 is consuming remote capacity, index {}",
+            rt.updown_index(0)
+        );
+        rt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::*;
+    use crate::program::SeriesSum;
+
+    /// The live Up-Down coordinator preempts a monopolising home for a
+    /// newcomer, just like the simulator.
+    #[test]
+    fn live_updown_preempts_for_the_light_home() {
+        let mut rt = Runtime::new(RuntimeConfig {
+            workers: 3,
+            slice_units: 300,
+            poll_interval: Duration::from_millis(5),
+            grace: Duration::from_millis(15),
+            ..RuntimeConfig::default()
+        });
+        // Heavy home 0 floods: effectively endless jobs on every machine.
+        for _ in 0..6 {
+            rt.submit(0, &SeriesSum::new(u64::MAX / 4, 1_000_003));
+        }
+        // Let the flood soak up the pool and build up home 0's index.
+        let _ = rt.run(Duration::from_millis(400));
+        assert!(rt.updown_index(0) > 0.0, "heavy home must accumulate index");
+        // The light home asks for a short job.
+        let light = rt.submit(1, &SeriesSum::new(2_000_000, 1_000_003));
+        let mut done = false;
+        for _ in 0..100 {
+            let r = rt.run(Duration::from_millis(100));
+            if r.results.contains_key(&light) {
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "the light home's job must run despite the flood");
+        assert!(
+            rt.migrations > 0,
+            "serving the light job requires preempting the flood: migrations {}",
+            rt.migrations
+        );
+        rt.shutdown();
+    }
+}

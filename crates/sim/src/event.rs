@@ -1,0 +1,237 @@
+//! Deterministic future-event queue.
+//!
+//! The queue is a binary heap keyed by `(time, sequence)`. The sequence
+//! number is assigned at insertion, so two events scheduled for the same
+//! instant are delivered in the order they were scheduled. This makes
+//! simulation runs fully deterministic for a given seed — there is no
+//! dependence on heap internals or hash ordering.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+///
+/// Tokens are unique within one [`EventQueue`] for its whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventToken(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+/// A future-event list with deterministic FIFO tie-breaking and O(log n)
+/// insert/pop.
+///
+/// Cancellation is *lazy*: [`EventQueue::cancel`] marks the token and the
+/// event is silently dropped when it reaches the head of the heap.
+///
+/// # Examples
+///
+/// ```
+/// use condor_sim::event::EventQueue;
+/// use condor_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(5), "later");
+/// q.schedule(SimTime::from_secs(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_secs(1), "sooner"));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    /// Seqs scheduled but not yet fired or cancelled.
+    live: std::collections::HashSet<u64>,
+    /// Seqs cancelled but still physically in the heap.
+    cancelled: std::collections::HashSet<u64>,
+    scheduled_total: u64,
+    cancelled_total: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            scheduled_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`; returns a token that
+    /// can later be passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.live.insert(seq);
+        self.heap.push(Scheduled { at, seq, event });
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the token was
+    /// still pending (i.e. not yet fired or cancelled); cancelling a token
+    /// that already fired or was already cancelled is a no-op returning
+    /// `false`.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if !self.live.remove(&token.0) {
+            return false;
+        }
+        self.cancelled.insert(token.0);
+        self.cancelled_total += 1;
+        true
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// ones. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.live.remove(&s.seq);
+            return Some((s.at, s.event));
+        }
+        None
+    }
+
+    /// The timestamp of the next non-cancelled event, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if self.cancelled.contains(&seq) {
+                let s = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&s.seq);
+            } else {
+                return Some(self.heap.peek()?.at);
+            }
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total events ever cancelled on this queue.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len())
+            .field("scheduled_total", &self.scheduled_total)
+            .field("cancelled_total", &self.cancelled_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_suppresses_delivery() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_secs(1), "keep");
+        let drop_ = q.schedule(SimTime::from_secs(2), "drop");
+        assert!(q.cancel(drop_));
+        assert!(!q.cancel(drop_), "double-cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "keep")));
+        assert_eq!(q.pop(), None);
+        // Token for an already-fired event: cancel is a no-op.
+        assert!(!q.cancel(keep));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let first = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(5), 2);
+        q.cancel(first);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), 2)));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        q.cancel(a);
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.cancelled_total(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn bogus_token_is_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventToken(42)));
+    }
+}

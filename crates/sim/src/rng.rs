@@ -1,0 +1,274 @@
+//! Seeded, splittable randomness.
+//!
+//! Everything stochastic in the reproduction flows through [`SimRng`], a thin
+//! wrapper over a PCG-family generator seeded explicitly by the caller. No
+//! simulation code ever consults OS entropy or wall-clock time, so a run is
+//! a pure function of its configuration and seed.
+//!
+//! [`SimRng::substream`] derives independent child generators from string
+//! labels (e.g. one per workstation, one per user). Adding a new consumer of
+//! randomness therefore does not perturb the draws seen by existing
+//! consumers — runs stay comparable across code changes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random-number generator for simulations.
+///
+/// # Examples
+///
+/// ```
+/// use condor_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent generator identified by `label`. The same
+    /// `(seed, label)` pair always yields the same stream.
+    pub fn substream(&self, base_seed: u64, label: &str) -> SimRng {
+        SimRng::seed_from(base_seed ^ fnv1a(label.as_bytes()))
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        // 53 random mantissa bits → uniform in [0,1) with full double precision.
+        (self.inner.gen::<u64>() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_range_f64: empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform_f64()
+    }
+
+    /// Uniform integer draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform_range_u64: empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform index draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty domain");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.uniform_f64() < p
+    }
+
+    /// Exponential draw with the given mean (inverse-CDF method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential: mean must be positive and finite, got {mean}"
+        );
+        // 1 - U is in (0, 1], so ln never sees zero.
+        -mean * (1.0 - self.uniform_f64()).ln()
+    }
+
+    /// Standard normal draw (Box–Muller; one of the pair is discarded for
+    /// simplicity — generation speed is not a bottleneck here).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform_f64(); // (0, 1]
+        let u2 = self.uniform_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+}
+
+/// FNV-1a hash, used only to fold substream labels into seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn substreams_are_stable_and_distinct() {
+        let root = SimRng::seed_from(99);
+        let mut s1 = root.substream(99, "station-1");
+        let mut s1_again = root.substream(99, "station-1");
+        let mut s2 = root.substream(99, "station-2");
+        assert_eq!(s1.next_u64(), s1_again.next_u64());
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            let x = r.uniform_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_about_half() {
+        let mut r = SimRng::seed_from(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = SimRng::seed_from(5);
+        let n = 200_000;
+        let target = 42.0;
+        let mean: f64 = (0..n).map(|_| r.exponential(target)).sum::<f64>() / n as f64;
+        assert!((mean - target).abs() / target < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut r = SimRng::seed_from(6);
+        for _ in 0..10_000 {
+            assert!(r.exponential(1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = SimRng::seed_from(8);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency() {
+        let mut r = SimRng::seed_from(10);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "seed 11 should shuffle");
+    }
+
+    #[test]
+    fn pick_and_index_cover_domain() {
+        let mut r = SimRng::seed_from(12);
+        let items = ['a', 'b', 'c'];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*r.pick(&items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn index_rejects_empty() {
+        SimRng::seed_from(1).index(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn exponential_rejects_bad_mean() {
+        SimRng::seed_from(1).exponential(0.0);
+    }
+}

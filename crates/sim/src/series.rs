@@ -1,0 +1,376 @@
+//! Time-series recording.
+//!
+//! The paper's figures are time series (queue length per hour, utilization
+//! per day) and time-weighted averages. Two recorders cover both needs:
+//!
+//! * [`StepSeries`] — a piecewise-constant signal (queue length, busy/idle
+//!   flags). Records every change; supports time-weighted averaging and
+//!   resampling onto a fixed grid for plotting.
+//! * [`BucketAccumulator`] — accumulates amounts (CPU-milliseconds consumed)
+//!   into fixed-width time buckets; used for utilization-per-hour curves.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A piecewise-constant time series: the value set at time *t* holds until
+/// the next set.
+///
+/// # Examples
+///
+/// ```
+/// use condor_sim::series::StepSeries;
+/// use condor_sim::time::{SimDuration, SimTime};
+///
+/// let mut s = StepSeries::new(0.0);
+/// s.set(SimTime::from_secs(10), 2.0);
+/// s.set(SimTime::from_secs(20), 4.0);
+/// // 0 for 10 s, 2 for 10 s, 4 for 10 s → time-weighted mean of 2.
+/// let mean = s.time_weighted_mean(SimTime::ZERO, SimTime::from_secs(30));
+/// assert!((mean - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// Creates a series whose value is `initial` from time zero.
+    pub fn new(initial: f64) -> Self {
+        StepSeries {
+            points: vec![(SimTime::ZERO, initial)],
+        }
+    }
+
+    /// Sets the value from `at` onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded change (the series is
+    /// append-only).
+    pub fn set(&mut self, at: SimTime, value: f64) {
+        let (last_t, last_v) = *self.points.last().expect("series is never empty");
+        assert!(at >= last_t, "StepSeries::set out of order: {at} < {last_t}");
+        if value == last_v {
+            return; // no-op change, keep the series compact
+        }
+        if at == last_t {
+            // Overwrite a same-instant change.
+            self.points.last_mut().expect("non-empty").1 = value;
+            // Collapse if this made it equal to the previous point.
+            if self.points.len() >= 2 && self.points[self.points.len() - 2].1 == value {
+                self.points.pop();
+            }
+        } else {
+            self.points.push((at, value));
+        }
+    }
+
+    /// Adds `delta` to the current value, effective at `at`.
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let v = self.value_at_end();
+        self.set(at, v + delta);
+    }
+
+    /// The value after all recorded changes.
+    pub fn value_at_end(&self) -> f64 {
+        self.points.last().expect("non-empty").1
+    }
+
+    /// The value in effect at instant `t`.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1, // before first point: initial value
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Number of recorded change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if only the initial value has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.len() == 1
+    }
+
+    /// Time-weighted mean over `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= to`.
+    pub fn time_weighted_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(from < to, "empty averaging window [{from}, {to})");
+        let mut acc = 0.0;
+        let mut cursor = from;
+        let mut value = self.value_at(from);
+        // Walk the change points inside the window.
+        let start = match self.points.binary_search_by(|&(pt, _)| pt.cmp(&from)) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        for &(pt, v) in &self.points[start..] {
+            if pt >= to {
+                break;
+            }
+            acc += value * pt.since(cursor).as_millis() as f64;
+            cursor = pt;
+            value = v;
+        }
+        acc += value * to.since(cursor).as_millis() as f64;
+        acc / to.since(from).as_millis() as f64
+    }
+
+    /// Samples the series onto a fixed grid: one point per `step`, covering
+    /// `[from, to)`, each point being the **time-weighted mean** within its
+    /// cell (not the instantaneous value), which is what the paper's hourly
+    /// queue-length plots show.
+    pub fn resample_mean(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<f64> {
+        assert!(!step.is_zero(), "zero resampling step");
+        let mut out = Vec::new();
+        let mut cell = from;
+        while cell < to {
+            let cell_end = (cell + step).min(to);
+            out.push(self.time_weighted_mean(cell, cell_end));
+            cell = cell_end;
+        }
+        out
+    }
+
+    /// Maximum value attained in `[from, to)` (including the value carried
+    /// into the window).
+    pub fn max_in(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut m = self.value_at(from);
+        for &(pt, v) in &self.points {
+            if pt >= from && pt < to {
+                m = m.max(v);
+            }
+        }
+        m
+    }
+
+    /// Iterates over the recorded `(time, value)` change points.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+/// Accumulates amounts into fixed-width time buckets.
+///
+/// Typical use: charge CPU-milliseconds of useful work into hourly buckets,
+/// then divide by capacity to get a utilization curve.
+///
+/// # Examples
+///
+/// ```
+/// use condor_sim::series::BucketAccumulator;
+/// use condor_sim::time::{SimDuration, SimTime};
+///
+/// let mut acc = BucketAccumulator::new(SimDuration::HOUR);
+/// acc.deposit_point(SimTime::from_secs(10), 5.0);
+/// acc.deposit_point(SimTime::from_hours(1), 7.0);
+/// assert_eq!(acc.bucket_totals(2), vec![5.0, 7.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketAccumulator {
+    width: SimDuration,
+    buckets: Vec<f64>,
+}
+
+impl BucketAccumulator {
+    /// Creates an accumulator with buckets of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "zero bucket width");
+        BucketAccumulator {
+            width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    fn bucket_index(&self, t: SimTime) -> usize {
+        (t.as_millis() / self.width.as_millis()) as usize
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+    }
+
+    /// Deposits `amount` entirely into the bucket containing instant `t`.
+    pub fn deposit_point(&mut self, t: SimTime, amount: f64) {
+        let idx = self.bucket_index(t);
+        self.ensure(idx);
+        self.buckets[idx] += amount;
+    }
+
+    /// Spreads `amount` uniformly over the interval `[from, to)`, splitting
+    /// it across buckets pro-rata. An empty interval deposits at `from`.
+    pub fn deposit_interval(&mut self, from: SimTime, to: SimTime, amount: f64) {
+        if to <= from {
+            self.deposit_point(from, amount);
+            return;
+        }
+        let total_ms = to.since(from).as_millis() as f64;
+        let mut cursor = from;
+        while cursor < to {
+            let bucket_end = cursor.align_down(self.width) + self.width;
+            let seg_end = bucket_end.min(to);
+            let frac = seg_end.since(cursor).as_millis() as f64 / total_ms;
+            self.deposit_point(cursor, amount * frac);
+            cursor = seg_end;
+        }
+    }
+
+    /// Totals of the first `n` buckets (zero-padded beyond the data).
+    pub fn bucket_totals(&self, n: usize) -> Vec<f64> {
+        let mut v = self.buckets.clone();
+        v.resize(n.max(v.len()), 0.0);
+        v.truncate(n);
+        v
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Number of buckets touched so far.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` if nothing has been deposited.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_series_value_lookup() {
+        let mut s = StepSeries::new(1.0);
+        s.set(SimTime::from_secs(10), 5.0);
+        s.set(SimTime::from_secs(20), 3.0);
+        assert_eq!(s.value_at(SimTime::ZERO), 1.0);
+        assert_eq!(s.value_at(SimTime::from_secs(9)), 1.0);
+        assert_eq!(s.value_at(SimTime::from_secs(10)), 5.0);
+        assert_eq!(s.value_at(SimTime::from_secs(15)), 5.0);
+        assert_eq!(s.value_at(SimTime::from_secs(25)), 3.0);
+        assert_eq!(s.value_at_end(), 3.0);
+    }
+
+    #[test]
+    fn step_series_compacts_redundant_sets() {
+        let mut s = StepSeries::new(1.0);
+        s.set(SimTime::from_secs(5), 1.0); // no change
+        assert_eq!(s.len(), 1);
+        s.set(SimTime::from_secs(6), 2.0);
+        s.set(SimTime::from_secs(6), 1.0); // same-instant overwrite back to 1
+        assert_eq!(s.len(), 1, "overwrite collapsing to previous value");
+    }
+
+    #[test]
+    fn add_accumulates_deltas() {
+        let mut s = StepSeries::new(0.0);
+        s.add(SimTime::from_secs(1), 1.0);
+        s.add(SimTime::from_secs(2), 1.0);
+        s.add(SimTime::from_secs(3), -2.0);
+        assert_eq!(s.value_at(SimTime::from_millis(2_500)), 2.0);
+        assert_eq!(s.value_at_end(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_partial_windows() {
+        let mut s = StepSeries::new(0.0);
+        s.set(SimTime::from_secs(10), 10.0);
+        // Window [5, 15): 5 s at 0, 5 s at 10 → mean 5.
+        let m = s.time_weighted_mean(SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!((m - 5.0).abs() < 1e-12);
+        // Window fully before any change.
+        let m0 = s.time_weighted_mean(SimTime::ZERO, SimTime::from_secs(5));
+        assert_eq!(m0, 0.0);
+        // Window fully after the last change.
+        let m1 = s.time_weighted_mean(SimTime::from_secs(20), SimTime::from_secs(30));
+        assert_eq!(m1, 10.0);
+    }
+
+    #[test]
+    fn resample_mean_grid() {
+        let mut s = StepSeries::new(0.0);
+        s.set(SimTime::from_secs(30), 2.0); // halfway through first minute
+        let cells = s.resample_mean(SimTime::ZERO, SimTime::from_secs(120), SimDuration::MINUTE);
+        assert_eq!(cells.len(), 2);
+        assert!((cells[0] - 1.0).abs() < 1e-12);
+        assert!((cells[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_in_window() {
+        let mut s = StepSeries::new(1.0);
+        s.set(SimTime::from_secs(10), 9.0);
+        s.set(SimTime::from_secs(20), 2.0);
+        assert_eq!(s.max_in(SimTime::ZERO, SimTime::from_secs(5)), 1.0);
+        assert_eq!(s.max_in(SimTime::ZERO, SimTime::from_secs(15)), 9.0);
+        // Value carried into the window counts.
+        assert_eq!(s.max_in(SimTime::from_secs(12), SimTime::from_secs(18)), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn step_series_rejects_time_travel() {
+        let mut s = StepSeries::new(0.0);
+        s.set(SimTime::from_secs(10), 1.0);
+        s.set(SimTime::from_secs(5), 2.0);
+    }
+
+    #[test]
+    fn bucket_point_deposits() {
+        let mut acc = BucketAccumulator::new(SimDuration::MINUTE);
+        acc.deposit_point(SimTime::from_secs(10), 1.0);
+        acc.deposit_point(SimTime::from_secs(59), 2.0);
+        acc.deposit_point(SimTime::from_secs(60), 4.0);
+        assert_eq!(acc.bucket_totals(3), vec![3.0, 4.0, 0.0]);
+        assert_eq!(acc.total(), 7.0);
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn bucket_interval_splits_pro_rata() {
+        let mut acc = BucketAccumulator::new(SimDuration::MINUTE);
+        // 90 s interval straddling the boundary: 2/3 in bucket 0, 1/3 in 1.
+        acc.deposit_interval(SimTime::ZERO, SimTime::from_secs(90), 3.0);
+        let t = acc.bucket_totals(2);
+        assert!((t[0] - 2.0).abs() < 1e-9, "{t:?}");
+        assert!((t[1] - 1.0).abs() < 1e-9, "{t:?}");
+        assert!((acc.total() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_interval_empty_becomes_point() {
+        let mut acc = BucketAccumulator::new(SimDuration::MINUTE);
+        let t = SimTime::from_secs(30);
+        acc.deposit_interval(t, t, 5.0);
+        assert_eq!(acc.bucket_totals(1), vec![5.0]);
+    }
+
+    #[test]
+    fn bucket_interval_spanning_many_buckets_conserves_mass() {
+        let mut acc = BucketAccumulator::new(SimDuration::HOUR);
+        acc.deposit_interval(SimTime::from_secs(1_000), SimTime::from_hours(10), 42.0);
+        assert!((acc.total() - 42.0).abs() < 1e-9);
+        assert_eq!(acc.len(), 10);
+    }
+}

@@ -1,0 +1,453 @@
+//! Simulated time.
+//!
+//! The Condor simulation runs on a discrete clock with **millisecond**
+//! resolution. The paper's control plane works at coarse granularity
+//! (30-second owner checks, 2-minute coordinator polls) but cost accounting
+//! needs sub-second precision: a remote system call costs 10 ms of local
+//! capacity on a VAXstation II. Milliseconds in a `u64` comfortably cover
+//! simulated centuries, so overflow is not a practical concern.
+//!
+//! Two newtypes keep instants and spans apart ([`SimTime`] and
+//! [`SimDuration`]); mixing them up is a compile error rather than a silent
+//! unit bug.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An instant on the simulated clock, in milliseconds since the start of the
+/// simulation.
+///
+/// # Examples
+///
+/// ```
+/// use condor_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_hours(2);
+/// assert_eq!(t.as_millis(), 2 * 60 * 60 * 1000);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use condor_sim::time::SimDuration;
+///
+/// let d = SimDuration::from_minutes(2);
+/// assert_eq!(d.as_secs_f64(), 120.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinitely far away"
+    /// sentinel for deadlines that are not currently armed.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `millis` milliseconds after the origin.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis)
+    }
+
+    /// Creates an instant `secs` seconds after the origin.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000)
+    }
+
+    /// Creates an instant `hours` hours after the origin.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600_000)
+    }
+
+    /// Milliseconds since the origin.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, rounded down.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the origin as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Hours since the origin as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// The span between two instants, saturating to zero when `earlier` is
+    /// actually later than `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier > self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier <= self,
+            "SimTime::since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The instant rounded down to a multiple of `step` (e.g. the start of
+    /// the containing hour when `step` is one hour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn align_down(self, step: SimDuration) -> SimTime {
+        assert!(step.0 > 0, "align_down: zero step");
+        SimTime(self.0 - self.0 % step.0)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// One millisecond.
+    pub const MILLISECOND: SimDuration = SimDuration(1);
+    /// One second.
+    pub const SECOND: SimDuration = SimDuration(1_000);
+    /// One minute.
+    pub const MINUTE: SimDuration = SimDuration(60_000);
+    /// One hour.
+    pub const HOUR: SimDuration = SimDuration(3_600_000);
+    /// One 24-hour day.
+    pub const DAY: SimDuration = SimDuration(86_400_000);
+    /// One 7-day week.
+    pub const WEEK: SimDuration = SimDuration(604_800_000);
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000)
+    }
+
+    /// Creates a span of `mins` minutes.
+    pub const fn from_minutes(mins: u64) -> Self {
+        SimDuration(mins * 60_000)
+    }
+
+    /// Creates a span of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000)
+    }
+
+    /// Creates a span of `days` 24-hour days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400_000)
+    }
+
+    /// Creates a span from a whole-or-fractional number of seconds, rounding
+    /// to the nearest millisecond. Negative and non-finite inputs clamp to
+    /// zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1_000.0).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Creates a span from a fractional number of hours (clamping like
+    /// [`SimDuration::from_secs_f64`]).
+    pub fn from_hours_f64(hours: f64) -> Self {
+        Self::from_secs_f64(hours * 3_600.0)
+    }
+
+    /// The span in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole seconds, rounded down.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The span in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The span in minutes as a float.
+    pub fn as_minutes_f64(self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// The span in hours as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// `true` when the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Lesser of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Greater of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Subtraction that stops at zero instead of underflowing.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to the nearest
+    /// millisecond (clamping negatives and non-finite factors to zero).
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration(((self.0 as f64) * factor).round().min(u64::MAX as f64) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "SimDuration subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = u64;
+    /// How many whole `rhs` spans fit in `self`.
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<SimDuration> for SimTime {
+    type Output = SimDuration;
+    /// Offset of the instant within its containing `rhs`-sized window
+    /// (e.g. `t % SimDuration::DAY` is the time of day).
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / 1_000;
+        let ms = self.0 % 1_000;
+        let days = total_secs / 86_400;
+        let hours = (total_secs / 3_600) % 24;
+        let mins = (total_secs / 60) % 60;
+        let secs = total_secs % 60;
+        if days > 0 {
+            write!(f, "{days}d {hours:02}:{mins:02}:{secs:02}.{ms:03}")
+        } else {
+            write!(f, "{hours:02}:{mins:02}:{secs:02}.{ms:03}")
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ms", self.0)
+        } else if self.0 < 60_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 < 3_600_000 {
+            write!(f, "{:.2}min", self.as_minutes_f64())
+        } else {
+            write!(f, "{:.2}h", self.as_hours_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_secs(3_600));
+        assert_eq!(SimDuration::from_minutes(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_days(7), SimDuration::WEEK);
+        assert_eq!(SimDuration::from_hours(24), SimDuration::DAY);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(100);
+        let d = SimDuration::from_secs(40);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let early = SimTime::from_secs(10);
+        let late = SimTime::from_secs(20);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(10));
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(5)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1_500);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_hours_f64(0.5).as_minutes_f64(), 30.0);
+        let d = SimDuration::from_hours(3);
+        assert!((d.as_hours_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_clamps() {
+        let d = SimDuration::from_millis(1_000);
+        assert_eq!(d.mul_f64(2.5).as_millis(), 2_500);
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(0.0004).as_millis(), 0);
+    }
+
+    #[test]
+    fn align_down_buckets_instants() {
+        let t = SimTime::from_millis(3_700_123);
+        assert_eq!(t.align_down(SimDuration::HOUR), SimTime::from_millis(3_600_000));
+        assert_eq!(
+            SimTime::from_secs(59).align_down(SimDuration::MINUTE),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero step")]
+    fn align_down_rejects_zero_step() {
+        let _ = SimTime::from_secs(1).align_down(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_of_day_via_rem() {
+        let t = SimTime::from_hours(25);
+        assert_eq!(t % SimDuration::DAY, SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(0).to_string(), "00:00:00.000");
+        assert_eq!(
+            SimTime::from_hours(26).to_string(),
+            "1d 02:00:00.000"
+        );
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.000s");
+        assert_eq!(SimDuration::from_minutes(5).to_string(), "5.00min");
+        assert_eq!(SimDuration::from_hours(5).to_string(), "5.00h");
+    }
+
+    #[test]
+    fn duration_division_counts_whole_windows() {
+        assert_eq!(SimDuration::DAY / SimDuration::HOUR, 24);
+        assert_eq!(SimDuration::from_minutes(5) / SimDuration::from_minutes(2), 2);
+        assert_eq!(SimDuration::HOUR / 4, SimDuration::from_minutes(15));
+        assert_eq!(SimDuration::MINUTE * 60, SimDuration::HOUR);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimTime::MAX > SimTime::from_hours(1_000_000));
+        assert_eq!(
+            SimDuration::from_secs(9).max(SimDuration::from_secs(10)),
+            SimDuration::from_secs(10)
+        );
+        assert_eq!(
+            SimDuration::from_secs(9).min(SimDuration::from_secs(10)),
+            SimDuration::from_secs(9)
+        );
+    }
+}

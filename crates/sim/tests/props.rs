@@ -1,0 +1,164 @@
+//! Property-based tests for the simulation kernel's core invariants.
+
+use condor_sim::event::EventQueue;
+use condor_sim::rng::SimRng;
+use condor_sim::series::{BucketAccumulator, StepSeries};
+use condor_sim::stats::{percentile, Running};
+use condor_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always come out of the queue in non-decreasing time order,
+    /// and same-time events come out in insertion order.
+    #[test]
+    fn queue_delivery_is_chronological_and_stable(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), (t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_millis(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(i > li, "FIFO violated at equal timestamps");
+                }
+            }
+            last = Some((at, i));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_is_exact(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_millis(t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, tok) in &tokens {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(q.cancel(*tok));
+            } else {
+                expect.push(*i);
+            }
+        }
+        let mut delivered: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            delivered.push(i);
+        }
+        delivered.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(delivered, expect);
+    }
+
+    /// Welford accumulator matches the naive two-pass computation.
+    #[test]
+    fn running_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let r: Running = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((r.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((r.population_variance() - var).abs() <= 1e-4 * (1.0 + var));
+    }
+
+    /// Merging two accumulators equals accumulating the concatenation.
+    #[test]
+    fn running_merge_associativity(
+        a in prop::collection::vec(-1e3f64..1e3, 0..100),
+        b in prop::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut merged: Running = a.iter().copied().collect();
+        merged.merge(&b.iter().copied().collect());
+        let seq: Running = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), seq.count());
+        prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+        prop_assert!((merged.population_variance() - seq.population_variance()).abs() < 1e-6);
+    }
+
+    /// Percentile is bounded by min/max and monotone in q.
+    #[test]
+    fn percentile_bounds_and_monotonicity(xs in prop::collection::vec(0.0f64..1e4, 1..200)) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let p = percentile(&xs, q).unwrap();
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            prop_assert!(p >= prev - 1e-9, "percentile not monotone in q");
+            prev = p;
+        }
+    }
+
+    /// Time-weighted mean of a step series lies within [min, max] of its
+    /// values, and resampling conserves the overall mean.
+    #[test]
+    fn step_series_mean_bounds(changes in prop::collection::vec((1u64..100_000, 0.0f64..50.0), 1..50)) {
+        let mut s = StepSeries::new(0.0);
+        let mut t = 0u64;
+        let mut values = vec![0.0];
+        for (dt, v) in changes {
+            t += dt;
+            s.set(SimTime::from_millis(t), v);
+            values.push(v);
+        }
+        let end = SimTime::from_millis(t + 1_000);
+        let m = s.time_weighted_mean(SimTime::ZERO, end);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+
+        // Resampling onto any grid and averaging the cells reproduces the
+        // overall mean when cells are equal width and tile the window.
+        let step = SimDuration::from_millis(250);
+        let cells_end = end.align_down(step);
+        if cells_end > SimTime::ZERO {
+            let cells = s.resample_mean(SimTime::ZERO, cells_end, step);
+            let cell_mean = cells.iter().sum::<f64>() / cells.len() as f64;
+            let direct = s.time_weighted_mean(SimTime::ZERO, cells_end);
+            prop_assert!((cell_mean - direct).abs() < 1e-6);
+        }
+    }
+
+    /// Interval deposits conserve mass regardless of bucket alignment.
+    #[test]
+    fn bucket_deposits_conserve_mass(
+        intervals in prop::collection::vec((0u64..500_000, 1u64..500_000, 0.0f64..100.0), 1..40),
+        width_ms in 1u64..100_000,
+    ) {
+        let mut acc = BucketAccumulator::new(SimDuration::from_millis(width_ms));
+        let mut total = 0.0;
+        for (start, len, amount) in intervals {
+            acc.deposit_interval(
+                SimTime::from_millis(start),
+                SimTime::from_millis(start + len),
+                amount,
+            );
+            total += amount;
+        }
+        prop_assert!((acc.total() - total).abs() < 1e-6 * (1.0 + total));
+    }
+
+    /// Identical seeds yield identical streams; the substream derivation is
+    /// label-stable.
+    #[test]
+    fn rng_determinism(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut s1 = a.substream(seed, &label);
+        let mut s2 = b.substream(seed, &label);
+        for _ in 0..8 {
+            prop_assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! A month in the life of the department: the paper's full evaluation
+//! workload — 23 workstations, five users (one heavy, four light), 918
+//! jobs, ≈ 4800 CPU-hours of demand — reproduced end to end.
+//!
+//! Run with: `cargo run --release --example month_in_the_life`
+
+use condor::metrics::summary::{heavy_users, mean_wait_ratio, summarize};
+use condor::metrics::table::{num, Align, Table};
+use condor::workload::scenarios::paper_month;
+use condor::workload::trace::table1_rows;
+use condor::prelude::*;
+
+fn main() {
+    let scenario = paper_month(1988);
+    println!(
+        "simulating '{}': {} stations, {} jobs, {} horizon…",
+        scenario.name,
+        scenario.config.stations,
+        scenario.jobs.len(),
+        scenario.horizon
+    );
+    let rows = table1_rows(&scenario.jobs);
+    let started = std::time::Instant::now();
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    println!("…done in {:.0?} of real time\n", started.elapsed());
+
+    // Who asked for what (Table 1).
+    let mut t = Table::new(
+        vec!["User", "Jobs", "Mean demand (h)", "Share of demand"],
+        vec![Align::Left, Align::Right, Align::Right, Align::Right],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.user.to_string(),
+            r.jobs.to_string(),
+            num(r.mean_demand_hours, 1),
+            format!("{:.1}%", r.pct_demand),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // What the system delivered (§3).
+    let s = summarize(&out);
+    println!("jobs completed            : {}/{}", s.jobs_completed, s.jobs_submitted);
+    println!("station-hours available   : {:.0} (paper: 12438)", s.available_hours);
+    println!(
+        "CPU-hours scavenged       : {:.0} = {:.0} CPU-days (paper: ~200)",
+        s.consumed_hours,
+        s.consumed_hours / 24.0
+    );
+    println!(
+        "local / system utilization: {:.0}% / {:.0}% (paper: 25% local)",
+        s.local_utilization * 100.0,
+        s.system_utilization * 100.0
+    );
+    println!("mean leverage             : {:.0} (paper: ~1300)", s.mean_leverage);
+
+    // Fairness: the heavy user cannot monopolise.
+    let heavy = heavy_users(&out.jobs, 0.5);
+    let light_wait = mean_wait_ratio(&out.jobs, |j| !heavy.contains(&j.spec.user)).unwrap();
+    let heavy_wait = mean_wait_ratio(&out.jobs, |j| heavy.contains(&j.spec.user)).unwrap();
+    println!(
+        "wait ratios               : heavy {heavy_wait:.2} vs light {light_wait:.2} — the Up-Down shield"
+    );
+}

@@ -1,0 +1,298 @@
+//! The `condor` command-line tool: run the paper's scenarios, custom
+//! traces, and the live pool from a terminal.
+//!
+//! ```text
+//! condor month   [--seed N] [--policy P] [--stations N] [--history]
+//!                [--ckpt-server] [--failures MTBFH:MTTRH]
+//! condor week    [--seed N]
+//! condor fairness [--seed N]
+//! condor export-trace <file.csv> [--seed N]
+//! condor simulate <file.csv> [--stations N] [--days N] [--seed N]
+//! condor live    [--workers N]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use condor::metrics::summary::{mean_wait_ratio, summarize};
+use condor::metrics::table::{num, Align, Table};
+use condor::prelude::*;
+use condor::workload::scenarios::{fairness_duel, one_week, paper_month};
+use condor::workload::trace::{from_csv, to_csv};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "month" => cmd_month(rest),
+        "week" => cmd_week(rest),
+        "fairness" => cmd_fairness(rest),
+        "export-trace" => cmd_export_trace(rest),
+        "simulate" => cmd_simulate(rest),
+        "live" => cmd_live(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "condor — a hunter of idle workstations
+
+USAGE:
+  condor month    [--seed N] [--policy up-down|fifo|round-robin|random]
+                  [--stations N] [--history] [--ckpt-server]
+                  [--failures MTBFH:MTTRH]
+                  simulate the paper's one-month evaluation
+  condor week     [--seed N]
+                  simulate the one-week close-up (Figs. 6-7)
+  condor fairness [--seed N]
+                  heavy-vs-light duel across all policies
+  condor export-trace FILE.csv [--seed N]
+                  write the paper-month job trace as CSV
+  condor simulate FILE.csv [--stations N] [--days N] [--seed N]
+                  run a cluster over a CSV job trace
+  condor live     [--workers N]
+                  run the live threaded mini-Condor demo";
+
+/// Pulls `--flag value` out of an argument list.
+fn opt_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    } else {
+        Ok(None)
+    }
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match opt_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: {v:?}")),
+    }
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    Ok(match name {
+        "up-down" | "updown" => PolicyKind::UpDown(UpDownConfig::default()),
+        "fifo" => PolicyKind::Fifo,
+        "round-robin" | "rr" => PolicyKind::RoundRobin,
+        "random" => PolicyKind::Random,
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+fn print_summary(out: &condor::core::cluster::RunOutput) {
+    let s = summarize(out);
+    let mut t = Table::new(vec!["Metric", "Value"], vec![Align::Left, Align::Right]);
+    t.row(vec!["policy".into(), out.policy_name.clone()]);
+    t.row(vec!["stations".into(), s.stations.to_string()]);
+    t.row(vec!["horizon".into(), format!("{:.0} h", s.horizon_hours)]);
+    t.row(vec![
+        "jobs done".into(),
+        format!("{}/{}", s.jobs_completed, s.jobs_submitted),
+    ]);
+    t.row(vec!["available station-hours".into(), num(s.available_hours, 0)]);
+    t.row(vec!["consumed CPU-hours".into(), num(s.consumed_hours, 0)]);
+    t.row(vec![
+        "availability".into(),
+        format!("{:.0}%", s.availability * 100.0),
+    ]);
+    t.row(vec![
+        "local utilization".into(),
+        format!("{:.0}%", s.local_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "system utilization".into(),
+        format!("{:.0}%", s.system_utilization * 100.0),
+    ]);
+    t.row(vec!["mean wait ratio".into(), num(s.mean_wait_ratio, 2)]);
+    t.row(vec!["mean leverage".into(), num(s.mean_leverage, 0)]);
+    t.row(vec!["placements".into(), s.placements.to_string()]);
+    t.row(vec!["migrations".into(), s.migrations.to_string()]);
+    t.row(vec![
+        "owner preemptions".into(),
+        out.totals.preemptions_owner.to_string(),
+    ]);
+    t.row(vec![
+        "priority preemptions".into(),
+        out.totals.preemptions_priority.to_string(),
+    ]);
+    if out.totals.station_failures > 0 {
+        t.row(vec![
+            "station crashes".into(),
+            out.totals.station_failures.to_string(),
+        ]);
+        t.row(vec![
+            "crash rollbacks".into(),
+            out.totals.crash_rollbacks.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn cmd_month(args: &[String]) -> Result<(), String> {
+    let seed = opt_parse(args, "--seed", 1988u64)?;
+    let stations = opt_parse(args, "--stations", 23usize)?;
+    let mut scenario = paper_month(seed);
+    scenario.config.stations = stations.max(5); // homes 0..5 must exist
+    if let Some(p) = opt_value(args, "--policy")? {
+        scenario.config.policy = parse_policy(&p)?;
+    }
+    scenario.config.history_aware_placement = has_flag(args, "--history");
+    scenario.config.checkpoint_server = has_flag(args, "--ckpt-server");
+    if let Some(f) = opt_value(args, "--failures")? {
+        let (mtbf, mttr) = f
+            .split_once(':')
+            .ok_or_else(|| format!("--failures wants MTBFH:MTTRH, got {f:?}"))?;
+        scenario.config.failures = Some(condor::core::config::FailureConfig {
+            mtbf: SimDuration::from_hours(
+                mtbf.parse().map_err(|_| format!("bad MTBF {mtbf:?}"))?,
+            ),
+            mttr: SimDuration::from_hours(
+                mttr.parse().map_err(|_| format!("bad MTTR {mttr:?}"))?,
+            ),
+        });
+    }
+    let started = std::time::Instant::now();
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    println!(
+        "simulated one month of {} stations in {:.0?}\n",
+        out.stations,
+        started.elapsed()
+    );
+    print_summary(&out);
+    Ok(())
+}
+
+fn cmd_week(args: &[String]) -> Result<(), String> {
+    let seed = opt_parse(args, "--seed", 1988u64)?;
+    let scenario = one_week(seed);
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    print_summary(&out);
+    Ok(())
+}
+
+fn cmd_fairness(args: &[String]) -> Result<(), String> {
+    let seed = opt_parse(args, "--seed", 1988u64)?;
+    let mut t = Table::new(
+        vec!["Policy", "Light wait", "Heavy wait", "Preemptions"],
+        vec![Align::Left, Align::Right, Align::Right, Align::Right],
+    );
+    for policy in [
+        PolicyKind::UpDown(UpDownConfig::default()),
+        PolicyKind::Fifo,
+        PolicyKind::RoundRobin,
+        PolicyKind::Random,
+    ] {
+        let scenario = fairness_duel(seed, 10, 6);
+        let config = ClusterConfig { policy, ..scenario.config };
+        let out = run_cluster(config, scenario.jobs, scenario.horizon);
+        let light = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(1)).unwrap_or(f64::NAN);
+        let heavy = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(0)).unwrap_or(f64::NAN);
+        t.row(vec![
+            out.policy_name.clone(),
+            num(light, 2),
+            num(heavy, 2),
+            out.totals.preemptions_priority.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_export_trace(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".csv"))
+        .ok_or("export-trace needs a FILE.csv argument")?;
+    let seed = opt_parse(args, "--seed", 1988u64)?;
+    let scenario = paper_month(seed);
+    let csv = to_csv(&scenario.jobs);
+    std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote {} jobs to {path}", scenario.jobs.len());
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".csv"))
+        .ok_or("simulate needs a FILE.csv argument")?;
+    let seed = opt_parse(args, "--seed", 1988u64)?;
+    let stations = opt_parse(args, "--stations", 23usize)?;
+    let days = opt_parse(args, "--days", 30u64)?;
+    let csv = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let jobs = from_csv(&csv).map_err(|e| format!("parsing {path}: {e}"))?;
+    let max_home = jobs.iter().map(|j| j.home.as_usize()).max().unwrap_or(0);
+    if max_home >= stations {
+        return Err(format!(
+            "trace homes jobs at station {max_home}, but only {stations} stations configured"
+        ));
+    }
+    let config = ClusterConfig {
+        stations,
+        seed,
+        ..ClusterConfig::default()
+    };
+    let out = run_cluster(config, jobs, SimDuration::from_days(days));
+    print_summary(&out);
+    Ok(())
+}
+
+fn cmd_live(args: &[String]) -> Result<(), String> {
+    use condor::runtime::owners::OwnerSimulator;
+    use condor::runtime::program::{MonteCarloPi, PrimeCounter};
+    use condor::runtime::runtime::{Runtime, RuntimeConfig};
+
+    let workers = opt_parse(args, "--workers", 4usize)?;
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    });
+    println!("live pool: {workers} workers, owners driven by the paper's activity model");
+    let j1 = rt.submit(0, &PrimeCounter::new(200_000));
+    let j2 = rt.submit(1 % workers, &MonteCarloPi::new(7, 60_000_000));
+    let owners = OwnerSimulator::start(
+        rt.owner_flags(),
+        condor::model::owner::OwnerConfig::default(),
+        Duration::from_millis(10),
+        42,
+    );
+    let report = rt.run(Duration::from_secs(120));
+    let transitions = owners.stop();
+    println!("owner transitions  : {transitions}");
+    println!("interruptions      : {}", report.interruptions);
+    println!("in-place resumes   : {}", report.resumes_in_place);
+    println!("eviction migrations: {}", report.migrations);
+    if report.unfinished.is_empty() {
+        let primes = u64::from_le_bytes(report.results[&j1].clone().try_into().unwrap());
+        let pi = &report.results[&j2];
+        let inside = u64::from_le_bytes(pi[..8].try_into().unwrap());
+        let total = u64::from_le_bytes(pi[8..].try_into().unwrap());
+        println!("primes below 200000: {primes}");
+        println!("π estimate         : {:.5}", 4.0 * inside as f64 / total as f64);
+    } else {
+        println!("unfinished (deadline): {:?}", report.unfinished);
+    }
+    rt.shutdown();
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Feature-composition soak test: every extension enabled at once.
+//!
+//! The individual features (failures, reservations, mixed architectures,
+//! gangs, dependency DAGs, checkpoint server, history-aware placement)
+//! each have focused tests; this one turns them ALL on in a single long
+//! run and checks the global invariants still hold. Interactions between
+//! features are where schedulers rot.
+
+use condor::core::config::{FailureConfig, Reservation};
+use condor::core::trace::TraceKind;
+use condor::model::station::{Arch, ArchSet};
+use condor::prelude::*;
+use condor_workload::dag::DagBuilder;
+
+fn build_everything() -> (ClusterConfig, Vec<JobSpec>) {
+    let config = ClusterConfig {
+        stations: 12,
+        seed: 4242,
+        arch_pattern: vec![Arch::Vax, Arch::Sun],
+        history_aware_placement: true,
+        checkpoint_server: true,
+        failures: Some(FailureConfig {
+            mtbf: SimDuration::from_days(4),
+            mttr: SimDuration::from_hours(2),
+        }),
+        reservations: vec![Reservation {
+            holder: NodeId::new(1),
+            machines: 2,
+            from: SimTime::from_hours(72),
+            until: SimTime::from_hours(84),
+        }],
+        ..ClusterConfig::default()
+    };
+
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    // A flood of ordinary jobs, mixed binaries.
+    for i in 0..30u64 {
+        jobs.push(JobSpec {
+            id: JobId(i),
+            user: UserId(0),
+            home: NodeId::new(0),
+            arrival: SimTime::from_hours(i % 48),
+            demand: SimDuration::from_hours(2 + i % 6),
+            image_bytes: 300_000 + (i % 5) * 150_000,
+            syscalls_per_cpu_sec: 0.5 + (i % 3) as f64,
+            binaries: if i % 3 == 0 { ArchSet::both() } else { ArchSet::vax_only() },
+            depends_on: Vec::new(),
+            width: 1,
+        });
+    }
+    // The reservation holder's batch, timed for its window.
+    for k in 0..4u64 {
+        jobs.push(JobSpec {
+            id: JobId(30 + k),
+            user: UserId(1),
+            home: NodeId::new(1),
+            arrival: SimTime::from_hours(72),
+            demand: SimDuration::from_hours(2),
+            image_bytes: 400_000,
+            syscalls_per_cpu_sec: 1.0,
+            binaries: ArchSet::both(),
+            depends_on: Vec::new(),
+            width: 1,
+        });
+    }
+    // A workflow with a gang in the middle (prep → width-3 gang → report),
+    // dual-binary so the mixed fleet can host it.
+    let mut dag = DagBuilder::new(2, 2);
+    dag.first_id(34);
+    dag.arriving_at(SimTime::from_hours(5));
+    let prep = dag.job(SimDuration::HOUR, &[]);
+    let sim = dag.gang(3, SimDuration::from_hours(5), &[prep]);
+    let _report = dag.job(SimDuration::HOUR, &[sim]);
+    let mut dag_jobs = dag.build();
+    for j in &mut dag_jobs {
+        j.binaries = ArchSet::both();
+    }
+    jobs.extend(dag_jobs);
+    (config, jobs)
+}
+
+#[test]
+fn everything_on_at_once_still_upholds_the_guarantees() {
+    let (config, jobs) = build_everything();
+    let n = jobs.len();
+    let out = run_cluster(config, jobs, SimDuration::from_days(30));
+
+    // 1. The §1 guarantee: every admitted job completes (30 days is ample
+    //    slack for ~120 h of work on 12 machines).
+    let admitted = out.jobs.iter().filter(|j| !j.rejected).count();
+    assert_eq!(admitted, n, "checkpoint server means nothing bounces");
+    assert_eq!(
+        out.completed_jobs().count(),
+        n,
+        "incomplete: {:?} (totals {:?})",
+        out.jobs
+            .iter()
+            .filter(|j| j.state != JobState::Completed)
+            .map(|j| (j.spec.id, j.state))
+            .collect::<Vec<_>>(),
+        out.totals
+    );
+
+    // 2. Exact work conservation, everywhere.
+    for j in &out.jobs {
+        assert_eq!(j.work_done, j.spec.demand, "{}", j.spec.id);
+        assert!(j.remote_cpu >= j.work_done, "{}", j.spec.id);
+    }
+
+    // 3. The workflow ran in order, and the gang consumed 3× its work.
+    let t = |id: u64| out.jobs[id as usize].completed_at.unwrap();
+    assert!(t(34) < t(35) && t(35) < t(36), "workflow order");
+    let gang = &out.jobs[35];
+    assert_eq!(gang.remote_cpu, gang.work_done * 3);
+
+    // 4. VAX-only jobs never started on SUN machines (odd indices).
+    for ev in out.trace.events() {
+        if let TraceKind::JobStarted { job, on } = ev.kind {
+            if !out.jobs[job.0 as usize].spec.binaries.supports(Arch::Sun) {
+                assert_eq!(on.index() % 2, 0, "{job} on SUN station {on}");
+            }
+        }
+    }
+
+    // 5. The reserved batch finished within its window.
+    for k in 30..34u64 {
+        let done = out.jobs[k as usize].completed_at.unwrap();
+        assert!(
+            done <= SimTime::from_hours(84),
+            "reserved job {k} finished at {done}"
+        );
+    }
+
+    // 6. Crashes happened and were survived.
+    assert!(out.totals.station_failures > 0, "{:?}", out.totals);
+
+    // 7. Utilization ledgers never overdraw a machine.
+    for u in out.system_utilization_hourly() {
+        assert!(u <= 1.0 + 1e-9, "hourly utilization {u}");
+    }
+
+    // 8. Determinism with everything on.
+    let (config2, jobs2) = build_everything();
+    let out2 = run_cluster(config2, jobs2, SimDuration::from_days(30));
+    assert_eq!(out.totals, out2.totals);
+    assert_eq!(out.trace.len(), out2.trace.len());
+}
