@@ -1,0 +1,236 @@
+//! Machine-readable benchmark snapshot: `BENCH_cluster.json`.
+//!
+//! Times the same scenarios as the Criterion benches (`cluster`, `engine`,
+//! `updown`) with plain wall-clock measurement and writes one JSON file so
+//! regressions are diffable in review. The engine and cluster rows also
+//! report events/sec — the discrete-event kernel's throughput, which is
+//! what the event-queue fast path is meant to move.
+//!
+//! Run with: `cargo run --release -p condor-bench --bin bench_report`
+//! Writes `BENCH_cluster.json` in the working directory (override with
+//! `BENCH_REPORT_PATH`).
+
+use std::time::{Duration, Instant};
+
+use condor_core::cluster::run_cluster;
+use condor_core::config::ClusterConfig;
+use condor_core::job::{JobId, JobSpec, UserId};
+use condor_core::policy::{AllocationPolicy, StationView};
+use condor_core::updown::{UpDown, UpDownConfig};
+use condor_net::NodeId;
+use condor_sim::engine::{Engine, Model, Scheduler};
+use condor_sim::time::{SimDuration, SimTime};
+
+/// One measured scenario: wall-clock per iteration, plus event throughput
+/// where the scenario dispatches simulation events.
+struct Row {
+    name: String,
+    iters: u64,
+    wall_ms_per_iter: f64,
+    events_per_iter: Option<u64>,
+}
+
+impl Row {
+    fn events_per_sec(&self) -> Option<f64> {
+        self.events_per_iter
+            .map(|e| e as f64 / (self.wall_ms_per_iter / 1_000.0))
+    }
+}
+
+/// Runs `f` repeatedly for at least `budget`, returning (iterations, mean
+/// per-iteration wall time in ms, events per iteration). `f` returns the
+/// number of simulation events it dispatched (0 for non-event scenarios).
+fn measure(budget: Duration, mut f: impl FnMut() -> u64) -> (u64, f64, u64) {
+    let events = f(); // warm-up iteration, also records the event count
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() * 1_000.0 / iters as f64;
+    (iters, per_iter, events)
+}
+
+fn jobs(n: u64, image_bytes: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| JobSpec {
+            id: JobId(i),
+            user: UserId((i % 3) as u32),
+            home: NodeId::new((i % 5) as u32),
+            arrival: SimTime::from_secs(i * 13 * 60),
+            demand: SimDuration::from_hours(1 + i % 4),
+            image_bytes,
+            syscalls_per_cpu_sec: 0.5,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+        })
+        .collect()
+}
+
+fn cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        stations: 23,
+        record_trace: false,
+        ..ClusterConfig::default()
+    }
+}
+
+struct PingPong {
+    remaining: u64,
+}
+
+impl Model for PingPong {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(SimDuration::MILLISECOND, ev.wrapping_add(1));
+        }
+    }
+}
+
+fn make_views(n: usize) -> (Vec<StationView>, Vec<NodeId>) {
+    let views: Vec<StationView> = (0..n)
+        .map(|i| StationView {
+            node: NodeId::new(i as u32),
+            can_host: i % 3 == 0,
+            hosting_for: (i % 3 == 1).then(|| NodeId::new((i % 7) as u32)),
+            waiting_jobs: if i % 5 == 0 { 4 } else { 0 },
+        })
+        .collect();
+    let free = views.iter().filter(|v| v.can_host).map(|v| v.node).collect();
+    (views, free)
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Scenario names are ASCII identifiers with slashes — assert rather
+    // than implement escaping nobody needs.
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || "/_-.".contains(c)),
+        "scenario name {name:?} would need JSON escaping"
+    );
+    name
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"suite\": \"condor-bench\",\n");
+    s.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"name\": \"{}\", ", json_escape_free(&r.name)));
+        s.push_str(&format!("\"iters\": {}, ", r.iters));
+        s.push_str(&format!("\"wall_ms_per_iter\": {:.3}", r.wall_ms_per_iter));
+        if let Some(e) = r.events_per_iter {
+            s.push_str(&format!(", \"events_per_iter\": {e}"));
+            s.push_str(&format!(", \"events_per_sec\": {:.0}", r.events_per_sec().unwrap()));
+        }
+        s.push('}');
+        if i + 1 < rows.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let budget = Duration::from_millis(
+        std::env::var("BENCH_REPORT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300),
+    );
+    let mut rows = Vec::new();
+
+    // cluster: full-model simulation speed (as in benches/cluster.rs).
+    for days in [1u64, 7] {
+        let (iters, ms, events) = measure(budget, || {
+            let out = run_cluster(cluster_config(), jobs(40, 500_000), SimDuration::from_days(days));
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: format!("cluster/simulate_days/{days}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+    for mb in [1u64, 4] {
+        let (iters, ms, events) = measure(budget, || {
+            let out = run_cluster(cluster_config(), jobs(20, mb * 1_000_000), SimDuration::from_days(1));
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: format!("cluster/image_mb/{mb}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+
+    // engine: raw dispatch throughput (as in benches/engine.rs).
+    for n in [1_000u64, 100_000] {
+        let (iters, ms, events) = measure(budget, || {
+            let mut eng = Engine::new(PingPong { remaining: n });
+            eng.scheduler().at(SimTime::ZERO, 0u32);
+            eng.run_to_completion();
+            eng.events_dispatched()
+        });
+        rows.push(Row {
+            name: format!("engine/dispatch/{n}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+    let (iters, ms, _) = measure(budget, || {
+        let mut q = condor_sim::event::EventQueue::new();
+        let tokens: Vec<_> = (0..10_000u64)
+            .map(|i| q.schedule(SimTime::from_millis(i % 977), i))
+            .collect();
+        for t in tokens.iter().step_by(2) {
+            q.cancel(*t);
+        }
+        let mut n = 0u64;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        n
+    });
+    rows.push(Row {
+        name: "engine/schedule_cancel_10k".into(),
+        iters,
+        wall_ms_per_iter: ms,
+        events_per_iter: Some(10_000),
+    });
+
+    // updown: one poll decision at three fleet sizes (as in benches/updown.rs).
+    for n in [23usize, 100, 1_000] {
+        let (views, free) = make_views(n);
+        let mut policy = UpDown::new(UpDownConfig::default());
+        let (iters, ms, _) = measure(budget, || {
+            let orders = policy.decide(SimTime::ZERO, &views, &free, 1);
+            orders.len() as u64
+        });
+        rows.push(Row {
+            name: format!("updown_decide/{n}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: None,
+        });
+    }
+
+    let json = render_json(&rows);
+    let path = std::env::var("BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_cluster.json".into());
+    std::fs::write(&path, &json).expect("write benchmark report");
+    println!("{json}");
+    println!("wrote {path}");
+}

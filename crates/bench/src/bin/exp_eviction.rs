@@ -10,6 +10,7 @@
 use condor_bench::EXPERIMENT_SEED;
 use condor_core::cluster::run_cluster;
 use condor_core::config::{ClusterConfig, EvictionStrategy};
+use condor_metrics::replicate::par_map;
 use condor_metrics::table::{num, Align, Table};
 use condor_sim::time::SimDuration;
 use condor_workload::scenarios::paper_month;
@@ -56,10 +57,14 @@ fn main() {
     );
     let mut grace_lost = f64::NAN;
     let mut kill_lost = f64::NAN;
-    for (name, eviction) in strategies {
+    // One month-long simulation per strategy — run them on parallel threads.
+    let runs = par_map(&strategies, |&(_, eviction)| {
         let scenario = paper_month(EXPERIMENT_SEED);
         let config = ClusterConfig { eviction, ..scenario.config };
-        let out = run_cluster(config, scenario.jobs, scenario.horizon);
+        run_cluster(config, scenario.jobs, scenario.horizon)
+    });
+    for ((name, _), out) in strategies.iter().zip(&runs) {
+        let name = *name;
         let lost_h: f64 = out.jobs.iter().map(|j| j.work_lost.as_hours_f64()).sum();
         t.row(vec![
             name.into(),

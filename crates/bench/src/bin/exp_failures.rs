@@ -12,6 +12,7 @@
 use condor_bench::{run_scenario, EXPERIMENT_SEED};
 use condor_core::cluster::run_cluster;
 use condor_core::config::{ClusterConfig, FailureConfig};
+use condor_metrics::replicate::par_map;
 use condor_metrics::summary::summarize;
 use condor_metrics::table::{num, Align, Table};
 use condor_model::station::StationProfile;
@@ -55,20 +56,12 @@ fn main() {
             }),
         ),
     ];
-    for (name, failures) in sweeps {
+    // Each sweep point needs two month-long runs (observed + extended
+    // horizon); all eight simulations run across parallel threads.
+    let runs = par_map(&sweeps, |&(_, failures)| {
         let scenario = paper_month(EXPERIMENT_SEED);
         let config = ClusterConfig { failures, ..scenario.config };
         let out = run_cluster(config.clone(), scenario.jobs.clone(), scenario.horizon);
-        let s = summarize(&out);
-        let redone: f64 = out.jobs.iter().map(|j| j.work_lost.as_hours_f64()).sum();
-        t.row(vec![
-            name.into(),
-            out.totals.station_failures.to_string(),
-            out.totals.crash_rollbacks.to_string(),
-            num(redone, 1),
-            format!("{}/{}", s.jobs_completed, s.jobs_submitted),
-            num(s.mean_wait_ratio, 2),
-        ]);
         // The guarantee is *eventual* completion: redone work can push a
         // late straggler past the 30-day observation window, but with a
         // little more time everything finishes.
@@ -77,6 +70,19 @@ fn main() {
             scenario.jobs,
             scenario.horizon + SimDuration::from_days(10),
         );
+        (out, extended)
+    });
+    for ((name, _), (out, extended)) in sweeps.iter().zip(&runs) {
+        let s = summarize(out);
+        let redone: f64 = out.jobs.iter().map(|j| j.work_lost.as_hours_f64()).sum();
+        t.row(vec![
+            (*name).into(),
+            out.totals.station_failures.to_string(),
+            out.totals.crash_rollbacks.to_string(),
+            num(redone, 1),
+            format!("{}/{}", s.jobs_completed, s.jobs_submitted),
+            num(s.mean_wait_ratio, 2),
+        ]);
         let done = extended.completed_jobs().count();
         let admitted = extended.jobs.iter().filter(|j| !j.rejected).count();
         assert_eq!(
@@ -93,15 +99,18 @@ fn main() {
         vec!["Home disk", "Ckpt server", "Rejected at submit", "Done"],
         vec![Align::Left, Align::Right, Align::Right, Align::Right],
     );
-    for (disk, server) in [(4_000_000u64, false), (4_000_000, true), (100_000_000, false)] {
+    let disk_setups = [(4_000_000u64, false), (4_000_000, true), (100_000_000, false)];
+    let disk_runs = par_map(&disk_setups, |&(disk, server)| {
         let scenario = paper_month(EXPERIMENT_SEED);
         let config = ClusterConfig {
             station: StationProfile::new(1.0, disk),
             checkpoint_server: server,
             ..scenario.config
         };
-        let out = run_cluster(config, scenario.jobs, scenario.horizon);
-        let s = summarize(&out);
+        run_cluster(config, scenario.jobs, scenario.horizon)
+    });
+    for (&(disk, server), out) in disk_setups.iter().zip(&disk_runs) {
+        let s = summarize(out);
         t2.row(vec![
             format!("{} MB", disk / 1_000_000),
             if server { "yes" } else { "no" }.into(),

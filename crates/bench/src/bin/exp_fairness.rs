@@ -12,6 +12,7 @@ use condor_core::cluster::run_cluster;
 use condor_core::config::{ClusterConfig, PolicyKind};
 use condor_core::job::UserId;
 use condor_core::updown::UpDownConfig;
+use condor_metrics::replicate::par_map;
 use condor_metrics::summary::mean_wait_ratio;
 use condor_metrics::table::{num, Align, Table};
 use condor_workload::scenarios::fairness_duel;
@@ -36,13 +37,16 @@ fn main() {
     );
     let mut updown_light = f64::NAN;
     let mut worst_baseline_light = 0.0f64;
-    for policy in policies {
+    // The four policy runs are independent — one thread each.
+    let runs = par_map(&policies, |policy| {
         let scenario = fairness_duel(EXPERIMENT_SEED, 10, 6);
         let config = ClusterConfig {
-            policy,
+            policy: *policy,
             ..scenario.config
         };
-        let out = run_cluster(config, scenario.jobs, scenario.horizon);
+        run_cluster(config, scenario.jobs, scenario.horizon)
+    });
+    for (policy, out) in policies.iter().zip(&runs) {
         let light_wait = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(1)).unwrap_or(f64::NAN);
         let heavy_wait = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(0)).unwrap_or(f64::NAN);
         let light_done = out

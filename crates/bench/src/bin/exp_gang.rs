@@ -11,13 +11,16 @@
 //! machines, get interrupted more often (any of k owners), and burn more
 //! transfer support per unit of work.
 //!
+//! Each width's seeds are simulated once, in parallel (one seed per
+//! thread); all metrics and the completion check read the same outputs.
+//!
 //! Run with: `cargo run --release -p condor-bench --bin exp_gang`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::{run_cluster, RunOutput};
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
-use condor_metrics::replicate::replicate;
+use condor_metrics::replicate::{par_map, MeanCi};
 use condor_metrics::table::{num, Align, Table};
 use condor_net::NodeId;
 use condor_sim::time::{SimDuration, SimTime};
@@ -42,6 +45,10 @@ fn workload(width: u32) -> Vec<JobSpec> {
         .collect()
 }
 
+fn ci(outs: &[RunOutput], metric: impl Fn(&RunOutput) -> f64) -> MeanCi {
+    MeanCi::from_values(&outs.iter().map(metric).collect::<Vec<_>>())
+}
+
 fn main() {
     println!("== §5(2): gang scheduling — 96 machine-hours at widths 1..8, 12 stations ==");
     let seeds: Vec<u64> = (0..6).map(|i| EXPERIMENT_SEED + i).collect();
@@ -58,35 +65,27 @@ fn main() {
     );
     let mut turnarounds = Vec::new();
     for width in [1u32, 2, 4, 8] {
-        let run_one = |seed: u64, metric: &dyn Fn(&condor_core::cluster::RunOutput) -> f64| {
+        let outs = par_map(&seeds, |&seed| {
             let config = ClusterConfig {
                 stations: 12,
                 seed,
                 ..ClusterConfig::default()
             };
-            let out = run_cluster(config, workload(width), SimDuration::from_days(20));
-            metric(&out)
-        };
-        let turnaround = replicate(&seeds, |s| {
-            run_one(s, &|o| {
-                o.completed_jobs()
-                    .map(|j| j.turnaround().unwrap().as_hours_f64())
-                    .sum::<f64>()
-                    / o.completed_jobs().count().max(1) as f64
-            })
+            run_cluster(config, workload(width), SimDuration::from_days(20))
         });
-        let interrupts =
-            replicate(&seeds, |s| run_one(s, &|o| o.totals.preemptions_owner as f64));
-        let migrations = replicate(&seeds, |s| run_one(s, &|o| o.totals.migrations as f64));
-        let leverage = replicate(&seeds, |s| {
-            run_one(s, &|o| {
-                condor_metrics::summary::mean_leverage(&o.jobs, |_| true).unwrap_or(0.0)
-            })
+        let turnaround = ci(&outs, |o| {
+            o.completed_jobs()
+                .map(|j| j.turnaround().unwrap().as_hours_f64())
+                .sum::<f64>()
+                / o.completed_jobs().count().max(1) as f64
+        });
+        let interrupts = ci(&outs, |o| o.totals.preemptions_owner as f64);
+        let migrations = ci(&outs, |o| o.totals.migrations as f64);
+        let leverage = ci(&outs, |o| {
+            condor_metrics::summary::mean_leverage(&o.jobs, |_| true).unwrap_or(0.0)
         });
         // Completion check across all seeds.
-        for &s in &seeds {
-            let config = ClusterConfig { stations: 12, seed: s, ..ClusterConfig::default() };
-            let out = run_cluster(config, workload(width), SimDuration::from_days(20));
+        for (&s, out) in seeds.iter().zip(&outs) {
             assert_eq!(
                 out.completed_jobs().count() as u64,
                 8 / u64::from(width),

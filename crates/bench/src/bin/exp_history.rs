@@ -6,30 +6,39 @@
 //! coordinator optionally ranks free machines by an EWMA of their past
 //! idle-interval lengths; this experiment measures the effect.
 //!
+//! Replications run in parallel (one seed per thread, see
+//! `condor_metrics::replicate`); each seed is simulated once and all four
+//! metrics are read off the same outputs.
+//!
 //! Run with: `cargo run --release -p condor-bench --bin exp_history`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::{run_cluster, RunOutput};
 use condor_core::config::ClusterConfig;
-use condor_metrics::replicate::{replicate, MeanCi};
+use condor_metrics::replicate::{par_map, MeanCi};
 use condor_metrics::table::{Align, Table};
 use condor_workload::scenarios::paper_month;
 
 const SEEDS: [u64; 8] = [EXPERIMENT_SEED, 7, 42, 1234, 9, 77, 4096, 31337];
 
-fn run_metric(aware: bool, metric: impl Fn(&condor_core::cluster::RunOutput) -> f64) -> MeanCi {
-    replicate(&SEEDS, |seed| {
+/// One full replication set: every seed simulated once, in parallel,
+/// results in seed order.
+fn run_all(aware: bool) -> Vec<RunOutput> {
+    par_map(&SEEDS, |&seed| {
         let scenario = paper_month(seed);
         let config = ClusterConfig {
             history_aware_placement: aware,
             ..scenario.config
         };
-        let out = run_cluster(config, scenario.jobs, scenario.horizon);
-        metric(&out)
+        run_cluster(config, scenario.jobs, scenario.horizon)
     })
 }
 
-fn long_job_moves(out: &condor_core::cluster::RunOutput) -> f64 {
+fn ci(outs: &[RunOutput], metric: impl Fn(&RunOutput) -> f64) -> MeanCi {
+    MeanCi::from_values(&outs.iter().map(metric).collect::<Vec<_>>())
+}
+
+fn long_job_moves(out: &RunOutput) -> f64 {
     let long: Vec<&condor_core::job::Job> = out
         .jobs
         .iter()
@@ -55,12 +64,13 @@ fn main() {
     );
     let mut long_moves = Vec::new();
     for (name, aware) in [("id-order (paper)", false), ("history-aware", true)] {
-        let migs = run_metric(aware, |o| o.totals.migrations as f64);
-        let moves = run_metric(aware, long_job_moves);
-        let lev = run_metric(aware, |o| {
+        let outs = run_all(aware);
+        let migs = ci(&outs, |o| o.totals.migrations as f64);
+        let moves = ci(&outs, long_job_moves);
+        let lev = ci(&outs, |o| {
             condor_metrics::summary::mean_leverage(&o.jobs, |_| true).unwrap_or(0.0)
         });
-        let wait = run_metric(aware, |o| {
+        let wait = ci(&outs, |o| {
             condor_metrics::summary::mean_wait_ratio(&o.jobs, |_| true).unwrap_or(0.0)
         });
         t.row(vec![

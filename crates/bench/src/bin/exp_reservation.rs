@@ -13,6 +13,7 @@ use condor_core::cluster::run_cluster;
 use condor_core::config::{ClusterConfig, PolicyKind, Reservation};
 use condor_core::job::{JobId, JobSpec, JobState, UserId};
 use condor_core::updown::UpDownConfig;
+use condor_metrics::replicate::par_map;
 use condor_metrics::table::{num, Align, Table};
 use condor_net::NodeId;
 use condor_sim::time::{SimDuration, SimTime};
@@ -103,20 +104,22 @@ fn main() {
         vec![Align::Left, Align::Right, Align::Right, Align::Right],
     );
     let mut in_window = Vec::new();
-    for (policy, reserve, label) in [
+    let setups = [
         (PolicyKind::UpDown(UpDownConfig::default()), false, "up-down, no reservation"),
         (PolicyKind::UpDown(UpDownConfig::default()), true, "up-down + reservation"),
         (PolicyKind::Fifo, false, "fifo, no reservation"),
         (PolicyKind::Fifo, true, "fifo + reservation"),
-    ] {
-        let (_, wait, done, placements) = run(policy, reserve);
+    ];
+    // The four setups are independent simulations — one thread each.
+    let results = par_map(&setups, |&(policy, reserve, _)| run(policy, reserve));
+    for ((_, _, label), (_, wait, done, placements)) in setups.iter().zip(&results) {
         t.row(vec![
-            label.into(),
-            num(wait, 2),
+            (*label).into(),
+            num(*wait, 2),
             format!("{done}/6"),
             placements.to_string(),
         ]);
-        in_window.push(done);
+        in_window.push(*done);
     }
     println!("{}", t.render());
     println!("the reservation guarantees the experiment window even under FIFO, where the");

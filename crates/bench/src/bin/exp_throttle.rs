@@ -17,6 +17,7 @@ use condor_core::cluster::run_cluster;
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
 use condor_core::trace::TraceKind;
+use condor_metrics::replicate::par_map;
 use condor_metrics::table::{num, Align, Table};
 use condor_model::diurnal::DiurnalProfile;
 use condor_model::owner::OwnerConfig;
@@ -51,7 +52,9 @@ fn main() {
         ],
         vec![Align::Left, Align::Right, Align::Right, Align::Right],
     );
-    for budget in [1usize, 4, 20] {
+    let budgets = [1usize, 4, 20];
+    // Independent day-long runs — one thread per placement budget.
+    let runs = par_map(&budgets, |&budget| {
         let config = ClusterConfig {
             stations: 23,
             seed: EXPERIMENT_SEED,
@@ -62,7 +65,9 @@ fn main() {
             },
             ..ClusterConfig::default()
         };
-        let out = run_cluster(config, burst_jobs(20), SimDuration::from_days(1));
+        run_cluster(config, burst_jobs(20), SimDuration::from_days(1))
+    });
+    for (&budget, out) in budgets.iter().zip(&runs) {
         // Placement instants → burst window and per-minute local CPU.
         let starts: Vec<SimTime> = out
             .trace

@@ -5,9 +5,24 @@
 //! instant are delivered in the order they were scheduled. This makes
 //! simulation runs fully deterministic for a given seed — there is no
 //! dependence on heap internals or hash ordering.
+//!
+//! # Cancellation without hashing
+//!
+//! Sequence numbers are dense (0, 1, 2, …), so per-event bookkeeping lives
+//! in a ring buffer of one-byte states indexed by `seq - base` rather than
+//! in hash sets. `base` advances over the settled prefix as old events
+//! retire, keeping the ring proportional to the number of *outstanding*
+//! events. Schedule, cancel, and pop therefore touch no hasher at all and
+//! allocate only when the heap or ring grows past its high-water mark.
+//!
+//! Cancellation is lazy — a cancelled event stays in the heap until it
+//! surfaces — but the head of the heap is kept live eagerly (cancelled
+//! entries are drained whenever they reach the top). That *head-live
+//! invariant* is what lets [`EventQueue::peek_time`] take `&self` and run
+//! in O(1).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -42,11 +57,20 @@ impl<E> PartialEq for Scheduled<E> {
 }
 impl<E> Eq for Scheduled<E> {}
 
+/// Scheduled, in the heap, will be delivered unless cancelled.
+const PENDING: u8 = 0;
+/// Cancelled while still physically in the heap; dropped when it surfaces.
+const CANCELLED: u8 = 1;
+/// Delivered, or cancelled and already drained from the heap.
+const SETTLED: u8 = 2;
+
 /// A future-event list with deterministic FIFO tie-breaking and O(log n)
 /// insert/pop.
 ///
-/// Cancellation is *lazy*: [`EventQueue::cancel`] marks the token and the
-/// event is silently dropped when it reaches the head of the heap.
+/// Cancellation is *lazy*: [`EventQueue::cancel`] marks the event's state
+/// slot and the entry is silently dropped when it reaches the head of the
+/// heap. The head itself is always live, so [`EventQueue::peek_time`] is a
+/// pure O(1) read.
 ///
 /// # Examples
 ///
@@ -64,11 +88,13 @@ impl<E> Eq for Scheduled<E> {}
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    /// Seqs scheduled but not yet fired or cancelled.
-    live: std::collections::HashSet<u64>,
-    /// Seqs cancelled but still physically in the heap.
-    cancelled: std::collections::HashSet<u64>,
-    scheduled_total: u64,
+    /// Per-event state, indexed by `seq - base`. Slot `i` describes the
+    /// event with sequence number `base + i`.
+    state: VecDeque<u8>,
+    /// Sequence number of `state[0]`; everything below is settled.
+    base: u64,
+    /// Count of PENDING slots (the queue's logical length).
+    pending: usize,
     cancelled_total: u64,
 }
 
@@ -78,9 +104,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
-            scheduled_total: 0,
+            state: VecDeque::new(),
+            base: 0,
+            pending: 0,
             cancelled_total: 0,
         }
     }
@@ -90,8 +116,8 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled_total += 1;
-        self.live.insert(seq);
+        self.state.push_back(PENDING);
+        self.pending += 1;
         self.heap.push(Scheduled { at, seq, event });
         EventToken(seq)
     }
@@ -101,58 +127,86 @@ impl<E> EventQueue<E> {
     /// that already fired or was already cancelled is a no-op returning
     /// `false`.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if !self.live.remove(&token.0) {
+        let Some(slot) = self.slot_mut(token.0) else {
+            return false;
+        };
+        if *slot != PENDING {
             return false;
         }
-        self.cancelled.insert(token.0);
+        *slot = CANCELLED;
+        self.pending -= 1;
         self.cancelled_total += 1;
+        self.clean_head();
         true
     }
 
-    /// Removes and returns the earliest pending event, skipping cancelled
-    /// ones. Returns `None` when the queue is exhausted.
+    /// Removes and returns the earliest pending event. Returns `None` when
+    /// the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(s) = self.heap.pop() {
-            if self.cancelled.remove(&s.seq) {
-                continue;
-            }
-            self.live.remove(&s.seq);
-            return Some((s.at, s.event));
-        }
-        None
+        // The head-live invariant means the top of the heap, if any, is
+        // PENDING — no skip loop needed here.
+        let s = self.heap.pop()?;
+        debug_assert_eq!(self.state[(s.seq - self.base) as usize], PENDING);
+        self.settle(s.seq);
+        self.pending -= 1;
+        self.clean_head();
+        Some((s.at, s.event))
     }
 
-    /// The timestamp of the next non-cancelled event, without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            let seq = self.heap.peek()?.seq;
-            if self.cancelled.contains(&seq) {
-                let s = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&s.seq);
-            } else {
-                return Some(self.heap.peek()?.at);
-            }
-        }
+    /// The timestamp of the next pending event, without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // Head-live invariant: the heap top is never cancelled.
+        self.heap.peek().map(|s| s.at)
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.pending
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.pending == 0
     }
 
     /// Total events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.next_seq
     }
 
     /// Total events ever cancelled on this queue.
     pub fn cancelled_total(&self) -> u64 {
         self.cancelled_total
+    }
+
+    /// Restores the head-live invariant: drains cancelled entries off the
+    /// top of the heap and compacts the settled prefix of the state ring.
+    fn clean_head(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            let idx = (top.seq - self.base) as usize;
+            if self.state[idx] != CANCELLED {
+                break;
+            }
+            let s = self.heap.pop().expect("peeked entry vanished");
+            self.settle(s.seq);
+        }
+        // Amortized O(1): each slot is pushed and popped exactly once over
+        // the queue's lifetime.
+        while self.state.front() == Some(&SETTLED) {
+            self.state.pop_front();
+            self.base += 1;
+        }
+    }
+
+    fn settle(&mut self, seq: u64) {
+        self.state[(seq - self.base) as usize] = SETTLED;
+    }
+
+    /// The state slot for `seq`, or `None` for settled-and-compacted or
+    /// never-issued sequence numbers.
+    fn slot_mut(&mut self, seq: u64) -> Option<&mut u8> {
+        let idx = seq.checked_sub(self.base)?;
+        self.state.get_mut(idx as usize)
     }
 }
 
@@ -160,7 +214,7 @@ impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("pending", &self.len())
-            .field("scheduled_total", &self.scheduled_total)
+            .field("scheduled_total", &self.scheduled_total())
             .field("cancelled_total", &self.cancelled_total)
             .finish()
     }
@@ -233,5 +287,47 @@ mod tests {
     fn bogus_token_is_rejected() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventToken(42)));
+    }
+
+    #[test]
+    fn state_ring_compacts_as_events_settle() {
+        // A long schedule/pop churn must not grow the state ring without
+        // bound: after draining, the settled prefix is fully reclaimed.
+        let mut q = EventQueue::new();
+        for round in 0u64..1_000 {
+            let t = SimTime::from_secs(round);
+            let keep = q.schedule(t, round);
+            let drop_ = q.schedule(t, round + 1_000_000);
+            q.cancel(drop_);
+            assert_eq!(q.pop(), Some((t, round)));
+            let _ = keep;
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.state.len(), 0, "settled prefix was not compacted");
+        assert_eq!(q.base, 2_000);
+        // Tokens from the compacted prefix are still politely rejected.
+        assert!(!q.cancel(EventToken(0)));
+        assert!(!q.cancel(EventToken(1_999)));
+    }
+
+    #[test]
+    fn head_live_invariant_survives_cancel_storms() {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = (0..64)
+            .map(|i| q.schedule(SimTime::from_secs(i), i))
+            .collect();
+        // Cancel every even event, including a long cancelled prefix.
+        for t in tokens.iter().step_by(2) {
+            q.cancel(*t);
+        }
+        // peek_time (a &self read) must agree with what pop delivers.
+        let mut popped = Vec::new();
+        while let Some(at) = q.peek_time() {
+            let (t, e) = q.pop().expect("peek said non-empty");
+            assert_eq!(t, at);
+            popped.push(e);
+        }
+        assert_eq!(popped, (1..64).step_by(2).collect::<Vec<_>>());
+        assert_eq!(q.len(), 0);
     }
 }

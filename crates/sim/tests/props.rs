@@ -146,6 +146,73 @@ proptest! {
         prop_assert!((acc.total() - total).abs() < 1e-6 * (1.0 + total));
     }
 
+    /// The queue agrees with a naive reference model (a sorted Vec scanned
+    /// linearly) under an arbitrary interleaving of schedule / cancel /
+    /// pop / peek operations, including len() and the activity counters.
+    #[test]
+    fn queue_matches_reference_model(
+        ops in prop::collection::vec((0u8..100, 0u64..5_000, any::<prop::sample::Index>()), 1..300),
+    ) {
+        // Reference: (time, seq, id) triples still pending, scanned for the
+        // minimum on every pop/peek. Quadratic and obviously correct.
+        let mut model: Vec<(SimTime, u64, usize)> = Vec::new();
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        let mut next_id = 0usize;
+        let mut scheduled = 0u64;
+        let mut cancelled = 0u64;
+        for (choice, t, pick) in ops {
+            match choice {
+                // Schedule a fresh event.
+                0..=54 => {
+                    let at = SimTime::from_millis(t);
+                    let tok = q.schedule(at, next_id);
+                    model.push((at, tokens.len() as u64, next_id));
+                    tokens.push(tok);
+                    next_id += 1;
+                    scheduled += 1;
+                }
+                // Cancel an arbitrary already-issued token (possibly one
+                // that has fired or was cancelled before).
+                55..=79 if !tokens.is_empty() => {
+                    let victim = pick.index(tokens.len());
+                    let was_live = model.iter().any(|&(_, s, _)| s == victim as u64);
+                    prop_assert_eq!(q.cancel(tokens[victim]), was_live);
+                    if was_live {
+                        model.retain(|&(_, s, _)| s != victim as u64);
+                        cancelled += 1;
+                    }
+                }
+                // Pop and compare against the model's minimum (time, seq).
+                80..=94 => {
+                    let want = model.iter().min().copied();
+                    match want {
+                        None => prop_assert_eq!(q.pop(), None),
+                        Some((at, seq, id)) => {
+                            prop_assert_eq!(q.pop(), Some((at, id)));
+                            model.retain(|&(_, s, _)| s != seq);
+                        }
+                    }
+                }
+                // Pure peek.
+                _ => {
+                    let want = model.iter().min().map(|&(at, _, _)| at);
+                    prop_assert_eq!(q.peek_time(), want);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+            prop_assert_eq!(q.scheduled_total(), scheduled);
+            prop_assert_eq!(q.cancelled_total(), cancelled);
+        }
+        // Drain: remaining events come out exactly in model order.
+        model.sort_unstable();
+        for (at, _, id) in model {
+            prop_assert_eq!(q.pop(), Some((at, id)));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
     /// Identical seeds yield identical streams; the substream derivation is
     /// label-stable.
     #[test]

@@ -190,7 +190,10 @@ mod tests {
         // 1, so 39- and 11-job users are noisy).
         for (row, (_, n, mean)) in rows.iter().zip(PAPER_USERS) {
             let rel = (row.mean_demand_hours - mean).abs() / mean;
-            let tol = (4.0 / (n as f64).sqrt()).max(0.15);
+            // ~2 standard errors for a CV≈2.5 hyperexponential; tight
+            // enough to catch a mis-parameterised distribution, loose
+            // enough not to depend on one particular RNG stream.
+            let tol = (5.0 / (n as f64).sqrt()).max(0.15);
             assert!(
                 rel < tol,
                 "user {} mean {:.2} vs target {mean} (tol {tol:.2})",

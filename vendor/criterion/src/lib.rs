@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple adaptive timing loop instead of criterion's statistics.
+//!
+//! Behaviour:
+//! - `cargo bench` runs each benchmark for ~`CRITERION_STUB_MS`
+//!   milliseconds (default 300) after one warm-up call and prints the mean
+//!   iteration time plus throughput when configured.
+//! - `cargo bench -- --test` (the CI smoke mode) runs each benchmark body
+//!   exactly once and prints nothing but a pass line, so benches cannot
+//!   bit-rot without burning CI time.
+//! - A positional CLI argument filters benchmarks by substring, as with
+//!   real criterion.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+/// Units-of-work declaration used to derive throughput from timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean wall-clock per iteration from the measured phase.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f()); // warm-up (and the only call in --test mode)
+        if self.test_mode {
+            self.mean = Duration::ZERO;
+            self.iters = 1;
+            return;
+        }
+        let budget = Duration::from_millis(
+            std::env::var("CRITERION_STUB_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(300),
+        );
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < budget {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean = started.elapsed() / self.iters as u32;
+    }
+}
+
+/// Top-level harness state: CLI mode and filter.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags the real harness accepts; ignore values by treating
+                // unknown `--flag=value` tokens as no-ops.
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its sample by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        if self.criterion.test_mode {
+            println!("{full}: ok (1 iteration, --test mode)");
+            return;
+        }
+        let per_iter = b.mean;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  {:.1} MiB/s", n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:.0} elem/s", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{full}: {per_iter:>12.3?}/iter  ({} iters){rate}", b.iters);
+    }
+
+    /// Ends the group (upstream finalizes reports here; the stub prints
+    /// per-benchmark lines eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

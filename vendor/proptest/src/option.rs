@@ -1,0 +1,24 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Some` half the time.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 1 {
+            Some(self.0.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Option<T>` values over an inner strategy, 50% `Some`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}

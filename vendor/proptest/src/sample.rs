@@ -1,0 +1,27 @@
+//! Sampling helpers.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A size-independent index: generated once, projectable onto any
+/// collection length via [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects the index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}

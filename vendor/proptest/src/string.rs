@@ -1,0 +1,140 @@
+//! Regex-literal string strategies.
+//!
+//! Upstream proptest treats `&str` as a regex describing generated
+//! strings. This stub supports the subset the workspace uses: one
+//! character class followed by an optional `{m,n}` repetition, e.g.
+//! `"[a-z]{1,12}"`, `"[a-zA-Z0-9/_.]{0,40}"`, or `"[\PC]{0,20}"` (where
+//! `\PC` — "not a control/other character" — is approximated by printable
+//! ASCII). Unsupported patterns panic with a clear message so new tests
+//! fail loudly rather than sampling the wrong distribution.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+struct Parsed {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!(
+        "proptest stub: unsupported regex strategy {pattern:?}; only \
+         `[class]{{m,n}}` patterns are implemented"
+    );
+}
+
+fn parse(pattern: &str) -> Parsed {
+    let mut it = pattern.chars().peekable();
+    if it.next() != Some('[') {
+        unsupported(pattern);
+    }
+    let mut chars: Vec<char> = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = it.next().unwrap_or_else(|| unsupported(pattern));
+        match c {
+            ']' => break,
+            '\\' => {
+                match it.next() {
+                    // \PC: everything outside the Unicode "Other" category;
+                    // approximated by printable ASCII, a safe subset.
+                    Some('P') if it.peek() == Some(&'C') => {
+                        it.next();
+                        chars.extend((0x20u8..0x7f).map(char::from));
+                        prev = None;
+                    }
+                    Some(esc @ ('\\' | '.' | '/' | '-' | ']' | '[')) => {
+                        chars.push(esc);
+                        prev = Some(esc);
+                    }
+                    _ => unsupported(pattern),
+                }
+            }
+            '-' if prev.is_some() && it.peek().is_some() && it.peek() != Some(&']') => {
+                let lo = prev.take().unwrap();
+                let hi = it.next().unwrap();
+                if (lo as u32) > (hi as u32) {
+                    unsupported(pattern);
+                }
+                // `lo` is already in `chars`; add the rest of the range.
+                for cp in (lo as u32 + 1)..=(hi as u32) {
+                    chars.extend(char::from_u32(cp));
+                }
+            }
+            other => {
+                chars.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    let (min, max) = match it.next() {
+        None => (1, 1),
+        Some('{') => {
+            let rest: String = it.collect();
+            let body = rest.strip_suffix('}').unwrap_or_else(|| unsupported(pattern));
+            let (m, n) = match body.split_once(',') {
+                Some((m, n)) => (m, n),
+                None => (body, body),
+            };
+            (
+                m.trim().parse().unwrap_or_else(|_| unsupported(pattern)),
+                n.trim().parse().unwrap_or_else(|_| unsupported(pattern)),
+            )
+        }
+        Some(_) => unsupported(pattern),
+    };
+    if chars.is_empty() || min > max {
+        unsupported(pattern);
+    }
+    Parsed { chars, min, max }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let parsed = parse(self);
+        let len = parsed.min + rng.below((parsed.max - parsed.min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| parsed.chars[rng.below(parsed.chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::deterministic("string::class");
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9/_.]{0,40}".sample(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "/_.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut rng = TestRng::deterministic("string::printable");
+        for _ in 0..200 {
+            let s = "[\\PC]{0,20}".sample(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn bounded_lower_class() {
+        let mut rng = TestRng::deterministic("string::lower");
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".sample(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}
