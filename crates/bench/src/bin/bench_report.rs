@@ -12,9 +12,10 @@
 
 use std::time::{Duration, Instant};
 
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::{run_cluster, run_cluster_with_sinks};
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
+use condor_core::telemetry::{RingSink, TraceSink, VecSink};
 use condor_core::policy::{AllocationPolicy, StationView};
 use condor_core::updown::{UpDown, UpDownConfig};
 use condor_net::NodeId;
@@ -70,11 +71,11 @@ fn jobs(n: u64, image_bytes: u64) -> Vec<JobSpec> {
 }
 
 fn cluster_config() -> ClusterConfig {
-    ClusterConfig {
-        stations: 23,
-        record_trace: false,
-        ..ClusterConfig::default()
-    }
+    ClusterConfig::builder()
+        .stations(23)
+        .record_trace(false)
+        .build()
+        .expect("bench config is valid")
 }
 
 struct PingPong {
@@ -170,6 +171,35 @@ fn main() {
         });
         rows.push(Row {
             name: format!("cluster/image_mb/{mb}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+
+    // telemetry: per-event cost of the sink fan-out. 0 extra sinks is the
+    // baseline (StatsSink alone); the others add buffering observers.
+    for extra in [0usize, 4] {
+        let (iters, ms, events) = measure(budget, || {
+            let sinks: Vec<Box<dyn TraceSink>> = (0..extra)
+                .map(|i| -> Box<dyn TraceSink> {
+                    if i % 2 == 0 {
+                        Box::new(VecSink::new())
+                    } else {
+                        Box::new(RingSink::new(256))
+                    }
+                })
+                .collect();
+            let out = run_cluster_with_sinks(
+                cluster_config(),
+                jobs(40, 500_000),
+                SimDuration::from_days(1),
+                sinks,
+            );
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: format!("cluster/extra_sinks/{extra}"),
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),

@@ -9,14 +9,26 @@
 //!
 //! Run with: `cargo run --release -p condor-bench --bin exp_availability`
 
-use condor_bench::{run_scenario, EXPERIMENT_SEED};
-use condor_metrics::availability::availability_profile;
+use condor_bench::EXPERIMENT_SEED;
+use condor_core::cluster::run_cluster_with_sinks;
+use condor_core::telemetry::SharedSink;
+use condor_metrics::availability::AvailabilitySink;
 use condor_metrics::table::{num, Align, Table};
 use condor_workload::scenarios::paper_month;
 
 fn main() {
-    let out = run_scenario(paper_month(EXPERIMENT_SEED));
-    let profile = availability_profile(&out);
+    let mut scenario = paper_month(EXPERIMENT_SEED);
+    // The profile streams out of the event feed as the month simulates —
+    // no buffered trace, so the run holds no event storage at all.
+    scenario.config.record_trace = false;
+    let sink = SharedSink::new(AvailabilitySink::new(scenario.config.stations));
+    let _out = run_cluster_with_sinks(
+        scenario.config,
+        scenario.jobs,
+        scenario.horizon,
+        vec![Box::new(sink.clone())],
+    );
+    let profile = sink.with(|s| s.profile());
 
     println!("== ref [1] premises: workstation availability profile (simulated month) ==");
     let mut t = Table::new(

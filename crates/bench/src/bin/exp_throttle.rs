@@ -13,16 +13,30 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_throttle`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::run_cluster_with_sinks;
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
-use condor_core::trace::TraceKind;
+use condor_core::telemetry::{SharedSink, TraceSink};
+use condor_core::trace::{TraceEvent, TraceKind};
 use condor_metrics::replicate::par_map;
 use condor_metrics::table::{num, Align, Table};
 use condor_model::diurnal::DiurnalProfile;
 use condor_model::owner::OwnerConfig;
 use condor_net::NodeId;
 use condor_sim::time::{SimDuration, SimTime};
+
+/// Streams out just the placement instants — the only events this
+/// experiment reads — so the runs need no buffered trace.
+#[derive(Debug, Default)]
+struct PlacementTimes(Vec<SimTime>);
+
+impl TraceSink for PlacementTimes {
+    fn record(&mut self, ev: &TraceEvent) {
+        if matches!(ev.kind, TraceKind::PlacementStarted { .. }) {
+            self.0.push(ev.at);
+        }
+    }
+}
 
 fn burst_jobs(n: u64) -> Vec<JobSpec> {
     (0..n)
@@ -55,25 +69,32 @@ fn main() {
     let budgets = [1usize, 4, 20];
     // Independent day-long runs — one thread per placement budget.
     let runs = par_map(&budgets, |&budget| {
-        let config = ClusterConfig {
-            stations: 23,
-            seed: EXPERIMENT_SEED,
-            placements_per_poll: budget,
-            owner: OwnerConfig {
+        let config = ClusterConfig::builder()
+            .stations(23)
+            .seed(EXPERIMENT_SEED)
+            .placements_per_poll(budget)
+            .owner(OwnerConfig {
                 profile: DiurnalProfile::flat(0.02),
                 ..OwnerConfig::default()
-            },
-            ..ClusterConfig::default()
-        };
-        run_cluster(config, burst_jobs(20), SimDuration::from_days(1))
+            })
+            .record_trace(false)
+            .build()
+            .expect("throttle sweep config is valid");
+        let placements = SharedSink::new(PlacementTimes::default());
+        let out = run_cluster_with_sinks(
+            config,
+            burst_jobs(20),
+            SimDuration::from_days(1),
+            vec![Box::new(placements.clone())],
+        );
+        let starts = placements
+            .try_into_inner()
+            .expect("run finished; sole handle")
+            .0;
+        (out, starts)
     });
-    for (&budget, out) in budgets.iter().zip(&runs) {
+    for (&budget, (out, starts)) in budgets.iter().zip(&runs) {
         // Placement instants → burst window and per-minute local CPU.
-        let starts: Vec<SimTime> = out
-            .trace
-            .filtered(|k| matches!(k, TraceKind::PlacementStarted { .. }))
-            .map(|e| e.at)
-            .collect();
         let window = starts
             .last()
             .map(|l| l.since(starts[0]).as_minutes_f64())
@@ -81,7 +102,7 @@ fn main() {
         // Transfer CPU is 5 s/MB × 2 MB = 10 s per placement; peak home
         // CPU per minute is placements-in-the-busiest-minute × 10 s.
         let mut per_minute = std::collections::HashMap::new();
-        for s in &starts {
+        for s in starts {
             *per_minute.entry(s.as_millis() / 60_000).or_insert(0u32) += 1;
         }
         let peak = per_minute.values().copied().max().unwrap_or(0) as f64 * 10.0;

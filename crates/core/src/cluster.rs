@@ -29,13 +29,14 @@ use condor_sim::event::EventToken;
 use condor_sim::series::{BucketAccumulator, StepSeries};
 use condor_sim::time::{SimDuration, SimTime};
 
-use crate::config::{ClusterConfig, EvictionStrategy, PolicyKind};
+use crate::config::{ClusterConfig, ConfigError, EvictionStrategy, PolicyKind};
 use crate::job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
 use crate::policy::{
     AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy, StationView,
 };
 use crate::queue::BackgroundQueue;
-use crate::trace::{Trace, TraceKind};
+use crate::telemetry::{GaugeSample, StatsSink, Telemetry, TraceSink};
+use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::updown::UpDown;
 
 /// Events driving the cluster simulation.
@@ -272,6 +273,9 @@ pub struct RunOutput {
     /// Simulation events dispatched by the engine over the run — the
     /// denominator for events/sec throughput reporting.
     pub events_dispatched: u64,
+    /// The O(1)-memory telemetry summary, populated on every run — even
+    /// with `record_trace: false`, so long horizons still report.
+    pub telemetry: Telemetry,
 }
 
 impl RunOutput {
@@ -339,6 +343,10 @@ pub struct Cluster {
     policy: PolicyHolder,
     bus: SharedBus,
     trace: Trace,
+    /// Always-on telemetry aggregation (cheap: O(1) per event).
+    stats: StatsSink,
+    /// Caller-attached observers, fed before the legacy trace.
+    extra_sinks: Vec<Box<dyn TraceSink>>,
     totals: Totals,
     queue_total: StepSeries,
     queue_by_user: BTreeMap<UserId, StepSeries>,
@@ -391,33 +399,41 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or job ids are not the dense
-    /// sequence `0..n` in order.
+    /// sequence `0..n` in order; [`Cluster::try_new`] reports the same
+    /// conditions as a [`ConfigError`] instead.
     pub fn new(config: ClusterConfig, specs: Vec<JobSpec>) -> Self {
-        config.validate();
+        match Cluster::try_new(config, specs) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Cluster::new`]: rejects invalid configurations
+    /// and malformed job sets with a typed error.
+    pub fn try_new(config: ClusterConfig, specs: Vec<JobSpec>) -> Result<Self, ConfigError> {
+        config.check()?;
         for (i, s) in specs.iter().enumerate() {
-            assert_eq!(s.id.0 as usize, i, "job ids must be dense and ordered");
-            assert!(
-                (s.home.as_usize()) < config.stations,
-                "job {} homed at nonexistent station {}",
-                s.id,
-                s.home
-            );
-            for dep in &s.depends_on {
-                assert!(
-                    dep.0 < s.id.0,
-                    "job {} depends on {} — dependencies must reference lower ids",
-                    s.id,
-                    dep
-                );
+            if s.id.0 as usize != i {
+                return Err(ConfigError::JobIdsNotDense);
             }
-            assert!(s.width >= 1, "job {} has zero width", s.id);
-            assert!(
-                (s.width as usize) <= config.stations,
-                "job {} needs {} machines but the fleet has {}",
-                s.id,
-                s.width,
-                config.stations
-            );
+            if s.home.as_usize() >= config.stations {
+                return Err(ConfigError::JobHomeOutsideFleet { job: s.id, home: s.home });
+            }
+            for dep in &s.depends_on {
+                if dep.0 >= s.id.0 {
+                    return Err(ConfigError::JobDependencyOrder { job: s.id, dep: *dep });
+                }
+            }
+            if s.width == 0 {
+                return Err(ConfigError::JobZeroWidth { job: s.id });
+            }
+            if s.width as usize > config.stations {
+                return Err(ConfigError::JobWidthExceedsFleet {
+                    job: s.id,
+                    width: s.width as usize,
+                    stations: config.stations,
+                });
+            }
         }
         let owners = build_fleet(
             config.stations,
@@ -472,7 +488,7 @@ impl Cluster {
                 s.depends_on.len() as u32
             })
             .collect();
-        Cluster {
+        Ok(Cluster {
             stations,
             dependents,
             pending_deps,
@@ -481,6 +497,8 @@ impl Cluster {
             policy,
             bus,
             trace,
+            stats: StatsSink::new(),
+            extra_sinks: Vec::new(),
             totals: Totals::default(),
             queue_total: StepSeries::new(0.0),
             queue_by_user: BTreeMap::new(),
@@ -488,7 +506,7 @@ impl Cluster {
             remote_busy: BucketAccumulator::new(SimDuration::HOUR),
             coordinator_down: false,
             config,
-        }
+        })
     }
 
     /// Plants the initial event set: job arrivals, owner transitions, and
@@ -559,6 +577,39 @@ impl Cluster {
         &self.trace
     }
 
+    /// The telemetry summary accumulated so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.stats.telemetry()
+    }
+
+    /// Attaches an additional observer of the event stream. Sinks see every
+    /// event from this point on, in simulation order, and their `finish`
+    /// runs when the cluster finalizes. Use a
+    /// [`SharedSink`](crate::telemetry::SharedSink) handle to keep access
+    /// to the sink after the run.
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.extra_sinks.push(sink);
+    }
+
+    /// Routes one event through every observer: the always-on stats sink,
+    /// caller-attached sinks, then the legacy trace.
+    fn emit(&mut self, at: SimTime, kind: TraceKind) {
+        let ev = TraceEvent { at, kind };
+        self.stats.record(&ev);
+        for s in &mut self.extra_sinks {
+            s.record(&ev);
+        }
+        TraceSink::record(&mut self.trace, &ev);
+    }
+
+    /// Routes one gauge sample through every observer.
+    fn emit_sample(&mut self, s: GaugeSample) {
+        self.stats.sample(&s);
+        for sink in &mut self.extra_sinks {
+            sink.sample(&s);
+        }
+    }
+
     /// Aggregate counters so far.
     pub fn totals(&self) -> &Totals {
         &self.totals
@@ -620,8 +671,7 @@ impl Cluster {
                         0.7 * st.ewma_idle_secs + 0.3 * len
                     };
                 }
-                self.trace
-                    .record(now, TraceKind::OwnerActive { station: NodeId::new(station) });
+                self.emit(now, TraceKind::OwnerActive { station: NodeId::new(station) });
             }
             OwnerState::Idle => {
                 if let Some(t) = st.owner_active_since.take() {
@@ -640,8 +690,7 @@ impl Cluster {
                     }
                 }
                 st.idle_since = Some(now);
-                self.trace
-                    .record(now, TraceKind::OwnerIdle { station: NodeId::new(station) });
+                self.emit(now, TraceKind::OwnerIdle { station: NodeId::new(station) });
             }
         }
         // Schedule a local-scheduler check on the 30-second grid if a
@@ -724,7 +773,7 @@ impl Cluster {
                         });
                         self.jobs[job.0 as usize].state =
                             JobState::Suspended { on: NodeId::new(station) };
-                        self.trace.record(
+                        self.emit(
                             now,
                             TraceKind::JobSuspended { job, on: NodeId::new(station) },
                         );
@@ -738,7 +787,7 @@ impl Cluster {
                 sched.cancel(grace);
                 self.start_running(now, i, job, sched);
                 self.totals.resumes_in_place += 1;
-                self.trace.record(
+                self.emit(
                     now,
                     TraceKind::JobResumedInPlace { job, on: NodeId::new(station) },
                 );
@@ -838,7 +887,7 @@ impl Cluster {
                 },
             );
         }
-        self.trace.record(
+        self.emit(
             now,
             TraceKind::JobStarted { job, on: NodeId::new(station as u32) },
         );
@@ -857,8 +906,7 @@ impl Cluster {
         let remaining = j.remaining();
         self.stations[home].queue.enqueue_front(job, remaining);
         self.totals.kills += 1;
-        self.trace
-            .record(now, TraceKind::JobKilled { job, on: NodeId::new(station as u32) });
+        self.emit(now, TraceKind::JobKilled { job, on: NodeId::new(station as u32) });
     }
 
     /// Starts the checkpoint-out transfer for a job stopped at `station`.
@@ -890,9 +938,14 @@ impl Cluster {
             booking.completes_at,
             Event::CheckpointDone { job, from: station as u32, seq },
         );
-        self.trace.record(
+        self.emit(
             now,
-            TraceKind::CheckpointStarted { job, from: NodeId::new(station as u32), reason },
+            TraceKind::CheckpointStarted {
+                job,
+                from: NodeId::new(station as u32),
+                reason,
+                bytes: image,
+            },
         );
     }
 
@@ -909,13 +962,13 @@ impl Cluster {
             if self.stations[home].disk_used + image > self.stations[home].disk_capacity {
                 self.totals.submit_rejections += 1;
                 self.jobs[job.0 as usize].rejected = true;
-                self.trace.record(now, TraceKind::JobRejected { job });
+                self.emit(now, TraceKind::JobRejected { job });
                 return;
             }
             self.stations[home].disk_used += image;
         }
         self.queue_delta(now, user, 1.0);
-        self.trace.record(now, TraceKind::JobArrived { job });
+        self.emit(now, TraceKind::JobArrived { job });
         // §5(2) pipelines: jobs with incomplete dependencies are held; the
         // completion of the last dependency releases them into the queue.
         let unresolved = self.jobs[job.0 as usize]
@@ -1026,7 +1079,7 @@ impl Cluster {
             }
         }
         let waiting: u32 = self.stations.iter().map(|s| s.queue.len() as u32).sum();
-        self.trace.record(
+        self.emit(
             now,
             TraceKind::CoordinatorPolled {
                 free_machines: free.len() as u32,
@@ -1035,6 +1088,22 @@ impl Cluster {
                 preemptions,
             },
         );
+        // Gauges no event carries: sampled once per poll, deterministically.
+        let updown_mean_index = match &self.policy {
+            PolicyHolder::UpDown(p) => {
+                let n = self.stations.len();
+                let sum: f64 = (0..n).map(|i| p.index_of(NodeId::new(i as u32))).sum();
+                Some(sum / n as f64)
+            }
+            _ => None,
+        };
+        self.emit_sample(GaugeSample {
+            at: now,
+            bus_backlog: self.bus.backlog_at(now),
+            free_machines: free.len() as u32,
+            waiting_jobs: waiting,
+            updown_mean_index,
+        });
     }
 
     /// Executes one `Assign` grant. The policy names a preferred `target`,
@@ -1102,8 +1171,7 @@ impl Cluster {
         let Some((job, machines)) = chosen else {
             if let Some((job, target)) = disk_blocked {
                 self.totals.placement_disk_rejections += 1;
-                self.trace
-                    .record(now, TraceKind::PlacementDiskRejected { job, target });
+                self.emit(now, TraceKind::PlacementDiskRejected { job, target });
             } else {
                 self.totals.arch_starvation += 1;
             }
@@ -1136,8 +1204,7 @@ impl Cluster {
             Event::PlacementDone { job, target: target.index(), seq },
         );
         self.totals.placements += 1;
-        self.trace
-            .record(now, TraceKind::PlacementStarted { job, target });
+        self.emit(now, TraceKind::PlacementStarted { job, target });
         true
     }
 
@@ -1216,7 +1283,7 @@ impl Cluster {
                     });
                     self.jobs[job.0 as usize].state =
                         JobState::Suspended { on: NodeId::new(target) };
-                    self.trace.record(
+                    self.emit(
                         now,
                         TraceKind::JobSuspended { job, on: NodeId::new(target) },
                     );
@@ -1238,14 +1305,17 @@ impl Cluster {
             let image = self.jobs[job.0 as usize].spec.image_bytes;
             self.stations[f].disk_used -= image;
             self.stations[f].foreign = None;
-            let gang = self.gangs.get_mut(&job).expect("gang exists");
-            debug_assert!(gang.departing);
-            gang.departed += 1;
-            self.trace.record(
+            let all_departed = {
+                let gang = self.gangs.get_mut(&job).expect("gang exists");
+                debug_assert!(gang.departing);
+                gang.departed += 1;
+                gang.departed == gang.members.len() as u32
+            };
+            self.emit(
                 now,
                 TraceKind::CheckpointCompleted { job, from: NodeId::new(from) },
             );
-            if gang.departed == gang.members.len() as u32 {
+            if all_departed {
                 self.gangs.remove(&job);
                 let j = &mut self.jobs[job.0 as usize];
                 j.mark_checkpointed();
@@ -1272,7 +1342,7 @@ impl Cluster {
         let remaining = j.remaining();
         self.totals.migrations += 1;
         self.stations[home].queue.enqueue_front(job, remaining);
-        self.trace.record(
+        self.emit(
             now,
             TraceKind::CheckpointCompleted { job, from: NodeId::new(from) },
         );
@@ -1348,8 +1418,7 @@ impl Cluster {
             j.completed_at = Some(now);
         }
         self.queue_delta(now, user, -1.0);
-        self.trace
-            .record(now, TraceKind::JobCompleted { job, on: NodeId::new(on) });
+        self.emit(now, TraceKind::JobCompleted { job, on: NodeId::new(on) });
         // Release any jobs that were held on this one.
         if let Some(dependents) = self.dependents.get(&job).cloned() {
             for d in dependents {
@@ -1430,8 +1499,7 @@ impl Cluster {
                 Event::PeriodicCkpt { job, on, epoch },
             );
         }
-        self.trace
-            .record(now, TraceKind::PeriodicCheckpoint { job, on: NodeId::new(on) });
+        self.emit(now, TraceKind::PeriodicCheckpoint { job, on: NodeId::new(on) });
     }
 
     // ----- gangs: §5(2) parallel programs ---------------------------------
@@ -1459,8 +1527,7 @@ impl Cluster {
                 .charge_transfer(self.config.costs.transfer_cpu_cost(image));
             let booking = self.bus.book_transfer(now, home, NodeId::new(m), image);
             sched.at(booking.completes_at, Event::PlacementDone { job, target: m, seq });
-            self.trace
-                .record(now, TraceKind::PlacementStarted { job, target: NodeId::new(m) });
+            self.emit(now, TraceKind::PlacementStarted { job, target: NodeId::new(m) });
         }
         self.gangs.insert(
             job,
@@ -1495,7 +1562,7 @@ impl Cluster {
             if let Some(t) = pending_grace {
                 sched.cancel(t);
                 self.totals.resumes_in_place += 1;
-                self.trace.record(
+                self.emit(
                     now,
                     TraceKind::JobResumedInPlace { job, on: NodeId::new(lead) },
                 );
@@ -1515,8 +1582,7 @@ impl Cluster {
             j.state = JobState::Running { on: NodeId::new(lead) };
             j.running_since = now;
             j.epoch += 1;
-            self.trace
-                .record(now, TraceKind::JobStarted { job, on: NodeId::new(lead) });
+            self.emit(now, TraceKind::JobStarted { job, on: NodeId::new(lead) });
         } else if self.gangs[&job].grace.is_none() {
             // Staged onto at least one busy machine: wait out the grace
             // period for the owners to leave (gangs always use the grace
@@ -1526,8 +1592,7 @@ impl Cluster {
             let token = sched.at(now + grace, Event::GraceOver { station: lead, job });
             self.gangs.get_mut(&job).expect("gang exists").grace = Some(token);
             self.jobs[job.0 as usize].state = JobState::Suspended { on: NodeId::new(lead) };
-            self.trace
-                .record(now, TraceKind::JobSuspended { job, on: NodeId::new(lead) });
+            self.emit(now, TraceKind::JobSuspended { job, on: NodeId::new(lead) });
         }
     }
 
@@ -1576,8 +1641,7 @@ impl Cluster {
         let token = sched.at(now + grace, Event::GraceOver { station: lead, job });
         self.gangs.get_mut(&job).expect("gang exists").grace = Some(token);
         self.jobs[job.0 as usize].state = JobState::Suspended { on: NodeId::new(lead) };
-        self.trace
-            .record(now, TraceKind::JobSuspended { job, on: NodeId::new(station) });
+        self.emit(now, TraceKind::JobSuspended { job, on: NodeId::new(station) });
     }
 
     /// Grace expired or priority preemption: coordinated checkpoint of all
@@ -1608,9 +1672,9 @@ impl Cluster {
                 .charge_transfer(self.config.costs.transfer_cpu_cost(image));
             let booking = self.bus.book_transfer(now, NodeId::new(m), home, image);
             sched.at(booking.completes_at, Event::CheckpointDone { job, from: m, seq });
-            self.trace.record(
+            self.emit(
                 now,
-                TraceKind::CheckpointStarted { job, from: NodeId::new(m), reason },
+                TraceKind::CheckpointStarted { job, from: NodeId::new(m), reason, bytes: image },
             );
         }
     }
@@ -1712,7 +1776,7 @@ impl Cluster {
                 }
             }
         }
-        self.trace.record(
+        self.emit(
             now,
             TraceKind::ReservationStarted { holder: r.holder, machines: fenced as u32 },
         );
@@ -1725,8 +1789,7 @@ impl Cluster {
                 st.reserved_for = None;
             }
         }
-        self.trace
-            .record(now, TraceKind::ReservationEnded { holder: r.holder });
+        self.emit(now, TraceKind::ReservationEnded { holder: r.holder });
     }
 
     fn on_station_crash(&mut self, now: SimTime, station: u32, sched: &mut Scheduler<Event>) {
@@ -1735,8 +1798,7 @@ impl Cluster {
         self.stations[i].failed = true;
         self.stations[i].reserved_for = None;
         self.totals.station_failures += 1;
-        self.trace
-            .record(now, TraceKind::StationFailed { station: NodeId::new(station) });
+        self.emit(now, TraceKind::StationFailed { station: NodeId::new(station) });
         // Any foreign job here loses everything since its last durable
         // checkpoint — the §2.3 guarantee is that it restarts from that
         // checkpoint at another machine, not that nothing is lost.
@@ -1763,7 +1825,7 @@ impl Cluster {
                     let image = self.jobs[job.0 as usize].spec.image_bytes;
                     self.stations[i].disk_used -= image;
                     self.gang_teardown_and_requeue(now, job, true, sched);
-                    self.trace.record(
+                    self.emit(
                         now,
                         TraceKind::CrashRollback { job, on: NodeId::new(station) },
                     );
@@ -1783,8 +1845,7 @@ impl Cluster {
             let remaining = j.remaining();
             self.totals.crash_rollbacks += 1;
             self.stations[home].queue.enqueue_front(job, remaining);
-            self.trace
-                .record(now, TraceKind::CrashRollback { job, on: NodeId::new(station) });
+            self.emit(now, TraceKind::CrashRollback { job, on: NodeId::new(station) });
         }
         // Coordinator failover: while its host is down, allocation stops
         // (paper §2.1: "Only the allocation of new capacity ... is
@@ -1814,8 +1875,7 @@ impl Cluster {
         let i = station as usize;
         debug_assert!(self.stations[i].failed, "recovery without crash");
         self.stations[i].failed = false;
-        self.trace
-            .record(now, TraceKind::StationRecovered { station: NodeId::new(station) });
+        self.emit(now, TraceKind::StationRecovered { station: NodeId::new(station) });
         if station == self.config.coordinator_host {
             self.coordinator_down = false;
         }
@@ -1882,6 +1942,10 @@ impl Cluster {
                 }
             }
         }
+        self.stats.finish(horizon);
+        for s in &mut self.extra_sinks {
+            s.finish(horizon);
+        }
     }
 }
 
@@ -1941,7 +2005,43 @@ impl Model for Cluster {
 /// assert_eq!(out.jobs.len(), 1);
 /// ```
 pub fn run_cluster(config: ClusterConfig, specs: Vec<JobSpec>, horizon: SimDuration) -> RunOutput {
-    let cluster = Cluster::new(config, specs);
+    run_cluster_with_sinks(config, specs, horizon, Vec::new())
+}
+
+/// Like [`run_cluster`], with additional [`TraceSink`] observers attached
+/// before the first event. Sinks stream every event as it happens — this is
+/// how experiments watch long runs without buffering a full trace. Keep a
+/// [`SharedSink`](crate::telemetry::SharedSink) handle to read a sink back
+/// after the run.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::cluster::run_cluster_with_sinks;
+/// use condor_core::config::ClusterConfig;
+/// use condor_core::telemetry::{SharedSink, VecSink};
+/// use condor_sim::time::SimDuration;
+///
+/// let events = SharedSink::new(VecSink::new());
+/// let out = run_cluster_with_sinks(
+///     ClusterConfig::builder().stations(4).record_trace(false).build().unwrap(),
+///     Vec::new(),
+///     SimDuration::from_hours(6),
+///     vec![Box::new(events.clone())],
+/// );
+/// // The sink saw the owner activity even though the trace was off.
+/// assert_eq!(events.with(|s| s.len()) as u64, out.telemetry.events_total);
+/// ```
+pub fn run_cluster_with_sinks(
+    config: ClusterConfig,
+    specs: Vec<JobSpec>,
+    horizon: SimDuration,
+    sinks: Vec<Box<dyn TraceSink>>,
+) -> RunOutput {
+    let mut cluster = Cluster::new(config, specs);
+    for sink in sinks {
+        cluster.attach_sink(sink);
+    }
     let mut engine = Engine::new(cluster);
     Cluster::prime(&mut engine);
     let end = SimTime::ZERO + horizon;
@@ -1964,6 +2064,7 @@ pub fn run_cluster(config: ClusterConfig, specs: Vec<JobSpec>, horizon: SimDurat
         local_busy: model.local_busy,
         remote_busy: model.remote_busy,
         events_dispatched,
+        telemetry: model.stats.into_telemetry(),
     }
 }
 

@@ -6,8 +6,137 @@ use condor_model::station::{Arch, StationProfile};
 use condor_net::{BusConfig, NodeId};
 use condor_sim::time::{SimDuration, SimTime};
 
+use crate::job::JobId;
 use crate::queue::LocalOrder;
 use crate::updown::UpDownConfig;
+
+/// Why a configuration (or the job set submitted with it) is invalid.
+///
+/// Produced by [`ClusterConfig::check`], [`ClusterConfig::builder`],
+/// [`FailureConfig::check`], [`Reservation::check`], and
+/// [`Cluster::try_new`](crate::cluster::Cluster::try_new).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `stations` is zero.
+    NoStations,
+    /// `placements_per_poll` is zero.
+    ZeroPlacementsPerPoll,
+    /// The coordinator poll interval is zero.
+    ZeroPollInterval,
+    /// The owner-check interval is zero.
+    ZeroOwnerCheckInterval,
+    /// Immediate-kill eviction with a zero periodic-checkpoint interval.
+    ZeroPeriodicCheckpoint,
+    /// Failure injection with a zero mean time between failures.
+    ZeroMtbf,
+    /// Failure injection with a zero mean time to repair.
+    ZeroMttr,
+    /// `coordinator_host` does not index a station.
+    CoordinatorHostOutsideFleet {
+        /// The configured host index.
+        host: u32,
+    },
+    /// `arch_pattern` is empty.
+    EmptyArchPattern,
+    /// A reservation fences zero machines.
+    ReservationZeroMachines,
+    /// A reservation window with `from >= until`.
+    ReservationEmptyWindow,
+    /// A reservation whose holder does not index a station.
+    ReservationHolderOutsideFleet {
+        /// The configured holder.
+        holder: NodeId,
+    },
+    /// A reservation fencing every machine in the fleet (or more).
+    ReservationWholeFleet {
+        /// Machines the reservation asked for.
+        machines: usize,
+        /// Fleet size.
+        stations: usize,
+    },
+    /// Submitted job ids are not `0, 1, 2, …` in order.
+    JobIdsNotDense,
+    /// A job's home station does not exist.
+    JobHomeOutsideFleet {
+        /// The job.
+        job: JobId,
+        /// Its configured home.
+        home: NodeId,
+    },
+    /// A job depends on a job with an equal or higher id.
+    JobDependencyOrder {
+        /// The job.
+        job: JobId,
+        /// The offending dependency.
+        dep: JobId,
+    },
+    /// A job requests zero machines.
+    JobZeroWidth {
+        /// The job.
+        job: JobId,
+    },
+    /// A job requests more machines than the fleet has.
+    JobWidthExceedsFleet {
+        /// The job.
+        job: JobId,
+        /// Machines requested.
+        width: usize,
+        /// Fleet size.
+        stations: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoStations => f.write_str("a cluster needs at least one station"),
+            ConfigError::ZeroPlacementsPerPoll => {
+                f.write_str("placements_per_poll must be positive")
+            }
+            ConfigError::ZeroPollInterval => f.write_str("zero poll interval"),
+            ConfigError::ZeroOwnerCheckInterval => f.write_str("zero owner-check interval"),
+            ConfigError::ZeroPeriodicCheckpoint => {
+                f.write_str("zero periodic-checkpoint interval")
+            }
+            ConfigError::ZeroMtbf => f.write_str("zero MTBF"),
+            ConfigError::ZeroMttr => f.write_str("zero MTTR"),
+            ConfigError::CoordinatorHostOutsideFleet { host } => {
+                write!(f, "coordinator host {host} outside the fleet")
+            }
+            ConfigError::EmptyArchPattern => f.write_str("empty architecture pattern"),
+            ConfigError::ReservationZeroMachines => f.write_str("zero-machine reservation"),
+            ConfigError::ReservationEmptyWindow => f.write_str("empty reservation window"),
+            ConfigError::ReservationHolderOutsideFleet { holder } => {
+                write!(f, "reservation holder {holder} outside the fleet")
+            }
+            ConfigError::ReservationWholeFleet { machines, stations } => {
+                write!(f, "cannot reserve the entire fleet ({machines} of {stations})")
+            }
+            ConfigError::JobIdsNotDense => f.write_str("job ids must be dense and ordered"),
+            ConfigError::JobHomeOutsideFleet { job, home } => {
+                write!(f, "job {} homed at nonexistent station {home}", job.0)
+            }
+            ConfigError::JobDependencyOrder { job, dep } => {
+                write!(
+                    f,
+                    "job {} depends on {} — dependencies must reference lower ids",
+                    job.0, dep.0
+                )
+            }
+            ConfigError::JobZeroWidth { job } => write!(f, "job {} has zero width", job.0),
+            ConfigError::JobWidthExceedsFleet { job, width, stations } => {
+                write!(
+                    f,
+                    "job {} needs {width} machines but the fleet has {stations}",
+                    job.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Stochastic station-failure injection.
 ///
@@ -27,14 +156,27 @@ pub struct FailureConfig {
 }
 
 impl FailureConfig {
+    /// Checks the configuration, rejecting zero means.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.mtbf.is_zero() {
+            return Err(ConfigError::ZeroMtbf);
+        }
+        if self.mttr.is_zero() {
+            return Err(ConfigError::ZeroMttr);
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics if either mean is zero.
+    #[deprecated(note = "use `check()`, which returns a typed ConfigError instead of panicking")]
     pub fn validate(&self) {
-        assert!(!self.mtbf.is_zero(), "zero MTBF");
-        assert!(!self.mttr.is_zero(), "zero MTTR");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -60,24 +202,33 @@ pub struct Reservation {
 }
 
 impl Reservation {
+    /// Checks the reservation against a fleet of `stations` machines.
+    pub fn check(&self, stations: usize) -> Result<(), ConfigError> {
+        if self.machines == 0 {
+            return Err(ConfigError::ReservationZeroMachines);
+        }
+        if self.from >= self.until {
+            return Err(ConfigError::ReservationEmptyWindow);
+        }
+        if self.holder.as_usize() >= stations {
+            return Err(ConfigError::ReservationHolderOutsideFleet { holder: self.holder });
+        }
+        if self.machines >= stations {
+            return Err(ConfigError::ReservationWholeFleet { machines: self.machines, stations });
+        }
+        Ok(())
+    }
+
     /// Validates the reservation.
     ///
     /// # Panics
     ///
     /// Panics on an empty window or zero machines.
+    #[deprecated(note = "use `check()`, which returns a typed ConfigError instead of panicking")]
     pub fn validate(&self, stations: usize) {
-        assert!(self.machines > 0, "zero-machine reservation");
-        assert!(self.from < self.until, "empty reservation window");
-        assert!(
-            self.holder.as_usize() < stations,
-            "reservation holder {} outside the fleet",
-            self.holder
-        );
-        assert!(
-            self.machines < stations,
-            "cannot reserve the entire fleet ({} of {stations})",
-            self.machines
-        );
+        if let Err(e) = self.check(stations) {
+            panic!("{e}");
+        }
     }
 }
 
@@ -206,40 +357,204 @@ impl Default for ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// Starts a fluent builder seeded with [`ClusterConfig::default`] (the
+    /// paper's 23-station setup); its `build()` runs [`check`](Self::check).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use condor_core::config::ClusterConfig;
+    ///
+    /// let config = ClusterConfig::builder()
+    ///     .stations(8)
+    ///     .seed(7)
+    ///     .record_trace(false)
+    ///     .build()
+    ///     .expect("valid configuration");
+    /// assert_eq!(config.stations, 8);
+    /// ```
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder { config: ClusterConfig::default() }
+    }
+
+    /// Checks the configuration for structural impossibilities.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.stations == 0 {
+            return Err(ConfigError::NoStations);
+        }
+        if self.placements_per_poll == 0 {
+            return Err(ConfigError::ZeroPlacementsPerPoll);
+        }
+        if self.costs.coordinator_poll_interval.is_zero() {
+            return Err(ConfigError::ZeroPollInterval);
+        }
+        if self.costs.owner_check_interval.is_zero() {
+            return Err(ConfigError::ZeroOwnerCheckInterval);
+        }
+        if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.eviction {
+            if checkpoint_every.is_zero() {
+                return Err(ConfigError::ZeroPeriodicCheckpoint);
+            }
+        }
+        if let Some(f) = &self.failures {
+            f.check()?;
+        }
+        if (self.coordinator_host as usize) >= self.stations {
+            return Err(ConfigError::CoordinatorHostOutsideFleet { host: self.coordinator_host });
+        }
+        if self.arch_pattern.is_empty() {
+            return Err(ConfigError::EmptyArchPattern);
+        }
+        for r in &self.reservations {
+            r.check(self.stations)?;
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics on structurally impossible configurations.
+    #[deprecated(note = "use `check()`, which returns a typed ConfigError instead of panicking")]
     pub fn validate(&self) {
-        assert!(self.stations > 0, "a cluster needs at least one station");
-        assert!(
-            self.placements_per_poll > 0,
-            "placements_per_poll must be positive"
-        );
-        assert!(
-            !self.costs.coordinator_poll_interval.is_zero(),
-            "zero poll interval"
-        );
-        assert!(
-            !self.costs.owner_check_interval.is_zero(),
-            "zero owner-check interval"
-        );
-        if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.eviction {
-            assert!(!checkpoint_every.is_zero(), "zero periodic-checkpoint interval");
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
-        if let Some(f) = &self.failures {
-            f.validate();
-        }
-        assert!(
-            (self.coordinator_host as usize) < self.stations,
-            "coordinator host {} outside the fleet",
-            self.coordinator_host
-        );
-        assert!(!self.arch_pattern.is_empty(), "empty architecture pattern");
-        for r in &self.reservations {
-            r.validate(self.stations);
-        }
+    }
+}
+
+/// Fluent constructor for [`ClusterConfig`], created by
+/// [`ClusterConfig::builder`].
+///
+/// Every field starts at its [`ClusterConfig::default`] value; setters
+/// override individual fields and [`build`](Self::build) validates the
+/// result — invalid combinations surface as a [`ConfigError`] instead of a
+/// panic deep inside the simulator.
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the number of workstations.
+    pub fn stations(mut self, stations: usize) -> Self {
+        self.config.stations = stations;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the coordinator's allocation policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets control-plane intervals and per-operation costs.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.config.costs = costs;
+        self
+    }
+
+    /// Sets owner-return handling.
+    pub fn eviction(mut self, eviction: EvictionStrategy) -> Self {
+        self.config.eviction = eviction;
+        self
+    }
+
+    /// Sets the owner-activity process parameters.
+    pub fn owner(mut self, owner: OwnerConfig) -> Self {
+        self.config.owner = owner;
+        self
+    }
+
+    /// Sets the spread of per-station activity scales.
+    pub fn owner_heterogeneity(mut self, spread: f64) -> Self {
+        self.config.owner_heterogeneity = spread;
+        self
+    }
+
+    /// Sets the hardware profile applied to every station.
+    pub fn station(mut self, station: StationProfile) -> Self {
+        self.config.station = station;
+        self
+    }
+
+    /// Sets the network parameters.
+    pub fn bus(mut self, bus: BusConfig) -> Self {
+        self.config.bus = bus;
+        self
+    }
+
+    /// Sets how local schedulers order their own queues.
+    pub fn local_order(mut self, order: LocalOrder) -> Self {
+        self.config.local_order = order;
+        self
+    }
+
+    /// Sets the maximum placements started per coordinator poll.
+    pub fn placements_per_poll(mut self, n: usize) -> Self {
+        self.config.placements_per_poll = n;
+        self
+    }
+
+    /// Enables or disables history-aware placement.
+    pub fn history_aware_placement(mut self, enabled: bool) -> Self {
+        self.config.history_aware_placement = enabled;
+        self
+    }
+
+    /// Enables stochastic station failures.
+    pub fn failures(mut self, failures: FailureConfig) -> Self {
+        self.config.failures = Some(failures);
+        self
+    }
+
+    /// Sets the station hosting the central coordinator.
+    pub fn coordinator_host(mut self, host: u32) -> Self {
+        self.config.coordinator_host = host;
+        self
+    }
+
+    /// Sets the architecture pattern cycled over the fleet.
+    pub fn arch_pattern(mut self, pattern: Vec<Arch>) -> Self {
+        self.config.arch_pattern = pattern;
+        self
+    }
+
+    /// Enables the dedicated checkpoint server.
+    pub fn checkpoint_server(mut self, enabled: bool) -> Self {
+        self.config.checkpoint_server = enabled;
+        self
+    }
+
+    /// Adds one advance capacity reservation.
+    pub fn reservation(mut self, r: Reservation) -> Self {
+        self.config.reservations.push(r);
+        self
+    }
+
+    /// Replaces the whole reservation list.
+    pub fn reservations(mut self, rs: Vec<Reservation>) -> Self {
+        self.config.reservations = rs;
+        self
+    }
+
+    /// Enables or disables full event-trace recording.
+    pub fn record_trace(mut self, enabled: bool) -> Self {
+        self.config.record_trace = enabled;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ClusterConfig, ConfigError> {
+        self.config.check()?;
+        Ok(self.config)
     }
 }
 
@@ -250,7 +565,7 @@ mod tests {
     #[test]
     fn default_is_the_paper_setup() {
         let c = ClusterConfig::default();
-        c.validate();
+        c.check().expect("default config is valid");
         assert_eq!(c.stations, 23);
         assert_eq!(c.placements_per_poll, 1);
         assert!(matches!(c.policy, PolicyKind::UpDown(_)));
@@ -267,9 +582,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "entire fleet")]
     fn whole_fleet_reservation_rejected() {
-        ClusterConfig {
+        let err = ClusterConfig {
             reservations: vec![Reservation {
                 holder: NodeId::new(0),
                 machines: 23,
@@ -278,61 +592,120 @@ mod tests {
             }],
             ..ClusterConfig::default()
         }
-        .validate();
+        .check()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ReservationWholeFleet { machines: 23, stations: 23 });
+        assert!(err.to_string().contains("entire fleet"));
     }
 
     #[test]
-    #[should_panic(expected = "zero MTBF")]
     fn zero_mtbf_rejected() {
-        ClusterConfig {
+        let err = ClusterConfig {
             failures: Some(FailureConfig {
                 mtbf: SimDuration::ZERO,
                 mttr: SimDuration::HOUR,
             }),
             ..ClusterConfig::default()
         }
-        .validate();
+        .check()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroMtbf);
+        assert_eq!(err.to_string(), "zero MTBF");
     }
 
     #[test]
-    #[should_panic(expected = "outside the fleet")]
     fn coordinator_host_must_exist() {
-        ClusterConfig {
+        let err = ClusterConfig {
             coordinator_host: 99,
             ..ClusterConfig::default()
         }
-        .validate();
+        .check()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::CoordinatorHostOutsideFleet { host: 99 });
+        assert!(err.to_string().contains("outside the fleet"));
     }
 
     #[test]
-    #[should_panic(expected = "at least one station")]
     fn zero_stations_rejected() {
-        ClusterConfig {
-            stations: 0,
-            ..ClusterConfig::default()
-        }
-        .validate();
+        let err = ClusterConfig { stations: 0, ..ClusterConfig::default() }
+            .check()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoStations);
+        assert!(err.to_string().contains("at least one station"));
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
     fn zero_placements_rejected() {
-        ClusterConfig {
-            placements_per_poll: 0,
-            ..ClusterConfig::default()
-        }
-        .validate();
+        let err = ClusterConfig { placements_per_poll: 0, ..ClusterConfig::default() }
+            .check()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPlacementsPerPoll);
     }
 
     #[test]
-    #[should_panic(expected = "periodic-checkpoint")]
     fn zero_periodic_checkpoint_rejected() {
-        ClusterConfig {
+        let err = ClusterConfig {
             eviction: EvictionStrategy::ImmediateKill {
                 checkpoint_every: SimDuration::ZERO,
             },
             ..ClusterConfig::default()
         }
-        .validate();
+        .check()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPeriodicCheckpoint);
+        assert!(err.to_string().contains("periodic-checkpoint"));
+    }
+
+    #[test]
+    fn reservation_checks_run_standalone() {
+        let r = Reservation {
+            holder: NodeId::new(5),
+            machines: 2,
+            from: SimTime::ZERO,
+            until: SimTime::from_hours(1),
+        };
+        assert_eq!(r.check(23), Ok(()));
+        assert_eq!(
+            r.check(4),
+            Err(ConfigError::ReservationHolderOutsideFleet { holder: NodeId::new(5) })
+        );
+        let empty = Reservation { until: SimTime::ZERO, ..r };
+        assert_eq!(empty.check(23), Err(ConfigError::ReservationEmptyWindow));
+        let none = Reservation { machines: 0, ..r };
+        assert_eq!(none.check(23), Err(ConfigError::ReservationZeroMachines));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "zero MTBF")]
+    fn deprecated_validate_still_panics() {
+        FailureConfig { mtbf: SimDuration::ZERO, mttr: SimDuration::HOUR }.validate();
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let c = ClusterConfig::builder()
+            .stations(8)
+            .seed(42)
+            .placements_per_poll(3)
+            .record_trace(false)
+            .reservation(Reservation {
+                holder: NodeId::new(1),
+                machines: 2,
+                from: SimTime::ZERO,
+                until: SimTime::from_hours(2),
+            })
+            .build()
+            .expect("valid config");
+        assert_eq!(c.stations, 8);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.placements_per_poll, 3);
+        assert!(!c.record_trace);
+        assert_eq!(c.reservations.len(), 1);
+        // Untouched fields keep their defaults.
+        assert!(matches!(c.policy, PolicyKind::UpDown(_)));
+
+        let err = ClusterConfig::builder().stations(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NoStations);
     }
 }

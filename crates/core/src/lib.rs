@@ -13,7 +13,9 @@
 //!   strategies (grace-then-checkpoint vs immediate-kill);
 //! * [`cluster`] — the full discrete-event cluster model binding owners,
 //!   local schedulers, the coordinator, the network, and cost accounting;
-//! * [`trace`] — the replayable event trace experiments consume.
+//! * [`trace`] — the replayable event trace experiments consume;
+//! * [`telemetry`] — streaming trace sinks and the O(1)-memory
+//!   [`Telemetry`] summary every run produces.
 //!
 //! ## Example: run a small cluster
 //!
@@ -50,13 +52,20 @@ pub mod config;
 pub mod job;
 pub mod policy;
 pub mod queue;
+pub mod telemetry;
 pub mod trace;
 pub mod updown;
 
-pub use cluster::{run_cluster, Cluster, Event, RunOutput, Totals};
-pub use config::{ClusterConfig, EvictionStrategy, FailureConfig, PolicyKind, Reservation};
+pub use cluster::{run_cluster, run_cluster_with_sinks, Cluster, Event, RunOutput, Totals};
+pub use config::{
+    ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig, PolicyKind,
+    Reservation,
+};
 pub use job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
 pub use policy::{AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy, StationView};
 pub use queue::{BackgroundQueue, LocalOrder};
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use telemetry::{
+    FanoutSink, GaugeSample, RingSink, SharedSink, StatsSink, Telemetry, TraceSink, VecSink,
+};
+pub use trace::{Trace, TraceEvent, TraceKind, TraceParseError};
 pub use updown::{UpDown, UpDownConfig};

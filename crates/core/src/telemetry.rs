@@ -1,0 +1,592 @@
+//! Streaming telemetry: trace sinks and the O(1)-memory run summary.
+//!
+//! The legacy [`Trace`] buffers every event and is
+//! scanned after the run — fine for a simulated month, infeasible for the
+//! horizons the benchmarks target. This module inverts the flow: the
+//! cluster pushes each [`TraceEvent`] into any number of [`TraceSink`]s *as
+//! it happens*, so observers choose their own memory/accuracy trade-off:
+//!
+//! * [`StatsSink`] — aggregates into a [`Telemetry`] summary (per-kind
+//!   counters, log-bucketed histograms, coarsened gauge series) in O(1)
+//!   memory; always attached, so even `record_trace: false` runs report.
+//! * [`VecSink`] — buffers everything, like the legacy trace.
+//! * [`RingSink`] — keeps only the last *N* events (crash forensics).
+//! * [`FanoutSink`] — broadcasts to several sinks.
+//! * [`SharedSink`] — a cloneable handle so the caller keeps access to a
+//!   sink after handing it to the cluster.
+//! * `Trace` itself implements [`TraceSink`], closing the loop.
+//!
+//! Sinks also receive periodic [`GaugeSample`]s — instantaneous cluster
+//! state (bus backlog, free machines, Up-Down index) captured at each
+//! coordinator poll, which no discrete event carries.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use condor_sim::series::CoarseSeries;
+use condor_sim::stats::LogHistogram;
+use condor_sim::time::{SimDuration, SimTime};
+
+use crate::job::JobId;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+
+/// Instantaneous cluster state sampled at each coordinator poll.
+///
+/// Gauges are not discrete events: nothing "happens" when the bus backlog
+/// is 3 s, yet the paper's bus-occupancy figures need exactly that signal.
+/// The cluster captures one sample per poll cycle and offers it to every
+/// sink alongside the event stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Queued work on the shared bus ahead of a transfer booked now.
+    pub bus_backlog: SimDuration,
+    /// Machines currently able to host a foreign job.
+    pub free_machines: u32,
+    /// Jobs waiting across all station queues.
+    pub waiting_jobs: u32,
+    /// Mean Up-Down schedule index across stations (`None` under other
+    /// allocation policies).
+    pub updown_mean_index: Option<f64>,
+}
+
+/// An observer of the cluster's event stream.
+///
+/// The cluster calls [`record`](TraceSink::record) once per
+/// [`TraceEvent`] in simulation order, [`sample`](TraceSink::sample) once
+/// per coordinator poll, and [`finish`](TraceSink::finish) exactly once
+/// when the run ends. Implementations must be `Send` so runs stay usable
+/// from the parallel replication harness.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Observes one event, in simulation order.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Observes one periodic gauge sample. Default: ignored.
+    fn sample(&mut self, _s: &GaugeSample) {}
+
+    /// Called once when the run reaches its horizon. Default: no-op.
+    fn finish(&mut self, _at: SimTime) {}
+}
+
+impl TraceSink for Trace {
+    fn record(&mut self, ev: &TraceEvent) {
+        Trace::record(self, ev.at, ev.kind);
+    }
+}
+
+/// A sink that buffers every event, like the legacy trace.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, yielding the recorded events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// A bounded sink keeping only the most recent events.
+///
+/// Memory is O(capacity) regardless of run length — attach one to a long
+/// run and, when something goes wrong, the tail tells you what led up
+/// to it.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl RingSink {
+    /// Creates a sink retaining the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingSink capacity must be positive");
+        RingSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Consumes the sink, yielding the retained events oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever observed (including evicted ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(*ev);
+        self.seen += 1;
+    }
+}
+
+/// Broadcasts every event, sample, and finish to a set of child sinks.
+#[derive(Debug, Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Creates an empty fan-out.
+    pub fn new() -> Self {
+        FanoutSink::default()
+    }
+
+    /// Adds a child sink (builder style).
+    pub fn with(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a child sink.
+    pub fn push(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of child sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// `true` when no child sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        for s in &mut self.sinks {
+            s.record(ev);
+        }
+    }
+
+    fn sample(&mut self, s: &GaugeSample) {
+        for sink in &mut self.sinks {
+            sink.sample(s);
+        }
+    }
+
+    fn finish(&mut self, at: SimTime) {
+        for s in &mut self.sinks {
+            s.finish(at);
+        }
+    }
+}
+
+/// A cloneable handle to a sink, so the caller keeps access after the
+/// cluster takes ownership of a boxed copy.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::telemetry::{RingSink, SharedSink, TraceSink};
+///
+/// let tail = SharedSink::new(RingSink::new(100));
+/// let for_cluster: Box<dyn TraceSink> = Box::new(tail.clone());
+/// // … run the cluster with `for_cluster` attached …
+/// drop(for_cluster);
+/// let events = tail.with(|r| r.len());
+/// assert_eq!(events, 0);
+/// ```
+#[derive(Debug)]
+pub struct SharedSink<S> {
+    inner: Arc<Mutex<S>>,
+}
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S> SharedSink<S> {
+    /// Wraps a sink in a shared handle.
+    pub fn new(sink: S) -> Self {
+        SharedSink { inner: Arc::new(Mutex::new(sink)) }
+    }
+
+    /// Runs `f` with exclusive access to the inner sink.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.lock().expect("sink lock poisoned"))
+    }
+
+    /// Recovers the inner sink. Returns `None` if other handles are still
+    /// alive.
+    pub fn try_into_inner(self) -> Option<S> {
+        Arc::try_unwrap(self.inner)
+            .ok()
+            .map(|m| m.into_inner().expect("sink lock poisoned"))
+    }
+}
+
+impl<S: TraceSink> TraceSink for SharedSink<S> {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.with(|s| s.record(ev));
+    }
+
+    fn sample(&mut self, s: &GaugeSample) {
+        self.with(|sink| sink.sample(s));
+    }
+
+    fn finish(&mut self, at: SimTime) {
+        self.with(|s| s.finish(at));
+    }
+}
+
+/// The O(1)-memory run summary built by [`StatsSink`].
+///
+/// Counters and histogram/series aggregates are exact where cheap (counts,
+/// sums, min/max) and bounded-resolution where exactness would cost
+/// unbounded memory (histogram quantiles are log₂-bucketed; gauge series
+/// are pair-merge coarsened). Deterministic for a given seed: identical
+/// runs produce identical summaries.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Total events observed.
+    pub events_total: u64,
+    /// Per-kind event counts, indexed by [`TraceKind::index`].
+    pub counts: [u64; TraceKind::COUNT],
+    /// Time from entering a queue to the subsequent start, in
+    /// milliseconds (arrival→start, checkpoint-home→restart, kill→restart).
+    pub queue_wait_ms: LogHistogram,
+    /// Length of each uninterrupted execution burst, in milliseconds.
+    pub remote_burst_ms: LogHistogram,
+    /// Checkpoint image sizes put on the wire, in bytes.
+    pub checkpoint_bytes: LogHistogram,
+    /// Bus backlog (ms of queued transfer work) sampled at each poll.
+    pub bus_backlog_ms: CoarseSeries,
+    /// Mean Up-Down schedule index sampled at each poll (empty under
+    /// non-Up-Down policies).
+    pub updown_index: CoarseSeries,
+    /// Timestamp of the first event, if any.
+    pub first_event: Option<SimTime>,
+    /// Timestamp of the last event, if any.
+    pub last_event: Option<SimTime>,
+    /// The run horizon passed to [`TraceSink::finish`].
+    pub finished_at: SimTime,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            events_total: 0,
+            counts: [0; TraceKind::COUNT],
+            queue_wait_ms: LogHistogram::new(),
+            remote_burst_ms: LogHistogram::new(),
+            checkpoint_bytes: LogHistogram::new(),
+            bus_backlog_ms: CoarseSeries::new(CoarseSeries::DEFAULT_CAPACITY),
+            updown_index: CoarseSeries::new(CoarseSeries::DEFAULT_CAPACITY),
+            first_event: None,
+            last_event: None,
+            finished_at: SimTime::ZERO,
+        }
+    }
+}
+
+impl Telemetry {
+    /// Count of one event kind.
+    pub fn count_of(&self, kind: &TraceKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Per-kind counts as `(name, count)`, nonzero kinds only, in
+    /// [`TraceKind::index`] order.
+    pub fn nonzero_counts(&self) -> Vec<(&'static str, u64)> {
+        TraceKind::names()
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&n, &c)| (n, c))
+            .collect()
+    }
+
+    /// `true` when no events were observed.
+    pub fn is_empty(&self) -> bool {
+        self.events_total == 0
+    }
+}
+
+/// Aggregates the event stream into a [`Telemetry`] summary.
+///
+/// Tracks per-job "queued since" / "running since" marks to turn the event
+/// stream into queue-wait and execution-burst samples; everything else is
+/// direct counting. Memory is O(jobs in flight + fixed aggregates),
+/// independent of run length.
+#[derive(Debug, Default)]
+pub struct StatsSink {
+    telemetry: Telemetry,
+    queued_since: HashMap<JobId, SimTime>,
+    running_since: HashMap<JobId, SimTime>,
+}
+
+impl StatsSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        StatsSink::default()
+    }
+
+    /// The summary accumulated so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Consumes the sink, yielding the summary.
+    pub fn into_telemetry(self) -> Telemetry {
+        self.telemetry
+    }
+}
+
+impl TraceSink for StatsSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let t = &mut self.telemetry;
+        t.events_total += 1;
+        t.counts[ev.kind.index()] += 1;
+        if t.first_event.is_none() {
+            t.first_event = Some(ev.at);
+        }
+        t.last_event = Some(ev.at);
+        match ev.kind {
+            TraceKind::JobArrived { job } => {
+                self.queued_since.insert(job, ev.at);
+            }
+            TraceKind::JobStarted { job, .. } => {
+                if let Some(since) = self.queued_since.remove(&job) {
+                    t.queue_wait_ms.record(ev.at.since(since).as_millis());
+                }
+                self.running_since.insert(job, ev.at);
+            }
+            TraceKind::JobResumedInPlace { job, .. } => {
+                self.running_since.insert(job, ev.at);
+            }
+            TraceKind::JobSuspended { job, .. }
+            | TraceKind::JobCompleted { job, .. }
+            | TraceKind::CrashRollback { job, .. } => {
+                if let Some(since) = self.running_since.remove(&job) {
+                    t.remote_burst_ms.record(ev.at.since(since).as_millis());
+                }
+            }
+            TraceKind::CheckpointStarted { job, bytes, .. } => {
+                // Under grace-then-checkpoint the job was already suspended
+                // (no running mark left); under direct vacate this closes
+                // the burst.
+                if let Some(since) = self.running_since.remove(&job) {
+                    t.remote_burst_ms.record(ev.at.since(since).as_millis());
+                }
+                t.checkpoint_bytes.record(bytes);
+            }
+            TraceKind::JobKilled { job, .. } => {
+                if let Some(since) = self.running_since.remove(&job) {
+                    t.remote_burst_ms.record(ev.at.since(since).as_millis());
+                }
+                // An immediate-kill requeues the job at home.
+                self.queued_since.insert(job, ev.at);
+            }
+            TraceKind::CheckpointCompleted { job, .. } => {
+                // The image landed at home; the job waits for its next slot.
+                self.queued_since.insert(job, ev.at);
+            }
+            _ => {}
+        }
+    }
+
+    fn sample(&mut self, s: &GaugeSample) {
+        self.telemetry
+            .bus_backlog_ms
+            .push(s.at, s.bus_backlog.as_millis() as f64);
+        if let Some(idx) = s.updown_mean_index {
+            self.telemetry.updown_index.push(s.at, idx);
+        }
+    }
+
+    fn finish(&mut self, at: SimTime) {
+        self.telemetry.finished_at = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condor_net::NodeId;
+
+    fn ev(secs: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_secs(secs), kind }
+    }
+
+    #[test]
+    fn vec_sink_buffers_in_order() {
+        let mut s = VecSink::new();
+        assert!(s.is_empty());
+        s.record(&ev(1, TraceKind::JobArrived { job: JobId(0) }));
+        s.record(&ev(2, TraceKind::JobArrived { job: JobId(1) }));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[0].at, SimTime::from_secs(1));
+        assert_eq!(s.into_events().len(), 2);
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_tail() {
+        let mut s = RingSink::new(3);
+        for i in 0..10 {
+            s.record(&ev(i, TraceKind::JobArrived { job: JobId(i) }));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.capacity(), 3);
+        assert_eq!(s.seen(), 10);
+        let tail: Vec<u64> = s
+            .events()
+            .map(|e| match e.kind {
+                TraceKind::JobArrived { job } => job.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tail, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn fanout_broadcasts() {
+        let a = SharedSink::new(VecSink::new());
+        let b = SharedSink::new(RingSink::new(1));
+        let mut fan = FanoutSink::new()
+            .with(Box::new(a.clone()))
+            .with(Box::new(b.clone()));
+        assert_eq!(fan.len(), 2);
+        fan.record(&ev(1, TraceKind::OwnerIdle { station: NodeId::new(0) }));
+        fan.record(&ev(2, TraceKind::OwnerActive { station: NodeId::new(0) }));
+        fan.finish(SimTime::from_secs(3));
+        assert_eq!(a.with(|s| s.len()), 2);
+        assert_eq!(b.with(|s| s.seen()), 2);
+    }
+
+    #[test]
+    fn stats_sink_counts_and_waits() {
+        let mut s = StatsSink::new();
+        let n = NodeId::new(4);
+        s.record(&ev(0, TraceKind::JobArrived { job: JobId(0) }));
+        s.record(&ev(60, TraceKind::JobStarted { job: JobId(0), on: n }));
+        s.record(&ev(600, TraceKind::JobSuspended { job: JobId(0), on: n }));
+        s.record(&ev(
+            700,
+            TraceKind::CheckpointStarted {
+                job: JobId(0),
+                from: n,
+                reason: crate::job::PreemptReason::OwnerReturned,
+                bytes: 1_000_000,
+            },
+        ));
+        s.record(&ev(800, TraceKind::CheckpointCompleted { job: JobId(0), from: n }));
+        s.record(&ev(900, TraceKind::JobStarted { job: JobId(0), on: n }));
+        s.record(&ev(2_000, TraceKind::JobCompleted { job: JobId(0), on: n }));
+        s.finish(SimTime::from_hours(1));
+
+        let t = s.telemetry();
+        assert_eq!(t.events_total, 7);
+        assert_eq!(t.count_of(&TraceKind::JobArrived { job: JobId(0) }), 1);
+        assert_eq!(t.count_of(&TraceKind::JobStarted { job: JobId(0), on: n }), 2);
+        // Two queue waits: 60 s after arrival, 100 s after the checkpoint.
+        assert_eq!(t.queue_wait_ms.count(), 2);
+        assert_eq!(t.queue_wait_ms.min(), Some(60_000));
+        assert_eq!(t.queue_wait_ms.max(), Some(100_000));
+        // Two bursts: 540 s then 1100 s; the checkpoint after the suspend
+        // does not double-count.
+        assert_eq!(t.remote_burst_ms.count(), 2);
+        assert_eq!(t.checkpoint_bytes.count(), 1);
+        assert_eq!(t.checkpoint_bytes.max(), Some(1_000_000));
+        assert_eq!(t.finished_at, SimTime::from_hours(1));
+        assert_eq!(t.first_event, Some(SimTime::ZERO));
+        assert_eq!(t.last_event, Some(SimTime::from_secs(2_000)));
+        assert!(!t.is_empty());
+        let names: Vec<&str> = t.nonzero_counts().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"job_arrived") && names.contains(&"checkpoint_started"));
+    }
+
+    #[test]
+    fn stats_sink_gauge_samples() {
+        let mut s = StatsSink::new();
+        for i in 0..100u64 {
+            s.sample(&GaugeSample {
+                at: SimTime::from_secs(i * 30),
+                bus_backlog: SimDuration::from_millis(i * 10),
+                free_machines: 5,
+                waiting_jobs: 2,
+                updown_mean_index: (i % 2 == 0).then_some(i as f64),
+            });
+        }
+        let t = s.telemetry();
+        assert_eq!(t.bus_backlog_ms.samples(), 100);
+        assert_eq!(t.updown_index.samples(), 50);
+        assert_eq!(t.bus_backlog_ms.max(), Some(990.0));
+    }
+
+    #[test]
+    fn trace_is_a_sink() {
+        let mut trace = Trace::new();
+        let sink: &mut dyn TraceSink = &mut trace;
+        sink.record(&ev(5, TraceKind::JobArrived { job: JobId(9) }));
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].at, SimTime::from_secs(5));
+    }
+}

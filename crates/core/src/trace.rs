@@ -69,6 +69,8 @@ pub enum TraceKind {
         from: NodeId,
         /// Why the job is leaving.
         reason: PreemptReason,
+        /// Size of the checkpoint image on the wire.
+        bytes: u64,
     },
     /// The checkpoint landed at home; the job is queued again.
     CheckpointCompleted {
@@ -153,6 +155,72 @@ pub enum TraceKind {
     },
 }
 
+impl TraceKind {
+    /// Number of distinct trace-event kinds.
+    pub const COUNT: usize = 20;
+
+    /// Dense index of this kind in `0..COUNT`; stable across a release,
+    /// used by the telemetry layer for per-kind counter arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            TraceKind::JobArrived { .. } => 0,
+            TraceKind::JobRejected { .. } => 1,
+            TraceKind::PlacementStarted { .. } => 2,
+            TraceKind::PlacementDiskRejected { .. } => 3,
+            TraceKind::JobStarted { .. } => 4,
+            TraceKind::JobSuspended { .. } => 5,
+            TraceKind::JobResumedInPlace { .. } => 6,
+            TraceKind::CheckpointStarted { .. } => 7,
+            TraceKind::CheckpointCompleted { .. } => 8,
+            TraceKind::JobKilled { .. } => 9,
+            TraceKind::PeriodicCheckpoint { .. } => 10,
+            TraceKind::JobCompleted { .. } => 11,
+            TraceKind::OwnerActive { .. } => 12,
+            TraceKind::OwnerIdle { .. } => 13,
+            TraceKind::StationFailed { .. } => 14,
+            TraceKind::StationRecovered { .. } => 15,
+            TraceKind::CrashRollback { .. } => 16,
+            TraceKind::ReservationStarted { .. } => 17,
+            TraceKind::ReservationEnded { .. } => 18,
+            TraceKind::CoordinatorPolled { .. } => 19,
+        }
+    }
+
+    /// Stable snake_case name of this kind; doubles as the `"kind"` token
+    /// in the JSONL trace format.
+    pub fn name(&self) -> &'static str {
+        KIND_NAMES[self.index()]
+    }
+
+    /// The name for each dense index, in [`TraceKind::index`] order.
+    pub fn names() -> &'static [&'static str; TraceKind::COUNT] {
+        &KIND_NAMES
+    }
+}
+
+static KIND_NAMES: [&str; TraceKind::COUNT] = [
+    "job_arrived",
+    "job_rejected",
+    "placement_started",
+    "placement_disk_rejected",
+    "job_started",
+    "job_suspended",
+    "job_resumed_in_place",
+    "checkpoint_started",
+    "checkpoint_completed",
+    "job_killed",
+    "periodic_checkpoint",
+    "job_completed",
+    "owner_active",
+    "owner_idle",
+    "station_failed",
+    "station_recovered",
+    "crash_rollback",
+    "reservation_started",
+    "reservation_ended",
+    "coordinator_polled",
+];
+
 /// A timestamped trace entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -160,6 +228,249 @@ pub struct TraceEvent {
     pub at: SimTime,
     /// What happened.
     pub kind: TraceKind,
+}
+
+/// Why a JSONL trace line could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The line is not a flat `{"key":value,…}` object.
+    Malformed(String),
+    /// The `"kind"` token is not a known [`TraceKind`] name.
+    UnknownKind(String),
+    /// A field required by the kind is absent.
+    MissingField(&'static str),
+    /// A field value could not be decoded (bad integer, unknown reason).
+    BadValue(&'static str, String),
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::Malformed(line) => write!(f, "malformed trace line: {line}"),
+            TraceParseError::UnknownKind(k) => write!(f, "unknown trace kind: {k}"),
+            TraceParseError::MissingField(name) => write!(f, "missing trace field: {name}"),
+            TraceParseError::BadValue(name, v) => {
+                write!(f, "bad value for trace field {name}: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn reason_token(r: PreemptReason) -> &'static str {
+    match r {
+        PreemptReason::OwnerReturned => "owner_returned",
+        PreemptReason::PriorityPreemption => "priority_preemption",
+        PreemptReason::StationFailure => "station_failure",
+    }
+}
+
+fn reason_from_token(tok: &str) -> Option<PreemptReason> {
+    match tok {
+        "owner_returned" => Some(PreemptReason::OwnerReturned),
+        "priority_preemption" => Some(PreemptReason::PriorityPreemption),
+        "station_failure" => Some(PreemptReason::StationFailure),
+        _ => None,
+    }
+}
+
+/// Field accessors over one parsed flat-JSON line.
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(line: &'a str) -> Result<Self, TraceParseError> {
+        let body = line
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| TraceParseError::Malformed(line.into()))?;
+        let mut pairs = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            // Keys are always quoted; values are bare integers or quoted
+            // tokens. None of our tokens contain commas or escapes, so a
+            // flat split is exact.
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| TraceParseError::Malformed(line.into()))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| TraceParseError::Malformed(line.into()))?;
+            pairs.push((key, value.trim()));
+        }
+        Ok(Fields { pairs })
+    }
+
+    fn str(&self, name: &'static str) -> Result<&'a str, TraceParseError> {
+        let raw = self
+            .pairs
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .ok_or(TraceParseError::MissingField(name))?;
+        raw.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| TraceParseError::BadValue(name, raw.into()))
+    }
+
+    fn u64(&self, name: &'static str) -> Result<u64, TraceParseError> {
+        let raw = self
+            .pairs
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .ok_or(TraceParseError::MissingField(name))?;
+        raw.parse()
+            .map_err(|_| TraceParseError::BadValue(name, raw.into()))
+    }
+
+    fn job(&self, name: &'static str) -> Result<JobId, TraceParseError> {
+        self.u64(name).map(JobId)
+    }
+
+    fn node(&self, name: &'static str) -> Result<NodeId, TraceParseError> {
+        let v = self.u64(name)?;
+        u32::try_from(v)
+            .map(NodeId::new)
+            .map_err(|_| TraceParseError::BadValue(name, v.to_string()))
+    }
+
+    fn u32(&self, name: &'static str) -> Result<u32, TraceParseError> {
+        let v = self.u64(name)?;
+        u32::try_from(v).map_err(|_| TraceParseError::BadValue(name, v.to_string()))
+    }
+}
+
+impl TraceEvent {
+    /// Renders this event as one line of flat JSON (no trailing newline),
+    /// e.g. `{"t_ms":5000,"kind":"job_arrived","job":3}`.
+    ///
+    /// The format round-trips exactly through [`TraceEvent::from_jsonl`].
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!("{{\"t_ms\":{},\"kind\":\"{}\"", self.at.as_millis(), self.kind.name());
+        match self.kind {
+            TraceKind::JobArrived { job } | TraceKind::JobRejected { job } => {
+                write!(s, ",\"job\":{}", job.0).unwrap();
+            }
+            TraceKind::PlacementStarted { job, target }
+            | TraceKind::PlacementDiskRejected { job, target } => {
+                write!(s, ",\"job\":{},\"target\":{}", job.0, target.index()).unwrap();
+            }
+            TraceKind::JobStarted { job, on }
+            | TraceKind::JobSuspended { job, on }
+            | TraceKind::JobResumedInPlace { job, on }
+            | TraceKind::JobKilled { job, on }
+            | TraceKind::PeriodicCheckpoint { job, on }
+            | TraceKind::JobCompleted { job, on }
+            | TraceKind::CrashRollback { job, on } => {
+                write!(s, ",\"job\":{},\"on\":{}", job.0, on.index()).unwrap();
+            }
+            TraceKind::CheckpointStarted { job, from, reason, bytes } => {
+                write!(
+                    s,
+                    ",\"job\":{},\"from\":{},\"reason\":\"{}\",\"bytes\":{}",
+                    job.0,
+                    from.index(),
+                    reason_token(reason),
+                    bytes
+                )
+                .unwrap();
+            }
+            TraceKind::CheckpointCompleted { job, from } => {
+                write!(s, ",\"job\":{},\"from\":{}", job.0, from.index()).unwrap();
+            }
+            TraceKind::OwnerActive { station }
+            | TraceKind::OwnerIdle { station }
+            | TraceKind::StationFailed { station }
+            | TraceKind::StationRecovered { station } => {
+                write!(s, ",\"station\":{}", station.index()).unwrap();
+            }
+            TraceKind::ReservationStarted { holder, machines } => {
+                write!(s, ",\"holder\":{},\"machines\":{}", holder.index(), machines).unwrap();
+            }
+            TraceKind::ReservationEnded { holder } => {
+                write!(s, ",\"holder\":{}", holder.index()).unwrap();
+            }
+            TraceKind::CoordinatorPolled { free_machines, waiting_jobs, placements, preemptions } => {
+                write!(
+                    s,
+                    ",\"free\":{free_machines},\"waiting\":{waiting_jobs},\"placements\":{placements},\"preemptions\":{preemptions}"
+                )
+                .unwrap();
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes one line produced by [`TraceEvent::to_jsonl`].
+    pub fn from_jsonl(line: &str) -> Result<TraceEvent, TraceParseError> {
+        let f = Fields::parse(line)?;
+        let at = SimTime::from_millis(f.u64("t_ms")?);
+        let kind_tok = f.str("kind")?;
+        let kind = match kind_tok {
+            "job_arrived" => TraceKind::JobArrived { job: f.job("job")? },
+            "job_rejected" => TraceKind::JobRejected { job: f.job("job")? },
+            "placement_started" => TraceKind::PlacementStarted {
+                job: f.job("job")?,
+                target: f.node("target")?,
+            },
+            "placement_disk_rejected" => TraceKind::PlacementDiskRejected {
+                job: f.job("job")?,
+                target: f.node("target")?,
+            },
+            "job_started" => TraceKind::JobStarted { job: f.job("job")?, on: f.node("on")? },
+            "job_suspended" => TraceKind::JobSuspended { job: f.job("job")?, on: f.node("on")? },
+            "job_resumed_in_place" => {
+                TraceKind::JobResumedInPlace { job: f.job("job")?, on: f.node("on")? }
+            }
+            "checkpoint_started" => {
+                let tok = f.str("reason")?;
+                TraceKind::CheckpointStarted {
+                    job: f.job("job")?,
+                    from: f.node("from")?,
+                    reason: reason_from_token(tok)
+                        .ok_or_else(|| TraceParseError::BadValue("reason", tok.into()))?,
+                    bytes: f.u64("bytes")?,
+                }
+            }
+            "checkpoint_completed" => {
+                TraceKind::CheckpointCompleted { job: f.job("job")?, from: f.node("from")? }
+            }
+            "job_killed" => TraceKind::JobKilled { job: f.job("job")?, on: f.node("on")? },
+            "periodic_checkpoint" => {
+                TraceKind::PeriodicCheckpoint { job: f.job("job")?, on: f.node("on")? }
+            }
+            "job_completed" => TraceKind::JobCompleted { job: f.job("job")?, on: f.node("on")? },
+            "owner_active" => TraceKind::OwnerActive { station: f.node("station")? },
+            "owner_idle" => TraceKind::OwnerIdle { station: f.node("station")? },
+            "station_failed" => TraceKind::StationFailed { station: f.node("station")? },
+            "station_recovered" => TraceKind::StationRecovered { station: f.node("station")? },
+            "crash_rollback" => TraceKind::CrashRollback { job: f.job("job")?, on: f.node("on")? },
+            "reservation_started" => TraceKind::ReservationStarted {
+                holder: f.node("holder")?,
+                machines: f.u32("machines")?,
+            },
+            "reservation_ended" => TraceKind::ReservationEnded { holder: f.node("holder")? },
+            "coordinator_polled" => TraceKind::CoordinatorPolled {
+                free_machines: f.u32("free")?,
+                waiting_jobs: f.u32("waiting")?,
+                placements: f.u32("placements")?,
+                preemptions: f.u32("preemptions")?,
+            },
+            other => return Err(TraceParseError::UnknownKind(other.into())),
+        };
+        Ok(TraceEvent { at, kind })
+    }
 }
 
 /// An append-only trace with query helpers.
@@ -257,5 +568,88 @@ mod tests {
         t.record(SimTime::ZERO, TraceKind::JobArrived { job: JobId(1) });
         assert!(t.is_empty());
         assert_eq!(t.events(), &[]);
+    }
+
+    /// One exemplar of every kind — keep in sync with `TraceKind`.
+    fn one_of_each() -> Vec<TraceKind> {
+        let j = JobId(7);
+        let n = NodeId::new(3);
+        vec![
+            TraceKind::JobArrived { job: j },
+            TraceKind::JobRejected { job: j },
+            TraceKind::PlacementStarted { job: j, target: n },
+            TraceKind::PlacementDiskRejected { job: j, target: n },
+            TraceKind::JobStarted { job: j, on: n },
+            TraceKind::JobSuspended { job: j, on: n },
+            TraceKind::JobResumedInPlace { job: j, on: n },
+            TraceKind::CheckpointStarted {
+                job: j,
+                from: n,
+                reason: PreemptReason::PriorityPreemption,
+                bytes: 123_456,
+            },
+            TraceKind::CheckpointCompleted { job: j, from: n },
+            TraceKind::JobKilled { job: j, on: n },
+            TraceKind::PeriodicCheckpoint { job: j, on: n },
+            TraceKind::JobCompleted { job: j, on: n },
+            TraceKind::OwnerActive { station: n },
+            TraceKind::OwnerIdle { station: n },
+            TraceKind::StationFailed { station: n },
+            TraceKind::StationRecovered { station: n },
+            TraceKind::CrashRollback { job: j, on: n },
+            TraceKind::ReservationStarted { holder: n, machines: 4 },
+            TraceKind::ReservationEnded { holder: n },
+            TraceKind::CoordinatorPolled {
+                free_machines: 9,
+                waiting_jobs: 2,
+                placements: 1,
+                preemptions: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_names_unique() {
+        let kinds = one_of_each();
+        assert_eq!(kinds.len(), TraceKind::COUNT);
+        let mut seen = [false; TraceKind::COUNT];
+        for k in &kinds {
+            assert!(!seen[k.index()], "duplicate index for {k:?}");
+            seen[k.index()] = true;
+            assert_eq!(TraceKind::names()[k.index()], k.name());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        for (i, kind) in one_of_each().into_iter().enumerate() {
+            let ev = TraceEvent { at: SimTime::from_millis(1_000 + i as u64), kind };
+            let line = ev.to_jsonl();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains(&format!("\"kind\":\"{}\"", kind.name())), "{line}");
+            let back = TraceEvent::from_jsonl(&line).expect("round trip");
+            assert_eq!(back, ev, "line {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(matches!(
+            TraceEvent::from_jsonl("not json"),
+            Err(TraceParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            TraceEvent::from_jsonl("{\"t_ms\":1,\"kind\":\"warp_drive\"}"),
+            Err(TraceParseError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            TraceEvent::from_jsonl("{\"t_ms\":1,\"kind\":\"job_arrived\"}"),
+            Err(TraceParseError::MissingField("job"))
+        ));
+        assert!(matches!(
+            TraceEvent::from_jsonl("{\"t_ms\":1,\"kind\":\"job_arrived\",\"job\":\"x\"}"),
+            Err(TraceParseError::BadValue("job", _))
+        ));
     }
 }

@@ -1,4 +1,4 @@
-//! Workstation-availability statistics from the event trace.
+//! Workstation-availability statistics, streamed or replayed.
 //!
 //! The paper's premises come from its companion study (Mutka & Livny,
 //! *Profiling Workstations' Available Capacity*, ref. \[1\]): stations are
@@ -6,13 +6,19 @@
 //! interval lengths are positively autocorrelated ("workstations with long
 //! available intervals tend to have their next available interval long").
 //! This module recomputes those statistics from a simulated run's
-//! owner-activity trace, validating the substituted owner model against
+//! owner-activity events, validating the substituted owner model against
 //! the properties the scheduler's results depend on.
-
-use std::collections::HashMap;
+//!
+//! Two entry points share one implementation:
+//!
+//! * [`AvailabilitySink`] — a streaming [`TraceSink`]: attach it to a run
+//!   (works with `record_trace: false`) and read the profile afterwards;
+//! * [`availability_profile`] — the legacy replay over a buffered
+//!   [`RunOutput`] trace, now a thin wrapper that feeds the sink.
 
 use condor_core::cluster::RunOutput;
-use condor_core::trace::TraceKind;
+use condor_core::telemetry::TraceSink;
+use condor_core::trace::{TraceEvent, TraceKind};
 use condor_net::NodeId;
 use condor_sim::stats::Running;
 use condor_sim::time::SimTime;
@@ -46,38 +52,105 @@ pub struct AvailabilityProfile {
     pub mean_autocorr: f64,
 }
 
-/// Computes the availability profile from a run's owner-activity trace.
+/// Per-station replay state.
+#[derive(Debug, Default, Clone)]
+struct Replay {
+    idle_since: Option<SimTime>,
+    active_ms: u64,
+    last_transition: Option<SimTime>,
+    idle_intervals: Vec<f64>, // hours
+}
+
+/// Streams owner-activity events into per-station availability statistics.
 ///
-/// Requires the run to have been recorded with tracing enabled.
-pub fn availability_profile(out: &RunOutput) -> AvailabilityProfile {
-    // Replay owner transitions per station.
-    #[derive(Default)]
-    struct Replay {
-        idle_since: Option<SimTime>,
-        active_ms: u64,
-        last_transition: Option<SimTime>,
-        idle_intervals: Vec<f64>, // hours
+/// Attach to a run via
+/// [`run_cluster_with_sinks`](condor_core::cluster::run_cluster_with_sinks)
+/// (through a [`SharedSink`](condor_core::telemetry::SharedSink) handle to
+/// keep access), then call [`profile`](AvailabilitySink::profile). Memory
+/// is O(stations + idle intervals) — no full trace is buffered, so it
+/// works with `record_trace: false` at any horizon.
+#[derive(Debug, Clone)]
+pub struct AvailabilitySink {
+    replays: Vec<Replay>,
+    finished_at: SimTime,
+}
+
+impl AvailabilitySink {
+    /// Creates a sink for a fleet of `stations` machines.
+    pub fn new(stations: usize) -> Self {
+        AvailabilitySink {
+            replays: vec![
+                Replay {
+                    // Stations start idle unless the event stream says
+                    // otherwise; the first transition fixes the initial
+                    // state retroactively.
+                    idle_since: Some(SimTime::ZERO),
+                    ..Replay::default()
+                };
+                stations
+            ],
+            finished_at: SimTime::ZERO,
+        }
     }
-    let mut replays: HashMap<u32, Replay> = HashMap::new();
-    for i in 0..out.stations {
-        replays.insert(i as u32, Replay {
-            // Stations start idle unless the trace says otherwise; the
-            // first transition fixes the initial state retroactively.
-            idle_since: Some(SimTime::ZERO),
-            ..Replay::default()
-        });
+
+    /// The profile over `[0, horizon]`, using the horizon passed to
+    /// [`TraceSink::finish`] (or the latest observed transition when the
+    /// sink was fed manually).
+    pub fn profile(&self) -> AvailabilityProfile {
+        self.profile_at(self.finished_at)
     }
-    for ev in out.trace.events() {
+
+    /// The profile with an explicit horizon.
+    pub fn profile_at(&self, horizon: SimTime) -> AvailabilityProfile {
+        let horizon_ms = horizon.as_millis() as f64;
+        let mut stations = Vec::with_capacity(self.replays.len());
+        let mut all_intervals = Running::new();
+        let mut autocorrs = Running::new();
+        for (i, r) in self.replays.iter().enumerate() {
+            let available = 1.0 - r.active_ms as f64 / horizon_ms;
+            let mut lens = Running::new();
+            for &v in &r.idle_intervals {
+                lens.push(v);
+                all_intervals.push(v);
+            }
+            let autocorr = lag1_autocorr(&r.idle_intervals);
+            if let Some(a) = autocorr {
+                autocorrs.push(a);
+            }
+            stations.push(StationAvailability {
+                station: NodeId::new(i as u32),
+                available_fraction: available,
+                intervals: r.idle_intervals.len(),
+                mean_interval_hours: lens.mean(),
+                interval_autocorr: autocorr,
+            });
+        }
+        AvailabilityProfile {
+            mean_available: stations.iter().map(|s| s.available_fraction).sum::<f64>()
+                / stations.len().max(1) as f64,
+            mean_interval_hours: all_intervals.mean(),
+            mean_autocorr: autocorrs.mean(),
+            stations,
+        }
+    }
+}
+
+impl TraceSink for AvailabilitySink {
+    fn record(&mut self, ev: &TraceEvent) {
         match ev.kind {
             TraceKind::OwnerActive { station } => {
-                let r = replays.entry(station.index()).or_default();
+                let Some(r) = self.replays.get_mut(station.as_usize()) else {
+                    return;
+                };
                 if let Some(t) = r.idle_since.take() {
                     r.idle_intervals.push(ev.at.since(t).as_hours_f64());
                 }
                 r.last_transition = Some(ev.at);
             }
             TraceKind::OwnerIdle { station } => {
-                let r = replays.entry(station.index()).or_default();
+                let Some(r) = self.replays.get_mut(station.as_usize()) else {
+                    return;
+                };
                 if let Some(t) = r.last_transition {
                     r.active_ms += ev.at.since(t).as_millis();
                 } else {
@@ -91,37 +164,24 @@ pub fn availability_profile(out: &RunOutput) -> AvailabilityProfile {
             _ => {}
         }
     }
-    let horizon_ms = out.horizon.as_millis() as f64;
-    let mut stations = Vec::with_capacity(out.stations);
-    let mut all_intervals = Running::new();
-    let mut autocorrs = Running::new();
-    for i in 0..out.stations as u32 {
-        let r = &replays[&i];
-        let available = 1.0 - r.active_ms as f64 / horizon_ms;
-        let mut lens = Running::new();
-        for &v in &r.idle_intervals {
-            lens.push(v);
-            all_intervals.push(v);
-        }
-        let autocorr = lag1_autocorr(&r.idle_intervals);
-        if let Some(a) = autocorr {
-            autocorrs.push(a);
-        }
-        stations.push(StationAvailability {
-            station: NodeId::new(i),
-            available_fraction: available,
-            intervals: r.idle_intervals.len(),
-            mean_interval_hours: lens.mean(),
-            interval_autocorr: autocorr,
-        });
+
+    fn finish(&mut self, at: SimTime) {
+        self.finished_at = at;
     }
-    AvailabilityProfile {
-        mean_available: stations.iter().map(|s| s.available_fraction).sum::<f64>()
-            / stations.len().max(1) as f64,
-        mean_interval_hours: all_intervals.mean(),
-        mean_autocorr: autocorrs.mean(),
-        stations,
+}
+
+/// Computes the availability profile from a run's buffered owner-activity
+/// trace.
+///
+/// Requires the run to have been recorded with tracing enabled; for
+/// trace-free runs attach an [`AvailabilitySink`] instead.
+pub fn availability_profile(out: &RunOutput) -> AvailabilityProfile {
+    let mut sink = AvailabilitySink::new(out.stations);
+    for ev in out.trace.events() {
+        sink.record(ev);
     }
+    sink.finish(out.horizon);
+    sink.profile()
 }
 
 /// Lag-1 autocorrelation; `None` with fewer than 8 samples or degenerate
@@ -146,8 +206,9 @@ pub fn lag1_autocorr(xs: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use condor_core::cluster::run_cluster;
+    use condor_core::cluster::{run_cluster, run_cluster_with_sinks};
     use condor_core::config::ClusterConfig;
+    use condor_core::telemetry::SharedSink;
     use condor_sim::time::SimDuration;
 
     #[test]
@@ -174,6 +235,25 @@ mod tests {
             assert!(s.intervals > 0, "{s:?}");
             assert!(s.mean_interval_hours > 0.0);
         }
+    }
+
+    #[test]
+    fn streaming_sink_equals_trace_replay() {
+        let config = ClusterConfig {
+            stations: 6,
+            seed: 77,
+            ..ClusterConfig::default()
+        };
+        let sink = SharedSink::new(AvailabilitySink::new(6));
+        let out = run_cluster_with_sinks(
+            config,
+            Vec::new(),
+            SimDuration::from_days(10),
+            vec![Box::new(sink.clone())],
+        );
+        let streamed = sink.with(|s| s.profile());
+        let replayed = availability_profile(&out);
+        assert_eq!(streamed, replayed);
     }
 
     #[test]

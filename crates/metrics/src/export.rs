@@ -1,11 +1,17 @@
-//! CSV export of figure data, for plotting outside the terminal.
+//! CSV and JSONL export of run data, for analysis outside the terminal.
 //!
 //! The experiment binaries print ASCII renderings; this module writes the
 //! same series as plain CSV so the figures can be regenerated in gnuplot,
-//! matplotlib, or a spreadsheet.
+//! matplotlib, or a spreadsheet — and streams event traces as JSONL (one
+//! flat JSON object per line) via [`JsonlSink`], the format every log
+//! toolchain ingests.
 
 use std::io::Write;
 use std::path::Path;
+
+use condor_core::telemetry::TraceSink;
+use condor_core::trace::{TraceEvent, TraceParseError};
+use condor_sim::time::SimTime;
 
 /// A rectangular data set destined for one CSV file.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +83,112 @@ impl CsvSeries {
     }
 }
 
+/// A [`TraceSink`] that streams events as JSONL — one
+/// [`TraceEvent::to_jsonl`] line per event — into any writer.
+///
+/// I/O errors do not panic mid-simulation: the first error is stored, all
+/// further events are dropped, and [`error`](JsonlSink::error) exposes it
+/// for the caller to check after the run. `finish` flushes the writer.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::telemetry::TraceSink;
+/// use condor_metrics::export::{events_from_jsonl, JsonlSink};
+/// use condor_core::trace::{TraceEvent, TraceKind};
+/// use condor_core::job::JobId;
+/// use condor_sim::time::SimTime;
+///
+/// let mut sink = JsonlSink::new(Vec::new());
+/// sink.record(&TraceEvent {
+///     at: SimTime::from_secs(5),
+///     kind: TraceKind::JobArrived { job: JobId(0) },
+/// });
+/// sink.finish(SimTime::from_secs(10));
+/// let text = String::from_utf8(sink.into_writer()).unwrap();
+/// assert_eq!(events_from_jsonl(&text).unwrap().len(), 1);
+/// ```
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    written: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("written", &self.written)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, written: 0, error: None }
+    }
+
+    /// Lines successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first I/O error hit, if any. While set, events are dropped.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Recovers the writer (e.g. the byte buffer when writing in memory).
+    pub fn into_writer(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = ev.to_jsonl();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn finish(&mut self, _at: SimTime) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Renders events as JSONL text (one line per event, `\n`-terminated).
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses JSONL text back into events, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns the first [`TraceParseError`] hit.
+pub fn events_from_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceParseError> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(TraceEvent::from_jsonl)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +224,53 @@ mod tests {
         let back = std::fs::read_to_string(&path).unwrap();
         assert_eq!(back, "v\n7\n");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_a_run() {
+        use condor_core::cluster::{run_cluster, run_cluster_with_sinks};
+        use condor_core::config::ClusterConfig;
+        use condor_core::telemetry::SharedSink;
+        use condor_sim::time::SimDuration;
+
+        let config = || ClusterConfig { stations: 5, seed: 9, ..ClusterConfig::default() };
+        let sink = SharedSink::new(JsonlSink::new(Vec::new()));
+        let _ = run_cluster_with_sinks(
+            config(),
+            Vec::new(),
+            SimDuration::from_days(2),
+            vec![Box::new(sink.clone())],
+        );
+        let bytes = sink.try_into_inner().expect("sole handle").into_writer();
+        let text = String::from_utf8(bytes).unwrap();
+        let decoded = events_from_jsonl(&text).expect("every line decodes");
+
+        // The decoded stream is exactly the legacy trace of the same run.
+        let reference = run_cluster(config(), Vec::new(), SimDuration::from_days(2));
+        assert_eq!(decoded, reference.trace.events());
+        assert!(!decoded.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_swallows_io_errors() {
+        use condor_core::job::JobId;
+        use condor_core::telemetry::TraceSink;
+        use condor_core::trace::TraceKind;
+
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Broken);
+        let ev = TraceEvent { at: SimTime::ZERO, kind: TraceKind::JobArrived { job: JobId(0) } };
+        sink.record(&ev);
+        sink.record(&ev);
+        assert_eq!(sink.written(), 0);
+        assert!(sink.error().is_some());
     }
 }

@@ -7,6 +7,9 @@
 //!   4, 8, and 9: wait ratio, checkpoint rate, leverage);
 //! * [`summary`] — headline run statistics (§3's available/consumed hours,
 //!   utilizations, mean leverage) and heavy/light user classification;
+//! * [`report`] — terminal rendering of the streaming
+//!   [`Telemetry`](condor_core::telemetry::Telemetry) summary;
+//! * [`export`] — CSV figure data and the JSONL trace-export sink;
 //! * [`table`] — monospace table rendering (Table 1);
 //! * [`plot`] — ASCII line charts for eyeballing figure shapes from a
 //!   terminal.
@@ -29,12 +32,14 @@ pub mod buckets;
 pub mod export;
 pub mod plot;
 pub mod replicate;
+pub mod report;
 pub mod summary;
 pub mod table;
 
-pub use availability::{availability_profile, lag1_autocorr, AvailabilityProfile, StationAvailability};
+pub use availability::{availability_profile, lag1_autocorr, AvailabilityProfile, AvailabilitySink, StationAvailability};
 pub use buckets::{by_demand_bucket, checkpoint_rate_by_demand, leverage_by_demand, wait_ratio_by_demand, BucketPoint};
-pub use export::CsvSeries;
+pub use export::{events_from_jsonl, events_to_jsonl, CsvSeries, JsonlSink};
+pub use report::render_telemetry;
 pub use plot::{chart, points_block, Series};
 pub use replicate::{replicate, MeanCi};
 pub use summary::{heavy_users, mean_leverage, mean_wait_ratio, summarize, RunSummary};

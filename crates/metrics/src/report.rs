@@ -1,0 +1,111 @@
+//! Terminal rendering of the [`Telemetry`] summary.
+//!
+//! One function, [`render_telemetry`], turns the O(1)-memory summary every
+//! run produces into the tables the `condor report` subcommand prints:
+//! per-kind event counts, histogram digests (count / mean / p50 / p99 /
+//! max), and gauge-series digests.
+
+use condor_core::telemetry::Telemetry;
+use condor_sim::stats::LogHistogram;
+
+use crate::table::{num, Align, Table};
+
+fn histogram_row(name: &str, h: &LogHistogram, unit: &str) -> Vec<String> {
+    if h.is_empty() {
+        return vec![name.into(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()];
+    }
+    vec![
+        name.into(),
+        h.count().to_string(),
+        format!("{} {unit}", num(h.mean(), 1)),
+        format!("{} {unit}", h.quantile(0.5).expect("non-empty")),
+        format!("{} {unit}", h.quantile(0.99).expect("non-empty")),
+        format!("{} {unit}", h.max().expect("non-empty")),
+    ]
+}
+
+/// Renders a [`Telemetry`] summary as monospace tables.
+///
+/// Histogram quantiles are log₂-bucket approximations (within a factor of
+/// two); counts, means, and extrema are exact.
+pub fn render_telemetry(t: &Telemetry) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "telemetry: {} events over {}\n\n",
+        t.events_total, t.finished_at
+    ));
+
+    let mut counts = Table::new(vec!["event", "count"], vec![Align::Left, Align::Right]);
+    for (name, c) in t.nonzero_counts() {
+        counts.row(vec![name.into(), c.to_string()]);
+    }
+    out.push_str(&counts.render());
+    out.push('\n');
+
+    let mut hist = Table::new(
+        vec!["histogram", "count", "mean", "~p50", "~p99", "max"],
+        vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    );
+    hist.row(histogram_row("queue wait", &t.queue_wait_ms, "ms"));
+    hist.row(histogram_row("remote burst", &t.remote_burst_ms, "ms"));
+    hist.row(histogram_row("checkpoint size", &t.checkpoint_bytes, "B"));
+    out.push_str(&hist.render());
+    out.push('\n');
+
+    let mut gauges = Table::new(
+        vec!["gauge", "samples", "mean", "max", "points"],
+        vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right],
+    );
+    gauges.row(vec![
+        "bus backlog (ms)".into(),
+        t.bus_backlog_ms.samples().to_string(),
+        num(t.bus_backlog_ms.mean(), 1),
+        num(t.bus_backlog_ms.max().unwrap_or(0.0), 1),
+        t.bus_backlog_ms.len().to_string(),
+    ]);
+    gauges.row(vec![
+        "up-down index".into(),
+        t.updown_index.samples().to_string(),
+        num(t.updown_index.mean(), 2),
+        num(t.updown_index.max().unwrap_or(0.0), 2),
+        t.updown_index.len().to_string(),
+    ]);
+    out.push_str(&gauges.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condor_core::cluster::run_cluster;
+    use condor_core::config::ClusterConfig;
+    use condor_sim::time::SimDuration;
+
+    #[test]
+    fn renders_a_live_run() {
+        let out = run_cluster(
+            ClusterConfig { stations: 6, record_trace: false, ..ClusterConfig::default() },
+            Vec::new(),
+            SimDuration::from_days(3),
+        );
+        let text = render_telemetry(&out.telemetry);
+        assert!(text.contains("owner_active"), "{text}");
+        assert!(text.contains("coordinator_polled"), "{text}");
+        assert!(text.contains("bus backlog"), "{text}");
+        assert!(text.contains("up-down index"), "{text}");
+    }
+
+    #[test]
+    fn empty_telemetry_renders_dashes() {
+        let text = render_telemetry(&Telemetry::default());
+        assert!(text.contains("0 events"), "{text}");
+        assert!(text.contains('-'), "{text}");
+    }
+}

@@ -153,6 +153,12 @@ impl SharedBus {
         self.busy_until <= now
     }
 
+    /// How long a transfer booked at `now` would wait before starting:
+    /// the queued work ahead of it on the medium (zero when free).
+    pub fn backlog_at(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
     /// Total bulk transfers booked.
     pub fn transfers_booked(&self) -> u64 {
         self.transfers_booked

@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::engine::{Engine, Model, Scheduler, StopReason};
     pub use crate::event::{EventQueue, EventToken};
     pub use crate::rng::SimRng;
-    pub use crate::series::{BucketAccumulator, StepSeries};
-    pub use crate::stats::{Cdf, Histogram, Running};
+    pub use crate::series::{BucketAccumulator, CoarseSeries, StepSeries};
+    pub use crate::stats::{Cdf, Histogram, LogHistogram, Running};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -8,6 +8,9 @@
 //!   resampling onto a fixed grid for plotting.
 //! * [`BucketAccumulator`] — accumulates amounts (CPU-milliseconds consumed)
 //!   into fixed-width time buckets; used for utilization-per-hour curves.
+//! * [`CoarseSeries`] — a bounded-memory sampled series for streaming
+//!   telemetry: keeps at most a fixed number of points by averaging ever
+//!   wider windows as more samples arrive.
 
 use crate::time::{SimDuration, SimTime};
 
@@ -255,6 +258,156 @@ impl BucketAccumulator {
     }
 }
 
+/// A bounded-memory sampled time series.
+///
+/// Built for telemetry sinks that watch a gauge (bus backlog, scheduling
+/// index) over arbitrarily long runs: memory never exceeds `capacity`
+/// points. Samples are averaged in windows of `stride` consecutive pushes;
+/// when the point buffer fills, adjacent points are pair-merged and the
+/// stride doubles, halving resolution instead of growing. Each stored point
+/// is `(time of first sample in window, mean of window)`. Fully
+/// deterministic: the stored points depend only on the push sequence.
+///
+/// # Examples
+///
+/// ```
+/// use condor_sim::series::CoarseSeries;
+/// use condor_sim::time::SimTime;
+///
+/// let mut s = CoarseSeries::new(4);
+/// for i in 0..100u64 {
+///     s.push(SimTime::from_secs(i), i as f64);
+/// }
+/// assert!(s.len() <= 4);
+/// assert_eq!(s.samples(), 100);
+/// assert!((s.mean() - 49.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseSeries {
+    capacity: usize,
+    points: Vec<(SimTime, f64)>,
+    stride: u64,
+    pending_at: SimTime,
+    pending_sum: f64,
+    pending_count: u64,
+    samples: u64,
+    total_sum: f64,
+    max: f64,
+}
+
+impl CoarseSeries {
+    /// Default point capacity used by the telemetry layer.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// Creates a series holding at most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` (pair-merging needs room to halve).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "CoarseSeries capacity must be at least 2");
+        CoarseSeries {
+            capacity,
+            points: Vec::new(),
+            stride: 1,
+            pending_at: SimTime::ZERO,
+            pending_sum: 0.0,
+            pending_count: 0,
+            samples: 0,
+            total_sum: 0.0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Samples are assumed to arrive in time order.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.samples += 1;
+        self.total_sum += value;
+        self.max = self.max.max(value);
+        if self.pending_count == 0 {
+            self.pending_at = at;
+        }
+        self.pending_sum += value;
+        self.pending_count += 1;
+        if self.pending_count >= self.stride {
+            self.flush_pending();
+            if self.points.len() >= self.capacity {
+                self.coarsen();
+            }
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        if self.pending_count == 0 {
+            return;
+        }
+        let mean = self.pending_sum / self.pending_count as f64;
+        self.points.push((self.pending_at, mean));
+        self.pending_sum = 0.0;
+        self.pending_count = 0;
+    }
+
+    fn coarsen(&mut self) {
+        let merged: Vec<(SimTime, f64)> = self
+            .points
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    (pair[0].0, (pair[0].1 + pair[1].1) / 2.0)
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+        self.points = merged;
+        self.stride *= 2;
+    }
+
+    /// The stored points as `(window start, window mean)`, oldest first.
+    /// Includes any partially filled window at the end.
+    pub fn points(&self) -> Vec<(SimTime, f64)> {
+        let mut v = self.points.clone();
+        if self.pending_count > 0 {
+            v.push((self.pending_at, self.pending_sum / self.pending_count as f64));
+        }
+        v
+    }
+
+    /// Number of stored points (including a partial window).
+    pub fn len(&self) -> usize {
+        self.points.len() + usize::from(self.pending_count > 0)
+    }
+
+    /// `true` when no sample has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Total number of samples pushed (not points stored).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Exact mean of every sample ever pushed; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_sum / self.samples as f64
+        }
+    }
+
+    /// Largest sample ever pushed; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.max)
+    }
+
+    /// Current samples-per-point coarsening factor (1 until the first merge).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,5 +525,57 @@ mod tests {
         acc.deposit_interval(SimTime::from_secs(1_000), SimTime::from_hours(10), 42.0);
         assert!((acc.total() - 42.0).abs() < 1e-9);
         assert_eq!(acc.len(), 10);
+    }
+
+    #[test]
+    fn coarse_series_stays_within_capacity() {
+        let mut s = CoarseSeries::new(8);
+        for i in 0..10_000u64 {
+            s.push(SimTime::from_secs(i), (i % 7) as f64);
+        }
+        assert!(s.len() <= 8, "len {} exceeds capacity", s.len());
+        assert_eq!(s.samples(), 10_000);
+        assert!(s.stride() > 1, "must have coarsened");
+    }
+
+    #[test]
+    fn coarse_series_exact_aggregates_survive_coarsening() {
+        let mut s = CoarseSeries::new(4);
+        for i in 0..1_000u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        assert!((s.mean() - 499.5).abs() < 1e-9);
+        assert_eq!(s.max(), Some(999.0));
+    }
+
+    #[test]
+    fn coarse_series_small_runs_keep_full_resolution() {
+        let mut s = CoarseSeries::new(16);
+        s.push(SimTime::from_secs(1), 10.0);
+        s.push(SimTime::from_secs(2), 20.0);
+        s.push(SimTime::from_secs(3), 30.0);
+        assert_eq!(s.stride(), 1);
+        assert_eq!(
+            s.points(),
+            vec![
+                (SimTime::from_secs(1), 10.0),
+                (SimTime::from_secs(2), 20.0),
+                (SimTime::from_secs(3), 30.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn coarse_series_points_preserve_window_means() {
+        let mut s = CoarseSeries::new(2);
+        for i in 0..8u64 {
+            s.push(SimTime::from_secs(i), 1.0);
+        }
+        // All samples are 1.0, so every coarsened point's mean is exactly 1.
+        for (_, v) in s.points() {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        assert!(s.len() <= 2);
+        assert!(!s.is_empty());
     }
 }

@@ -238,6 +238,160 @@ impl Histogram {
     }
 }
 
+/// A log₂-bucketed histogram over non-negative integer observations.
+///
+/// Designed for streaming telemetry at unbounded horizons: memory is a
+/// fixed 65 buckets regardless of sample count, and every update is O(1).
+/// Bucket *b* holds values whose bit length is *b* (bucket 0 holds the
+/// value 0), so relative resolution is a factor of two everywhere — enough
+/// for "is the queue wait minutes or hours?" questions, by design not for
+/// exact percentiles (see [`LogHistogram::quantile`]).
+///
+/// # Examples
+///
+/// ```
+/// use condor_sim::stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in [1u64, 2, 3, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Some(1000));
+/// assert!((h.mean() - 251.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// counts[b] = observations with bit length b (b = 0 ⇒ value 0).
+    counts: [u64; 65],
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; 65],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact arithmetic mean (the sum is tracked exactly); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the geometric midpoint of
+    /// the bucket containing the `q`-th ranked observation, clamped to the
+    /// observed min/max. Accurate to within a factor of two by
+    /// construction. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if b == 0 {
+                    return Some(0);
+                }
+                // Bucket b spans [2^(b-1), 2^b); geometric midpoint ≈
+                // 2^(b-1) * √2.
+                let lo = 1u64 << (b - 1);
+                let mid = (lo as f64 * std::f64::consts::SQRT_2).round() as u64;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        unreachable!("rank within total")
+    }
+
+    /// Non-empty buckets as `(bucket_lo, bucket_hi_exclusive, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(b, &c)| {
+            if b == 0 {
+                (0, 1, c)
+            } else {
+                (1u64 << (b - 1), (1u128 << b).min(u64::MAX as u128) as u64, c)
+            }
+        })
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// An empirical cumulative distribution function.
 ///
 /// # Examples
@@ -412,5 +566,55 @@ mod tests {
         assert!(cdf.is_empty());
         assert_eq!(cdf.fraction_below(1.0), 0.0);
         assert_eq!(cdf.percentile(50.0), None);
+    }
+
+    #[test]
+    fn log_histogram_exact_aggregates() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0u64, 1, 5, 5, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1_000_000));
+        assert_eq!(h.sum(), 1_000_011);
+        assert!((h.mean() - 200_002.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_within_factor_of_two() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap() as f64;
+        assert!((250.0..=1_000.0).contains(&p50), "p50 {p50}");
+        let p0 = h.quantile(0.0).unwrap();
+        assert!(p0 >= 1, "clamped to observed min, got {p0}");
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 <= 1_000, "clamped to observed max, got {p100}");
+    }
+
+    #[test]
+    fn log_histogram_buckets_and_merge() {
+        let mut a = LogHistogram::new();
+        a.record(0);
+        a.record(3);
+        let mut b = LogHistogram::new();
+        b.record(3);
+        b.record(1 << 40);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        let buckets: Vec<_> = a.buckets().collect();
+        // Value 0 → bucket [0,1); values 3 → [2,4); 2^40 → [2^40, 2^41).
+        assert_eq!(
+            buckets,
+            vec![(0, 1, 1), (2, 4, 2), (1 << 40, 1 << 41, 1)]
+        );
+        let empty = LogHistogram::default();
+        a.merge(&empty);
+        assert_eq!(a.count(), 4);
     }
 }

@@ -9,12 +9,13 @@ use condor::prelude::*;
 fn main() {
     // Eight workstations with typical owners (diurnal activity, the
     // paper's cost model: 2-minute coordinator polls, 30-second owner
-    // checks, 5-minute eviction grace, 5 s/MB image moves).
-    let config = ClusterConfig {
-        stations: 8,
-        seed: 7,
-        ..ClusterConfig::default()
-    };
+    // checks, 5-minute eviction grace, 5 s/MB image moves). The builder
+    // validates the configuration up front instead of panicking later.
+    let config = ClusterConfig::builder()
+        .stations(8)
+        .seed(7)
+        .build()
+        .expect("quickstart config is valid");
 
     // Two users submit batches of CPU-hungry simulations from their own
     // workstations.
@@ -86,4 +87,8 @@ fn main() {
         out.jobs.iter().map(|j| j.support_seconds()).sum::<f64>(),
         s.mean_leverage
     );
+    // Every run also carries a streaming telemetry summary — even with
+    // `record_trace: false` — rendered here as counters and digests.
+    println!();
+    println!("{}", render_telemetry(&out.telemetry));
 }

@@ -31,6 +31,8 @@ fn main() -> ExitCode {
         "month" => cmd_month(rest),
         "week" => cmd_week(rest),
         "fairness" => cmd_fairness(rest),
+        "report" => cmd_report(rest),
+        "trace" => cmd_trace(rest),
         "export-trace" => cmd_export_trace(rest),
         "simulate" => cmd_simulate(rest),
         "live" => cmd_live(rest),
@@ -60,6 +62,12 @@ USAGE:
                   simulate the one-week close-up (Figs. 6-7)
   condor fairness [--seed N]
                   heavy-vs-light duel across all policies
+  condor report   [--seed N] [--stations N] [--days N]
+                  run the paper month trace-free and print the
+                  streaming telemetry summary
+  condor trace    [--seed N] [--days N] [--last N] [--jsonl FILE.jsonl]
+                  tail the last events of a run; optionally stream
+                  the full trace to a JSONL file
   condor export-trace FILE.csv [--seed N]
                   write the paper-month job trace as CSV
   condor simulate FILE.csv [--stations N] [--days N] [--seed N]
@@ -216,6 +224,71 @@ fn cmd_fairness(args: &[String]) -> Result<(), String> {
         ]);
     }
     println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let seed = opt_parse(args, "--seed", 1988u64)?;
+    let stations = opt_parse(args, "--stations", 23usize)?;
+    let days = opt_parse(args, "--days", 30u64)?;
+    let mut scenario = paper_month(seed);
+    scenario.config.stations = stations.max(5); // homes 0..5 must exist
+    scenario.config.record_trace = false; // telemetry streams; no buffer needed
+    let out = run_cluster(scenario.config, scenario.jobs, SimDuration::from_days(days));
+    print_summary(&out);
+    println!();
+    println!("{}", render_telemetry(&out.telemetry));
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let seed = opt_parse(args, "--seed", 1988u64)?;
+    let days = opt_parse(args, "--days", 2u64)?;
+    let last = opt_parse(args, "--last", 20usize)?;
+    if last == 0 {
+        return Err("--last must be at least 1".into());
+    }
+    let mut scenario = paper_month(seed);
+    scenario.config.record_trace = false;
+    let tail = SharedSink::new(RingSink::new(last));
+    let mut sinks: Vec<Box<dyn TraceSink>> = vec![Box::new(tail.clone())];
+    let jsonl = match opt_value(args, "--jsonl")? {
+        Some(path) => {
+            let file =
+                std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+            let sink = SharedSink::new(JsonlSink::new(std::io::BufWriter::new(file)));
+            sinks.push(Box::new(sink.clone()));
+            Some((path, sink))
+        }
+        None => None,
+    };
+    let out = run_cluster_with_sinks(
+        scenario.config,
+        scenario.jobs,
+        SimDuration::from_days(days),
+        sinks,
+    );
+    tail.with(|ring| {
+        println!(
+            "{} events over {} days; showing the last {}:",
+            ring.seen(),
+            days,
+            ring.len()
+        );
+        for ev in ring.events() {
+            println!("{}", ev.to_jsonl());
+        }
+    });
+    if let Some((path, sink)) = jsonl {
+        sink.with(|s| match s.error() {
+            Some(e) => Err(format!("writing {path}: {e}")),
+            None => {
+                println!("wrote {} events to {path}", s.written());
+                Ok(())
+            }
+        })?;
+    }
+    debug_assert_eq!(out.telemetry.events_total, tail.with(|r| r.seen()));
     Ok(())
 }
 

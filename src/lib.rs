@@ -44,10 +44,19 @@ pub use condor_workload as workload;
 
 /// The items most programs need.
 pub mod prelude {
-    pub use condor_core::cluster::{run_cluster, Cluster, RunOutput};
-    pub use condor_core::config::{ClusterConfig, EvictionStrategy, PolicyKind};
+    pub use condor_core::cluster::{run_cluster, run_cluster_with_sinks, Cluster, RunOutput};
+    pub use condor_core::config::{
+        ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig,
+        PolicyKind,
+    };
     pub use condor_core::job::{Job, JobId, JobSpec, JobState, UserId};
+    pub use condor_core::telemetry::{
+        FanoutSink, GaugeSample, RingSink, SharedSink, StatsSink, Telemetry, TraceSink, VecSink,
+    };
+    pub use condor_core::trace::{Trace, TraceEvent, TraceKind};
     pub use condor_core::updown::{UpDown, UpDownConfig};
+    pub use condor_metrics::export::JsonlSink;
+    pub use condor_metrics::report::render_telemetry;
     pub use condor_net::NodeId;
     pub use condor_sim::time::{SimDuration, SimTime};
     pub use condor_workload::scenarios::{fairness_duel, one_week, paper_month};

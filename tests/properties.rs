@@ -120,6 +120,29 @@ proptest! {
         }
     }
 
+    /// Streaming sinks observe exactly the buffered trace, event for
+    /// event, and the JSONL codec round-trips the whole stream.
+    #[test]
+    fn sinks_mirror_the_trace(
+        jobs in arb_jobs(12, 3),
+        seed in 0u64..1_000,
+    ) {
+        let sink = SharedSink::new(VecSink::new());
+        let streamed = run_cluster_with_sinks(
+            config(seed, 3, 0.25),
+            jobs.clone(),
+            SimDuration::from_days(5),
+            vec![Box::new(sink.clone())],
+        );
+        let buffered = run_cluster(config(seed, 3, 0.25), jobs, SimDuration::from_days(5));
+        let events = sink.try_into_inner().unwrap().into_events();
+        prop_assert_eq!(&events, buffered.trace.events());
+        prop_assert_eq!(streamed.telemetry.events_total as usize, events.len());
+        let text = condor::metrics::export::events_to_jsonl(&events);
+        let back = condor::metrics::export::events_from_jsonl(&text).unwrap();
+        prop_assert_eq!(back, events);
+    }
+
     /// Every policy serves every admitted job eventually when owners are
     /// mostly idle and there is enough time.
     #[test]

@@ -1,0 +1,69 @@
+//! Acceptance: streaming telemetry replaces the buffered trace.
+//!
+//! The ISSUE's bar: a default-config 23-station simulated month run with
+//! `record_trace: false` must produce a populated [`Telemetry`] whose
+//! per-kind event counts match the legacy trace of an identical seeded
+//! run that *did* record.
+
+use condor::prelude::*;
+
+#[test]
+fn paper_month_telemetry_matches_the_trace() {
+    // Reference run: the default buffered trace.
+    let traced = paper_month(1988);
+    let reference = run_cluster(traced.config, traced.jobs, traced.horizon);
+    assert!(!reference.trace.is_empty(), "reference run must record");
+
+    // Trace-free run of the identical scenario.
+    let mut dark = paper_month(1988);
+    dark.config.record_trace = false;
+    let out = run_cluster(dark.config, dark.jobs, dark.horizon);
+    assert_eq!(out.trace.len(), 0, "record_trace: false buffers nothing");
+
+    // Event totals and per-kind counts agree exactly.
+    let tel = &out.telemetry;
+    assert_eq!(tel.events_total as usize, reference.trace.len());
+    let mut counts = [0u64; TraceKind::COUNT];
+    for ev in reference.trace.events() {
+        counts[ev.kind.index()] += 1;
+    }
+    assert_eq!(tel.counts, counts);
+
+    // The month produced real work, so every digest is populated.
+    assert!(tel.queue_wait_ms.count() > 0, "queue waits observed");
+    assert!(tel.remote_burst_ms.count() > 0, "remote bursts observed");
+    assert!(tel.checkpoint_bytes.count() > 0, "checkpoints observed");
+    assert!(tel.bus_backlog_ms.samples() > 0, "bus gauge sampled");
+    assert!(tel.updown_index.samples() > 0, "up-down gauge sampled");
+    assert!(tel.first_event.is_some() && tel.last_event.is_some());
+    assert_eq!(tel.finished_at, out.horizon);
+
+    // And the traced run's own telemetry is identical in counts — the
+    // sink sees the same stream whether or not the trace buffers it.
+    assert_eq!(reference.telemetry.counts, tel.counts);
+    assert_eq!(reference.telemetry.events_total, tel.events_total);
+}
+
+#[test]
+fn attached_sinks_and_report_cover_a_dark_run() {
+    let mut scenario = paper_month(7);
+    scenario.config.record_trace = false;
+    let events = SharedSink::new(VecSink::new());
+    let tail = SharedSink::new(RingSink::new(32));
+    let out = run_cluster_with_sinks(
+        scenario.config,
+        scenario.jobs,
+        SimDuration::from_days(3),
+        vec![Box::new(events.clone()), Box::new(tail.clone())],
+    );
+    let n = events.with(|s| s.len()) as u64;
+    assert_eq!(n, out.telemetry.events_total);
+    tail.with(|r| {
+        assert_eq!(r.seen(), n);
+        assert_eq!(r.len(), 32.min(n as usize));
+    });
+    // The rendered report mentions whatever actually happened.
+    let text = render_telemetry(&out.telemetry);
+    assert!(text.contains("coordinator_polled"), "{text}");
+    assert!(text.contains("bus backlog"), "{text}");
+}
