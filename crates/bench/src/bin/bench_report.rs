@@ -206,6 +206,31 @@ fn main() {
         });
     }
 
+    // observability: the same run with the span folder and the online
+    // invariant auditor attached — the overhead `condor spans`/`condor
+    // audit` pay relative to the extra_sinks/0 baseline.
+    {
+        let (iters, ms, events) = measure(budget, || {
+            let sinks: Vec<Box<dyn TraceSink>> = vec![
+                Box::new(condor_core::spans::SpanSink::new()),
+                Box::new(condor_core::audit::AuditSink::new()),
+            ];
+            let out = run_cluster_with_sinks(
+                cluster_config(),
+                jobs(40, 500_000),
+                SimDuration::from_days(1),
+                sinks,
+            );
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: "cluster/span_audit_sinks".to_string(),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+
     // engine: raw dispatch throughput (as in benches/engine.rs).
     for n in [1_000u64, 100_000] {
         let (iters, ms, events) = measure(budget, || {

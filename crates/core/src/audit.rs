@@ -1,0 +1,891 @@
+//! Online protocol auditing: a [`TraceSink`] that checks the cluster's
+//! observable invariants *as the events stream past*.
+//!
+//! The invariants are the ones `tests/protocol.rs` replays offline —
+//! promoted here into a reusable state machine so they can run against a
+//! live simulation (attach an [`AuditSink`] to `run_cluster_with_sinks`)
+//! or against a saved JSONL trace (`condor audit --jsonl trace.jsonl`):
+//!
+//! 1. **Per-job lifecycle legality** — one arrival per job, placements
+//!    only after arrival, starts only after placement, a completion is
+//!    terminal, and every transition follows the phase machine (including
+//!    the gang corners: k same-instant placement starts, k checkpoint
+//!    completions, resume markers paired with restarts).
+//! 2. **Station occupancy** — a machine hosts at most one foreign job at
+//!    a time, and every occupancy is closed by the job that opened it.
+//! 3. **Owner alternation** — per-station activity transitions alternate
+//!    (never active-while-active or idle-while-idle).
+//! 4. **Coordinator cadence** — polls tick at a fixed interval (gaps are
+//!    exact positive multiples of it while the coordinator host is down),
+//!    and placement starts never bunch tighter than that interval.
+//!
+//! Violations are *recorded, not panicked*: the auditor keeps streaming so
+//! one corruption early in a trace still yields a full report. The first
+//! [`AuditSink::MAX_RECORDED`] violations are kept verbatim; beyond that
+//! only the count grows. Auditing state is O(active jobs + stations).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+
+use condor_net::NodeId;
+use condor_sim::time::{SimDuration, SimTime};
+
+use crate::job::JobId;
+use crate::telemetry::TraceSink;
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Phase a job occupies in the auditor's replica of the lifecycle machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    Queued,
+    Transfer,
+    Running,
+    Suspended,
+    Checkpointing,
+    /// Terminal: completed, or rejected at admission.
+    Done,
+}
+
+impl JobPhase {
+    fn name(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Transfer => "transfer",
+            JobPhase::Running => "running",
+            JobPhase::Suspended => "suspended",
+            JobPhase::Checkpointing => "checkpointing",
+            JobPhase::Done => "done",
+        }
+    }
+}
+
+/// Auditor-side record for one job that has entered the system.
+#[derive(Debug)]
+struct JobAudit {
+    phase: JobPhase,
+    /// Checkpoint transfers in flight (started, not yet completed).
+    ckpt_in_flight: u32,
+    /// Instant of the gang fan-out currently in progress, if any: extra
+    /// same-instant `PlacementStarted` / `CheckpointStarted` events for
+    /// the same job are legal only at exactly this time.
+    fanout_at: Option<SimTime>,
+    /// Instant of the last `JobStarted`, pairing the two legal
+    /// resume-event orders (start-then-marker and marker-then-start).
+    started_at: Option<SimTime>,
+    /// Instant of the last `JobResumedInPlace`.
+    resumed_at: Option<SimTime>,
+}
+
+/// One invariant breach, with the instant it was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// When the offending event was recorded (for end-of-run checks, the
+    /// finish horizon).
+    pub at: SimTime,
+    /// What went wrong.
+    pub kind: AuditViolationKind,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.at, self.kind)
+    }
+}
+
+/// The typed invariant breaches [`AuditSink`] can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditViolationKind {
+    /// A job emitted `JobArrived` more than once.
+    DuplicateArrival {
+        /// The job.
+        job: JobId,
+    },
+    /// A lifecycle event referenced a job that never arrived.
+    EventBeforeArrival {
+        /// The job.
+        job: JobId,
+        /// Trace-kind name of the offending event.
+        event: &'static str,
+    },
+    /// A lifecycle event arrived for a job already completed or rejected.
+    EventAfterTerminal {
+        /// The job.
+        job: JobId,
+        /// Trace-kind name of the offending event.
+        event: &'static str,
+    },
+    /// An event was illegal in the job's current phase.
+    IllegalTransition {
+        /// The job.
+        job: JobId,
+        /// Phase the auditor had the job in.
+        phase: &'static str,
+        /// Trace-kind name of the offending event.
+        event: &'static str,
+    },
+    /// `CheckpointCompleted` with no matching start in flight.
+    UnmatchedCheckpointCompletion {
+        /// The job.
+        job: JobId,
+        /// Claimed source station.
+        station: NodeId,
+    },
+    /// Checkpoint starts outnumber completions at end of run for a job
+    /// that is *not* mid-checkpoint (a transfer was silently lost).
+    CheckpointImbalance {
+        /// The job.
+        job: JobId,
+        /// Starts minus completions.
+        in_flight: u32,
+    },
+    /// A placement targeted a station already hosting a foreign job.
+    DoubleOccupancy {
+        /// The station.
+        station: NodeId,
+        /// The job already resident.
+        resident: JobId,
+        /// The job being placed onto it.
+        incoming: JobId,
+    },
+    /// A completion/checkpoint/kill named a station the job did not hold.
+    WrongStationRelease {
+        /// The station named by the event.
+        station: NodeId,
+        /// The job.
+        job: JobId,
+        /// Trace-kind name of the offending event.
+        event: &'static str,
+    },
+    /// An owner went active twice (or idle twice) in a row.
+    OwnerTransitionRepeated {
+        /// The station.
+        station: NodeId,
+        /// `true` for double-active, `false` for double-idle.
+        active: bool,
+    },
+    /// A poll gap was not a positive whole multiple of the cadence.
+    PollCadenceBroken {
+        /// The observed gap.
+        gap: SimDuration,
+        /// The established cadence.
+        cadence: SimDuration,
+    },
+    /// Two placement fan-outs bunched tighter than the poll cadence.
+    PlacementThrottleBroken {
+        /// The observed gap.
+        gap: SimDuration,
+        /// The established cadence.
+        cadence: SimDuration,
+    },
+}
+
+impl fmt::Display for AuditViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use AuditViolationKind as K;
+        match self {
+            K::DuplicateArrival { job } => write!(f, "{job:?} arrived twice"),
+            K::EventBeforeArrival { job, event } => {
+                write!(f, "{event} for {job:?} before it arrived")
+            }
+            K::EventAfterTerminal { job, event } => {
+                write!(f, "{event} for {job:?} after it completed/was rejected")
+            }
+            K::IllegalTransition { job, phase, event } => {
+                write!(f, "{event} illegal for {job:?} while {phase}")
+            }
+            K::UnmatchedCheckpointCompletion { job, station } => {
+                write!(f, "checkpoint_completed for {job:?} from {station} with none in flight")
+            }
+            K::CheckpointImbalance { job, in_flight } => {
+                write!(f, "{job:?} ended with {in_flight} checkpoint transfer(s) lost")
+            }
+            K::DoubleOccupancy { station, resident, incoming } => {
+                write!(f, "{station} received {incoming:?} while hosting {resident:?}")
+            }
+            K::WrongStationRelease { station, job, event } => {
+                write!(f, "{event} for {job:?} names {station}, which it does not hold")
+            }
+            K::OwnerTransitionRepeated { station, active } => {
+                let what = if *active { "active" } else { "idle" };
+                write!(f, "{station} owner went {what} twice in a row")
+            }
+            K::PollCadenceBroken { gap, cadence } => {
+                write!(f, "poll gap {gap} is not a whole multiple of cadence {cadence}")
+            }
+            K::PlacementThrottleBroken { gap, cadence } => {
+                write!(f, "placements {gap} apart violate the {cadence} throttle")
+            }
+        }
+    }
+}
+
+/// Returns whether `gap` is a positive whole multiple of `cadence`.
+fn whole_multiple(gap: SimDuration, cadence: SimDuration) -> bool {
+    !gap.is_zero() && !cadence.is_zero() && cadence * (gap / cadence) == gap
+}
+
+/// A [`TraceSink`] that audits the protocol invariants online.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::audit::AuditSink;
+/// use condor_core::telemetry::TraceSink;
+/// use condor_core::trace::{TraceEvent, TraceKind};
+/// use condor_core::job::JobId;
+/// use condor_net::NodeId;
+/// use condor_sim::time::SimTime;
+///
+/// let mut audit = AuditSink::new();
+/// // A start with no preceding arrival or placement: two violations.
+/// audit.record(&TraceEvent {
+///     at: SimTime::from_secs(5),
+///     kind: TraceKind::JobStarted { job: JobId(9), on: NodeId::new(0) },
+/// });
+/// audit.finish(SimTime::from_secs(10));
+/// assert!(!audit.is_clean());
+/// ```
+#[derive(Debug, Default)]
+pub struct AuditSink {
+    jobs: HashMap<JobId, JobAudit>,
+    /// Which foreign job each station currently hosts.
+    resident: HashMap<NodeId, JobId>,
+    /// Reverse of `resident`: every station a job holds (k for gangs).
+    held: HashMap<JobId, Vec<NodeId>>,
+    /// Last owner transition per station (`true` = active).
+    owner_active: HashMap<NodeId, bool>,
+    /// Established poll cadence; inferred from observed gaps unless pinned
+    /// via [`AuditSink::with_poll_interval`].
+    cadence: Option<SimDuration>,
+    cadence_pinned: bool,
+    last_poll: Option<SimTime>,
+    /// Last placement fan-out instant and job (gang members share one).
+    last_placement: Option<(SimTime, JobId)>,
+    events: u64,
+    total: u64,
+    violations: Vec<AuditViolation>,
+}
+
+impl AuditSink {
+    /// Violations kept verbatim; beyond this only the total count grows.
+    pub const MAX_RECORDED: usize = 1024;
+
+    /// Creates an auditor that infers the poll cadence from the trace.
+    pub fn new() -> Self {
+        AuditSink::default()
+    }
+
+    /// Pins the expected coordinator poll cadence instead of inferring it
+    /// from the first observed gap.
+    pub fn with_poll_interval(mut self, cadence: SimDuration) -> Self {
+        self.cadence = Some(cadence);
+        self.cadence_pinned = true;
+        self
+    }
+
+    /// Events inspected so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events
+    }
+
+    /// Total violations observed (including any beyond the recorded cap).
+    pub fn total_violations(&self) -> u64 {
+        self.total
+    }
+
+    /// The recorded violations, in observation order (first
+    /// [`AuditSink::MAX_RECORDED`] only).
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// Whether no invariant was breached.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Consumes the auditor, yielding the recorded violations.
+    pub fn into_violations(self) -> Vec<AuditViolation> {
+        self.violations
+    }
+
+    fn report(&mut self, at: SimTime, kind: AuditViolationKind) {
+        self.total += 1;
+        if self.violations.len() < Self::MAX_RECORDED {
+            self.violations.push(AuditViolation { at, kind });
+        }
+    }
+
+    /// Fetches the job record, reporting if the job never arrived or is
+    /// already terminal. Returns `None` when the event must be dropped.
+    fn job_for_event(&mut self, at: SimTime, job: JobId, event: &'static str) -> bool {
+        match self.jobs.get(&job) {
+            None => {
+                self.report(at, AuditViolationKind::EventBeforeArrival { job, event });
+                false
+            }
+            Some(a) if a.phase == JobPhase::Done => {
+                self.report(at, AuditViolationKind::EventAfterTerminal { job, event });
+                false
+            }
+            Some(_) => true,
+        }
+    }
+
+    /// Copies out the phase and fan-out instant for a job known to exist.
+    fn job_snapshot(&self, job: JobId) -> (JobPhase, Option<SimTime>) {
+        let a = self.jobs.get(&job).expect("caller checked presence");
+        (a.phase, a.fanout_at)
+    }
+
+    fn illegal(&mut self, at: SimTime, job: JobId, phase: JobPhase, event: &'static str) {
+        self.report(
+            at,
+            AuditViolationKind::IllegalTransition { job, phase: phase.name(), event },
+        );
+    }
+
+    /// Removes one station from the job's holdings, reporting a
+    /// wrong-station release if it was not held.
+    fn release(&mut self, at: SimTime, job: JobId, station: NodeId, event: &'static str) {
+        let held = self.held.entry(job).or_default();
+        if let Some(pos) = held.iter().position(|&n| n == station) {
+            held.swap_remove(pos);
+            self.resident.remove(&station);
+        } else {
+            self.report(at, AuditViolationKind::WrongStationRelease { station, job, event });
+        }
+    }
+
+    /// Frees every station the job holds (completion or crash teardown).
+    fn release_all(&mut self, job: JobId) {
+        for station in self.held.remove(&job).unwrap_or_default() {
+            self.resident.remove(&station);
+        }
+    }
+}
+
+impl TraceSink for AuditSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        let at = ev.at;
+        match ev.kind {
+            TraceKind::JobArrived { job } => {
+                let duplicate = match self.jobs.entry(job) {
+                    Entry::Occupied(_) => true,
+                    Entry::Vacant(slot) => {
+                        slot.insert(JobAudit {
+                            phase: JobPhase::Queued,
+                            ckpt_in_flight: 0,
+                            fanout_at: None,
+                            started_at: None,
+                            resumed_at: None,
+                        });
+                        false
+                    }
+                };
+                if duplicate {
+                    self.report(at, AuditViolationKind::DuplicateArrival { job });
+                }
+            }
+            TraceKind::JobRejected { job } => {
+                // Rejection replaces arrival; both for one job is illegal.
+                let duplicate = match self.jobs.entry(job) {
+                    Entry::Occupied(_) => true,
+                    Entry::Vacant(slot) => {
+                        slot.insert(JobAudit {
+                            phase: JobPhase::Done,
+                            ckpt_in_flight: 0,
+                            fanout_at: None,
+                            started_at: None,
+                            resumed_at: None,
+                        });
+                        false
+                    }
+                };
+                if duplicate {
+                    self.report(at, AuditViolationKind::DuplicateArrival { job });
+                }
+            }
+            TraceKind::PlacementStarted { job, target } => {
+                if self.job_for_event(at, job, "placement_started") {
+                    let (phase, fanout_at) = self.job_snapshot(job);
+                    match phase {
+                        JobPhase::Queued => {
+                            // Throttle: fan-outs for *different* placements
+                            // must sit at least one poll cadence apart.
+                            if let (Some((prev, _)), Some(cadence)) =
+                                (self.last_placement, self.cadence)
+                            {
+                                let gap = at.since(prev);
+                                if gap < cadence {
+                                    self.report(
+                                        at,
+                                        AuditViolationKind::PlacementThrottleBroken {
+                                            gap,
+                                            cadence,
+                                        },
+                                    );
+                                }
+                            }
+                            self.last_placement = Some((at, job));
+                            let a = self.jobs.get_mut(&job).expect("checked");
+                            a.phase = JobPhase::Transfer;
+                            a.fanout_at = Some(at);
+                        }
+                        // Gang fan-out: extra members at the same instant.
+                        JobPhase::Transfer if fanout_at == Some(at) => {}
+                        phase => {
+                            // Report, then follow the event anyway so one
+                            // corruption does not cascade into noise.
+                            self.illegal(at, job, phase, "placement_started");
+                            let a = self.jobs.get_mut(&job).expect("checked");
+                            a.phase = JobPhase::Transfer;
+                            a.fanout_at = Some(at);
+                        }
+                    }
+                    if let Some(&resident) = self.resident.get(&target) {
+                        self.report(
+                            at,
+                            AuditViolationKind::DoubleOccupancy {
+                                station: target,
+                                resident,
+                                incoming: job,
+                            },
+                        );
+                    }
+                    self.resident.insert(target, job);
+                    self.held.entry(job).or_default().push(target);
+                }
+            }
+            TraceKind::PlacementDiskRejected { job, .. } => {
+                if self.job_for_event(at, job, "placement_disk_rejected") {
+                    let (phase, _) = self.job_snapshot(job);
+                    if phase != JobPhase::Queued {
+                        self.illegal(at, job, phase, "placement_disk_rejected");
+                    }
+                }
+            }
+            TraceKind::JobStarted { job, on: _ } => {
+                if self.job_for_event(at, job, "job_started") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    let (phase, resumed_at) = (a.phase, a.resumed_at);
+                    a.started_at = Some(at);
+                    a.phase = JobPhase::Running;
+                    // Legal from a landed transfer or a suspension; also as
+                    // the restart notification paired with a same-instant
+                    // resume marker (the gang event order).
+                    let legal = matches!(phase, JobPhase::Transfer | JobPhase::Suspended)
+                        || (phase == JobPhase::Running && resumed_at == Some(at));
+                    if !legal {
+                        self.illegal(at, job, phase, "job_started");
+                    }
+                }
+            }
+            TraceKind::JobResumedInPlace { job, on: _ } => {
+                if self.job_for_event(at, job, "job_resumed_in_place") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    let (phase, started_at) = (a.phase, a.started_at);
+                    a.resumed_at = Some(at);
+                    a.phase = JobPhase::Running;
+                    // Legal from a suspension; also as the marker paired
+                    // with a same-instant restart (single-job event order).
+                    let legal = phase == JobPhase::Suspended
+                        || (phase == JobPhase::Running && started_at == Some(at));
+                    if !legal {
+                        self.illegal(at, job, phase, "job_resumed_in_place");
+                    }
+                }
+            }
+            TraceKind::JobSuspended { job, on: _ } => {
+                if self.job_for_event(at, job, "job_suspended") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    let phase = a.phase;
+                    a.phase = JobPhase::Suspended;
+                    // Transfer → Suspended is legal: the owner was already
+                    // active when the placement image landed.
+                    if !matches!(phase, JobPhase::Running | JobPhase::Transfer) {
+                        self.illegal(at, job, phase, "job_suspended");
+                    }
+                }
+            }
+            TraceKind::CheckpointStarted { job, .. } => {
+                if self.job_for_event(at, job, "checkpoint_started") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    let (phase, fanout_at) = (a.phase, a.fanout_at);
+                    a.ckpt_in_flight += 1;
+                    a.phase = JobPhase::Checkpointing;
+                    // Gang checkpoint-out repeats at the same instant.
+                    let gang_member = phase == JobPhase::Checkpointing && fanout_at == Some(at);
+                    if !gang_member {
+                        a.fanout_at = Some(at);
+                    }
+                    let legal =
+                        matches!(phase, JobPhase::Running | JobPhase::Suspended) || gang_member;
+                    if !legal {
+                        self.illegal(at, job, phase, "checkpoint_started");
+                    }
+                }
+            }
+            TraceKind::CheckpointCompleted { job, from, .. } => {
+                if self.job_for_event(at, job, "checkpoint_completed") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    if a.ckpt_in_flight == 0 {
+                        self.report(
+                            at,
+                            AuditViolationKind::UnmatchedCheckpointCompletion {
+                                job,
+                                station: from,
+                            },
+                        );
+                    } else {
+                        a.ckpt_in_flight -= 1;
+                        if a.ckpt_in_flight == 0 {
+                            a.phase = JobPhase::Queued;
+                        }
+                    }
+                    self.release(at, job, from, "checkpoint_completed");
+                }
+            }
+            TraceKind::JobKilled { job, on } => {
+                if self.job_for_event(at, job, "job_killed") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    let phase = a.phase;
+                    a.phase = JobPhase::Queued;
+                    if !matches!(
+                        phase,
+                        JobPhase::Transfer | JobPhase::Running | JobPhase::Suspended
+                    ) {
+                        self.illegal(at, job, phase, "job_killed");
+                    }
+                    self.release(at, job, on, "job_killed");
+                }
+            }
+            TraceKind::PeriodicCheckpoint { job, on: _ } => {
+                if self.job_for_event(at, job, "periodic_checkpoint") {
+                    let (phase, _) = self.job_snapshot(job);
+                    if phase != JobPhase::Running {
+                        self.illegal(at, job, phase, "periodic_checkpoint");
+                    }
+                }
+            }
+            TraceKind::JobCompleted { job, on } => {
+                if self.job_for_event(at, job, "job_completed") {
+                    let (phase, _) = self.job_snapshot(job);
+                    if phase != JobPhase::Running {
+                        self.illegal(at, job, phase, "job_completed");
+                    }
+                    self.jobs.get_mut(&job).expect("checked").phase = JobPhase::Done;
+                    if !self.held.get(&job).is_some_and(|h| h.contains(&on)) {
+                        self.report(
+                            at,
+                            AuditViolationKind::WrongStationRelease {
+                                station: on,
+                                job,
+                                event: "job_completed",
+                            },
+                        );
+                    }
+                    self.release_all(job);
+                }
+            }
+            TraceKind::CrashRollback { job, on: _ } => {
+                if self.job_for_event(at, job, "crash_rollback") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    a.phase = JobPhase::Queued;
+                    // The crash tears down any in-flight checkpoint
+                    // transfer: the completion will never come.
+                    a.ckpt_in_flight = 0;
+                    self.release_all(job);
+                }
+            }
+            TraceKind::OwnerActive { station } => {
+                if self.owner_active.insert(station, true) == Some(true) {
+                    self.report(
+                        at,
+                        AuditViolationKind::OwnerTransitionRepeated { station, active: true },
+                    );
+                }
+            }
+            TraceKind::OwnerIdle { station } => {
+                if self.owner_active.insert(station, false) == Some(false) {
+                    self.report(
+                        at,
+                        AuditViolationKind::OwnerTransitionRepeated { station, active: false },
+                    );
+                }
+            }
+            TraceKind::CoordinatorPolled { .. } => {
+                if let Some(prev) = self.last_poll {
+                    let gap = at.since(prev);
+                    match self.cadence {
+                        None => self.cadence = Some(gap),
+                        Some(cadence) => {
+                            if !whole_multiple(gap, cadence) {
+                                // A shorter gap that evenly divides the
+                                // inferred cadence means the first gap we
+                                // saw spanned coordinator downtime:
+                                // re-baseline rather than report.
+                                if !self.cadence_pinned
+                                    && gap < cadence
+                                    && whole_multiple(cadence, gap)
+                                {
+                                    self.cadence = Some(gap);
+                                } else {
+                                    self.report(
+                                        at,
+                                        AuditViolationKind::PollCadenceBroken { gap, cadence },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                self.last_poll = Some(at);
+            }
+            TraceKind::StationFailed { .. }
+            | TraceKind::StationRecovered { .. }
+            | TraceKind::ReservationStarted { .. }
+            | TraceKind::ReservationEnded { .. } => {}
+        }
+    }
+
+    fn finish(&mut self, at: SimTime) {
+        // Transfers still in flight at the horizon are legal only while
+        // the job is mid-checkpoint; anything else lost a completion.
+        let mut imbalanced: Vec<(JobId, u32)> = self
+            .jobs
+            .iter()
+            .filter(|(_, a)| a.ckpt_in_flight > 0 && a.phase != JobPhase::Checkpointing)
+            .map(|(&job, a)| (job, a.ckpt_in_flight))
+            .collect();
+        imbalanced.sort_unstable_by_key(|&(job, _)| job);
+        for (job, in_flight) in imbalanced {
+            self.report(at, AuditViolationKind::CheckpointImbalance { job, in_flight });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(secs: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_secs(secs), kind }
+    }
+
+    fn audit(events: &[TraceEvent]) -> AuditSink {
+        let mut sink = AuditSink::new();
+        for e in events {
+            sink.record(e);
+        }
+        sink.finish(events.last().map_or(SimTime::ZERO, |e| e.at));
+        sink
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let job = JobId(0);
+        let on = NodeId::new(1);
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job }),
+            ev(120, TraceKind::PlacementStarted { job, target: on }),
+            ev(130, TraceKind::JobStarted { job, on }),
+            ev(400, TraceKind::JobCompleted { job, on }),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+        assert_eq!(sink.events_seen(), 4);
+    }
+
+    #[test]
+    fn start_before_placement_is_flagged() {
+        let job = JobId(0);
+        let on = NodeId::new(1);
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job }),
+            ev(10, TraceKind::JobStarted { job, on }),
+        ]);
+        assert_eq!(sink.total_violations(), 1);
+        assert!(matches!(
+            sink.violations()[0].kind,
+            AuditViolationKind::IllegalTransition { event: "job_started", .. }
+        ));
+    }
+
+    #[test]
+    fn double_occupancy_is_flagged() {
+        let (j0, j1) = (JobId(0), JobId(1));
+        let on = NodeId::new(2);
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job: j0 }),
+            ev(0, TraceKind::JobArrived { job: j1 }),
+            ev(120, TraceKind::PlacementStarted { job: j0, target: on }),
+            ev(240, TraceKind::PlacementStarted { job: j1, target: on }),
+        ]);
+        assert!(sink
+            .violations()
+            .iter()
+            .any(|v| matches!(v.kind, AuditViolationKind::DoubleOccupancy { .. })));
+    }
+
+    #[test]
+    fn events_after_completion_are_flagged() {
+        let job = JobId(0);
+        let on = NodeId::new(0);
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job }),
+            ev(120, TraceKind::PlacementStarted { job, target: on }),
+            ev(121, TraceKind::JobStarted { job, on }),
+            ev(200, TraceKind::JobCompleted { job, on }),
+            ev(201, TraceKind::JobSuspended { job, on }),
+        ]);
+        assert!(sink.violations().iter().any(|v| matches!(
+            v.kind,
+            AuditViolationKind::EventAfterTerminal { event: "job_suspended", .. }
+        )));
+    }
+
+    #[test]
+    fn lost_checkpoint_transfer_is_flagged_at_finish() {
+        let job = JobId(0);
+        let on = NodeId::new(0);
+        let mut sink = AuditSink::new();
+        for e in [
+            ev(0, TraceKind::JobArrived { job }),
+            ev(120, TraceKind::PlacementStarted { job, target: on }),
+            ev(121, TraceKind::JobStarted { job, on }),
+            ev(300, TraceKind::CheckpointStarted {
+                job,
+                from: on,
+                reason: crate::job::PreemptReason::OwnerReturned,
+                bytes: 10,
+            }),
+            // Completion never arrives, and the job (illegally) restarts.
+            ev(400, TraceKind::JobStarted { job, on }),
+        ] {
+            sink.record(&e);
+        }
+        sink.finish(SimTime::from_secs(1000));
+        assert!(sink.violations().iter().any(|v| matches!(
+            v.kind,
+            AuditViolationKind::CheckpointImbalance { in_flight: 1, .. }
+        )));
+        // In-flight at the horizon while still checkpointing is fine:
+        let mut ok = AuditSink::new();
+        for e in [
+            ev(0, TraceKind::JobArrived { job }),
+            ev(120, TraceKind::PlacementStarted { job, target: on }),
+            ev(121, TraceKind::JobStarted { job, on }),
+            ev(300, TraceKind::CheckpointStarted {
+                job,
+                from: on,
+                reason: crate::job::PreemptReason::OwnerReturned,
+                bytes: 10,
+            }),
+        ] {
+            ok.record(&e);
+        }
+        ok.finish(SimTime::from_secs(1000));
+        assert!(ok.is_clean(), "{:?}", ok.violations());
+    }
+
+    #[test]
+    fn owner_double_active_is_flagged() {
+        let station = NodeId::new(3);
+        let sink = audit(&[
+            ev(10, TraceKind::OwnerActive { station }),
+            ev(20, TraceKind::OwnerActive { station }),
+        ]);
+        assert_eq!(sink.total_violations(), 1);
+    }
+
+    #[test]
+    fn poll_cadence_allows_downtime_multiples_only() {
+        let polled = TraceKind::CoordinatorPolled {
+            free_machines: 0,
+            waiting_jobs: 0,
+            placements: 0,
+            preemptions: 0,
+        };
+        // 120 s cadence with one 360 s downtime gap: clean.
+        let sink = audit(&[
+            ev(120, polled),
+            ev(240, polled),
+            ev(600, polled),
+            ev(720, polled),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+        // An off-cadence poll: flagged.
+        let sink = audit(&[
+            ev(120, polled),
+            ev(240, polled),
+            ev(330, polled),
+        ]);
+        assert!(matches!(
+            sink.violations()[0].kind,
+            AuditViolationKind::PollCadenceBroken { .. }
+        ));
+        // First observed gap spans downtime; later true-cadence gaps
+        // re-baseline instead of reporting.
+        let sink = audit(&[
+            ev(120, polled),
+            ev(480, polled), // 360 s (down for two cycles)
+            ev(600, polled), // 120 s — re-baseline
+            ev(720, polled),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+    }
+
+    #[test]
+    fn placement_throttle_uses_inferred_cadence() {
+        let polled = TraceKind::CoordinatorPolled {
+            free_machines: 1,
+            waiting_jobs: 1,
+            placements: 1,
+            preemptions: 0,
+        };
+        let (j0, j1) = (JobId(0), JobId(1));
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job: j0 }),
+            ev(0, TraceKind::JobArrived { job: j1 }),
+            ev(120, polled),
+            ev(240, polled),
+            ev(240, TraceKind::PlacementStarted { job: j0, target: a }),
+            // 30 s later: tighter than the 120 s cadence.
+            ev(270, TraceKind::PlacementStarted { job: j1, target: b }),
+        ]);
+        assert!(sink.violations().iter().any(|v| matches!(
+            v.kind,
+            AuditViolationKind::PlacementThrottleBroken { .. }
+        )));
+    }
+
+    #[test]
+    fn gang_fanout_at_same_instant_is_legal() {
+        let job = JobId(0);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job }),
+            ev(120, TraceKind::PlacementStarted { job, target: a }),
+            ev(120, TraceKind::PlacementStarted { job, target: b }),
+            ev(130, TraceKind::JobStarted { job, on: a }),
+            ev(300, TraceKind::CheckpointStarted {
+                job,
+                from: a,
+                reason: crate::job::PreemptReason::PriorityPreemption,
+                bytes: 5,
+            }),
+            ev(300, TraceKind::CheckpointStarted {
+                job,
+                from: b,
+                reason: crate::job::PreemptReason::PriorityPreemption,
+                bytes: 5,
+            }),
+            ev(310, TraceKind::CheckpointCompleted { job, from: a, bytes: 5 }),
+            ev(330, TraceKind::CheckpointCompleted { job, from: b, bytes: 5 }),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+    }
+}

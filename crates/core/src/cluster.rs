@@ -279,6 +279,15 @@ pub struct RunOutput {
 }
 
 impl RunOutput {
+    /// Folds the buffered trace into per-job lifecycle spans.
+    ///
+    /// Returns an empty log for a run with `record_trace: false` — attach
+    /// a live [`crate::spans::SpanSink`] via [`run_cluster_with_sinks`]
+    /// for span folding without the trace buffer.
+    pub fn spans(&self) -> crate::spans::SpanLog {
+        crate::spans::SpanSink::fold(self.trace.events(), self.horizon)
+    }
+
     /// Station-hours the fleet was available for remote execution
     /// (owner idle), the paper's "12438 hours were available" figure.
     pub fn available_station_hours(&self) -> f64 {
@@ -1313,7 +1322,7 @@ impl Cluster {
             };
             self.emit(
                 now,
-                TraceKind::CheckpointCompleted { job, from: NodeId::new(from) },
+                TraceKind::CheckpointCompleted { job, from: NodeId::new(from), bytes: image },
             );
             if all_departed {
                 self.gangs.remove(&job);
@@ -1344,7 +1353,7 @@ impl Cluster {
         self.stations[home].queue.enqueue_front(job, remaining);
         self.emit(
             now,
-            TraceKind::CheckpointCompleted { job, from: NodeId::new(from) },
+            TraceKind::CheckpointCompleted { job, from: NodeId::new(from), bytes: image },
         );
     }
 
@@ -3244,7 +3253,7 @@ mod gang_tests {
                     }
                     resident.insert(target.index(), job);
                 }
-                TraceKind::CheckpointCompleted { job, from } => {
+                TraceKind::CheckpointCompleted { job, from, .. } => {
                     assert_eq!(resident.remove(&from.index()), Some(job));
                 }
                 TraceKind::CrashRollback { job, on } => {

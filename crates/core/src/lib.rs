@@ -47,15 +47,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod cluster;
 pub mod config;
 pub mod job;
 pub mod policy;
 pub mod queue;
+pub mod spans;
 pub mod telemetry;
 pub mod trace;
 pub mod updown;
 
+pub use audit::{AuditSink, AuditViolation, AuditViolationKind};
 pub use cluster::{run_cluster, run_cluster_with_sinks, Cluster, Event, RunOutput, Totals};
 pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig, PolicyKind,
@@ -64,8 +67,12 @@ pub use config::{
 pub use job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
 pub use policy::{AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy, StationView};
 pub use queue::{BackgroundQueue, LocalOrder};
+pub use spans::{
+    Breakdown, JobBreakdown, JobSpans, Occupancy, Span, SpanLog, SpanMarker, SpanPhase, SpanSink,
+};
 pub use telemetry::{
-    FanoutSink, GaugeSample, RingSink, SharedSink, StatsSink, Telemetry, TraceSink, VecSink,
+    FanoutSink, GaugeSample, KindFilterSink, RingSink, SharedSink, StatsSink, Telemetry,
+    TraceSink, VecSink,
 };
 pub use trace::{Trace, TraceEvent, TraceKind, TraceParseError};
 pub use updown::{UpDown, UpDownConfig};

@@ -1,0 +1,677 @@
+//! Per-job lifecycle spans, folded online from the event stream.
+//!
+//! The paper's evaluation is entirely about *where a job's time goes*:
+//! queue wait at the home station (wait ratio, Fig. 4), remote execution
+//! bursts, and checkpoint/transfer leverage (Fig. 9). Counters and
+//! histograms answer "how much overall"; this module answers "why did job
+//! 17 take 9 hours of wall clock for 2 hours of CPU?" — by folding the
+//! [`TraceEvent`] stream into contiguous per-job **spans**, one per
+//! lifecycle phase:
+//!
+//! * [`SpanPhase::Queued`] — waiting at home (arrival→placement,
+//!   checkpoint-landed→next placement, dependency holds);
+//! * [`SpanPhase::Transfer`] — placement image in flight to the target;
+//! * [`SpanPhase::Running`] — executing on a foreign machine;
+//! * [`SpanPhase::Suspended`] — stopped in place pending the grace period;
+//! * [`SpanPhase::Checkpointing`] — checkpoint image in flight back home.
+//!
+//! [`SpanSink`] is a [`TraceSink`]: attach it to a run (or replay a saved
+//! JSONL trace into it) and it produces a [`SpanLog`] — per-job span lists,
+//! a per-station occupancy timeline, and instant markers for preemptions.
+//! The folding state is O(active jobs); the log itself grows with the
+//! spans it records, like any trace.
+//!
+//! Spans are **gapless by construction**: every transition closes the
+//! current span at the instant the next opens, so a job's phase durations
+//! sum exactly to its wall clock (arrival → completion, or → horizon for
+//! unfinished jobs). [`SpanLog::breakdown`] exploits that to compute
+//! per-job and aggregate where-time-went fractions plus the critical path
+//! of the run's makespan.
+
+use std::collections::{BTreeMap, HashMap};
+
+use condor_net::NodeId;
+use condor_sim::time::{SimDuration, SimTime};
+
+use crate::job::JobId;
+use crate::telemetry::TraceSink;
+use crate::trace::{TraceEvent, TraceKind};
+
+/// A lifecycle phase a job passes through, as observable from the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanPhase {
+    /// Waiting in the home station's queue (includes dependency holds).
+    Queued,
+    /// Placement image in flight to the target machine.
+    Transfer,
+    /// Executing on a foreign machine.
+    Running,
+    /// Stopped in place by owner activity, pending the grace period.
+    Suspended,
+    /// Checkpoint image in flight back to the home station.
+    Checkpointing,
+}
+
+impl SpanPhase {
+    /// Number of distinct phases.
+    pub const COUNT: usize = 5;
+
+    /// All phases, in [`SpanPhase::index`] order.
+    pub const ALL: [SpanPhase; SpanPhase::COUNT] = [
+        SpanPhase::Queued,
+        SpanPhase::Transfer,
+        SpanPhase::Running,
+        SpanPhase::Suspended,
+        SpanPhase::Checkpointing,
+    ];
+
+    /// Dense index of this phase in `0..COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            SpanPhase::Queued => 0,
+            SpanPhase::Transfer => 1,
+            SpanPhase::Running => 2,
+            SpanPhase::Suspended => 3,
+            SpanPhase::Checkpointing => 4,
+        }
+    }
+
+    /// Stable lowercase name of this phase.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Queued => "queued",
+            SpanPhase::Transfer => "transfer",
+            SpanPhase::Running => "running",
+            SpanPhase::Suspended => "suspended",
+            SpanPhase::Checkpointing => "checkpointing",
+        }
+    }
+}
+
+/// One contiguous phase interval in a job's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The phase.
+    pub phase: SpanPhase,
+    /// When the phase began.
+    pub from: SimTime,
+    /// When the phase ended (next transition, completion, or horizon).
+    pub until: SimTime,
+    /// The machine involved: the host for `Transfer`/`Running`/
+    /// `Suspended`/`Checkpointing` (the gang lead for parallel programs),
+    /// `None` while `Queued` at home.
+    pub station: Option<NodeId>,
+}
+
+impl Span {
+    /// Length of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.until.since(self.from)
+    }
+}
+
+/// The complete span history of one job.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobSpans {
+    /// When the job entered the system.
+    pub arrived: SimTime,
+    /// When it delivered all demand, if it did within the horizon.
+    pub completed: Option<SimTime>,
+    /// Contiguous spans from arrival to completion/horizon, in order.
+    pub spans: Vec<Span>,
+    /// Total checkpoint-image bytes shipped home on this job's behalf:
+    /// the sum of every [`TraceKind::CheckpointCompleted`] event's `bytes`
+    /// field (one event per gang member on parallel programs).
+    pub transfer_bytes: u64,
+}
+
+impl JobSpans {
+    /// Wall clock from arrival to completion (or the log's horizon).
+    pub fn wall(&self, horizon: SimTime) -> SimDuration {
+        self.completed.unwrap_or(horizon).since(self.arrived)
+    }
+
+    /// Total time per phase, indexed by [`SpanPhase::index`]. Because
+    /// spans are gapless, these sum exactly to [`JobSpans::wall`].
+    pub fn phase_totals(&self) -> [SimDuration; SpanPhase::COUNT] {
+        let mut totals = [SimDuration::ZERO; SpanPhase::COUNT];
+        for s in &self.spans {
+            totals[s.phase.index()] += s.duration();
+        }
+        totals
+    }
+}
+
+/// One interval during which a station hosted a foreign job (from
+/// placement start to the completion/checkpoint/kill/crash that freed it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// The hosted job.
+    pub job: JobId,
+    /// When the placement transfer began.
+    pub from: SimTime,
+    /// When the station was freed.
+    pub until: SimTime,
+}
+
+/// An instantaneous lifecycle marker (rendered as an instant event in the
+/// Perfetto export): preemptions, kills, resumes, crash rollbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanMarker {
+    /// When it happened.
+    pub at: SimTime,
+    /// The job concerned.
+    pub job: JobId,
+    /// The machine concerned.
+    pub station: NodeId,
+    /// Stable label: `suspended`, `resumed_in_place`, `killed`,
+    /// `checkpoint_out`, `periodic_checkpoint`, or `crash_rollback`.
+    pub label: &'static str,
+}
+
+/// Everything [`SpanSink`] produces: per-job span lists, the per-station
+/// occupancy timeline, and instant markers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanLog {
+    /// Span history per job, in job-id order.
+    pub jobs: BTreeMap<JobId, JobSpans>,
+    /// Foreign-occupancy intervals per station, in start order.
+    pub stations: BTreeMap<NodeId, Vec<Occupancy>>,
+    /// Instant markers in simulation order.
+    pub markers: Vec<SpanMarker>,
+    /// The horizon open spans were closed at.
+    pub finished_at: SimTime,
+}
+
+/// Per-job row of a [`Breakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobBreakdown {
+    /// The job.
+    pub job: JobId,
+    /// Wall clock (arrival → completion or horizon).
+    pub wall: SimDuration,
+    /// Time per phase, indexed by [`SpanPhase::index`]; sums to `wall`.
+    pub by_phase: [SimDuration; SpanPhase::COUNT],
+    /// Whether the job completed within the horizon.
+    pub completed: bool,
+}
+
+/// The where-time-went summary derived from a [`SpanLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breakdown {
+    /// One row per job, in job-id order.
+    pub per_job: Vec<JobBreakdown>,
+    /// Sum of all jobs' per-phase time, indexed by [`SpanPhase::index`].
+    pub aggregate: [SimDuration; SpanPhase::COUNT],
+    /// Sum of all jobs' wall clocks (equals the aggregate's sum).
+    pub total_wall: SimDuration,
+    /// First arrival → last completion (or the horizon while jobs remain).
+    pub makespan: SimDuration,
+    /// The job whose completion closes the makespan — with independent
+    /// jobs, the critical path of the batch is exactly this job's span
+    /// chain. `None` for an empty log.
+    pub critical: Option<JobBreakdown>,
+}
+
+impl SpanLog {
+    /// Computes the where-time-went breakdown.
+    pub fn breakdown(&self) -> Breakdown {
+        let mut per_job = Vec::with_capacity(self.jobs.len());
+        let mut aggregate = [SimDuration::ZERO; SpanPhase::COUNT];
+        let mut total_wall = SimDuration::ZERO;
+        let mut first_arrival: Option<SimTime> = None;
+        let mut makespan_end: Option<SimTime> = None;
+        let mut any_unfinished = false;
+        for (&job, js) in &self.jobs {
+            let by_phase = js.phase_totals();
+            let wall = js.wall(self.finished_at);
+            for (agg, d) in aggregate.iter_mut().zip(by_phase) {
+                *agg += d;
+            }
+            total_wall += wall;
+            first_arrival = Some(first_arrival.map_or(js.arrived, |f| f.min(js.arrived)));
+            match js.completed {
+                Some(c) => makespan_end = Some(makespan_end.map_or(c, |m| m.max(c))),
+                None => any_unfinished = true,
+            }
+            per_job.push(JobBreakdown { job, wall, by_phase, completed: js.completed.is_some() });
+        }
+        let end = if any_unfinished {
+            self.finished_at
+        } else {
+            makespan_end.unwrap_or(self.finished_at)
+        };
+        let makespan = first_arrival.map_or(SimDuration::ZERO, |f| end.saturating_since(f));
+        // The critical job: last to complete — or, while jobs are still in
+        // flight at the horizon, the unfinished job that arrived first
+        // (the longest-open chain).
+        let critical = if any_unfinished {
+            per_job
+                .iter()
+                .filter(|b| !b.completed)
+                .max_by_key(|b| b.wall)
+                .copied()
+        } else {
+            makespan_end.and_then(|last| {
+                self.jobs
+                    .iter()
+                    .find(|(_, js)| js.completed == Some(last))
+                    .and_then(|(&job, _)| per_job.iter().find(|b| b.job == job))
+                    .copied()
+            })
+        };
+        Breakdown { per_job, aggregate, total_wall, makespan, critical }
+    }
+}
+
+/// Folding state for one in-flight job: its open span and the stations it
+/// currently holds. This — not the [`SpanLog`] — is what stays O(active
+/// jobs).
+#[derive(Debug)]
+struct OpenJob {
+    phase: SpanPhase,
+    since: SimTime,
+    station: Option<NodeId>,
+    /// Stations this job occupies, with the occupancy start (one for a
+    /// plain job, k for a width-k gang).
+    holding: Vec<(NodeId, SimTime)>,
+}
+
+/// A [`TraceSink`] that folds the event stream into a [`SpanLog`] online.
+///
+/// The transition rules mirror the cluster's lifecycle exactly, including
+/// the gang-scheduling corners (k placement starts and k checkpoint
+/// completions per migration collapse into single `Transfer` /
+/// `Checkpointing` spans on the gang lead). Feeding the same events in the
+/// same order — live or replayed from a JSONL file — produces an identical
+/// log.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::spans::{SpanPhase, SpanSink};
+/// use condor_core::telemetry::TraceSink;
+/// use condor_core::trace::{TraceEvent, TraceKind};
+/// use condor_core::job::JobId;
+/// use condor_net::NodeId;
+/// use condor_sim::time::SimTime;
+///
+/// let mut sink = SpanSink::new();
+/// let job = JobId(0);
+/// let on = NodeId::new(3);
+/// for (t, kind) in [
+///     (0, TraceKind::JobArrived { job }),
+///     (60, TraceKind::PlacementStarted { job, target: on }),
+///     (65, TraceKind::JobStarted { job, on }),
+///     (300, TraceKind::JobCompleted { job, on }),
+/// ] {
+///     sink.record(&TraceEvent { at: SimTime::from_secs(t), kind });
+/// }
+/// sink.finish(SimTime::from_secs(400));
+/// let log = sink.into_log();
+/// let spans = &log.jobs[&job].spans;
+/// assert_eq!(spans.len(), 3);
+/// assert_eq!(spans[0].phase, SpanPhase::Queued);
+/// assert_eq!(spans[2].phase, SpanPhase::Running);
+/// ```
+#[derive(Debug, Default)]
+pub struct SpanSink {
+    log: SpanLog,
+    open: HashMap<JobId, OpenJob>,
+}
+
+impl SpanSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        SpanSink::default()
+    }
+
+    /// The log accumulated so far (open spans not yet closed).
+    pub fn log(&self) -> &SpanLog {
+        &self.log
+    }
+
+    /// Consumes the sink, yielding the log. Call after
+    /// [`finish`](TraceSink::finish) so open spans are closed at the
+    /// horizon.
+    pub fn into_log(self) -> SpanLog {
+        self.log
+    }
+
+    /// Rebuilds a span log from a recorded event sequence, closing open
+    /// spans at `horizon`.
+    pub fn fold(events: &[TraceEvent], horizon: SimTime) -> SpanLog {
+        let mut sink = SpanSink::new();
+        for ev in events {
+            sink.record(ev);
+        }
+        sink.finish(horizon);
+        sink.into_log()
+    }
+
+    /// Closes the job's open span at `at` and opens the next phase.
+    fn transition(&mut self, job: JobId, at: SimTime, phase: SpanPhase, station: Option<NodeId>) {
+        let Some(open) = self.open.get_mut(&job) else { return };
+        if open.phase == phase {
+            return; // gang members repeat the collective transition
+        }
+        let closed = Span { phase: open.phase, from: open.since, until: at, station: open.station };
+        open.phase = phase;
+        open.since = at;
+        open.station = station;
+        self.log.jobs.entry(job).or_default().spans.push(closed);
+    }
+
+    /// Closes the job's open span and retires it (completion).
+    fn close(&mut self, job: JobId, at: SimTime) {
+        let Some(open) = self.open.remove(&job) else { return };
+        let js = self.log.jobs.entry(job).or_default();
+        js.spans.push(Span { phase: open.phase, from: open.since, until: at, station: open.station });
+        js.completed = Some(at);
+        for (node, since) in open.holding {
+            self.log
+                .stations
+                .entry(node)
+                .or_default()
+                .push(Occupancy { job, from: since, until: at });
+        }
+    }
+
+    /// Releases one station the job holds (checkpoint landed, kill).
+    fn release_station(&mut self, job: JobId, node: NodeId, at: SimTime) {
+        let Some(open) = self.open.get_mut(&job) else { return };
+        if let Some(pos) = open.holding.iter().position(|(n, _)| *n == node) {
+            let (_, since) = open.holding.swap_remove(pos);
+            self.log
+                .stations
+                .entry(node)
+                .or_default()
+                .push(Occupancy { job, from: since, until: at });
+        }
+    }
+
+    /// Releases every station the job holds (crash teardown).
+    fn release_all(&mut self, job: JobId, at: SimTime) {
+        let Some(open) = self.open.get_mut(&job) else { return };
+        for (node, since) in std::mem::take(&mut open.holding) {
+            self.log
+                .stations
+                .entry(node)
+                .or_default()
+                .push(Occupancy { job, from: since, until: at });
+        }
+    }
+
+    fn mark(&mut self, at: SimTime, job: JobId, station: NodeId, label: &'static str) {
+        self.log.markers.push(SpanMarker { at, job, station, label });
+    }
+}
+
+impl TraceSink for SpanSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let at = ev.at;
+        match ev.kind {
+            TraceKind::JobArrived { job } => {
+                let js = self.log.jobs.entry(job).or_default();
+                js.arrived = at;
+                self.open.insert(
+                    job,
+                    OpenJob {
+                        phase: SpanPhase::Queued,
+                        since: at,
+                        station: None,
+                        holding: Vec::new(),
+                    },
+                );
+            }
+            TraceKind::PlacementStarted { job, target } => {
+                self.transition(job, at, SpanPhase::Transfer, Some(target));
+                if let Some(open) = self.open.get_mut(&job) {
+                    open.holding.push((target, at));
+                }
+            }
+            TraceKind::JobStarted { job, on } => {
+                self.transition(job, at, SpanPhase::Running, Some(on));
+            }
+            TraceKind::JobSuspended { job, on } => {
+                self.transition(job, at, SpanPhase::Suspended, Some(on));
+                self.mark(at, job, on, "suspended");
+            }
+            TraceKind::JobResumedInPlace { job, on } => {
+                // The cluster emits `JobStarted` alongside this marker (in
+                // either order, depending on the gang path), so the
+                // transition below is usually a no-op for one of the two.
+                self.transition(job, at, SpanPhase::Running, Some(on));
+                self.mark(at, job, on, "resumed_in_place");
+            }
+            TraceKind::CheckpointStarted { job, from, .. } => {
+                self.transition(job, at, SpanPhase::Checkpointing, Some(from));
+                self.mark(at, job, from, "checkpoint_out");
+            }
+            TraceKind::CheckpointCompleted { job, from, bytes } => {
+                self.transition(job, at, SpanPhase::Queued, None);
+                self.release_station(job, from, at);
+                if let Some(js) = self.log.jobs.get_mut(&job) {
+                    js.transfer_bytes += bytes;
+                }
+            }
+            TraceKind::JobKilled { job, on } => {
+                self.transition(job, at, SpanPhase::Queued, None);
+                self.release_station(job, on, at);
+                self.mark(at, job, on, "killed");
+            }
+            TraceKind::PeriodicCheckpoint { job, on } => {
+                self.mark(at, job, on, "periodic_checkpoint");
+            }
+            TraceKind::CrashRollback { job, on } => {
+                self.transition(job, at, SpanPhase::Queued, None);
+                self.release_all(job, at);
+                self.mark(at, job, on, "crash_rollback");
+            }
+            TraceKind::JobCompleted { job, .. } => {
+                self.close(job, at);
+            }
+            TraceKind::JobRejected { .. }
+            | TraceKind::PlacementDiskRejected { .. }
+            | TraceKind::OwnerActive { .. }
+            | TraceKind::OwnerIdle { .. }
+            | TraceKind::StationFailed { .. }
+            | TraceKind::StationRecovered { .. }
+            | TraceKind::ReservationStarted { .. }
+            | TraceKind::ReservationEnded { .. }
+            | TraceKind::CoordinatorPolled { .. } => {}
+        }
+    }
+
+    fn finish(&mut self, at: SimTime) {
+        self.log.finished_at = at;
+        // Close open spans and occupancies at the horizon; keys are sorted
+        // so the output is deterministic regardless of hash order.
+        let mut pending: Vec<JobId> = self.open.keys().copied().collect();
+        pending.sort_unstable();
+        for job in pending {
+            let open = self.open.remove(&job).expect("key listed");
+            let js = self.log.jobs.entry(job).or_default();
+            js.spans.push(Span {
+                phase: open.phase,
+                from: open.since,
+                until: at,
+                station: open.station,
+            });
+            for (node, since) in open.holding {
+                self.log
+                    .stations
+                    .entry(node)
+                    .or_default()
+                    .push(Occupancy { job, from: since, until: at });
+            }
+        }
+        // Occupancy lists fill in release order; present them in start
+        // order per station.
+        for occ in self.log.stations.values_mut() {
+            occ.sort_by_key(|o| o.from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::PreemptReason;
+
+    fn ev(secs: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_secs(secs), kind }
+    }
+
+    #[test]
+    fn single_job_lifecycle_spans_are_gapless() {
+        let job = JobId(0);
+        let on = NodeId::new(2);
+        let events = vec![
+            ev(0, TraceKind::JobArrived { job }),
+            ev(100, TraceKind::PlacementStarted { job, target: on }),
+            ev(110, TraceKind::JobStarted { job, on }),
+            ev(500, TraceKind::JobSuspended { job, on }),
+            ev(560, TraceKind::JobStarted { job, on }),
+            ev(560, TraceKind::JobResumedInPlace { job, on }),
+            ev(900, TraceKind::JobSuspended { job, on }),
+            ev(1200, TraceKind::CheckpointStarted {
+                job,
+                from: on,
+                reason: PreemptReason::OwnerReturned,
+                bytes: 1_000,
+            }),
+            ev(1300, TraceKind::CheckpointCompleted { job, from: on, bytes: 1_000 }),
+            ev(1500, TraceKind::PlacementStarted { job, target: on }),
+            ev(1510, TraceKind::JobStarted { job, on }),
+            ev(2000, TraceKind::JobCompleted { job, on }),
+        ];
+        let log = SpanSink::fold(&events, SimTime::from_secs(3000));
+        let js = &log.jobs[&job];
+        assert_eq!(js.completed, Some(SimTime::from_secs(2000)));
+        assert_eq!(js.transfer_bytes, 1_000);
+        // Gapless: spans tile [arrival, completion].
+        let mut cursor = js.arrived;
+        for s in &js.spans {
+            assert_eq!(s.from, cursor, "gap before {s:?}");
+            cursor = s.until;
+        }
+        assert_eq!(cursor, SimTime::from_secs(2000));
+        // Phase totals sum to wall clock.
+        let wall: SimDuration = js.wall(log.finished_at);
+        let total: SimDuration = js
+            .phase_totals()
+            .iter()
+            .fold(SimDuration::ZERO, |acc, d| acc + *d);
+        assert_eq!(total, wall);
+        // The resume produced one suspended span of 60 s.
+        let suspended = js.phase_totals()[SpanPhase::Suspended.index()];
+        assert_eq!(suspended, SimDuration::from_secs(60 + 300));
+        // Occupancy: two visits to the station.
+        assert_eq!(log.stations[&on].len(), 2);
+        // Markers recorded in order.
+        let labels: Vec<&str> = log.markers.iter().map(|m| m.label).collect();
+        assert_eq!(
+            labels,
+            vec!["suspended", "resumed_in_place", "suspended", "checkpoint_out"]
+        );
+    }
+
+    #[test]
+    fn gang_events_collapse_into_single_spans() {
+        let job = JobId(3);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let events = vec![
+            ev(0, TraceKind::JobArrived { job }),
+            ev(10, TraceKind::PlacementStarted { job, target: a }),
+            ev(10, TraceKind::PlacementStarted { job, target: b }),
+            ev(20, TraceKind::JobStarted { job, on: a }),
+            ev(90, TraceKind::CheckpointStarted {
+                job,
+                from: a,
+                reason: PreemptReason::PriorityPreemption,
+                bytes: 500,
+            }),
+            ev(90, TraceKind::CheckpointStarted {
+                job,
+                from: b,
+                reason: PreemptReason::PriorityPreemption,
+                bytes: 500,
+            }),
+            ev(100, TraceKind::CheckpointCompleted { job, from: a, bytes: 500 }),
+            ev(120, TraceKind::CheckpointCompleted { job, from: b, bytes: 500 }),
+        ];
+        let log = SpanSink::fold(&events, SimTime::from_secs(200));
+        let js = &log.jobs[&job];
+        // One transfer span, one checkpointing span, despite 2 members.
+        let phases: Vec<SpanPhase> = js.spans.iter().map(|s| s.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                SpanPhase::Queued,
+                SpanPhase::Transfer,
+                SpanPhase::Running,
+                SpanPhase::Checkpointing,
+                SpanPhase::Queued, // still open at horizon, closed by finish
+            ]
+        );
+        assert_eq!(js.transfer_bytes, 1_000);
+        // Both stations held from placement to their own checkpoint landing.
+        assert_eq!(log.stations[&a][0].until, SimTime::from_secs(100));
+        assert_eq!(log.stations[&b][0].until, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn breakdown_sums_and_critical_path() {
+        let (j0, j1) = (JobId(0), JobId(1));
+        let on = NodeId::new(1);
+        let events = vec![
+            ev(0, TraceKind::JobArrived { job: j0 }),
+            ev(50, TraceKind::JobArrived { job: j1 }),
+            ev(100, TraceKind::PlacementStarted { job: j0, target: on }),
+            ev(110, TraceKind::JobStarted { job: j0, on }),
+            ev(400, TraceKind::JobCompleted { job: j0, on }),
+            ev(500, TraceKind::PlacementStarted { job: j1, target: on }),
+            ev(520, TraceKind::JobStarted { job: j1, on }),
+            ev(1000, TraceKind::JobCompleted { job: j1, on }),
+        ];
+        let log = SpanSink::fold(&events, SimTime::from_secs(2000));
+        let b = log.breakdown();
+        assert_eq!(b.per_job.len(), 2);
+        for row in &b.per_job {
+            let sum = row
+                .by_phase
+                .iter()
+                .fold(SimDuration::ZERO, |acc, d| acc + *d);
+            assert_eq!(sum, row.wall, "phase totals sum to wall for {:?}", row.job);
+        }
+        // Makespan: first arrival (0) to last completion (1000).
+        assert_eq!(b.makespan, SimDuration::from_secs(1000));
+        assert_eq!(b.critical.expect("non-empty").job, j1);
+        let agg_sum = b
+            .aggregate
+            .iter()
+            .fold(SimDuration::ZERO, |acc, d| acc + *d);
+        assert_eq!(agg_sum, b.total_wall);
+    }
+
+    #[test]
+    fn crash_rollback_requeues_and_frees_stations() {
+        let job = JobId(0);
+        let on = NodeId::new(4);
+        let events = vec![
+            ev(0, TraceKind::JobArrived { job }),
+            ev(10, TraceKind::PlacementStarted { job, target: on }),
+            ev(20, TraceKind::JobStarted { job, on }),
+            ev(300, TraceKind::StationFailed { station: on }),
+            ev(300, TraceKind::CrashRollback { job, on }),
+        ];
+        let log = SpanSink::fold(&events, SimTime::from_secs(500));
+        let js = &log.jobs[&job];
+        assert_eq!(js.completed, None);
+        assert_eq!(js.spans.last().unwrap().phase, SpanPhase::Queued);
+        assert_eq!(log.stations[&on][0].until, SimTime::from_secs(300));
+        assert_eq!(log.markers.last().unwrap().label, "crash_rollback");
+    }
+}
+

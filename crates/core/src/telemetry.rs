@@ -29,7 +29,7 @@ use condor_sim::stats::LogHistogram;
 use condor_sim::time::{SimDuration, SimTime};
 
 use crate::job::JobId;
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{Trace, TraceEvent, TraceKind, TraceParseError};
 
 /// Instantaneous cluster state sampled at each coordinator poll.
 ///
@@ -234,6 +234,107 @@ impl TraceSink for FanoutSink {
         for s in &mut self.sinks {
             s.finish(at);
         }
+    }
+}
+
+/// Forwards only events whose [`TraceKind`] is enabled to an inner sink;
+/// gauge samples and `finish` always pass through.
+///
+/// Backs `condor trace --kind a,b`: wrap the printing/exporting sink so a
+/// month-scale run streams only the event families of interest.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::telemetry::{KindFilterSink, TraceSink, VecSink};
+/// use condor_core::trace::{TraceEvent, TraceKind};
+/// use condor_core::job::JobId;
+/// use condor_sim::time::SimTime;
+///
+/// let mut only_arrivals =
+///     KindFilterSink::from_names(VecSink::new(), ["job_arrived"]).unwrap();
+/// only_arrivals.record(&TraceEvent {
+///     at: SimTime::ZERO,
+///     kind: TraceKind::JobArrived { job: JobId(0) },
+/// });
+/// only_arrivals.record(&TraceEvent {
+///     at: SimTime::ZERO,
+///     kind: TraceKind::JobCompleted { job: JobId(0), on: condor_net::NodeId::new(0) },
+/// });
+/// assert_eq!(only_arrivals.inner().len(), 1);
+/// assert_eq!(only_arrivals.dropped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct KindFilterSink<S> {
+    mask: [bool; TraceKind::COUNT],
+    inner: S,
+    passed: u64,
+    dropped: u64,
+}
+
+impl<S> KindFilterSink<S> {
+    /// Wraps `inner` with an explicit per-kind mask (indexed by
+    /// [`TraceKind::index`]).
+    pub fn new(inner: S, mask: [bool; TraceKind::COUNT]) -> Self {
+        KindFilterSink { mask, inner, passed: 0, dropped: 0 }
+    }
+
+    /// Wraps `inner`, enabling exactly the named kinds (snake_case, as in
+    /// [`TraceKind::names`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceParseError::UnknownKind`] for a name that matches no kind.
+    pub fn from_names<'a, I>(inner: S, names: I) -> Result<Self, TraceParseError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut mask = [false; TraceKind::COUNT];
+        for name in names {
+            let idx = TraceKind::index_of_name(name)
+                .ok_or_else(|| TraceParseError::UnknownKind(name.to_string()))?;
+            mask[idx] = true;
+        }
+        Ok(KindFilterSink::new(inner, mask))
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the filter, yielding the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Events forwarded so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+
+    /// Events suppressed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<S: TraceSink> TraceSink for KindFilterSink<S> {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.mask[ev.kind.index()] {
+            self.passed += 1;
+            self.inner.record(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn sample(&mut self, s: &GaugeSample) {
+        self.inner.sample(s);
+    }
+
+    fn finish(&mut self, at: SimTime) {
+        self.inner.finish(at);
     }
 }
 
@@ -537,7 +638,10 @@ mod tests {
                 bytes: 1_000_000,
             },
         ));
-        s.record(&ev(800, TraceKind::CheckpointCompleted { job: JobId(0), from: n }));
+        s.record(&ev(
+            800,
+            TraceKind::CheckpointCompleted { job: JobId(0), from: n, bytes: 1_000_000 },
+        ));
         s.record(&ev(900, TraceKind::JobStarted { job: JobId(0), on: n }));
         s.record(&ev(2_000, TraceKind::JobCompleted { job: JobId(0), on: n }));
         s.finish(SimTime::from_hours(1));

@@ -78,6 +78,11 @@ pub enum TraceKind {
         job: JobId,
         /// Machine vacated.
         from: NodeId,
+        /// Size of the checkpoint image that just landed — mirrored from
+        /// the matching [`TraceKind::CheckpointStarted`] so transfer
+        /// accounting reads one event instead of joining start/complete
+        /// pairs.
+        bytes: u64,
     },
     /// The job was killed without an outgoing checkpoint (immediate-kill
     /// strategy); work since the last periodic checkpoint was lost.
@@ -195,6 +200,13 @@ impl TraceKind {
     /// The name for each dense index, in [`TraceKind::index`] order.
     pub fn names() -> &'static [&'static str; TraceKind::COUNT] {
         &KIND_NAMES
+    }
+
+    /// The dense index for a snake_case kind name, or `None` if the name
+    /// is not a known kind. Inverse of [`TraceKind::name`]; used by the
+    /// CLI's `--kind` trace filter.
+    pub fn index_of_name(name: &str) -> Option<usize> {
+        KIND_NAMES.iter().position(|&n| n == name)
     }
 }
 
@@ -385,8 +397,9 @@ impl TraceEvent {
                 )
                 .unwrap();
             }
-            TraceKind::CheckpointCompleted { job, from } => {
-                write!(s, ",\"job\":{},\"from\":{}", job.0, from.index()).unwrap();
+            TraceKind::CheckpointCompleted { job, from, bytes } => {
+                write!(s, ",\"job\":{},\"from\":{},\"bytes\":{}", job.0, from.index(), bytes)
+                    .unwrap();
             }
             TraceKind::OwnerActive { station }
             | TraceKind::OwnerIdle { station }
@@ -443,9 +456,11 @@ impl TraceEvent {
                     bytes: f.u64("bytes")?,
                 }
             }
-            "checkpoint_completed" => {
-                TraceKind::CheckpointCompleted { job: f.job("job")?, from: f.node("from")? }
-            }
+            "checkpoint_completed" => TraceKind::CheckpointCompleted {
+                job: f.job("job")?,
+                from: f.node("from")?,
+                bytes: f.u64("bytes")?,
+            },
             "job_killed" => TraceKind::JobKilled { job: f.job("job")?, on: f.node("on")? },
             "periodic_checkpoint" => {
                 TraceKind::PeriodicCheckpoint { job: f.job("job")?, on: f.node("on")? }
@@ -588,7 +603,7 @@ mod tests {
                 reason: PreemptReason::PriorityPreemption,
                 bytes: 123_456,
             },
-            TraceKind::CheckpointCompleted { job: j, from: n },
+            TraceKind::CheckpointCompleted { job: j, from: n, bytes: 123_456 },
             TraceKind::JobKilled { job: j, on: n },
             TraceKind::PeriodicCheckpoint { job: j, on: n },
             TraceKind::JobCompleted { job: j, on: n },

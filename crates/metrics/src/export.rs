@@ -9,6 +9,7 @@
 use std::io::Write;
 use std::path::Path;
 
+use condor_core::spans::SpanLog;
 use condor_core::telemetry::TraceSink;
 use condor_core::trace::{TraceEvent, TraceParseError};
 use condor_sim::time::SimTime;
@@ -189,9 +190,260 @@ pub fn events_from_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceParseError>
         .collect()
 }
 
+// ----- Perfetto / Chrome trace-event export ------------------------------
+
+/// Synthetic process id grouping job tracks in the trace viewer.
+const CHROME_PID_JOBS: u32 = 1;
+/// Synthetic process id grouping station tracks.
+const CHROME_PID_STATIONS: u32 = 2;
+
+fn chrome_us(t: SimTime) -> u64 {
+    t.as_millis().saturating_mul(1_000)
+}
+
+fn chrome_metadata(out: &mut Vec<String>, pid: u32, tid: Option<u64>, name: &str) {
+    match tid {
+        None => out.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        )),
+        Some(tid) => out.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        )),
+    }
+}
+
+/// Renders a [`SpanLog`] in the Chrome trace-event JSON format, loadable
+/// by Perfetto (`ui.perfetto.dev`) and `chrome://tracing`.
+///
+/// Layout:
+/// * process 1, **jobs** — one track per job; its lifecycle spans become
+///   complete (`ph:"X"`) events named after the phase, and its preemption
+///   markers instant (`ph:"i"`) events;
+/// * process 2, **stations** — one track per machine that ever hosted a
+///   foreign job; occupancy intervals become complete events named
+///   `job <id>`.
+///
+/// Timestamps and durations are microseconds of simulation time, per the
+/// format's convention.
+///
+/// # Examples
+///
+/// ```
+/// use condor_core::spans::SpanSink;
+/// use condor_core::telemetry::TraceSink;
+/// use condor_core::trace::{TraceEvent, TraceKind};
+/// use condor_core::job::JobId;
+/// use condor_metrics::export::spans_to_chrome_trace;
+/// use condor_sim::time::SimTime;
+///
+/// let mut sink = SpanSink::new();
+/// sink.record(&TraceEvent {
+///     at: SimTime::from_secs(1),
+///     kind: TraceKind::JobArrived { job: JobId(0) },
+/// });
+/// sink.finish(SimTime::from_secs(2));
+/// let json = spans_to_chrome_trace(sink.log());
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"ph\":\"X\""));
+/// ```
+pub fn spans_to_chrome_trace(log: &SpanLog) -> String {
+    let mut events: Vec<String> = Vec::new();
+    chrome_metadata(&mut events, CHROME_PID_JOBS, None, "jobs");
+    chrome_metadata(&mut events, CHROME_PID_STATIONS, None, "stations");
+    for (&job, js) in &log.jobs {
+        chrome_metadata(
+            &mut events,
+            CHROME_PID_JOBS,
+            Some(job.0),
+            &format!("job {}", job.0),
+        );
+        for s in &js.spans {
+            let args = match s.station {
+                Some(n) => format!(",\"args\":{{\"station\":{}}}", n.index()),
+                None => String::new(),
+            };
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{CHROME_PID_JOBS},\"tid\":{},\"ts\":{},\
+                 \"dur\":{},\"cat\":\"phase\",\"name\":\"{}\"{args}}}",
+                job.0,
+                chrome_us(s.from),
+                chrome_us(s.until).saturating_sub(chrome_us(s.from)),
+                s.phase.name(),
+            ));
+        }
+    }
+    for m in &log.markers {
+        events.push(format!(
+            "{{\"ph\":\"i\",\"pid\":{CHROME_PID_JOBS},\"tid\":{},\"ts\":{},\"s\":\"t\",\
+             \"cat\":\"marker\",\"name\":\"{}\",\"args\":{{\"station\":{}}}}}",
+            m.job.0,
+            chrome_us(m.at),
+            m.label,
+            m.station.index(),
+        ));
+    }
+    for (&station, occupancies) in &log.stations {
+        chrome_metadata(
+            &mut events,
+            CHROME_PID_STATIONS,
+            Some(station.index() as u64),
+            &format!("station {}", station.index()),
+        );
+        for o in occupancies {
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{CHROME_PID_STATIONS},\"tid\":{},\"ts\":{},\
+                 \"dur\":{},\"cat\":\"occupancy\",\"name\":\"job {}\",\
+                 \"args\":{{\"job\":{}}}}}",
+                station.index(),
+                chrome_us(o.from),
+                chrome_us(o.until).saturating_sub(chrome_us(o.from)),
+                o.job.0,
+                o.job.0,
+            ));
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal recursive-descent JSON syntax check (no value semantics):
+    /// enough to guarantee a viewer's parser will accept the export.
+    fn check_json(text: &str) {
+        fn skip_ws(b: &[u8], mut i: usize) -> usize {
+            while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        }
+        fn value(b: &[u8], i: usize) -> usize {
+            let i = skip_ws(b, i);
+            match b.get(i) {
+                Some(b'{') => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b'}') {
+                        return i + 1;
+                    }
+                    loop {
+                        i = string(b, skip_ws(b, i));
+                        i = skip_ws(b, i);
+                        assert_eq!(b.get(i), Some(&b':'), "expected ':' at {i}");
+                        i = value(b, i + 1);
+                        i = skip_ws(b, i);
+                        match b.get(i) {
+                            Some(b',') => i += 1,
+                            Some(b'}') => return i + 1,
+                            other => panic!("expected ',' or '}}' at {i}, got {other:?}"),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b']') {
+                        return i + 1;
+                    }
+                    loop {
+                        i = value(b, i);
+                        i = skip_ws(b, i);
+                        match b.get(i) {
+                            Some(b',') => i += 1,
+                            Some(b']') => return i + 1,
+                            other => panic!("expected ',' or ']' at {i}, got {other:?}"),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    let mut i = i + 1;
+                    while i < b.len()
+                        && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                    {
+                        i += 1;
+                    }
+                    i
+                }
+                _ if b[i..].starts_with(b"true") => i + 4,
+                _ if b[i..].starts_with(b"false") => i + 5,
+                _ if b[i..].starts_with(b"null") => i + 4,
+                other => panic!("unexpected JSON value at {i}: {other:?}"),
+            }
+        }
+        fn string(b: &[u8], i: usize) -> usize {
+            assert_eq!(b.get(i), Some(&b'"'), "expected '\"' at {i}");
+            let mut i = i + 1;
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'"' => return i + 1,
+                    _ => i += 1,
+                }
+            }
+            panic!("unterminated string");
+        }
+        let b = text.as_bytes();
+        let end = skip_ws(b, value(b, 0));
+        assert_eq!(end, b.len(), "trailing garbage after JSON value");
+    }
+
+    #[test]
+    fn chrome_trace_from_a_live_run_is_valid_json() {
+        use condor_core::cluster::run_cluster_with_sinks;
+        use condor_core::config::ClusterConfig;
+        use condor_core::job::{JobId, JobSpec, UserId};
+        use condor_core::spans::SpanSink;
+        use condor_core::telemetry::SharedSink;
+        use condor_net::NodeId;
+        use condor_sim::time::SimDuration;
+
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                user: UserId(0),
+                home: NodeId::new((i % 4) as u32),
+                arrival: SimTime::from_hours(i),
+                demand: SimDuration::from_hours(2),
+                image_bytes: 300_000,
+                syscalls_per_cpu_sec: 0.2,
+                binaries: Default::default(),
+                depends_on: Vec::new(),
+                width: 1,
+            })
+            .collect();
+        let spans = SharedSink::new(SpanSink::new());
+        let _ = run_cluster_with_sinks(
+            ClusterConfig { stations: 4, seed: 11, ..ClusterConfig::default() },
+            jobs,
+            SimDuration::from_days(2),
+            vec![Box::new(spans.clone())],
+        );
+        let log = spans.with(|s| s.log().clone());
+        assert!(!log.jobs.is_empty());
+        let json = spans_to_chrome_trace(&log);
+        check_json(&json);
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(json.contains("\"process_name\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "complete events present");
+        // Every span of every job surfaced as one complete event.
+        let total_spans: usize = log.jobs.values().map(|j| j.spans.len()).sum();
+        let total_occ: usize = log.stations.values().map(|o| o.len()).sum();
+        let x_events = json.matches("\"ph\":\"X\"").count();
+        assert_eq!(x_events, total_spans + total_occ);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), log.markers.len());
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_log_is_valid() {
+        let json = spans_to_chrome_trace(&SpanLog::default());
+        check_json(&json);
+        assert!(json.contains("\"jobs\"") && json.contains("\"stations\""));
+    }
 
     #[test]
     fn renders_header_and_rows() {

@@ -75,7 +75,7 @@ fn main() {
                 TraceKind::CrashRollback { job, on } if job == victim.spec.id => {
                     Some(format!("!! {on} crashed — rolled back to last checkpoint"))
                 }
-                TraceKind::CheckpointCompleted { job, from } if job == victim.spec.id => {
+                TraceKind::CheckpointCompleted { job, from, .. } if job == victim.spec.id => {
                     Some(format!("checkpointed off {from}"))
                 }
                 TraceKind::JobCompleted { job, on } if job == victim.spec.id => {

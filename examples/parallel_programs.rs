@@ -67,7 +67,7 @@ fn main() {
                 Some(format!("{job} suspended — owner back at {on}"))
             }
             TraceKind::JobResumedInPlace { job, .. } => Some(format!("{job} resumed in place")),
-            TraceKind::CheckpointCompleted { job, from } => {
+            TraceKind::CheckpointCompleted { job, from, .. } => {
                 Some(format!("{job} member image left {from}"))
             }
             TraceKind::JobCompleted { job, .. } => Some(format!("{job} COMPLETED")),

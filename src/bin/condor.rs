@@ -3,9 +3,11 @@
 //!
 //! ```text
 //! condor month   [--seed N] [--policy P] [--stations N] [--history]
-//!                [--ckpt-server] [--failures MTBFH:MTTRH]
+//!                [--ckpt-server] [--failures MTBFH:MTTRH] [--perfetto FILE.json]
 //! condor week    [--seed N]
 //! condor fairness [--seed N]
+//! condor spans   [--seed N] [--days N] [--top N]
+//! condor audit   [--jsonl FILE.jsonl] [--seed N] [--days N]
 //! condor export-trace <file.csv> [--seed N]
 //! condor simulate <file.csv> [--stations N] [--days N] [--seed N]
 //! condor live    [--workers N]
@@ -32,6 +34,8 @@ fn main() -> ExitCode {
         "week" => cmd_week(rest),
         "fairness" => cmd_fairness(rest),
         "report" => cmd_report(rest),
+        "spans" => cmd_spans(rest),
+        "audit" => cmd_audit(rest),
         "trace" => cmd_trace(rest),
         "export-trace" => cmd_export_trace(rest),
         "simulate" => cmd_simulate(rest),
@@ -56,8 +60,10 @@ const USAGE: &str = "condor — a hunter of idle workstations
 USAGE:
   condor month    [--seed N] [--policy up-down|fifo|round-robin|random]
                   [--stations N] [--history] [--ckpt-server]
-                  [--failures MTBFH:MTTRH]
-                  simulate the paper's one-month evaluation
+                  [--failures MTBFH:MTTRH] [--perfetto FILE.json]
+                  simulate the paper's one-month evaluation; --perfetto
+                  writes the job/station timelines as a Chrome trace
+                  loadable at ui.perfetto.dev
   condor week     [--seed N]
                   simulate the one-week close-up (Figs. 6-7)
   condor fairness [--seed N]
@@ -65,9 +71,17 @@ USAGE:
   condor report   [--seed N] [--stations N] [--days N]
                   run the paper month trace-free and print the
                   streaming telemetry summary
+  condor spans    [--seed N] [--stations N] [--days N] [--top N]
+                  fold a run into per-job lifecycle spans and print
+                  the where-time-went breakdown
+  condor audit    [--jsonl FILE.jsonl] [--seed N] [--stations N] [--days N]
+                  check protocol invariants over a saved JSONL trace
+                  (or a fresh seeded run); exits nonzero on violations
   condor trace    [--seed N] [--days N] [--last N] [--jsonl FILE.jsonl]
+                  [--kind name,name,...]
                   tail the last events of a run; optionally stream
-                  the full trace to a JSONL file
+                  the full trace to a JSONL file; --kind keeps only
+                  the named event kinds (snake_case)
   condor export-trace FILE.csv [--seed N]
                   write the paper-month job trace as CSV
   condor simulate FILE.csv [--stations N] [--days N] [--seed N]
@@ -180,15 +194,100 @@ fn cmd_month(args: &[String]) -> Result<(), String> {
             ),
         });
     }
+    let perfetto = opt_value(args, "--perfetto")?;
+    let spans = SharedSink::new(SpanSink::new());
+    let sinks: Vec<Box<dyn TraceSink>> = if perfetto.is_some() {
+        vec![Box::new(spans.clone())]
+    } else {
+        Vec::new()
+    };
     let started = std::time::Instant::now();
-    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    let out = run_cluster_with_sinks(scenario.config, scenario.jobs, scenario.horizon, sinks);
     println!(
         "simulated one month of {} stations in {:.0?}\n",
         out.stations,
         started.elapsed()
     );
     print_summary(&out);
+    if let Some(path) = perfetto {
+        let json = spans.with(|s| spans_to_chrome_trace(s.log()));
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nwrote Perfetto trace to {path} ({} bytes) — open at ui.perfetto.dev", json.len());
+    }
     Ok(())
+}
+
+fn cmd_spans(args: &[String]) -> Result<(), String> {
+    let seed = opt_parse(args, "--seed", 1988u64)?;
+    let stations = opt_parse(args, "--stations", 23usize)?;
+    let days = opt_parse(args, "--days", 30u64)?;
+    let top = opt_parse(args, "--top", 20usize)?;
+    let mut scenario = paper_month(seed);
+    scenario.config.stations = stations.max(5); // homes 0..5 must exist
+    scenario.config.record_trace = false; // spans fold online; no buffer needed
+    let spans = SharedSink::new(SpanSink::new());
+    let _ = run_cluster_with_sinks(
+        scenario.config,
+        scenario.jobs,
+        SimDuration::from_days(days),
+        vec![Box::new(spans.clone())],
+    );
+    let log = spans.with(|s| s.log().clone());
+    println!("{}", render_spans(&log, top));
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let audit = match opt_value(args, "--jsonl")? {
+        Some(path) => {
+            use condor::metrics::export::events_from_jsonl;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            let events = events_from_jsonl(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            let mut audit = AuditSink::new();
+            for ev in &events {
+                audit.record(ev);
+            }
+            audit.finish(events.last().map_or(SimTime::ZERO, |e| e.at));
+            audit
+        }
+        None => {
+            let seed = opt_parse(args, "--seed", 1988u64)?;
+            let stations = opt_parse(args, "--stations", 23usize)?;
+            let days = opt_parse(args, "--days", 30u64)?;
+            let mut scenario = paper_month(seed);
+            scenario.config.stations = stations.max(5); // homes 0..5 must exist
+            scenario.config.record_trace = false;
+            let shared = SharedSink::new(AuditSink::new());
+            let _ = run_cluster_with_sinks(
+                scenario.config,
+                scenario.jobs,
+                SimDuration::from_days(days),
+                vec![Box::new(shared.clone())],
+            );
+            shared
+                .try_into_inner()
+                .ok_or("audit sink still shared after the run")?
+        }
+    };
+    if audit.is_clean() {
+        println!("audit clean: {} events, 0 violations", audit.events_seen());
+        Ok(())
+    } else {
+        println!(
+            "audit FAILED: {} violation(s) over {} events",
+            audit.total_violations(),
+            audit.events_seen()
+        );
+        for v in audit.violations() {
+            println!("  {v}");
+        }
+        let shown = audit.violations().len() as u64;
+        if audit.total_violations() > shown {
+            println!("  … and {} more", audit.total_violations() - shown);
+        }
+        Err("trace violates protocol invariants".into())
+    }
 }
 
 fn cmd_week(args: &[String]) -> Result<(), String> {
@@ -241,6 +340,29 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--kind a,b,c` into a per-kind mask; `None` means no filtering.
+fn parse_kind_mask(args: &[String]) -> Result<[bool; TraceKind::COUNT], String> {
+    match opt_value(args, "--kind")? {
+        None => Ok([true; TraceKind::COUNT]),
+        Some(list) => {
+            let mut mask = [false; TraceKind::COUNT];
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let idx = TraceKind::index_of_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown trace kind {name:?}; known kinds: {}",
+                        TraceKind::names().join(", ")
+                    )
+                })?;
+                mask[idx] = true;
+            }
+            if mask.iter().all(|m| !m) {
+                return Err("--kind selected no event kinds".into());
+            }
+            Ok(mask)
+        }
+    }
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let seed = opt_parse(args, "--seed", 1988u64)?;
     let days = opt_parse(args, "--days", 2u64)?;
@@ -248,15 +370,20 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     if last == 0 {
         return Err("--last must be at least 1".into());
     }
+    let mask = parse_kind_mask(args)?;
+    let filtered = has_flag(args, "--kind");
     let mut scenario = paper_month(seed);
     scenario.config.record_trace = false;
-    let tail = SharedSink::new(RingSink::new(last));
+    let tail = SharedSink::new(KindFilterSink::new(RingSink::new(last), mask));
     let mut sinks: Vec<Box<dyn TraceSink>> = vec![Box::new(tail.clone())];
     let jsonl = match opt_value(args, "--jsonl")? {
         Some(path) => {
             let file =
                 std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
-            let sink = SharedSink::new(JsonlSink::new(std::io::BufWriter::new(file)));
+            let sink = SharedSink::new(KindFilterSink::new(
+                JsonlSink::new(std::io::BufWriter::new(file)),
+                mask,
+            ));
             sinks.push(Box::new(sink.clone()));
             Some((path, sink))
         }
@@ -268,27 +395,40 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         SimDuration::from_days(days),
         sinks,
     );
-    tail.with(|ring| {
-        println!(
-            "{} events over {} days; showing the last {}:",
-            ring.seen(),
-            days,
-            ring.len()
-        );
-        for ev in ring.events() {
+    tail.with(|f| {
+        if filtered {
+            println!(
+                "{} events over {days} days ({} matched --kind, {} filtered out); \
+                 showing the last {}:",
+                f.passed() + f.dropped(),
+                f.passed(),
+                f.dropped(),
+                f.inner().len()
+            );
+        } else {
+            println!(
+                "{} events over {days} days; showing the last {}:",
+                f.passed(),
+                f.inner().len()
+            );
+        }
+        for ev in f.inner().events() {
             println!("{}", ev.to_jsonl());
         }
     });
     if let Some((path, sink)) = jsonl {
-        sink.with(|s| match s.error() {
+        sink.with(|s| match s.inner().error() {
             Some(e) => Err(format!("writing {path}: {e}")),
             None => {
-                println!("wrote {} events to {path}", s.written());
+                println!("wrote {} events to {path}", s.inner().written());
                 Ok(())
             }
         })?;
     }
-    debug_assert_eq!(out.telemetry.events_total, tail.with(|r| r.seen()));
+    debug_assert_eq!(
+        out.telemetry.events_total,
+        tail.with(|f| f.passed() + f.dropped())
+    );
     Ok(())
 }
 

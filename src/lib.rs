@@ -49,14 +49,17 @@ pub mod prelude {
         ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig,
         PolicyKind,
     };
+    pub use condor_core::audit::{AuditSink, AuditViolation, AuditViolationKind};
     pub use condor_core::job::{Job, JobId, JobSpec, JobState, UserId};
+    pub use condor_core::spans::{Breakdown, SpanLog, SpanPhase, SpanSink};
     pub use condor_core::telemetry::{
-        FanoutSink, GaugeSample, RingSink, SharedSink, StatsSink, Telemetry, TraceSink, VecSink,
+        FanoutSink, GaugeSample, KindFilterSink, RingSink, SharedSink, StatsSink, Telemetry,
+        TraceSink, VecSink,
     };
     pub use condor_core::trace::{Trace, TraceEvent, TraceKind};
     pub use condor_core::updown::{UpDown, UpDownConfig};
-    pub use condor_metrics::export::JsonlSink;
-    pub use condor_metrics::report::render_telemetry;
+    pub use condor_metrics::export::{spans_to_chrome_trace, JsonlSink};
+    pub use condor_metrics::report::{render_spans, render_telemetry};
     pub use condor_net::NodeId;
     pub use condor_sim::time::{SimDuration, SimTime};
     pub use condor_workload::scenarios::{fairness_duel, one_week, paper_month};

@@ -110,7 +110,7 @@ fn stations_host_at_most_one_foreign_job() {
             TraceKind::JobCompleted { job, on } => {
                 assert_eq!(resident.remove(&on), Some(job.0), "completion on wrong station");
             }
-            TraceKind::CheckpointCompleted { job, from } => {
+            TraceKind::CheckpointCompleted { job, from, .. } => {
                 assert_eq!(resident.remove(&from), Some(job.0), "checkpoint from wrong station");
             }
             TraceKind::JobKilled { job, on } => {
