@@ -8,7 +8,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use condor_core::policy::{AllocationPolicy, StationView};
+use condor_core::policy::{decide_from_views, StationView};
 use condor_core::updown::{UpDown, UpDownConfig};
 use condor_net::NodeId;
 use condor_sim::time::SimTime;
@@ -33,7 +33,7 @@ fn bench_updown(c: &mut Criterion) {
             let (views, free) = make_views(n);
             let mut policy = UpDown::new(UpDownConfig::default());
             b.iter(|| {
-                let orders = policy.decide(SimTime::ZERO, &views, &free, 1);
+                let orders = decide_from_views(&mut policy, SimTime::ZERO, &views, &free, 1);
                 black_box(orders)
             });
         });

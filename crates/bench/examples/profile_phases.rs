@@ -1,0 +1,71 @@
+//! Quick wall-clock attribution of the cluster step path. Not a benchmark —
+//! a sanity probe for where a 7-day run's time goes.
+
+use std::time::Instant;
+
+use condor_core::cluster::run_cluster;
+use condor_core::config::ClusterConfig;
+use condor_core::job::{JobId, JobSpec, UserId};
+use condor_net::NodeId;
+use condor_sim::time::{SimDuration, SimTime};
+
+fn jobs(n: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| JobSpec {
+            id: JobId(i),
+            user: UserId((i % 3) as u32),
+            home: NodeId::new((i % 5) as u32),
+            arrival: SimTime::from_secs(i * 13 * 60),
+            demand: SimDuration::from_hours(1 + i % 4),
+            image_bytes: 500_000,
+            syscalls_per_cpu_sec: 0.5,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+        })
+        .collect()
+}
+
+fn time(label: &str, mut f: impl FnMut() -> u64) {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    let mut events = 0u64;
+    while start.elapsed().as_millis() < 400 {
+        events = f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!(
+        "{label:36} {per:8.3} ms/iter  {events:7} events  {:9.0} ev/s",
+        events as f64 / (per / 1e3)
+    );
+}
+
+fn main() {
+    let base = || {
+        ClusterConfig::builder()
+            .stations(23)
+            .record_trace(false)
+            .build()
+            .unwrap()
+    };
+    time("baseline 7d 40 jobs", || {
+        run_cluster(base(), jobs(40), SimDuration::from_days(7)).events_dispatched
+    });
+    time("no jobs (polls+flips only)", || {
+        run_cluster(base(), vec![], SimDuration::from_days(7)).events_dispatched
+    });
+    let mut cfg = base();
+    cfg.costs.coordinator_poll_interval = SimDuration::from_days(365);
+    time("no polls (flips only, no jobs)", || {
+        let mut c = cfg.clone();
+        c.costs.coordinator_poll_interval = SimDuration::from_days(365);
+        run_cluster(c, vec![], SimDuration::from_days(7)).events_dispatched
+    });
+    let mut cfg200 = base();
+    cfg200.stations = 200;
+    time("200 stations, no jobs", || {
+        run_cluster(cfg200.clone(), vec![], SimDuration::from_days(7)).events_dispatched
+    });
+}

@@ -6,21 +6,37 @@
 //! report events/sec — the discrete-event kernel's throughput, which is
 //! what the event-queue fast path is meant to move.
 //!
+//! The `cluster/attrib/*` rows decompose where cluster time goes (see
+//! DESIGN.md § Performance): `emit_only` is the trace/stats sink path in
+//! isolation, `flips_only` is a job-free fleet with polling effectively
+//! disabled (owner-transition cost), `poll_only` is a job-free, flip-free
+//! fleet (pure coordinator-poll cost), and `queue_only` reserves almost
+//! the whole fleet so arrivals queue without being placed. The `_200`
+//! variants rerun the station-bound scenarios at 200 stations to expose
+//! per-poll scaling.
+//!
 //! Run with: `cargo run --release -p condor-bench --bin bench_report`
 //! Writes `BENCH_cluster.json` in the working directory (override with
-//! `BENCH_REPORT_PATH`).
+//! `BENCH_REPORT_PATH`). With `--quick`, runs every scenario once, checks
+//! that each event scenario reports nonzero throughput, and writes
+//! nothing — the CI smoke mode.
 
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use condor_core::cluster::{run_cluster, run_cluster_with_sinks};
-use condor_core::config::ClusterConfig;
+use condor_core::config::{ClusterConfig, Reservation};
 use condor_core::job::{JobId, JobSpec, UserId};
-use condor_core::telemetry::{RingSink, TraceSink, VecSink};
-use condor_core::policy::{AllocationPolicy, StationView};
+use condor_core::policy::{decide_from_views, StationView};
+use condor_core::telemetry::{RingSink, StatsSink, TraceSink, VecSink};
+use condor_core::trace::{TraceEvent, TraceKind};
 use condor_core::updown::{UpDown, UpDownConfig};
+use condor_model::owner::OwnerConfig;
 use condor_net::NodeId;
 use condor_sim::engine::{Engine, Model, Scheduler};
 use condor_sim::time::{SimDuration, SimTime};
+
+/// Bumped whenever the report's JSON shape changes incompatibly.
+const SCHEMA: &str = "condor-bench-report/2";
 
 /// One measured scenario: wall-clock per iteration, plus event throughput
 /// where the scenario dispatches simulation events.
@@ -38,16 +54,69 @@ impl Row {
     }
 }
 
+/// Report provenance, captured once at startup so a long run doesn't
+/// straddle a timestamp.
+struct Meta {
+    git_rev: String,
+    created_utc: String,
+}
+
+impl Meta {
+    fn capture() -> Meta {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let created_utc = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| utc_string(d.as_secs()))
+            .unwrap_or_else(|_| "unknown".to_string());
+        Meta { git_rev, created_utc }
+    }
+}
+
+/// Renders seconds-since-epoch as `YYYY-MM-DDTHH:MM:SSZ` without pulling
+/// in a date crate (civil-from-days per Howard Hinnant's algorithm).
+fn utc_string(epoch_secs: u64) -> String {
+    let days = (epoch_secs / 86_400) as i64;
+    let secs = epoch_secs % 86_400;
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe as i64 + era * 400 + i64::from(m <= 2);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        secs / 3_600,
+        (secs % 3_600) / 60,
+        secs % 60
+    )
+}
+
 /// Runs `f` repeatedly for at least `budget`, returning (iterations, mean
 /// per-iteration wall time in ms, events per iteration). `f` returns the
 /// number of simulation events it dispatched (0 for non-event scenarios).
+/// At least one iteration is always timed, so a zero budget (the `--quick`
+/// smoke mode) runs each scenario exactly once.
 fn measure(budget: Duration, mut f: impl FnMut() -> u64) -> (u64, f64, u64) {
     let events = f(); // warm-up iteration, also records the event count
     let start = Instant::now();
     let mut iters = 0u64;
-    while start.elapsed() < budget {
+    loop {
         std::hint::black_box(f());
         iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
     }
     let per_iter = start.elapsed().as_secs_f64() * 1_000.0 / iters as f64;
     (iters, per_iter, events)
@@ -78,6 +147,18 @@ fn cluster_config() -> ClusterConfig {
         .expect("bench config is valid")
 }
 
+/// An owner model that (after the activity clamp) almost never becomes
+/// active: with a flat zero profile the effective activity floors at
+/// 0.005, and a decade-long mean active period stretches idle dwells past
+/// any simulated horizon. Stations therefore stay idle for the whole run.
+fn owners_never_flip() -> OwnerConfig {
+    OwnerConfig {
+        profile: condor_model::diurnal::DiurnalProfile::flat(0.0),
+        mean_active_period: SimDuration::from_days(3_650),
+        ..OwnerConfig::default()
+    }
+}
+
 struct PingPong {
     remaining: u64,
 }
@@ -105,19 +186,50 @@ fn make_views(n: usize) -> (Vec<StationView>, Vec<NodeId>) {
     (views, free)
 }
 
+/// A representative mix of trace events for the emit-path scenario: the
+/// two hot classes (owner flips, polls) plus the job-lifecycle kinds the
+/// stats sink actually has to act on.
+fn emit_sample_events() -> Vec<TraceEvent> {
+    let at = SimTime::from_secs(60);
+    let on = NodeId::new(3);
+    vec![
+        TraceEvent { at, kind: TraceKind::OwnerActive { station: on } },
+        TraceEvent { at, kind: TraceKind::OwnerIdle { station: on } },
+        TraceEvent { at, kind: TraceKind::JobArrived { job: JobId(1) } },
+        TraceEvent { at, kind: TraceKind::JobStarted { job: JobId(1), on } },
+        TraceEvent { at, kind: TraceKind::OwnerActive { station: on } },
+        TraceEvent { at, kind: TraceKind::JobSuspended { job: JobId(1), on } },
+        TraceEvent { at, kind: TraceKind::JobResumedInPlace { job: JobId(1), on } },
+        TraceEvent { at, kind: TraceKind::OwnerIdle { station: on } },
+        TraceEvent { at, kind: TraceKind::JobCompleted { job: JobId(1), on } },
+        TraceEvent {
+            at,
+            kind: TraceKind::CoordinatorPolled {
+                free_machines: 10,
+                waiting_jobs: 2,
+                placements: 1,
+                preemptions: 0,
+            },
+        },
+    ]
+}
+
 fn json_escape_free(name: &str) -> &str {
     // Scenario names are ASCII identifiers with slashes — assert rather
     // than implement escaping nobody needs.
     assert!(
-        name.chars().all(|c| c.is_ascii_alphanumeric() || "/_-.".contains(c)),
+        name.chars().all(|c| c.is_ascii_alphanumeric() || "/_-.:".contains(c)),
         "scenario name {name:?} would need JSON escaping"
     );
     name
 }
 
-fn render_json(rows: &[Row]) -> String {
+fn render_json(meta: &Meta, rows: &[Row]) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"suite\": \"condor-bench\",\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape_free(&meta.git_rev)));
+    s.push_str(&format!("  \"created_utc\": \"{}\",\n", json_escape_free(&meta.created_utc)));
     s.push_str(&format!(
         "  \"threads_available\": {},\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -143,12 +255,18 @@ fn render_json(rows: &[Row]) -> String {
 }
 
 fn main() {
-    let budget = Duration::from_millis(
-        std::env::var("BENCH_REPORT_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(300),
-    );
+    let meta = Meta::capture();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let budget = if quick {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(
+            std::env::var("BENCH_REPORT_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(300),
+        )
+    };
     let mut rows = Vec::new();
 
     // cluster: full-model simulation speed (as in benches/cluster.rs).
@@ -171,6 +289,123 @@ fn main() {
         });
         rows.push(Row {
             name: format!("cluster/image_mb/{mb}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+
+    // cluster at paper-future scale: the coordinator poll is the station-
+    // bound phase, so this row is the scaling check for the incremental
+    // poll path (compare per-event cost against simulate_days/7 at 23).
+    {
+        let (iters, ms, events) = measure(budget, || {
+            let cfg = ClusterConfig::builder()
+                .stations(200)
+                .record_trace(false)
+                .build()
+                .expect("bench config is valid");
+            let out = run_cluster(cfg, jobs(40, 500_000), SimDuration::from_days(7));
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: "cluster/stations/200".to_string(),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+
+    // Attribution: each row isolates one phase of the cluster loop.
+    // emit_only — the per-event sink path (stats classification) alone.
+    {
+        let events = emit_sample_events();
+        let reps = 10_000usize;
+        let (iters, ms, n) = measure(budget, || {
+            let mut sink = StatsSink::new();
+            for _ in 0..reps {
+                for ev in &events {
+                    sink.record(std::hint::black_box(ev));
+                }
+            }
+            (reps * events.len()) as u64
+        });
+        rows.push(Row {
+            name: "cluster/attrib/emit_only".to_string(),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(n),
+        });
+    }
+    // flips_only — no jobs, polling pushed past the horizon: owner flips.
+    // poll_only — no jobs, owners pinned idle: coordinator polls.
+    // Both repeated at 200 stations to expose per-poll scaling.
+    for stations in [23usize, 200] {
+        let suffix = if stations == 23 { String::new() } else { format!("_{stations}") };
+        let (iters, ms, events) = measure(budget, || {
+            let costs = condor_model::costs::CostModel {
+                coordinator_poll_interval: SimDuration::from_days(30),
+                ..Default::default()
+            };
+            let cfg = ClusterConfig::builder()
+                .stations(stations)
+                .record_trace(false)
+                .costs(costs)
+                .build()
+                .expect("bench config is valid");
+            let out = run_cluster(cfg, Vec::new(), SimDuration::from_days(7));
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: format!("cluster/attrib/flips_only{suffix}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+        let (iters, ms, events) = measure(budget, || {
+            let cfg = ClusterConfig::builder()
+                .stations(stations)
+                .record_trace(false)
+                .owner(owners_never_flip())
+                .build()
+                .expect("bench config is valid");
+            let out = run_cluster(cfg, Vec::new(), SimDuration::from_days(7));
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: format!("cluster/attrib/poll_only{suffix}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+    // queue_only — all but one machine fenced by a standing reservation
+    // (a whole-fleet reservation is rejected by config validation), owners
+    // pinned idle, jobs homed away from the holder: arrivals accumulate in
+    // queues with almost no placements, so queue bookkeeping dominates.
+    {
+        let (iters, ms, events) = measure(budget, || {
+            let cfg = ClusterConfig::builder()
+                .stations(23)
+                .record_trace(false)
+                .owner(owners_never_flip())
+                .reservation(Reservation {
+                    holder: NodeId::new(0),
+                    machines: 22,
+                    from: SimTime::ZERO,
+                    until: SimTime::from_secs(365 * 86_400),
+                })
+                .build()
+                .expect("bench config is valid");
+            let mut specs = jobs(40, 500_000);
+            for s in &mut specs {
+                s.home = NodeId::new(1 + (s.id.0 % 5) as u32);
+            }
+            let out = run_cluster(cfg, specs, SimDuration::from_days(7));
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: "cluster/attrib/queue_only".to_string(),
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
@@ -272,7 +507,7 @@ fn main() {
         let (views, free) = make_views(n);
         let mut policy = UpDown::new(UpDownConfig::default());
         let (iters, ms, _) = measure(budget, || {
-            let orders = policy.decide(SimTime::ZERO, &views, &free, 1);
+            let orders = decide_from_views(&mut policy, SimTime::ZERO, &views, &free, 1);
             orders.len() as u64
         });
         rows.push(Row {
@@ -283,7 +518,24 @@ fn main() {
         });
     }
 
-    let json = render_json(&rows);
+    let json = render_json(&meta, &rows);
+    if quick {
+        // Smoke mode: validate, print, write nothing.
+        let mut bad = Vec::new();
+        for r in &rows {
+            if r.events_per_iter == Some(0) || r.events_per_sec().is_some_and(|e| !e.is_finite() || e <= 0.0) {
+                bad.push(r.name.clone());
+            }
+        }
+        println!("{json}");
+        if bad.is_empty() {
+            println!("quick check ok: {} scenarios, all event rows nonzero", rows.len());
+        } else {
+            eprintln!("quick check FAILED: zero events/sec in {bad:?}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let path = std::env::var("BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_cluster.json".into());
     std::fs::write(&path, &json).expect("write benchmark report");
     println!("{json}");

@@ -32,7 +32,7 @@ use condor_sim::time::{SimDuration, SimTime};
 use crate::config::{ClusterConfig, ConfigError, EvictionStrategy, PolicyKind};
 use crate::job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
 use crate::policy::{
-    AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy, StationView,
+    AllocationPolicy, FifoPolicy, Order, PollInput, RandomPolicy, RoundRobinPolicy, StationView,
 };
 use crate::queue::BackgroundQueue;
 use crate::telemetry::{GaugeSample, StatsSink, Telemetry, TraceSink};
@@ -201,6 +201,142 @@ impl Station {
     }
 }
 
+/// Weight of accumulated history in the idle-interval EWMA that feeds
+/// history-aware placement. Together with
+/// [`IDLE_EWMA_SAMPLE_WEIGHT`] this sets the smoothing horizon: at
+/// 0.7/0.3 a completed idle interval's influence halves roughly every
+/// two owner departures.
+pub const IDLE_EWMA_HISTORY_WEIGHT: f64 = 0.7;
+
+/// Weight of the newest completed idle interval in the idle-interval
+/// EWMA. Must satisfy `IDLE_EWMA_HISTORY_WEIGHT + IDLE_EWMA_SAMPLE_WEIGHT
+/// == 1.0` so the estimate stays a convex combination of observations.
+pub const IDLE_EWMA_SAMPLE_WEIGHT: f64 = 0.3;
+
+/// One EWMA update step for a completed owner-idle interval. The first
+/// observation seeds the estimate directly.
+fn ewma_idle_update(prev_secs: f64, sample_secs: f64) -> f64 {
+    if prev_secs == 0.0 {
+        sample_secs
+    } else {
+        IDLE_EWMA_HISTORY_WEIGHT * prev_secs + IDLE_EWMA_SAMPLE_WEIGHT * sample_secs
+    }
+}
+
+/// Incrementally maintained coordinator-poll state.
+///
+/// Every station transition that can change its [`StationView`] marks the
+/// station dirty; the 2-minute poll refreshes only the dirty stations and
+/// reads the free/requester/host sets straight from bitsets. Poll cost
+/// therefore scales with the number of stations that *changed* since the
+/// last poll, not with fleet size. Debug builds cross-check the cache
+/// against a full rescan on every poll, so a forgotten dirty-mark fails
+/// loudly in tests (including the golden-trace run) rather than silently
+/// skewing placement.
+#[derive(Debug)]
+struct CoordCache {
+    /// Cached per-station views, kept equal to what a full rescan would
+    /// produce whenever `dirty` is empty.
+    views: Vec<StationView>,
+    /// Bit per station: `can_host`.
+    free_bits: Vec<u64>,
+    /// Bit per station: `waiting_jobs > 0`.
+    req_bits: Vec<u64>,
+    /// Bit per station: `hosting_for.is_some()`.
+    host_bits: Vec<u64>,
+    /// Bit per station: queued for refresh (dedupes `dirty`).
+    dirty_bits: Vec<u64>,
+    /// Stations awaiting refresh.
+    dirty: Vec<u32>,
+    /// Raw per-station queue lengths — *not* masked by `failed`, unlike
+    /// `StationView::waiting_jobs`. The `CoordinatorPolled` event reports
+    /// the raw total.
+    raw_queue: Vec<u32>,
+    /// Sum of `raw_queue`, maintained by refresh deltas.
+    raw_queue_total: u32,
+    /// Stations currently fenced by a reservation; lets the poll skip the
+    /// reservation pass entirely in the common no-reservations case.
+    reserved_count: u32,
+    // Reusable poll scratch buffers (kept warm between polls).
+    free: Vec<NodeId>,
+    requesters: Vec<NodeId>,
+    hosts: Vec<NodeId>,
+    pool: Vec<NodeId>,
+    candidates: Vec<NodeId>,
+    service: Vec<JobId>,
+}
+
+impl CoordCache {
+    fn new(stations: usize) -> Self {
+        let words = stations.div_ceil(64);
+        let mut cache = CoordCache {
+            views: (0..stations)
+                .map(|i| StationView {
+                    node: NodeId::new(i as u32),
+                    can_host: false,
+                    hosting_for: None,
+                    waiting_jobs: 0,
+                })
+                .collect(),
+            free_bits: vec![0; words],
+            req_bits: vec![0; words],
+            host_bits: vec![0; words],
+            dirty_bits: vec![0; words],
+            dirty: Vec::with_capacity(stations),
+            raw_queue: vec![0; stations],
+            raw_queue_total: 0,
+            reserved_count: 0,
+            free: Vec::new(),
+            requesters: Vec::new(),
+            hosts: Vec::new(),
+            pool: Vec::new(),
+            candidates: Vec::new(),
+            service: Vec::new(),
+        };
+        for i in 0..stations {
+            cache.mark(i);
+        }
+        cache
+    }
+
+    /// Queues a station for view refresh. Cheap and idempotent; marking a
+    /// station whose view did not actually change is harmless, so call
+    /// sites can over-approximate.
+    #[inline]
+    fn mark(&mut self, station: usize) {
+        let word = station / 64;
+        let bit = 1u64 << (station % 64);
+        if self.dirty_bits[word] & bit == 0 {
+            self.dirty_bits[word] |= bit;
+            self.dirty.push(station as u32);
+        }
+    }
+
+    #[inline]
+    fn set_bit(bits: &mut [u64], station: usize, on: bool) {
+        let word = station / 64;
+        let bit = 1u64 << (station % 64);
+        if on {
+            bits[word] |= bit;
+        } else {
+            bits[word] &= !bit;
+        }
+    }
+
+    /// Expands a bitset into ascending station ids.
+    fn collect(bits: &[u64], out: &mut Vec<NodeId>) {
+        out.clear();
+        for (w, &word) in bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros();
+                out.push(NodeId::new(w as u32 * 64 + bit));
+                word &= word - 1;
+            }
+        }
+    }
+}
+
 /// Aggregate counters over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Totals {
@@ -358,17 +494,32 @@ pub struct Cluster {
     extra_sinks: Vec<Box<dyn TraceSink>>,
     totals: Totals,
     queue_total: StepSeries,
-    queue_by_user: BTreeMap<UserId, StepSeries>,
+    /// Per-user queue series, indexed by dense user slot (see
+    /// `user_ids`). Rebuilt into the `RunOutput` map at the end of a run.
+    queue_by_user: Vec<StepSeries>,
+    /// Distinct submitting users, ascending id; `user_slots` maps jobs
+    /// onto indices of this table.
+    user_ids: Vec<UserId>,
+    /// Dense user slot per job (index = job id).
+    user_slots: Vec<u32>,
+    /// User slots whose series ever changed — only these appear in the
+    /// output map, matching the old lazily-populated `BTreeMap` exactly
+    /// (a user whose every job was rejected never shows up).
+    user_touched: Vec<bool>,
     local_busy: BucketAccumulator,
     remote_busy: BucketAccumulator,
     coordinator_down: bool,
-    /// Reverse dependency edges: completing `key` may release the listed
-    /// jobs (paper §5(2) pipelines / DAGs).
-    dependents: std::collections::HashMap<JobId, Vec<JobId>>,
+    /// Reverse dependency edges, indexed by job id: completing job `i` may
+    /// release the jobs in `dependents[i]` (paper §5(2) pipelines / DAGs).
+    dependents: Vec<Vec<JobId>>,
     /// Outstanding dependency count per job.
     pending_deps: Vec<u32>,
-    /// Gangs currently holding stations, by job id.
-    gangs: std::collections::HashMap<JobId, GangState>,
+    /// Gangs currently holding stations, indexed by job id. Boxed so the
+    /// common width-1 fleet pays one pointer per job, and a `Vec` (not a
+    /// hash map) so iteration order is deterministic.
+    gangs: Vec<Option<Box<GangState>>>,
+    /// Incrementally maintained poll snapshot.
+    coord: CoordCache,
 }
 
 /// Owned polymorphic policy (kept concrete-debuggable).
@@ -486,22 +637,35 @@ impl Cluster {
             Trace::disabled()
         };
         let bus = SharedBus::new(config.bus);
-        let mut dependents: std::collections::HashMap<JobId, Vec<JobId>> =
-            std::collections::HashMap::new();
+        let mut dependents: Vec<Vec<JobId>> = vec![Vec::new(); specs.len()];
         let pending_deps: Vec<u32> = specs
             .iter()
             .map(|s| {
                 for dep in &s.depends_on {
-                    dependents.entry(*dep).or_default().push(s.id);
+                    dependents[dep.0 as usize].push(s.id);
                 }
                 s.depends_on.len() as u32
             })
             .collect();
+        // Intern users into dense slots so per-job bookkeeping indexes a
+        // `Vec` instead of probing a map keyed by sparse user ids.
+        let mut user_ids: Vec<UserId> = specs.iter().map(|s| s.user).collect();
+        user_ids.sort_unstable();
+        user_ids.dedup();
+        let user_slots: Vec<u32> = specs
+            .iter()
+            .map(|s| user_ids.binary_search(&s.user).expect("interned user") as u32)
+            .collect();
+        let coord = CoordCache::new(config.stations);
         Ok(Cluster {
             stations,
             dependents,
             pending_deps,
-            gangs: std::collections::HashMap::new(),
+            gangs: specs.iter().map(|_| None).collect(),
+            queue_by_user: user_ids.iter().map(|_| StepSeries::new(0.0)).collect(),
+            user_touched: vec![false; user_ids.len()],
+            user_ids,
+            user_slots,
             jobs: specs.into_iter().map(Job::new).collect(),
             policy,
             bus,
@@ -510,10 +674,10 @@ impl Cluster {
             extra_sinks: Vec::new(),
             totals: Totals::default(),
             queue_total: StepSeries::new(0.0),
-            queue_by_user: BTreeMap::new(),
             local_busy: BucketAccumulator::new(SimDuration::HOUR),
             remote_busy: BucketAccumulator::new(SimDuration::HOUR),
             coordinator_down: false,
+            coord,
             config,
         })
     }
@@ -596,8 +760,18 @@ impl Cluster {
     /// runs when the cluster finalizes. Use a
     /// [`SharedSink`](crate::telemetry::SharedSink) handle to keep access
     /// to the sink after the run.
-    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
-        self.extra_sinks.push(sink);
+    pub fn attach_sink(&mut self, mut sink: Box<dyn TraceSink>) {
+        // Flatten fan-out containers: their children become direct members
+        // of `extra_sinks`, so each event pays one virtual call per leaf
+        // sink instead of one per nesting level per leaf.
+        match sink.take_children() {
+            Some(children) => {
+                for child in children {
+                    self.attach_sink(child);
+                }
+            }
+            None => self.extra_sinks.push(sink),
+        }
     }
 
     /// Routes one event through every observer: the always-on stats sink,
@@ -605,10 +779,19 @@ impl Cluster {
     fn emit(&mut self, at: SimTime, kind: TraceKind) {
         let ev = TraceEvent { at, kind };
         self.stats.record(&ev);
-        for s in &mut self.extra_sinks {
-            s.record(&ev);
+        if !self.extra_sinks.is_empty() {
+            self.emit_extra(&ev);
         }
-        TraceSink::record(&mut self.trace, &ev);
+        self.trace.record(at, kind);
+    }
+
+    /// The attached-observer fan-out, out of line so the common
+    /// no-extra-sinks emit path stays branch-and-return small.
+    #[cold]
+    fn emit_extra(&mut self, ev: &TraceEvent) {
+        for s in &mut self.extra_sinks {
+            s.record(ev);
+        }
     }
 
     /// Routes one gauge sample through every observer.
@@ -649,12 +832,94 @@ impl Cluster {
 
     // ----- queue-length bookkeeping -------------------------------------
 
-    fn queue_delta(&mut self, now: SimTime, user: UserId, delta: f64) {
+    fn queue_delta(&mut self, now: SimTime, job: JobId, delta: f64) {
         self.queue_total.add(now, delta);
-        self.queue_by_user
-            .entry(user)
-            .or_insert_with(|| StepSeries::new(0.0))
-            .add(now, delta);
+        let slot = self.user_slots[job.0 as usize] as usize;
+        self.user_touched[slot] = true;
+        self.queue_by_user[slot].add(now, delta);
+    }
+
+    // ----- coordinator-view cache ---------------------------------------
+
+    /// Recomputes one station's view from scratch — the single source of
+    /// truth shared by cache refresh and the debug full-rescan check.
+    fn compute_view(&self, i: usize) -> StationView {
+        let st = &self.stations[i];
+        StationView {
+            node: NodeId::new(i as u32),
+            can_host: !st.failed
+                && st.reserved_for.is_none()
+                && st.owner_state == OwnerState::Idle
+                && st.foreign.is_none(),
+            // Fenced machines are invisible to the general policy: it may
+            // neither assign them nor preempt the holder's jobs on them.
+            hosting_for: if st.reserved_for.is_some() {
+                None
+            } else {
+                st.foreign.as_ref().and_then(|slot| {
+                    let counts = matches!(slot.phase, Phase::Running { .. })
+                        || (matches!(slot.phase, Phase::GangMember)
+                            && self.gangs[slot.job.0 as usize]
+                                .as_deref()
+                                .is_some_and(|g| g.running));
+                    counts.then(|| self.jobs[slot.job.0 as usize].spec.home)
+                })
+            },
+            // A downed station's local scheduler is unreachable; its queue
+            // thaws on recovery.
+            waiting_jobs: if st.failed { 0 } else { st.queue.len() },
+        }
+    }
+
+    fn refresh_station(&mut self, i: usize) {
+        let view = self.compute_view(i);
+        let raw = self.stations[i].queue.len() as u32;
+        let c = &mut self.coord;
+        c.raw_queue_total = c.raw_queue_total - c.raw_queue[i] + raw;
+        c.raw_queue[i] = raw;
+        CoordCache::set_bit(&mut c.free_bits, i, view.can_host);
+        CoordCache::set_bit(&mut c.req_bits, i, view.waiting_jobs > 0);
+        CoordCache::set_bit(&mut c.host_bits, i, view.hosting_for.is_some());
+        c.views[i] = view;
+    }
+
+    /// Refreshes every dirty station's cached view.
+    fn flush_dirty(&mut self) {
+        while let Some(i) = self.coord.dirty.pop() {
+            let i = i as usize;
+            self.coord.dirty_bits[i / 64] &= !(1u64 << (i % 64));
+            self.refresh_station(i);
+        }
+    }
+
+    /// Debug-only cross-check: after a flush the cache must match a full
+    /// rescan. Catches any transition that forgot to mark its station.
+    #[cfg(debug_assertions)]
+    fn debug_check_coord(&self) {
+        for i in 0..self.stations.len() {
+            assert_eq!(
+                self.coord.views[i],
+                self.compute_view(i),
+                "stale cached view for station {i} — a transition forgot to mark it dirty"
+            );
+        }
+        let raw: u32 = self.stations.iter().map(|s| s.queue.len() as u32).sum();
+        assert_eq!(raw, self.coord.raw_queue_total, "raw queue total drifted");
+    }
+
+    /// Sets or clears a station's reservation fence, maintaining the
+    /// fenced-station count and the view cache.
+    fn set_reserved(&mut self, i: usize, holder: Option<NodeId>) {
+        let prev = self.stations[i].reserved_for;
+        if prev.is_some() != holder.is_some() {
+            if holder.is_some() {
+                self.coord.reserved_count += 1;
+            } else {
+                self.coord.reserved_count -= 1;
+            }
+        }
+        self.stations[i].reserved_for = holder;
+        self.coord.mark(i);
     }
 
     // ----- owner handling ------------------------------------------------
@@ -667,6 +932,7 @@ impl Cluster {
             st.owner.dwell_and_flip(now, &mut st.rng)
         };
         sched.at(now + dwell, Event::OwnerFlip { station });
+        self.coord.mark(i);
         let st = &mut self.stations[i];
         st.owner_state = new_state;
         match new_state {
@@ -674,11 +940,7 @@ impl Cluster {
                 st.owner_active_since = Some(now);
                 if let Some(t) = st.idle_since.take() {
                     let len = now.since(t).as_secs_f64();
-                    st.ewma_idle_secs = if st.ewma_idle_secs == 0.0 {
-                        len
-                    } else {
-                        0.7 * st.ewma_idle_secs + 0.3 * len
-                    };
+                    st.ewma_idle_secs = ewma_idle_update(st.ewma_idle_secs, len);
                 }
                 self.emit(now, TraceKind::OwnerActive { station: NodeId::new(station) });
             }
@@ -692,7 +954,9 @@ impl Cluster {
                     let counts_as_running = st.foreign.as_ref().is_some_and(|slot| {
                         matches!(slot.phase, Phase::Running { .. })
                             || (matches!(slot.phase, Phase::GangMember)
-                                && self.gangs.get(&slot.job).is_some_and(|g| g.running))
+                                && self.gangs[slot.job.0 as usize]
+                                    .as_deref()
+                                    .is_some_and(|g| g.running))
                     });
                     if counts_as_running {
                         st.run_overlaps.push((t, now));
@@ -725,6 +989,9 @@ impl Cluster {
     fn on_detect_owner(&mut self, now: SimTime, station: u32, sched: &mut Scheduler<Event>) {
         let i = station as usize;
         self.stations[i].detection_pending = false;
+        // Conservative: any reconciliation below may change this station's
+        // occupancy, and marking an unchanged station costs nothing.
+        self.coord.mark(i);
         let owner_state = self.stations[i].owner_state;
         enum SlotInfo {
             Running(EventToken, JobId),
@@ -735,7 +1002,7 @@ impl Cluster {
         if let Some(slot) = &self.stations[i].foreign {
             if matches!(slot.phase, Phase::GangMember) {
                 let job = slot.job;
-                let Some(gang) = self.gangs.get(&job) else { return };
+                let Some(gang) = self.gangs[job.0 as usize].as_deref() else { return };
                 if gang.departing {
                     return;
                 }
@@ -869,6 +1136,7 @@ impl Cluster {
             now + wall,
             Event::Finish { job, on: station as u32 },
         );
+        self.coord.mark(station);
         self.stations[station].foreign = Some(ForeignSlot {
             job,
             phase: Phase::Running { finish },
@@ -908,12 +1176,14 @@ impl Cluster {
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[station].disk_used -= image;
         self.stations[station].foreign = None;
+        self.coord.mark(station);
         let j = &mut self.jobs[job.0 as usize];
         j.revert_to_checkpoint();
         j.state = JobState::Queued;
         let home = j.spec.home.as_usize();
         let remaining = j.remaining();
         self.stations[home].queue.enqueue_front(job, remaining);
+        self.coord.mark(home);
         self.totals.kills += 1;
         self.emit(now, TraceKind::JobKilled { job, on: NodeId::new(station as u32) });
     }
@@ -940,6 +1210,7 @@ impl Cluster {
             job,
             phase: Phase::Departing,
         });
+        self.coord.mark(station);
         let booking = self
             .bus
             .book_transfer(now, NodeId::new(station as u32), home, image);
@@ -964,7 +1235,6 @@ impl Cluster {
         let j = &self.jobs[job.0 as usize];
         let home = j.spec.home.as_usize();
         let image = j.spec.image_bytes;
-        let user = j.spec.user;
         // With a dedicated checkpoint server (paper §4's disk-server idea),
         // standing images do not occupy the submitting machine's disk.
         if !self.config.checkpoint_server {
@@ -976,7 +1246,8 @@ impl Cluster {
             }
             self.stations[home].disk_used += image;
         }
-        self.queue_delta(now, user, 1.0);
+        self.coord.mark(home);
+        self.queue_delta(now, job, 1.0);
         self.emit(now, TraceKind::JobArrived { job });
         // §5(2) pipelines: jobs with incomplete dependencies are held; the
         // completion of the last dependency releases them into the queue.
@@ -1003,61 +1274,41 @@ impl Cluster {
         self.totals.polls += 1;
         // Reserved machines are served first, outside the general policy:
         // one placement per poll for the whole system (the §4 throttle),
-        // with reservation holders at the front of the line.
+        // with reservation holders at the front of the line. Skipped
+        // wholesale when nothing is fenced (the common case).
         let mut placements = 0u32;
         let mut budget = self.config.placements_per_poll;
-        for i in 0..self.stations.len() {
-            if budget == 0 {
-                break;
-            }
-            let Some(holder) = self.stations[i].reserved_for else {
-                continue;
-            };
-            let st = &self.stations[i];
-            if st.failed || st.owner_state != OwnerState::Idle || st.foreign.is_some() {
-                continue;
-            }
-            if self.stations[holder.as_usize()].queue.is_empty() {
-                continue;
-            }
-            let target = NodeId::new(i as u32);
-            let mut pool = vec![target];
-            if self.execute_assign(now, holder, target, &mut pool, sched) {
-                placements += 1;
-                budget -= 1;
-                self.totals.reservation_placements += 1;
+        if self.coord.reserved_count > 0 {
+            for i in 0..self.stations.len() {
+                if budget == 0 {
+                    break;
+                }
+                let Some(holder) = self.stations[i].reserved_for else {
+                    continue;
+                };
+                let st = &self.stations[i];
+                if st.failed || st.owner_state != OwnerState::Idle || st.foreign.is_some() {
+                    continue;
+                }
+                if self.stations[holder.as_usize()].queue.is_empty() {
+                    continue;
+                }
+                let target = NodeId::new(i as u32);
+                let mut pool = vec![target];
+                if self.execute_assign(now, holder, target, &mut pool, sched) {
+                    placements += 1;
+                    budget -= 1;
+                    self.totals.reservation_placements += 1;
+                }
             }
         }
-        // Assemble the poll snapshot.
-        let views: Vec<StationView> = self
-            .stations
-            .iter()
-            .enumerate()
-            .map(|(i, st)| StationView {
-                node: NodeId::new(i as u32),
-                can_host: !st.failed
-                    && st.reserved_for.is_none()
-                    && st.owner_state == OwnerState::Idle
-                    && st.foreign.is_none(),
-                // Fenced machines are invisible to the general policy: it
-                // may neither assign them nor preempt the holder's jobs on
-                // them.
-                hosting_for: if st.reserved_for.is_some() {
-                    None
-                } else {
-                    st.foreign.as_ref().and_then(|slot| {
-                        let counts = matches!(slot.phase, Phase::Running { .. })
-                            || (matches!(slot.phase, Phase::GangMember)
-                                && self.gangs.get(&slot.job).is_some_and(|g| g.running));
-                        counts.then(|| self.jobs[slot.job.0 as usize].spec.home)
-                    })
-                },
-                // A downed station's local scheduler is unreachable; its
-                // queue thaws on recovery.
-                waiting_jobs: if st.failed { 0 } else { st.queue.len() },
-            })
-            .collect();
-        let mut free: Vec<NodeId> = views.iter().filter(|v| v.can_host).map(|v| v.node).collect();
+        // Bring the cached snapshot up to date: only stations that changed
+        // since the last poll are recomputed.
+        self.flush_dirty();
+        #[cfg(debug_assertions)]
+        self.debug_check_coord();
+        let mut free = std::mem::take(&mut self.coord.free);
+        CoordCache::collect(&self.coord.free_bits, &mut free);
         if self.config.history_aware_placement {
             // Longest expected idle first; stable so ids break ties.
             free.sort_by(|a, b| {
@@ -1066,13 +1317,34 @@ impl Cluster {
                 sb.partial_cmp(&sa).expect("no NaN scores")
             });
         }
-        let orders = self.policy.as_dyn().decide(now, &views, &free, budget);
+        let mut requesters = std::mem::take(&mut self.coord.requesters);
+        let mut hosts = std::mem::take(&mut self.coord.hosts);
+        CoordCache::collect(&self.coord.req_bits, &mut requesters);
+        CoordCache::collect(&self.coord.host_bits, &mut hosts);
+        let views = std::mem::take(&mut self.coord.views);
+        let orders = self.policy.as_dyn().decide(
+            now,
+            &PollInput {
+                views: &views,
+                requesters: &requesters,
+                hosts: &hosts,
+                free: &free,
+                max_placements: budget,
+            },
+        );
         debug_assert!(
             crate::policy::validate_orders(&orders, &views).is_ok(),
             "policy emitted invalid orders: {orders:?}"
         );
+        self.coord.views = views;
+        self.coord.requesters = requesters;
+        self.coord.hosts = hosts;
+        let free_machines = free.len() as u32;
+        let mut pool = std::mem::take(&mut self.coord.pool);
+        pool.clear();
+        pool.extend_from_slice(&free);
+        self.coord.free = free;
         let mut preemptions = 0u32;
-        let mut pool = free.clone();
         for order in orders {
             match order {
                 Order::Assign { home, target } => {
@@ -1087,11 +1359,15 @@ impl Cluster {
                 }
             }
         }
-        let waiting: u32 = self.stations.iter().map(|s| s.queue.len() as u32).sum();
+        self.coord.pool = pool;
+        // Order execution may have dirtied stations; the reported waiting
+        // count is the post-execution raw queue total, as before.
+        self.flush_dirty();
+        let waiting = self.coord.raw_queue_total;
         self.emit(
             now,
             TraceKind::CoordinatorPolled {
-                free_machines: free.len() as u32,
+                free_machines,
                 waiting_jobs: waiting,
                 placements,
                 preemptions,
@@ -1099,17 +1375,13 @@ impl Cluster {
         );
         // Gauges no event carries: sampled once per poll, deterministically.
         let updown_mean_index = match &self.policy {
-            PolicyHolder::UpDown(p) => {
-                let n = self.stations.len();
-                let sum: f64 = (0..n).map(|i| p.index_of(NodeId::new(i as u32))).sum();
-                Some(sum / n as f64)
-            }
+            PolicyHolder::UpDown(p) => Some(p.index_sum() / self.stations.len() as f64),
             _ => None,
         };
         self.emit_sample(GaugeSample {
             at: now,
             bus_backlog: self.bus.backlog_at(now),
-            free_machines: free.len() as u32,
+            free_machines,
             waiting_jobs: waiting,
             updown_mean_index,
         });
@@ -1134,8 +1406,9 @@ impl Cluster {
             return false; // policy over-granted this home
         }
         // Candidates: the policy's choice first, then the rest of this
-        // poll's free machines in preference order.
-        let mut candidates: Vec<NodeId> = Vec::new();
+        // poll's free machines in preference order (reused scratch).
+        let mut candidates = std::mem::take(&mut self.coord.candidates);
+        candidates.clear();
         if pool.contains(&target) {
             candidates.push(target);
         }
@@ -1144,13 +1417,16 @@ impl Cluster {
         // service order and places the first job for which enough
         // compatible machines are free — one machine normally, k for a
         // width-k gang.
+        let mut service = std::mem::take(&mut self.coord.service);
+        self.stations[h].queue.service_order_into(&mut service);
         let mut disk_blocked: Option<(JobId, NodeId)> = None;
-        let mut chosen: Option<(JobId, Vec<NodeId>)> = None;
-        for cand_job in self.stations[h].queue.ids_in_service_order() {
+        let mut chosen: Option<JobId> = None;
+        let mut machines: Vec<NodeId> = Vec::new();
+        for &cand_job in &service {
             let j = &self.jobs[cand_job.0 as usize];
             let width = j.spec.width.max(1) as usize;
             let image = j.spec.image_bytes;
-            let mut machines = Vec::with_capacity(width);
+            machines.clear();
             let mut arch_ok_but_disk_full: Option<NodeId> = None;
             for cand in &candidates {
                 if machines.len() == width {
@@ -1170,14 +1446,16 @@ impl Cluster {
                 machines.push(*cand);
             }
             if machines.len() == width {
-                chosen = Some((cand_job, machines));
+                chosen = Some(cand_job);
                 break;
             }
             if let Some(c) = arch_ok_but_disk_full {
                 disk_blocked.get_or_insert((cand_job, c));
             }
         }
-        let Some((job, machines)) = chosen else {
+        self.coord.candidates = candidates;
+        self.coord.service = service;
+        let Some(job) = chosen else {
             if let Some((job, target)) = disk_blocked {
                 self.totals.placement_disk_rejections += 1;
                 self.emit(now, TraceKind::PlacementDiskRejected { job, target });
@@ -1187,6 +1465,7 @@ impl Cluster {
             return false;
         };
         self.stations[h].queue.remove(job);
+        self.coord.mark(h);
         pool.retain(|t| !machines.contains(t));
         if machines.len() > 1 {
             self.gang_place(now, home, job, machines.iter().map(|m| m.index()).collect(), sched);
@@ -1200,6 +1479,7 @@ impl Cluster {
             job,
             phase: Phase::Arriving,
         });
+        self.coord.mark(t);
         let seq = {
             let j = &mut self.jobs[job.0 as usize];
             j.state = JobState::Placing { target };
@@ -1228,7 +1508,9 @@ impl Cluster {
         // (its processes cannot run partially).
         let gang_job = self.stations[t].foreign.as_ref().and_then(|slot| {
             (matches!(slot.phase, Phase::GangMember)
-                && self.gangs.get(&slot.job).is_some_and(|g| g.running))
+                && self.gangs[slot.job.0 as usize]
+                    .as_deref()
+                    .is_some_and(|g| g.running))
             .then_some(slot.job)
         });
         if let Some(job) = gang_job {
@@ -1266,7 +1548,7 @@ impl Cluster {
             return;
         }
         if self.slot_is(t, job, |p| matches!(p, Phase::GangMember)) {
-            let gang = self.gangs.get_mut(&job).expect("gang exists");
+            let gang = self.gangs[job.0 as usize].as_deref_mut().expect("gang exists");
             gang.staged += 1;
             self.jobs[job.0 as usize].placements += 1;
             self.gang_try_start(now, job, sched);
@@ -1275,6 +1557,7 @@ impl Cluster {
         if !self.slot_is(t, job, |p| matches!(p, Phase::Arriving)) {
             return;
         }
+        self.coord.mark(t);
         self.jobs[job.0 as usize].placements += 1;
         if self.stations[t].owner_state == OwnerState::Idle {
             self.start_running(now, t, job, sched);
@@ -1314,8 +1597,9 @@ impl Cluster {
             let image = self.jobs[job.0 as usize].spec.image_bytes;
             self.stations[f].disk_used -= image;
             self.stations[f].foreign = None;
+            self.coord.mark(f);
             let all_departed = {
-                let gang = self.gangs.get_mut(&job).expect("gang exists");
+                let gang = self.gangs[job.0 as usize].as_deref_mut().expect("gang exists");
                 debug_assert!(gang.departing);
                 gang.departed += 1;
                 gang.departed == gang.members.len() as u32
@@ -1325,7 +1609,7 @@ impl Cluster {
                 TraceKind::CheckpointCompleted { job, from: NodeId::new(from), bytes: image },
             );
             if all_departed {
-                self.gangs.remove(&job);
+                self.gangs[job.0 as usize] = None;
                 let j = &mut self.jobs[job.0 as usize];
                 j.mark_checkpointed();
                 j.checkpoints += 1;
@@ -1334,6 +1618,7 @@ impl Cluster {
                 let remaining = j.remaining();
                 self.totals.migrations += 1;
                 self.stations[home].queue.enqueue_front(job, remaining);
+                self.coord.mark(home);
             }
             return;
         }
@@ -1343,6 +1628,7 @@ impl Cluster {
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[f].disk_used -= image;
         self.stations[f].foreign = None;
+        self.coord.mark(f);
         let j = &mut self.jobs[job.0 as usize];
         j.mark_checkpointed();
         j.checkpoints += 1;
@@ -1351,6 +1637,7 @@ impl Cluster {
         let remaining = j.remaining();
         self.totals.migrations += 1;
         self.stations[home].queue.enqueue_front(job, remaining);
+        self.coord.mark(home);
         self.emit(
             now,
             TraceKind::CheckpointCompleted { job, from: NodeId::new(from), bytes: image },
@@ -1361,11 +1648,11 @@ impl Cluster {
         let o = on as usize;
         if self.jobs[job.0 as usize].spec.width > 1 {
             // Gang completion: the single Finish event covers all members.
-            if !self.gangs.get(&job).is_some_and(|g| g.running) {
+            if !self.gangs[job.0 as usize].as_deref().is_some_and(|g| g.running) {
                 return;
             }
             let members = {
-                let gang = self.gangs.get_mut(&job).expect("gang exists");
+                let gang = self.gangs[job.0 as usize].as_deref_mut().expect("gang exists");
                 gang.running = false;
                 gang.finish = None;
                 gang.members.clone()
@@ -1384,8 +1671,9 @@ impl Cluster {
                 self.deposit_run_utilization(m as usize, running_since, util_end.max(running_since));
                 self.stations[m as usize].disk_used -= image;
                 self.stations[m as usize].foreign = None;
+                self.coord.mark(m as usize);
             }
-            self.gangs.remove(&job);
+            self.gangs[job.0 as usize] = None;
             self.finish_bookkeeping(now, job, on);
             return;
         }
@@ -1409,6 +1697,7 @@ impl Cluster {
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[o].disk_used -= image;
         self.stations[o].foreign = None;
+        self.coord.mark(o);
         self.finish_bookkeeping(now, job, on);
     }
 
@@ -1420,28 +1709,28 @@ impl Cluster {
             let home = self.jobs[job.0 as usize].spec.home.as_usize();
             self.stations[home].disk_used -= image;
         }
-        let user = self.jobs[job.0 as usize].spec.user;
         {
             let j = &mut self.jobs[job.0 as usize];
             j.state = JobState::Completed;
             j.completed_at = Some(now);
         }
-        self.queue_delta(now, user, -1.0);
+        self.queue_delta(now, job, -1.0);
         self.emit(now, TraceKind::JobCompleted { job, on: NodeId::new(on) });
-        // Release any jobs that were held on this one.
-        if let Some(dependents) = self.dependents.get(&job).cloned() {
-            for d in dependents {
-                if self.jobs[d.0 as usize].state != JobState::Held {
-                    continue; // not yet arrived (or rejected): arrival recounts
-                }
-                let count = &mut self.pending_deps[d.0 as usize];
-                *count = count.saturating_sub(1);
-                if *count == 0 {
-                    let home = self.jobs[d.0 as usize].spec.home.as_usize();
-                    let remaining = self.jobs[d.0 as usize].remaining();
-                    self.jobs[d.0 as usize].state = JobState::Queued;
-                    self.stations[home].queue.enqueue(d, remaining);
-                }
+        // Release any jobs that were held on this one. A job completes at
+        // most once, so its dependent list can be consumed in place.
+        let dependents = std::mem::take(&mut self.dependents[job.0 as usize]);
+        for d in dependents {
+            if self.jobs[d.0 as usize].state != JobState::Held {
+                continue; // not yet arrived (or rejected): arrival recounts
+            }
+            let count = &mut self.pending_deps[d.0 as usize];
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                let home = self.jobs[d.0 as usize].spec.home.as_usize();
+                let remaining = self.jobs[d.0 as usize].remaining();
+                self.jobs[d.0 as usize].state = JobState::Queued;
+                self.stations[home].queue.enqueue(d, remaining);
+                self.coord.mark(home);
             }
         }
     }
@@ -1458,8 +1747,11 @@ impl Cluster {
             // The gang grace token is cancelled on resume, so reaching here
             // means some member's owner is still around: coordinated
             // checkpoint of the whole program.
-            if self.gangs.get(&job).is_some_and(|g| !g.departing && !g.running) {
-                self.gangs.get_mut(&job).expect("gang exists").grace = None;
+            if self.gangs[job.0 as usize]
+                .as_deref()
+                .is_some_and(|g| !g.departing && !g.running)
+            {
+                self.gangs[job.0 as usize].as_deref_mut().expect("gang exists").grace = None;
                 self.gang_checkpoint_out(now, job, PreemptReason::OwnerReturned, sched);
             }
             return;
@@ -1532,24 +1824,22 @@ impl Cluster {
             let t = m as usize;
             self.stations[t].disk_used += image;
             self.stations[t].foreign = Some(ForeignSlot { job, phase: Phase::GangMember });
+            self.coord.mark(t);
             self.jobs[job.0 as usize]
                 .charge_transfer(self.config.costs.transfer_cpu_cost(image));
             let booking = self.bus.book_transfer(now, home, NodeId::new(m), image);
             sched.at(booking.completes_at, Event::PlacementDone { job, target: m, seq });
             self.emit(now, TraceKind::PlacementStarted { job, target: NodeId::new(m) });
         }
-        self.gangs.insert(
-            job,
-            GangState {
-                members: machines,
-                staged: 0,
-                departed: 0,
-                finish: None,
-                grace: None,
-                running: false,
-                departing: false,
-            },
-        );
+        self.gangs[job.0 as usize] = Some(Box::new(GangState {
+            members: machines,
+            staged: 0,
+            departed: 0,
+            finish: None,
+            grace: None,
+            running: false,
+            departing: false,
+        }));
         self.totals.placements += 1;
         self.totals.gang_placements += 1;
     }
@@ -1557,7 +1847,7 @@ impl Cluster {
     /// All images staged: start executing if every member's owner is idle,
     /// otherwise enter the suspended/grace state.
     fn gang_try_start(&mut self, now: SimTime, job: JobId, sched: &mut Scheduler<Event>) {
-        let gang = &self.gangs[&job];
+        let gang = self.gangs[job.0 as usize].as_deref().expect("gang exists");
         if gang.running || gang.departing || gang.staged < gang.members.len() as u32 {
             return;
         }
@@ -1567,7 +1857,11 @@ impl Cluster {
             .all(|&m| self.stations[m as usize].owner_state == OwnerState::Idle);
         let lead = gang.members[0];
         if all_idle {
-            let pending_grace = self.gangs.get_mut(&job).expect("gang exists").grace.take();
+            let pending_grace = self.gangs[job.0 as usize]
+                .as_deref_mut()
+                .expect("gang exists")
+                .grace
+                .take();
             if let Some(t) = pending_grace {
                 sched.cancel(t);
                 self.totals.resumes_in_place += 1;
@@ -1580,26 +1874,28 @@ impl Cluster {
             debug_assert!(!remaining.is_zero());
             let wall = self.config.station.wall_time_for(remaining);
             let finish = sched.at(now + wall, Event::Finish { job, on: lead });
-            let gang = self.gangs.get_mut(&job).expect("gang exists");
+            let gang = self.gangs[job.0 as usize].as_deref_mut().expect("gang exists");
             gang.running = true;
             gang.finish = Some(finish);
             gang.grace = None;
             for m in gang.members.clone() {
                 self.stations[m as usize].run_overlaps.clear();
+                // A running gang member reports `hosting_for`.
+                self.coord.mark(m as usize);
             }
             let j = &mut self.jobs[job.0 as usize];
             j.state = JobState::Running { on: NodeId::new(lead) };
             j.running_since = now;
             j.epoch += 1;
             self.emit(now, TraceKind::JobStarted { job, on: NodeId::new(lead) });
-        } else if self.gangs[&job].grace.is_none() {
+        } else if self.gangs[job.0 as usize].as_deref().expect("gang exists").grace.is_none() {
             // Staged onto at least one busy machine: wait out the grace
             // period for the owners to leave (gangs always use the grace
             // strategy — uncoordinated kills would forfeit the §2.3
             // completion guarantee for the whole program).
             let grace = self.gang_grace();
             let token = sched.at(now + grace, Event::GraceOver { station: lead, job });
-            self.gangs.get_mut(&job).expect("gang exists").grace = Some(token);
+            self.gangs[job.0 as usize].as_deref_mut().expect("gang exists").grace = Some(token);
             self.jobs[job.0 as usize].state = JobState::Suspended { on: NodeId::new(lead) };
             self.emit(now, TraceKind::JobSuspended { job, on: NodeId::new(lead) });
         }
@@ -1617,7 +1913,7 @@ impl Cluster {
     /// Stops a running gang's accrual (owner detected on `station` or a
     /// priority preemption) and deposits each member's utilization.
     fn gang_stop_accrual(&mut self, now: SimTime, job: JobId, sched: &mut Scheduler<Event>) {
-        let gang = self.gangs.get_mut(&job).expect("gang exists");
+        let gang = self.gangs[job.0 as usize].as_deref_mut().expect("gang exists");
         debug_assert!(gang.running);
         gang.running = false;
         if let Some(finish) = gang.finish.take() {
@@ -1634,6 +1930,9 @@ impl Cluster {
                 .owner_active_since
                 .map_or(now, |t| t.min(now));
             self.deposit_run_utilization(m as usize, running_since, util_end.max(running_since));
+            // The gang stopped running: members no longer report
+            // `hosting_for`.
+            self.coord.mark(m as usize);
         }
     }
 
@@ -1645,10 +1944,10 @@ impl Cluster {
             self.totals.interference_ms += now.saturating_since(active_since).as_millis();
         }
         self.totals.preemptions_owner += 1;
-        let lead = self.gangs[&job].members[0];
+        let lead = self.gangs[job.0 as usize].as_deref().expect("gang exists").members[0];
         let grace = self.gang_grace();
         let token = sched.at(now + grace, Event::GraceOver { station: lead, job });
-        self.gangs.get_mut(&job).expect("gang exists").grace = Some(token);
+        self.gangs[job.0 as usize].as_deref_mut().expect("gang exists").grace = Some(token);
         self.jobs[job.0 as usize].state = JobState::Suspended { on: NodeId::new(lead) };
         self.emit(now, TraceKind::JobSuspended { job, on: NodeId::new(station) });
     }
@@ -1663,7 +1962,7 @@ impl Cluster {
         sched: &mut Scheduler<Event>,
     ) {
         let members = {
-            let gang = self.gangs.get_mut(&job).expect("gang exists");
+            let gang = self.gangs[job.0 as usize].as_deref_mut().expect("gang exists");
             debug_assert!(!gang.departing);
             gang.departing = true;
             gang.departed = 0;
@@ -1697,7 +1996,7 @@ impl Cluster {
         rollback: bool,
         sched: &mut Scheduler<Event>,
     ) {
-        let gang = self.gangs.remove(&job).expect("gang exists");
+        let gang = self.gangs[job.0 as usize].take().expect("gang exists");
         if let Some(t) = gang.finish {
             sched.cancel(t);
         }
@@ -1731,6 +2030,7 @@ impl Cluster {
                 st.foreign = None;
                 st.disk_used -= image;
             }
+            self.coord.mark(m as usize);
         }
         let j = &mut self.jobs[job.0 as usize];
         if rollback {
@@ -1741,6 +2041,7 @@ impl Cluster {
         let home = j.spec.home.as_usize();
         let remaining = j.remaining();
         self.stations[home].queue.enqueue_front(job, remaining);
+        self.coord.mark(home);
     }
 
     fn on_reservation_start(&mut self, now: SimTime, idx: u32, sched: &mut Scheduler<Event>) {
@@ -1755,13 +2056,13 @@ impl Cluster {
             if fenced >= r.machines {
                 break;
             }
-            let st = &mut self.stations[i];
+            let st = &self.stations[i];
             if st.reserved_for.is_none()
                 && !st.failed
                 && st.foreign.is_none()
                 && i != r.holder.as_usize()
             {
-                st.reserved_for = Some(r.holder);
+                self.set_reserved(i, Some(r.holder));
                 fenced += 1;
             }
         }
@@ -1780,7 +2081,7 @@ impl Cluster {
             if running_other {
                 let target = NodeId::new(i as u32);
                 if self.execute_preempt(now, target, sched) {
-                    self.stations[i].reserved_for = Some(r.holder);
+                    self.set_reserved(i, Some(r.holder));
                     fenced += 1;
                 }
             }
@@ -1793,9 +2094,9 @@ impl Cluster {
 
     fn on_reservation_end(&mut self, now: SimTime, idx: u32) {
         let r = self.config.reservations[idx as usize];
-        for st in &mut self.stations {
-            if st.reserved_for == Some(r.holder) {
-                st.reserved_for = None;
+        for i in 0..self.stations.len() {
+            if self.stations[i].reserved_for == Some(r.holder) {
+                self.set_reserved(i, None);
             }
         }
         self.emit(now, TraceKind::ReservationEnded { holder: r.holder });
@@ -1805,7 +2106,7 @@ impl Cluster {
         let i = station as usize;
         debug_assert!(!self.stations[i].failed, "double crash");
         self.stations[i].failed = true;
-        self.stations[i].reserved_for = None;
+        self.set_reserved(i, None);
         self.totals.station_failures += 1;
         self.emit(now, TraceKind::StationFailed { station: NodeId::new(station) });
         // Any foreign job here loses everything since its last durable
@@ -1854,6 +2155,7 @@ impl Cluster {
             let remaining = j.remaining();
             self.totals.crash_rollbacks += 1;
             self.stations[home].queue.enqueue_front(job, remaining);
+            self.coord.mark(home);
             self.emit(now, TraceKind::CrashRollback { job, on: NodeId::new(station) });
         }
         // Coordinator failover: while its host is down, allocation stops
@@ -1884,6 +2186,7 @@ impl Cluster {
         let i = station as usize;
         debug_assert!(self.stations[i].failed, "recovery without crash");
         self.stations[i].failed = false;
+        self.coord.mark(i);
         self.emit(now, TraceKind::StationRecovered { station: NodeId::new(station) });
         if station == self.config.coordinator_host {
             self.coordinator_down = false;
@@ -1901,11 +2204,13 @@ impl Cluster {
     /// Closes open accounting intervals at the end of observation.
     fn finalize(&mut self, horizon: SimTime) {
         // Running gangs: accrue and deposit each member's utilization.
+        // `gangs` is a job-indexed Vec, so this iteration is deterministic.
         let running_gangs: Vec<JobId> = self
             .gangs
             .iter()
-            .filter(|(_, g)| g.running)
-            .map(|(j, _)| *j)
+            .enumerate()
+            .filter(|(_, g)| g.as_deref().is_some_and(|g| g.running))
+            .map(|(j, _)| JobId(j as u64))
             .collect();
         for job in running_gangs {
             let running_since = self.jobs[job.0 as usize].running_since;
@@ -1916,7 +2221,11 @@ impl Cluster {
             let work = self.config.station.work_done_in(wall);
             self.jobs[job.0 as usize]
                 .accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
-            let members = self.gangs[&job].members.clone();
+            let members = self.gangs[job.0 as usize]
+                .as_deref()
+                .expect("gang exists")
+                .members
+                .clone();
             for &m in &members {
                 let cap = self.stations[m as usize]
                     .owner_active_since
@@ -2059,6 +2368,16 @@ pub fn run_cluster_with_sinks(
     let mut model = engine.into_model();
     model.finalize(end);
     let policy_name = model.policy.name().to_string();
+    // Re-key the dense per-user-slot series by user id. Only touched slots
+    // appear, matching the old lazily-populated map: a user whose every
+    // job was rejected at submission never shows up.
+    let queue_by_user: BTreeMap<UserId, StepSeries> = model
+        .user_ids
+        .iter()
+        .zip(model.queue_by_user)
+        .zip(&model.user_touched)
+        .filter_map(|((user, series), touched)| touched.then_some((*user, series)))
+        .collect();
     RunOutput {
         policy_name,
         stations: model.config.stations,
@@ -2069,7 +2388,7 @@ pub fn run_cluster_with_sinks(
         trace: model.trace,
         totals: model.totals,
         queue_total: model.queue_total,
-        queue_by_user: model.queue_by_user,
+        queue_by_user,
         local_busy: model.local_busy,
         remote_busy: model.remote_busy,
         events_dispatched,
@@ -2411,6 +2730,26 @@ mod tests {
         }
         assert!(out.available_station_hours() > 0.0);
         assert!(out.consumed_cpu_hours() > 0.0);
+    }
+
+    /// The owner-idle EWMA that feeds history-aware placement: the named
+    /// weights form a convex combination, the first observation seeds the
+    /// estimate directly, and later samples blend at exactly
+    /// `IDLE_EWMA_HISTORY_WEIGHT`/`IDLE_EWMA_SAMPLE_WEIGHT`.
+    #[test]
+    fn idle_ewma_weights_are_convex_and_seed_on_first_sample() {
+        assert_eq!(IDLE_EWMA_HISTORY_WEIGHT + IDLE_EWMA_SAMPLE_WEIGHT, 1.0);
+        // First completed idle interval seeds the estimate.
+        let seeded = ewma_idle_update(0.0, 600.0);
+        assert_eq!(seeded, 600.0);
+        // Subsequent intervals blend with the documented weights.
+        let blended = ewma_idle_update(seeded, 60.0);
+        assert_eq!(
+            blended,
+            IDLE_EWMA_HISTORY_WEIGHT * 600.0 + IDLE_EWMA_SAMPLE_WEIGHT * 60.0
+        );
+        // The estimate stays inside the observed range (convexity).
+        assert!(blended > 60.0 && blended < 600.0);
     }
 
     #[test]

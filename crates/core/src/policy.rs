@@ -53,6 +53,32 @@ pub enum Order {
     },
 }
 
+/// One poll cycle's input to an [`AllocationPolicy`].
+///
+/// Besides the per-station `views`, the coordinator hands policies the
+/// pre-extracted **active sets** — requesters and hosts — so a policy's
+/// work scales with the number of *active* stations, not the fleet size.
+/// The cluster maintains these sets incrementally across owner-flip and
+/// occupancy transitions; test code can derive them from views with
+/// [`decide_from_views`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollInput<'a> {
+    /// One entry per station, indexed by station id.
+    pub views: &'a [StationView],
+    /// Stations with `waiting_jobs > 0`, ascending station id.
+    pub requesters: &'a [NodeId],
+    /// Stations with `hosting_for` set, ascending station id.
+    pub hosts: &'a [NodeId],
+    /// Machines able to host, in the **cluster's placement preference
+    /// order** (plain id order normally; longest-expected-idle first when
+    /// history-aware placement is enabled). Policies take targets from the
+    /// front of this list.
+    pub free: &'a [NodeId],
+    /// Upper bound on `Assign` orders this cycle (paper §4: one placement
+    /// per two minutes protects the network and the submitting machines).
+    pub max_placements: usize,
+}
+
 /// A capacity-allocation policy.
 ///
 /// Implementations must be deterministic given their construction seed and
@@ -63,25 +89,37 @@ pub trait AllocationPolicy: std::fmt::Debug {
 
     /// Decides this poll's orders.
     ///
-    /// * `views` — one entry per station, indexed by station id.
-    /// * `free` — machines able to host, in the **cluster's placement
-    ///   preference order** (plain id order normally; longest-expected-idle
-    ///   first when history-aware placement is enabled). Policies take
-    ///   targets from the front of this list.
-    /// * `max_placements` — upper bound on `Assign` orders this cycle
-    ///   (paper §4: one placement per two minutes protects the network and
-    ///   the submitting machines).
-    ///
     /// Policies must not assign the same target twice, must only assign
-    /// targets drawn from `free`, and must only preempt stations with
-    /// `hosting_for` set.
-    fn decide(
-        &mut self,
-        now: SimTime,
-        views: &[StationView],
-        free: &[NodeId],
-        max_placements: usize,
-    ) -> Vec<Order>;
+    /// targets drawn from `input.free`, and must only preempt stations
+    /// with `hosting_for` set.
+    fn decide(&mut self, now: SimTime, input: &PollInput<'_>) -> Vec<Order>;
+}
+
+/// Derives the requester/host sets by scanning `views` and calls
+/// [`AllocationPolicy::decide`] — the convenience path for tests, benches,
+/// and callers that do not maintain the active sets incrementally. This is
+/// the "rescan baseline" the cluster's cached poll state replaces.
+pub fn decide_from_views(
+    policy: &mut dyn AllocationPolicy,
+    now: SimTime,
+    views: &[StationView],
+    free: &[NodeId],
+    max_placements: usize,
+) -> Vec<Order> {
+    let requesters: Vec<NodeId> = views
+        .iter()
+        .filter(|v| v.waiting_jobs > 0)
+        .map(|v| v.node)
+        .collect();
+    let hosts: Vec<NodeId> = views
+        .iter()
+        .filter(|v| v.hosting_for.is_some())
+        .map(|v| v.node)
+        .collect();
+    policy.decide(
+        now,
+        &PollInput { views, requesters: &requesters, hosts: &hosts, free, max_placements },
+    )
 }
 
 /// Serves requesting stations in the order their demand was first seen;
@@ -100,20 +138,21 @@ impl FifoPolicy {
         FifoPolicy::default()
     }
 
-    fn refresh_line(&mut self, views: &[StationView]) {
+    fn refresh_line(&mut self, input: &PollInput<'_>) {
         // Drop homes that no longer want capacity (or vanished — fleets
         // can shrink between polls)…
         self.line
             .retain(|h| {
-                views
+                input
+                    .views
                     .get(h.as_usize())
                     .is_some_and(|v| v.waiting_jobs > 0)
             });
         // …and append newly demanding homes in id order (within one poll
         // we cannot observe finer arrival order; polls are the clock).
-        for v in views {
-            if v.waiting_jobs > 0 && !self.line.contains(&v.node) {
-                self.line.push(v.node);
+        for r in input.requesters {
+            if !self.line.contains(r) {
+                self.line.push(*r);
             }
         }
     }
@@ -124,25 +163,22 @@ impl AllocationPolicy for FifoPolicy {
         "fifo"
     }
 
-    fn decide(
-        &mut self,
-        _now: SimTime,
-        views: &[StationView],
-        free: &[NodeId],
-        max_placements: usize,
-    ) -> Vec<Order> {
-        self.refresh_line(views);
-        let mut free: Vec<NodeId> = free.to_vec();
+    fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
+        self.refresh_line(input);
+        if self.line.is_empty() {
+            return Vec::new();
+        }
+        let mut free: Vec<NodeId> = input.free.to_vec();
         free.reverse(); // pop() yields the most-preferred machine first
         let mut remaining: Vec<usize> = self
             .line
             .iter()
-            .map(|h| views[h.as_usize()].waiting_jobs)
+            .map(|h| input.views[h.as_usize()].waiting_jobs)
             .collect();
         let mut orders = Vec::new();
         'outer: for (i, home) in self.line.iter().enumerate() {
             while remaining[i] > 0 {
-                if orders.len() >= max_placements {
+                if orders.len() >= input.max_placements {
                     break 'outer;
                 }
                 let Some(target) = free.pop() else { break 'outer };
@@ -176,42 +212,43 @@ impl AllocationPolicy for RoundRobinPolicy {
         "round-robin"
     }
 
-    fn decide(
-        &mut self,
-        _now: SimTime,
-        views: &[StationView],
-        free: &[NodeId],
-        max_placements: usize,
-    ) -> Vec<Order> {
-        let n = views.len();
+    fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
+        let n = input.views.len();
         if n == 0 {
             return Vec::new();
         }
         // Fleets can shrink between polls; keep the cursor in range.
         self.cursor %= n;
-        let mut free: Vec<NodeId> = free.to_vec();
+        if input.requesters.is_empty() {
+            return Vec::new();
+        }
+        let mut free: Vec<NodeId> = input.free.to_vec();
         free.reverse();
-        let mut demand: Vec<usize> = views.iter().map(|v| v.waiting_jobs).collect();
+        // Per-requester outstanding demand, ascending station id — the
+        // cursor walks this instead of scanning every station.
+        let mut demand: Vec<(usize, usize)> = input
+            .requesters
+            .iter()
+            .map(|r| (r.as_usize(), input.views[r.as_usize()].waiting_jobs))
+            .collect();
+        let mut total: usize = demand.iter().map(|&(_, d)| d).sum();
         let mut orders = Vec::new();
-        // Walk at most n stations per free machine so one decide() always
-        // terminates even when every queue is deep.
-        while orders.len() < max_placements && !free.is_empty() && demand.iter().any(|&d| d > 0) {
-            // Find the next demanding station at or after the cursor.
-            let mut advanced = 0;
-            while demand[self.cursor] == 0 && advanced < n {
-                self.cursor = (self.cursor + 1) % n;
-                advanced += 1;
-            }
-            if demand[self.cursor] == 0 {
-                break;
-            }
+        while orders.len() < input.max_placements && !free.is_empty() && total > 0 {
+            // The next demanding station at or after the cursor (wrapping).
+            let pos = demand
+                .iter()
+                .position(|&(s, d)| d > 0 && s >= self.cursor)
+                .or_else(|| demand.iter().position(|&(_, d)| d > 0))
+                .expect("total > 0");
+            let (station, _) = demand[pos];
             let target = free.pop().expect("checked non-empty");
             orders.push(Order::Assign {
-                home: views[self.cursor].node,
+                home: input.views[station].node,
                 target,
             });
-            demand[self.cursor] -= 1;
-            self.cursor = (self.cursor + 1) % n;
+            demand[pos].1 -= 1;
+            total -= 1;
+            self.cursor = (station + 1) % n;
         }
         orders
     }
@@ -238,22 +275,19 @@ impl AllocationPolicy for RandomPolicy {
         "random"
     }
 
-    fn decide(
-        &mut self,
-        _now: SimTime,
-        views: &[StationView],
-        free: &[NodeId],
-        max_placements: usize,
-    ) -> Vec<Order> {
-        let mut free: Vec<NodeId> = free.to_vec();
+    fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
+        if input.requesters.is_empty() {
+            return Vec::new();
+        }
+        let mut free: Vec<NodeId> = input.free.to_vec();
         free.reverse();
-        let mut demand: Vec<(NodeId, usize)> = views
+        let mut demand: Vec<(NodeId, usize)> = input
+            .requesters
             .iter()
-            .filter(|v| v.waiting_jobs > 0)
-            .map(|v| (v.node, v.waiting_jobs))
+            .map(|r| (*r, input.views[r.as_usize()].waiting_jobs))
             .collect();
         let mut orders = Vec::new();
-        while orders.len() < max_placements && !free.is_empty() && !demand.is_empty() {
+        while orders.len() < input.max_placements && !free.is_empty() && !demand.is_empty() {
             let pick = self.rng.index(demand.len());
             let target = free.pop().expect("checked non-empty");
             orders.push(Order::Assign {
@@ -331,7 +365,7 @@ mod tests {
             (true, None, 0),
             (true, None, 0),
         ]);
-        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 10);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 10);
         validate_orders(&orders, &v).unwrap();
         // Station 0 first in id order, then 2 gets the rest.
         assert_eq!(orders.len(), 2);
@@ -344,10 +378,10 @@ mod tests {
         let mut p = FifoPolicy::new();
         // Poll 1: only station 1 demands; no machines.
         let v1 = views(&[(false, None, 0), (false, None, 2)]);
-        assert!(p.decide(SimTime::ZERO, &v1, &free_of(&v1), 10).is_empty());
+        assert!(decide_from_views(&mut p, SimTime::ZERO, &v1, &free_of(&v1), 10).is_empty());
         // Poll 2: station 0 also demands; one machine — station 1 was first.
         let v2 = views(&[(false, None, 2), (false, None, 2), (true, None, 0)]);
-        let orders = p.decide(SimTime::ZERO, &v2, &free_of(&v2), 10);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v2, &free_of(&v2), 10);
         assert_eq!(
             orders,
             vec![Order::Assign { home: NodeId::new(1), target: NodeId::new(2) }]
@@ -358,7 +392,7 @@ mod tests {
     fn fifo_respects_placement_budget() {
         let mut p = FifoPolicy::new();
         let v = views(&[(false, None, 5), (true, None, 0), (true, None, 0), (true, None, 0)]);
-        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1);
         assert_eq!(orders.len(), 1);
     }
 
@@ -371,7 +405,7 @@ mod tests {
             (true, None, 0),
             (true, None, 0),
         ]);
-        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 10);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 10);
         validate_orders(&orders, &v).unwrap();
         let homes: Vec<NodeId> = orders
             .iter()
@@ -387,7 +421,7 @@ mod tests {
             (false, None, 4),
             (true, None, 0),
         ]);
-        let orders2 = p.decide(SimTime::ZERO, &v2, &free_of(&v2), 10);
+        let orders2 = decide_from_views(&mut p, SimTime::ZERO, &v2, &free_of(&v2), 10);
         assert!(matches!(orders2[0], Order::Assign { home, .. } if home == NodeId::new(0)));
     }
 
@@ -402,7 +436,7 @@ mod tests {
                 (true, None, 0),
                 (true, None, 0),
             ]);
-            let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 10);
+            let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 10);
             validate_orders(&orders, &v).unwrap();
             orders
         };
@@ -418,9 +452,9 @@ mod tests {
         let mut rr = RoundRobinPolicy::new();
         let mut rnd = RandomPolicy::new(3);
         for v in [&idle_system, &starved] {
-            assert!(fifo.decide(SimTime::ZERO, v, &free_of(v), 10).is_empty());
-            assert!(rr.decide(SimTime::ZERO, v, &free_of(v), 10).is_empty());
-            assert!(rnd.decide(SimTime::ZERO, v, &free_of(v), 10).is_empty());
+            assert!(decide_from_views(&mut fifo, SimTime::ZERO, v, &free_of(v), 10).is_empty());
+            assert!(decide_from_views(&mut rr, SimTime::ZERO, v, &free_of(v), 10).is_empty());
+            assert!(decide_from_views(&mut rnd, SimTime::ZERO, v, &free_of(v), 10).is_empty());
         }
     }
 

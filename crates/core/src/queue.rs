@@ -136,12 +136,22 @@ impl BackgroundQueue {
     /// Job ids in the order [`BackgroundQueue::pop_next`] would serve
     /// them, without removing anything.
     pub fn ids_in_service_order(&self) -> Vec<JobId> {
+        let mut out = Vec::new();
+        self.service_order_into(&mut out);
+        out
+    }
+
+    /// Like [`BackgroundQueue::ids_in_service_order`], writing into a
+    /// reused buffer — the allocation-free form for hot callers. The
+    /// buffer is cleared first.
+    pub fn service_order_into(&self, out: &mut Vec<JobId>) {
+        out.clear();
         match self.order {
-            LocalOrder::Fifo => self.entries.iter().map(|(j, _)| *j).collect(),
+            LocalOrder::Fifo => out.extend(self.entries.iter().map(|(j, _)| *j)),
             LocalOrder::ShortestFirst => {
                 let mut v: Vec<(JobId, SimDuration)> = self.entries.iter().copied().collect();
                 v.sort_by_key(|(job, rem)| (*rem, job.0));
-                v.into_iter().map(|(j, _)| j).collect()
+                out.extend(v.into_iter().map(|(j, _)| j));
             }
         }
     }

@@ -20,7 +20,6 @@
 //! state (bus backlog, free machines, Up-Down index) captured at each
 //! coordinator poll, which no discrete event carries.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -68,6 +67,15 @@ pub trait TraceSink: std::fmt::Debug + Send {
 
     /// Called once when the run reaches its horizon. Default: no-op.
     fn finish(&mut self, _at: SimTime) {}
+
+    /// For pure fan-out containers: surrenders the child sinks so the
+    /// cluster can attach them directly, flattening nested fan-outs to one
+    /// virtual call per leaf per event. Default: `None` (not a container —
+    /// any sink with behavior of its own, filtering included, must keep
+    /// the default).
+    fn take_children(&mut self) -> Option<Vec<Box<dyn TraceSink>>> {
+        None
+    }
 }
 
 impl TraceSink for Trace {
@@ -234,6 +242,10 @@ impl TraceSink for FanoutSink {
         for s in &mut self.sinks {
             s.finish(at);
         }
+    }
+
+    fn take_children(&mut self) -> Option<Vec<Box<dyn TraceSink>>> {
+        Some(std::mem::take(&mut self.sinks))
     }
 }
 
@@ -471,17 +483,85 @@ impl Telemetry {
     }
 }
 
+/// What [`StatsSink::record`] must do with an event's per-job marks,
+/// precomputed per [`TraceKind::index`] so the hot path branches off a
+/// table lookup instead of re-matching the full kind enum. Most events
+/// (owner flips, polls) map to `None` and skip mark handling entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MarkAction {
+    /// No per-job bookkeeping.
+    None,
+    /// Job entered the queue: set the queued mark.
+    Queue,
+    /// Job started: close the queue wait, set the running mark.
+    Start,
+    /// Job resumed in place: set the running mark.
+    Resume,
+    /// Job stopped producing: close the running burst.
+    EndBurst,
+    /// Checkpoint out: close the burst and record the image size.
+    Checkpoint,
+    /// Immediate kill: close the burst, job requeues at home.
+    Kill,
+}
+
+/// Indexed by [`TraceKind::index`]; must stay in sync with it (checked by
+/// the `mark_action_table_matches_kinds` test).
+static MARK_ACTIONS: [MarkAction; TraceKind::COUNT] = [
+    MarkAction::Queue,      // JobArrived
+    MarkAction::None,       // JobRejected
+    MarkAction::None,       // PlacementStarted
+    MarkAction::None,       // PlacementDiskRejected
+    MarkAction::Start,      // JobStarted
+    MarkAction::EndBurst,   // JobSuspended
+    MarkAction::Resume,     // JobResumedInPlace
+    MarkAction::Checkpoint, // CheckpointStarted
+    MarkAction::Queue,      // CheckpointCompleted (image landed at home)
+    MarkAction::Kill,       // JobKilled
+    MarkAction::None,       // PeriodicCheckpoint
+    MarkAction::EndBurst,   // JobCompleted
+    MarkAction::None,       // OwnerActive
+    MarkAction::None,       // OwnerIdle
+    MarkAction::None,       // StationFailed
+    MarkAction::None,       // StationRecovered
+    MarkAction::EndBurst,   // CrashRollback
+    MarkAction::None,       // ReservationStarted
+    MarkAction::None,       // ReservationEnded
+    MarkAction::None,       // CoordinatorPolled
+];
+
+/// Dense per-job timestamp marks (job ids are the dense sequence `0..n`).
+/// Replaces a `HashMap<JobId, SimTime>` on the per-event hot path.
+#[derive(Debug, Default)]
+struct JobMarks(Vec<Option<SimTime>>);
+
+impl JobMarks {
+    #[inline]
+    fn insert(&mut self, job: JobId, at: SimTime) {
+        let i = job.0 as usize;
+        if i >= self.0.len() {
+            self.0.resize(i + 1, None);
+        }
+        self.0[i] = Some(at);
+    }
+
+    #[inline]
+    fn remove(&mut self, job: JobId) -> Option<SimTime> {
+        self.0.get_mut(job.0 as usize).and_then(Option::take)
+    }
+}
+
 /// Aggregates the event stream into a [`Telemetry`] summary.
 ///
 /// Tracks per-job "queued since" / "running since" marks to turn the event
 /// stream into queue-wait and execution-burst samples; everything else is
-/// direct counting. Memory is O(jobs in flight + fixed aggregates),
+/// direct counting. Memory is O(max job id + fixed aggregates),
 /// independent of run length.
 #[derive(Debug, Default)]
 pub struct StatsSink {
     telemetry: Telemetry,
-    queued_since: HashMap<JobId, SimTime>,
-    running_since: HashMap<JobId, SimTime>,
+    queued_since: JobMarks,
+    running_since: JobMarks,
 }
 
 impl StatsSink {
@@ -505,52 +585,54 @@ impl TraceSink for StatsSink {
     fn record(&mut self, ev: &TraceEvent) {
         let t = &mut self.telemetry;
         t.events_total += 1;
-        t.counts[ev.kind.index()] += 1;
+        let index = ev.kind.index();
+        t.counts[index] += 1;
         if t.first_event.is_none() {
             t.first_event = Some(ev.at);
         }
         t.last_event = Some(ev.at);
-        match ev.kind {
-            TraceKind::JobArrived { job } => {
+        let action = MARK_ACTIONS[index];
+        if action == MarkAction::None {
+            return; // owner flips and polls — the bulk of the stream
+        }
+        let Some(job) = ev.kind.job() else { return };
+        match action {
+            MarkAction::None => unreachable!(),
+            MarkAction::Queue => {
                 self.queued_since.insert(job, ev.at);
             }
-            TraceKind::JobStarted { job, .. } => {
-                if let Some(since) = self.queued_since.remove(&job) {
+            MarkAction::Start => {
+                if let Some(since) = self.queued_since.remove(job) {
                     t.queue_wait_ms.record(ev.at.since(since).as_millis());
                 }
                 self.running_since.insert(job, ev.at);
             }
-            TraceKind::JobResumedInPlace { job, .. } => {
+            MarkAction::Resume => {
                 self.running_since.insert(job, ev.at);
             }
-            TraceKind::JobSuspended { job, .. }
-            | TraceKind::JobCompleted { job, .. }
-            | TraceKind::CrashRollback { job, .. } => {
-                if let Some(since) = self.running_since.remove(&job) {
+            MarkAction::EndBurst => {
+                if let Some(since) = self.running_since.remove(job) {
                     t.remote_burst_ms.record(ev.at.since(since).as_millis());
                 }
             }
-            TraceKind::CheckpointStarted { job, bytes, .. } => {
+            MarkAction::Checkpoint => {
                 // Under grace-then-checkpoint the job was already suspended
                 // (no running mark left); under direct vacate this closes
                 // the burst.
-                if let Some(since) = self.running_since.remove(&job) {
+                if let Some(since) = self.running_since.remove(job) {
                     t.remote_burst_ms.record(ev.at.since(since).as_millis());
                 }
-                t.checkpoint_bytes.record(bytes);
+                if let TraceKind::CheckpointStarted { bytes, .. } = ev.kind {
+                    t.checkpoint_bytes.record(bytes);
+                }
             }
-            TraceKind::JobKilled { job, .. } => {
-                if let Some(since) = self.running_since.remove(&job) {
+            MarkAction::Kill => {
+                if let Some(since) = self.running_since.remove(job) {
                     t.remote_burst_ms.record(ev.at.since(since).as_millis());
                 }
                 // An immediate-kill requeues the job at home.
                 self.queued_since.insert(job, ev.at);
             }
-            TraceKind::CheckpointCompleted { job, .. } => {
-                // The image landed at home; the job waits for its next slot.
-                self.queued_since.insert(job, ev.at);
-            }
-            _ => {}
         }
     }
 
@@ -620,6 +702,82 @@ mod tests {
         fan.finish(SimTime::from_secs(3));
         assert_eq!(a.with(|s| s.len()), 2);
         assert_eq!(b.with(|s| s.seen()), 2);
+    }
+
+    /// One exemplar event per kind, in `TraceKind::index` order — the
+    /// fixture the table-sync test walks.
+    fn one_of_each_kind() -> Vec<TraceKind> {
+        let job = JobId(0);
+        let n = NodeId::new(1);
+        vec![
+            TraceKind::JobArrived { job },
+            TraceKind::JobRejected { job },
+            TraceKind::PlacementStarted { job, target: n },
+            TraceKind::PlacementDiskRejected { job, target: n },
+            TraceKind::JobStarted { job, on: n },
+            TraceKind::JobSuspended { job, on: n },
+            TraceKind::JobResumedInPlace { job, on: n },
+            TraceKind::CheckpointStarted {
+                job,
+                from: n,
+                reason: crate::job::PreemptReason::OwnerReturned,
+                bytes: 1,
+            },
+            TraceKind::CheckpointCompleted { job, from: n, bytes: 1 },
+            TraceKind::JobKilled { job, on: n },
+            TraceKind::PeriodicCheckpoint { job, on: n },
+            TraceKind::JobCompleted { job, on: n },
+            TraceKind::OwnerActive { station: n },
+            TraceKind::OwnerIdle { station: n },
+            TraceKind::StationFailed { station: n },
+            TraceKind::StationRecovered { station: n },
+            TraceKind::CrashRollback { job, on: n },
+            TraceKind::ReservationStarted { holder: n, machines: 2 },
+            TraceKind::ReservationEnded { holder: n },
+            TraceKind::CoordinatorPolled {
+                free_machines: 1,
+                waiting_jobs: 1,
+                placements: 1,
+                preemptions: 0,
+            },
+        ]
+    }
+
+    /// The promise `MARK_ACTIONS` makes in its doc comment: the table
+    /// stays in sync with `TraceKind::index`. Classifies every kind the
+    /// slow way (a full match) and checks the table agrees, and that every
+    /// kind the table acts on actually carries a job id.
+    #[test]
+    fn mark_action_table_matches_kinds() {
+        let kinds = one_of_each_kind();
+        assert_eq!(kinds.len(), TraceKind::COUNT, "fixture covers every kind");
+        for (i, kind) in kinds.iter().enumerate() {
+            assert_eq!(kind.index(), i, "fixture out of index order at {i}");
+            let expected = match kind {
+                TraceKind::JobArrived { .. } | TraceKind::CheckpointCompleted { .. } => {
+                    MarkAction::Queue
+                }
+                TraceKind::JobStarted { .. } => MarkAction::Start,
+                TraceKind::JobResumedInPlace { .. } => MarkAction::Resume,
+                TraceKind::JobSuspended { .. }
+                | TraceKind::JobCompleted { .. }
+                | TraceKind::CrashRollback { .. } => MarkAction::EndBurst,
+                TraceKind::CheckpointStarted { .. } => MarkAction::Checkpoint,
+                TraceKind::JobKilled { .. } => MarkAction::Kill,
+                _ => MarkAction::None,
+            };
+            assert_eq!(
+                MARK_ACTIONS[kind.index()],
+                expected,
+                "table disagrees with the reference classification for {kind:?}"
+            );
+            if expected != MarkAction::None {
+                assert!(
+                    kind.job().is_some(),
+                    "{kind:?} is acted on but carries no job id"
+                );
+            }
+        }
     }
 
     #[test]

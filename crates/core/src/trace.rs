@@ -208,6 +208,33 @@ impl TraceKind {
     pub fn index_of_name(name: &str) -> Option<usize> {
         KIND_NAMES.iter().position(|&n| n == name)
     }
+
+    /// The job this event concerns, if it is a job-lifecycle event.
+    /// Owner, station, reservation, and poll events return `None`.
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            TraceKind::JobArrived { job }
+            | TraceKind::JobRejected { job }
+            | TraceKind::PlacementStarted { job, .. }
+            | TraceKind::PlacementDiskRejected { job, .. }
+            | TraceKind::JobStarted { job, .. }
+            | TraceKind::JobSuspended { job, .. }
+            | TraceKind::JobResumedInPlace { job, .. }
+            | TraceKind::CheckpointStarted { job, .. }
+            | TraceKind::CheckpointCompleted { job, .. }
+            | TraceKind::JobKilled { job, .. }
+            | TraceKind::PeriodicCheckpoint { job, .. }
+            | TraceKind::JobCompleted { job, .. }
+            | TraceKind::CrashRollback { job, .. } => Some(*job),
+            TraceKind::OwnerActive { .. }
+            | TraceKind::OwnerIdle { .. }
+            | TraceKind::StationFailed { .. }
+            | TraceKind::StationRecovered { .. }
+            | TraceKind::ReservationStarted { .. }
+            | TraceKind::ReservationEnded { .. }
+            | TraceKind::CoordinatorPolled { .. } => None,
+        }
+    }
 }
 
 static KIND_NAMES: [&str; TraceKind::COUNT] = [
@@ -367,8 +394,17 @@ impl TraceEvent {
     ///
     /// The format round-trips exactly through [`TraceEvent::from_jsonl`].
     pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(64);
+        self.write_jsonl(&mut s);
+        s
+    }
+
+    /// Like [`TraceEvent::to_jsonl`], appending to a caller-supplied buffer
+    /// instead of allocating — the form hot sinks use with a reused
+    /// `String` (no trailing newline is written).
+    pub fn write_jsonl(&self, s: &mut String) {
         use std::fmt::Write;
-        let mut s = format!("{{\"t_ms\":{},\"kind\":\"{}\"", self.at.as_millis(), self.kind.name());
+        write!(s, "{{\"t_ms\":{},\"kind\":\"{}\"", self.at.as_millis(), self.kind.name()).unwrap();
         match self.kind {
             TraceKind::JobArrived { job } | TraceKind::JobRejected { job } => {
                 write!(s, ",\"job\":{}", job.0).unwrap();
@@ -422,7 +458,6 @@ impl TraceEvent {
             }
         }
         s.push('}');
-        s
     }
 
     /// Decodes one line produced by [`TraceEvent::to_jsonl`].

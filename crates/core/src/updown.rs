@@ -22,12 +22,12 @@
 //!   than a consumer's before the consumer's job is preempted, adding
 //!   hysteresis so near-equals do not thrash.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use condor_net::NodeId;
 use condor_sim::time::SimTime;
 
-use crate::policy::{AllocationPolicy, Order, StationView};
+use crate::policy::{AllocationPolicy, Order, PollInput};
 
 /// Tunables of the Up-Down algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,7 +71,33 @@ impl Default for UpDownConfig {
 #[derive(Debug)]
 pub struct UpDown {
     config: UpDownConfig,
-    index: HashMap<NodeId, f64>,
+    /// Sparse schedule index: stations at exactly zero carry no entry, so
+    /// per-poll bookkeeping scales with the *active* stations rather than
+    /// the fleet. Ordered so iteration (drift, sums) is deterministic.
+    index: BTreeMap<NodeId, f64>,
+    // Scratch buffers reused across polls (taken out with `mem::take` for
+    // the duration of a `decide`, then put back).
+    scratch_requesters: Vec<(f64, NodeId, usize)>,
+    scratch_used: Vec<(NodeId, usize)>,
+    scratch_granted: Vec<(NodeId, usize)>,
+    scratch_free: Vec<NodeId>,
+    scratch_victims: Vec<(f64, NodeId, NodeId)>,
+    scratch_active: Vec<(NodeId, usize, usize)>,
+}
+
+/// Sorted-vec counter map: the key sets here (active homes within one
+/// poll) are tiny, so binary search beats hashing.
+fn bump(map: &mut Vec<(NodeId, usize)>, key: NodeId, by: usize) {
+    match map.binary_search_by_key(&key, |e| e.0) {
+        Ok(i) => map[i].1 += by,
+        Err(i) => map.insert(i, (key, by)),
+    }
+}
+
+fn lookup(map: &[(NodeId, usize)], key: NodeId) -> usize {
+    map.binary_search_by_key(&key, |e| e.0)
+        .map(|i| map[i].1)
+        .unwrap_or(0)
 }
 
 impl UpDown {
@@ -82,13 +108,27 @@ impl UpDown {
         assert!(config.idle_drift >= 0.0, "negative drift");
         UpDown {
             config,
-            index: HashMap::new(),
+            index: BTreeMap::new(),
+            scratch_requesters: Vec::new(),
+            scratch_used: Vec::new(),
+            scratch_granted: Vec::new(),
+            scratch_free: Vec::new(),
+            scratch_victims: Vec::new(),
+            scratch_active: Vec::new(),
         }
     }
 
     /// The current schedule index of a station (zero if never seen).
     pub fn index_of(&self, node: NodeId) -> f64 {
         self.index.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all station indices. Stations at zero carry no entry and
+    /// contribute nothing, which leaves an IEEE-754 sum bit-identical to
+    /// summing `index_of` over every station in id order (zero terms never
+    /// change a running sum, and the sum can never sit at `-0.0`).
+    pub fn index_sum(&self) -> f64 {
+        self.index.values().sum()
     }
 
     /// The configuration in force.
@@ -105,55 +145,73 @@ impl UpDown {
     }
 }
 
+/// Per-node accumulator for the index-update pass: `(node, machines used,
+/// jobs waiting)`. Kept sorted by node.
+fn merge_active(active: &mut Vec<(NodeId, usize, usize)>, node: NodeId, used: usize, waiting: usize) {
+    match active.binary_search_by_key(&node, |e| e.0) {
+        Ok(i) => {
+            active[i].1 += used;
+            active[i].2 += waiting;
+        }
+        Err(i) => active.insert(i, (node, used, waiting)),
+    }
+}
+
 impl AllocationPolicy for UpDown {
     fn name(&self) -> &'static str {
         "up-down"
     }
 
-    fn decide(
-        &mut self,
-        _now: SimTime,
-        views: &[StationView],
-        free: &[NodeId],
-        max_placements: usize,
-    ) -> Vec<Order> {
+    fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
+        // Every pass below walks the pre-extracted requester/host sets, so
+        // a poll costs O(active stations), not O(fleet). Scratch buffers
+        // are taken out of `self` for the borrow and restored at the end.
+        let mut requesters = std::mem::take(&mut self.scratch_requesters);
+        let mut used_map = std::mem::take(&mut self.scratch_used);
+        let mut granted = std::mem::take(&mut self.scratch_granted);
+        let mut free = std::mem::take(&mut self.scratch_free);
+        let mut victims = std::mem::take(&mut self.scratch_victims);
+        requesters.clear();
+        used_map.clear();
+        granted.clear();
+        free.clear();
+        victims.clear();
+
         // 1. How many remote machines does each home currently use?
-        let mut machines_used: HashMap<NodeId, usize> = HashMap::new();
-        for v in views {
-            if let Some(home) = v.hosting_for {
-                *machines_used.entry(home).or_insert(0) += 1;
-            }
+        for &h in input.hosts {
+            let home = input.views[h.as_usize()]
+                .hosting_for
+                .expect("host set contains only hosting stations");
+            bump(&mut used_map, home, 1);
         }
 
         // 2. Requesters sorted by (index, node id) — lowest index wins.
-        let mut requesters: Vec<(f64, NodeId, usize)> = views
-            .iter()
-            .filter(|v| v.waiting_jobs > 0)
-            .map(|v| (self.index_of(v.node), v.node, v.waiting_jobs))
-            .collect();
+        //    The input set is in ascending id order, so the stable sort
+        //    yields the same order as the old full-fleet scan.
+        for &r in input.requesters {
+            requesters.push((self.index_of(r), r, input.views[r.as_usize()].waiting_jobs));
+        }
         requesters.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN index").then(a.1.cmp(&b.1)));
 
         // 3. Free machines in the cluster's preference order (history-aware
         //    placement reorders this list before the call).
-        let mut free: Vec<NodeId> = free.to_vec();
+        free.extend_from_slice(input.free);
         free.reverse();
 
         // 4. Grant machines round-robin across requesters in priority
         //    order, one per round, until machines or budget run out.
         let mut orders = Vec::new();
-        let mut granted: HashMap<NodeId, usize> = HashMap::new();
         let mut progress = true;
-        while progress && orders.len() < max_placements && !free.is_empty() {
+        while progress && orders.len() < input.max_placements && !free.is_empty() {
             progress = false;
             for &(_, home, demand) in &requesters {
-                if orders.len() >= max_placements || free.is_empty() {
+                if orders.len() >= input.max_placements || free.is_empty() {
                     break;
                 }
-                let got = granted.get(&home).copied().unwrap_or(0);
-                if got < demand {
+                if lookup(&granted, home) < demand {
                     let target = free.pop().expect("checked non-empty");
                     orders.push(Order::Assign { home, target });
-                    *granted.entry(home).or_insert(0) += 1;
+                    bump(&mut granted, home, 1);
                     progress = true;
                 }
             }
@@ -165,23 +223,21 @@ impl AllocationPolicy for UpDown {
         //    the highest index.
         let mut preemptions = 0usize;
         if free.is_empty() {
-            let mut victims: Vec<(f64, NodeId, NodeId)> = views
-                .iter()
-                .filter_map(|v| {
-                    v.hosting_for
-                        .map(|home| (self.index_of(home), home, v.node))
-                })
-                .collect();
+            for &h in input.hosts {
+                let home = input.views[h.as_usize()]
+                    .hosting_for
+                    .expect("host set contains only hosting stations");
+                victims.push((self.index_of(home), home, h));
+            }
             // Highest-index consumer first; ties broken by target id so the
             // choice is deterministic.
             victims.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN").then(a.2.cmp(&b.2)));
-            let mut victim_iter = victims.into_iter();
+            let mut victim_iter = victims.iter().copied();
             for &(req_idx, req_home, demand) in &requesters {
                 if preemptions >= self.config.max_preemptions_per_poll {
                     break;
                 }
-                let got = granted.get(&req_home).copied().unwrap_or(0);
-                if got >= demand {
+                if lookup(&granted, req_home) >= demand {
                     continue;
                 }
                 // Find the next victim not belonging to the requester
@@ -201,16 +257,28 @@ impl AllocationPolicy for UpDown {
             }
         }
 
-        // 6. Index updates: up for usage (including fresh grants), down for
-        //    denial, drift toward zero otherwise.
-        for v in views {
-            let used = machines_used.get(&v.node).copied().unwrap_or(0)
-                + granted.get(&v.node).copied().unwrap_or(0);
-            let entry = self.index.entry(v.node).or_insert(0.0);
+        // 6. Index updates. Only stations that used capacity, got grants,
+        //    or requested can move up or down; everyone else drifts toward
+        //    zero, so only the sparse map's existing entries are walked and
+        //    entries landing on zero are dropped. A station not listed here
+        //    behaves exactly as if its (absent) zero entry had drifted.
+        let mut active: Vec<(NodeId, usize, usize)> = std::mem::take(&mut self.scratch_active);
+        active.clear();
+        for &(n, u) in &used_map {
+            merge_active(&mut active, n, u, 0);
+        }
+        for &(n, g) in &granted {
+            merge_active(&mut active, n, g, 0);
+        }
+        for &r in input.requesters {
+            merge_active(&mut active, r, 0, input.views[r.as_usize()].waiting_jobs);
+        }
+        for &(node, used, waiting) in &active {
+            let entry = self.index.entry(node).or_insert(0.0);
             if used > 0 {
                 *entry += self.config.up_per_machine * used as f64;
             }
-            let unmet = v.waiting_jobs > granted.get(&v.node).copied().unwrap_or(0);
+            let unmet = waiting > lookup(&granted, node);
             if unmet {
                 *entry -= self.config.down_when_denied;
             }
@@ -218,7 +286,20 @@ impl AllocationPolicy for UpDown {
                 *entry = Self::drift_toward_zero(*entry, self.config.idle_drift);
             }
         }
+        let (drift, active_ref) = (self.config.idle_drift, &active);
+        self.index.retain(|node, v| {
+            if active_ref.binary_search_by_key(node, |e| e.0).is_err() {
+                *v = Self::drift_toward_zero(*v, drift);
+            }
+            *v != 0.0
+        });
 
+        self.scratch_active = active;
+        self.scratch_requesters = requesters;
+        self.scratch_used = used_map;
+        self.scratch_granted = granted;
+        self.scratch_free = free;
+        self.scratch_victims = victims;
         orders
     }
 }
@@ -226,7 +307,7 @@ impl AllocationPolicy for UpDown {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::validate_orders;
+    use crate::policy::{decide_from_views, validate_orders, StationView};
 
     fn free_of(views: &[StationView]) -> Vec<NodeId> {
         views.iter().filter(|v| v.can_host).map(|v| v.node).collect()
@@ -255,7 +336,7 @@ mod tests {
             (false, Some(0), 0),
             (false, None, 2),
         ]);
-        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1);
         // Preemption margin (2.0) not yet exceeded: index of 0 is 0 at
         // decision time.
         assert!(orders.is_empty());
@@ -277,7 +358,7 @@ mod tests {
         ]);
         let mut preempted_at = None;
         for poll in 0..10 {
-            let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+            let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1);
             validate_orders(&orders, &v).unwrap();
             if orders.iter().any(|o| matches!(o, Order::Preempt { .. })) {
                 preempted_at = Some(poll);
@@ -306,7 +387,7 @@ mod tests {
             (false, Some(0), 0),
         ]);
         for _ in 0..5 {
-            let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+            let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1);
             assert!(
                 orders.iter().all(|o| !matches!(o, Order::Preempt { .. })),
                 "self-preemption ordered: {orders:?}"
@@ -323,7 +404,7 @@ mod tests {
             (true, None, 0),
             (true, None, 0),
         ]);
-        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 10);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 10);
         validate_orders(&orders, &v).unwrap();
         let homes: Vec<NodeId> = orders
             .iter()
@@ -341,7 +422,7 @@ mod tests {
         // Warm-up: station 0 consumes for 3 polls → high index.
         let warm = views(&[(false, None, 0), (false, Some(0), 0)]);
         for _ in 0..3 {
-            p.decide(SimTime::ZERO, &warm, &free_of(&warm), 1);
+            decide_from_views(&mut p, SimTime::ZERO, &warm, &free_of(&warm), 1);
         }
         // Now both 0 and 2 want the single free machine.
         let v = views(&[
@@ -350,7 +431,7 @@ mod tests {
             (false, None, 2),
             (true, None, 0),
         ]);
-        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1);
         assert_eq!(
             orders,
             vec![Order::Assign { home: NodeId::new(2), target: NodeId::new(3) }]
@@ -362,22 +443,22 @@ mod tests {
         let mut p = UpDown::new(UpDownConfig::default());
         let consuming = views(&[(false, None, 0), (false, Some(0), 0)]);
         for _ in 0..4 {
-            p.decide(SimTime::ZERO, &consuming, &free_of(&consuming), 1);
+            decide_from_views(&mut p, SimTime::ZERO, &consuming, &free_of(&consuming), 1);
         }
         let peak = p.index_of(NodeId::new(0));
         assert!(peak >= 4.0);
         // Station 0 stops using and wanting capacity.
         let quiet = views(&[(false, None, 0), (false, None, 0)]);
         for _ in 0..100 {
-            p.decide(SimTime::ZERO, &quiet, &free_of(&quiet), 1);
+            decide_from_views(&mut p, SimTime::ZERO, &quiet, &free_of(&quiet), 1);
         }
         assert_eq!(p.index_of(NodeId::new(0)), 0.0, "history fades");
         // Negative indices drift up toward zero as well.
         let denied = views(&[(false, None, 1), (false, None, 0)]);
-        p.decide(SimTime::ZERO, &denied, &free_of(&denied), 0); // budget 0: denial guaranteed
+        decide_from_views(&mut p, SimTime::ZERO, &denied, &free_of(&denied), 0); // budget 0: denial guaranteed
         assert!(p.index_of(NodeId::new(0)) < 0.0);
         for _ in 0..100 {
-            p.decide(SimTime::ZERO, &quiet, &free_of(&quiet), 1);
+            decide_from_views(&mut p, SimTime::ZERO, &quiet, &free_of(&quiet), 1);
         }
         assert_eq!(p.index_of(NodeId::new(0)), 0.0);
     }
@@ -391,7 +472,7 @@ mod tests {
             (true, None, 0),
             (true, None, 0),
         ]);
-        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1);
         assert_eq!(orders.len(), 1);
     }
 
@@ -410,7 +491,7 @@ mod tests {
             (false, Some(0), 0),
         ]);
         for _ in 0..5 {
-            p.decide(SimTime::ZERO, &warm, &free_of(&warm), 1);
+            decide_from_views(&mut p, SimTime::ZERO, &warm, &free_of(&warm), 1);
         }
         // Two light stations now demand; only one preemption per poll.
         let v = views(&[
@@ -421,7 +502,7 @@ mod tests {
             (false, None, 1),
             (false, None, 1),
         ]);
-        let orders = p.decide(SimTime::ZERO, &v, &free_of(&v), 1);
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1);
         let preempts = orders
             .iter()
             .filter(|o| matches!(o, Order::Preempt { .. }))
@@ -440,7 +521,7 @@ mod tests {
                     (false, (i % 2 == 0).then_some(0), 0),
                     (i % 5 == 0, None, 1),
                 ]);
-                all.push(p.decide(SimTime::ZERO, &v, &free_of(&v), 1));
+                all.push(decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1));
             }
             all
         };

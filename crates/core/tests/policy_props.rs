@@ -3,8 +3,8 @@
 //! index dynamics must stay sane.
 
 use condor_core::policy::{
-    validate_orders, AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy,
-    StationView,
+    decide_from_views, validate_orders, AllocationPolicy, FifoPolicy, Order, RandomPolicy,
+    RoundRobinPolicy, StationView,
 };
 use condor_core::updown::{UpDown, UpDownConfig};
 use condor_net::NodeId;
@@ -60,7 +60,7 @@ proptest! {
         for views in &snapshots {
             let free = free_of(views);
             for p in &mut policies {
-                let orders = p.decide(SimTime::ZERO, views, &free, budget);
+                let orders = decide_from_views(p.as_mut(), SimTime::ZERO, views, &free, budget);
                 prop_assert!(
                     validate_orders(&orders, views).is_ok(),
                     "{} emitted invalid orders {orders:?} for {views:?}",
@@ -95,7 +95,7 @@ proptest! {
         });
         for views in &snapshots {
             let free = free_of(views);
-            let orders = p.decide(SimTime::ZERO, views, &free, 1);
+            let orders = decide_from_views(&mut p, SimTime::ZERO, views, &free, 1);
             for o in &orders {
                 if let Order::Preempt { target } = o {
                     let victim_home = views[target.as_usize()].hosting_for.expect("validated");
@@ -128,7 +128,7 @@ proptest! {
         for views in &snapshots {
             max_stations = max_stations.max(views.len());
             let free = free_of(views);
-            let _ = p.decide(SimTime::ZERO, views, &free, 1);
+            let _ = decide_from_views(&mut p, SimTime::ZERO, views, &free, 1);
         }
         let bound = n_polls * max_stations as f64 + 1.0;
         for i in 0..max_stations {
@@ -145,7 +145,7 @@ proptest! {
             })
             .collect();
         for _ in 0..((bound / 0.25) as usize + 2) {
-            let _ = p.decide(SimTime::ZERO, &quiet, &[], 1);
+            let _ = decide_from_views(&mut p, SimTime::ZERO, &quiet, &[], 1);
         }
         for i in 0..max_stations {
             prop_assert_eq!(p.index_of(NodeId::new(i as u32)), 0.0);
@@ -161,7 +161,7 @@ proptest! {
         let run = |mut p: Box<dyn AllocationPolicy>| {
             snapshots
                 .iter()
-                .map(|v| p.decide(SimTime::ZERO, v, &free_of(v), 2))
+                .map(|v| decide_from_views(p.as_mut(), SimTime::ZERO, v, &free_of(v), 2))
                 .collect::<Vec<_>>()
         };
         assert_eq!(
@@ -207,8 +207,8 @@ fn fleet_shrinkage_is_tolerated() {
         Box::new(RandomPolicy::new(7)),
     ];
     for p in &mut policies {
-        let _ = p.decide(SimTime::ZERO, &big, &free_of(&big), 2);
-        let orders = p.decide(SimTime::ZERO, &small, &free_of(&small), 2);
+        let _ = decide_from_views(p.as_mut(), SimTime::ZERO, &big, &free_of(&big), 2);
+        let orders = decide_from_views(p.as_mut(), SimTime::ZERO, &small, &free_of(&small), 2);
         assert!(validate_orders(&orders, &small).is_ok(), "{}", p.name());
     }
 }

@@ -113,6 +113,9 @@ pub struct JsonlSink<W: Write> {
     writer: W,
     written: u64,
     error: Option<std::io::Error>,
+    /// Reused per-event render buffer, so steady-state streaming does not
+    /// allocate per line.
+    line: String,
 }
 
 impl<W: Write> std::fmt::Debug for JsonlSink<W> {
@@ -127,7 +130,7 @@ impl<W: Write> std::fmt::Debug for JsonlSink<W> {
 impl<W: Write> JsonlSink<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> Self {
-        JsonlSink { writer, written: 0, error: None }
+        JsonlSink { writer, written: 0, error: None, line: String::with_capacity(128) }
     }
 
     /// Lines successfully written so far.
@@ -151,9 +154,10 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
-        let mut line = ev.to_jsonl();
-        line.push('\n');
-        match self.writer.write_all(line.as_bytes()) {
+        self.line.clear();
+        ev.write_jsonl(&mut self.line);
+        self.line.push('\n');
+        match self.writer.write_all(self.line.as_bytes()) {
             Ok(()) => self.written += 1,
             Err(e) => self.error = Some(e),
         }
@@ -172,7 +176,7 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
 pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
     let mut out = String::new();
     for ev in events {
-        out.push_str(&ev.to_jsonl());
+        ev.write_jsonl(&mut out);
         out.push('\n');
     }
     out

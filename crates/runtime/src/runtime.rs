@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use condor_ckpt::image::CheckpointBuilder;
 use condor_ckpt::image::SegmentKind;
 use condor_ckpt::store::CheckpointStore;
-use condor_core::policy::{AllocationPolicy, Order, StationView};
+use condor_core::policy::{Order, StationView};
 use condor_core::updown::{UpDown, UpDownConfig};
 use condor_net::NodeId;
 use crossbeam::channel::Receiver;
@@ -350,7 +350,8 @@ impl Runtime {
             })
             .collect();
         let free: Vec<NodeId> = views.iter().filter(|v| v.can_host).map(|v| v.node).collect();
-        let orders = self.policy.decide(
+        let orders = condor_core::policy::decide_from_views(
+            &mut self.policy,
             Default::default(),
             &views,
             &free,

@@ -1,0 +1,54 @@
+//! Golden-trace regression guard.
+//!
+//! Runs the paper-month scenario at a pinned seed and hashes every JSONL
+//! trace line. The digest below was captured before the hot-path
+//! optimization work began; any change to it means an "optimization"
+//! altered simulation behavior — bit-identical output is the contract that
+//! makes aggressive hot-path work safe.
+//!
+//! If you *intentionally* change simulation semantics (new event kind, new
+//! scheduling rule), re-pin the digest in the same commit and say so in the
+//! commit message.
+
+use condor_core::cluster::run_cluster;
+use condor_workload::scenarios::paper_month;
+
+/// FNV-1a, 64-bit. Implemented inline so the guard has zero dependencies
+/// and an auditable definition.
+fn fnv1a64(data: &[u8], mut hash: u64) -> u64 {
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// The pinned digest of the paper-month JSONL trace at seed 1988.
+/// Captured from the pre-optimization simulator; see module docs.
+const GOLDEN_SEED: u64 = 1988;
+const GOLDEN_DIGEST: u64 = 0xE7D7_8885_6DED_7AEA;
+const GOLDEN_EVENTS: usize = 56_869;
+
+#[test]
+fn paper_month_trace_digest_is_stable() {
+    let scenario = paper_month(GOLDEN_SEED);
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    let mut hash = FNV_OFFSET;
+    let mut events = 0usize;
+    for ev in out.trace.events() {
+        hash = fnv1a64(ev.to_jsonl().as_bytes(), hash);
+        hash = fnv1a64(b"\n", hash);
+        events += 1;
+    }
+    assert_eq!(
+        events, GOLDEN_EVENTS,
+        "paper-month event count changed — simulation behavior drifted"
+    );
+    assert_eq!(
+        hash, GOLDEN_DIGEST,
+        "paper-month JSONL trace digest changed (got {hash:#018X}) — \
+         an optimization altered simulation behavior"
+    );
+}
