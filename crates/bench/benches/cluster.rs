@@ -4,6 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use condor_core::chaos::{ChaosConfig, ChaosGen, ChaosSchedule};
 use condor_core::cluster::run_cluster;
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
@@ -62,6 +63,33 @@ fn bench_cluster(c: &mut Criterion) {
             });
         });
     }
+    // Chaos injection: an armed-but-empty schedule must track
+    // simulate_days/7 (fault injection is schedule data, not a hot-path
+    // tax); the seeded schedule adds the recovery work itself.
+    group.bench_function("chaos_empty_7d", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig {
+                chaos: Some(ChaosConfig::default()),
+                ..config()
+            };
+            let out = run_cluster(cfg, jobs(40, 500_000), SimDuration::from_days(7));
+            black_box(out.totals.placements)
+        });
+    });
+    let schedule = ChaosSchedule::generate(
+        7,
+        &ChaosGen { horizon: SimDuration::from_days(7), stations: 23, faults: 12 },
+    );
+    group.bench_function("chaos_faults_12_7d", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig {
+                chaos: Some(ChaosConfig::new(schedule.clone())),
+                ..config()
+            };
+            let out = run_cluster(cfg, jobs(40, 500_000), SimDuration::from_days(7));
+            black_box(out.totals.ckpt_retries + out.totals.local_starts)
+        });
+    });
     group.finish();
     // Sanity check outside measurement: the cost model is exactly linear.
     let costs = CostModel::default();

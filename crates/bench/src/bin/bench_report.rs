@@ -23,6 +23,7 @@
 
 use std::time::{Duration, Instant, SystemTime};
 
+use condor_core::chaos::{ChaosConfig, ChaosGen, ChaosSchedule};
 use condor_core::cluster::{run_cluster, run_cluster_with_sinks};
 use condor_core::config::{ClusterConfig, Reservation};
 use condor_core::job::{JobId, JobSpec, UserId};
@@ -289,6 +290,43 @@ fn main() {
         });
         rows.push(Row {
             name: format!("cluster/image_mb/{mb}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+    }
+
+    // chaos: the same week with fault injection armed. `empty` prices the
+    // standing cost of an armed-but-silent schedule (must track
+    // simulate_days/7 — chaos is schedule data, not a hot-path branch tax);
+    // `faults_12` adds a seeded 12-fault schedule's recovery work.
+    {
+        let (iters, ms, events) = measure(budget, || {
+            let cfg = ClusterConfig {
+                chaos: Some(ChaosConfig::default()),
+                ..cluster_config()
+            };
+            let out = run_cluster(cfg, jobs(40, 500_000), SimDuration::from_days(7));
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: "cluster/chaos/empty".to_string(),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+        });
+        let gen = ChaosGen { horizon: SimDuration::from_days(7), stations: 23, faults: 12 };
+        let schedule = ChaosSchedule::generate(7, &gen);
+        let (iters, ms, events) = measure(budget, || {
+            let cfg = ClusterConfig {
+                chaos: Some(ChaosConfig::new(schedule.clone())),
+                ..cluster_config()
+            };
+            let out = run_cluster(cfg, jobs(40, 500_000), SimDuration::from_days(7));
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: "cluster/chaos/faults_12".to_string(),
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),

@@ -75,6 +75,10 @@ struct JobAudit {
     started_at: Option<SimTime>,
     /// Instant of the last `JobResumedInPlace`.
     resumed_at: Option<SimTime>,
+    /// Instant of the last `ChaosLocalStart` (an autonomous start while
+    /// the coordinator is unreachable); the paired same-instant
+    /// `JobStarted` is legal straight from `Queued`.
+    local_start_at: Option<SimTime>,
 }
 
 /// One invariant breach, with the instant it was observed.
@@ -178,6 +182,12 @@ pub enum AuditViolationKind {
         /// The established cadence.
         cadence: SimDuration,
     },
+    /// A chaos recovery event (`chaos_coord_up` / `chaos_link_up`) with
+    /// no matching outage or partition in effect.
+    UnmatchedChaosRecovery {
+        /// Trace-kind name of the offending event.
+        event: &'static str,
+    },
 }
 
 impl fmt::Display for AuditViolationKind {
@@ -215,6 +225,9 @@ impl fmt::Display for AuditViolationKind {
             }
             K::PlacementThrottleBroken { gap, cadence } => {
                 write!(f, "placements {gap} apart violate the {cadence} throttle")
+            }
+            K::UnmatchedChaosRecovery { event } => {
+                write!(f, "{event} with no matching chaos fault in effect")
             }
         }
     }
@@ -262,6 +275,15 @@ pub struct AuditSink {
     last_poll: Option<SimTime>,
     /// Last placement fan-out instant and job (gang members share one).
     last_placement: Option<(SimTime, JobId)>,
+    /// Off-grid poll instant announced by `ChaosPollDelayed`: the
+    /// same-instant `CoordinatorPolled` (and any placements it fans out)
+    /// is exempt from the cadence and throttle checks and does not move
+    /// either baseline.
+    delayed_poll_at: Option<SimTime>,
+    /// Nesting depth of chaos coordinator-outage windows.
+    chaos_coord_depth: u32,
+    /// Nesting depth of chaos partitions, per cut-off station.
+    chaos_link_depth: HashMap<NodeId, u32>,
     events: u64,
     total: u64,
     violations: Vec<AuditViolation>,
@@ -381,6 +403,7 @@ impl TraceSink for AuditSink {
                             fanout_at: None,
                             started_at: None,
                             resumed_at: None,
+                            local_start_at: None,
                         });
                         false
                     }
@@ -400,6 +423,7 @@ impl TraceSink for AuditSink {
                             fanout_at: None,
                             started_at: None,
                             resumed_at: None,
+                            local_start_at: None,
                         });
                         false
                     }
@@ -414,22 +438,28 @@ impl TraceSink for AuditSink {
                     match phase {
                         JobPhase::Queued => {
                             // Throttle: fan-outs for *different* placements
-                            // must sit at least one poll cadence apart.
-                            if let (Some((prev, _)), Some(cadence)) =
-                                (self.last_placement, self.cadence)
-                            {
-                                let gap = at.since(prev);
-                                if gap < cadence {
-                                    self.report(
-                                        at,
-                                        AuditViolationKind::PlacementThrottleBroken {
-                                            gap,
-                                            cadence,
-                                        },
-                                    );
+                            // must sit at least one poll cadence apart. A
+                            // fan-out from a chaos-delayed poll is off the
+                            // grid by construction and is not remembered,
+                            // so the next on-grid fan-out is measured
+                            // against the previous on-grid one.
+                            if self.delayed_poll_at != Some(at) {
+                                if let (Some((prev, _)), Some(cadence)) =
+                                    (self.last_placement, self.cadence)
+                                {
+                                    let gap = at.since(prev);
+                                    if gap < cadence {
+                                        self.report(
+                                            at,
+                                            AuditViolationKind::PlacementThrottleBroken {
+                                                gap,
+                                                cadence,
+                                            },
+                                        );
+                                    }
                                 }
+                                self.last_placement = Some((at, job));
                             }
-                            self.last_placement = Some((at, job));
                             let a = self.jobs.get_mut(&job).expect("checked");
                             a.phase = JobPhase::Transfer;
                             a.fanout_at = Some(at);
@@ -470,14 +500,18 @@ impl TraceSink for AuditSink {
             TraceKind::JobStarted { job, on: _ } => {
                 if self.job_for_event(at, job, "job_started") {
                     let a = self.jobs.get_mut(&job).expect("checked");
-                    let (phase, resumed_at) = (a.phase, a.resumed_at);
+                    let (phase, resumed_at, local_start_at) =
+                        (a.phase, a.resumed_at, a.local_start_at);
                     a.started_at = Some(at);
                     a.phase = JobPhase::Running;
                     // Legal from a landed transfer or a suspension; also as
                     // the restart notification paired with a same-instant
-                    // resume marker (the gang event order).
+                    // resume marker (the gang event order), or straight
+                    // from the queue when paired with a same-instant
+                    // autonomous chaos start.
                     let legal = matches!(phase, JobPhase::Transfer | JobPhase::Suspended)
-                        || (phase == JobPhase::Running && resumed_at == Some(at));
+                        || (phase == JobPhase::Running && resumed_at == Some(at))
+                        || (phase == JobPhase::Queued && local_start_at == Some(at));
                     if !legal {
                         self.illegal(at, job, phase, "job_started");
                     }
@@ -617,6 +651,12 @@ impl TraceSink for AuditSink {
                 }
             }
             TraceKind::CoordinatorPolled { .. } => {
+                // A chaos-delayed poll is off the grid by construction; it
+                // neither gets the cadence check nor becomes the baseline
+                // the next on-grid poll is measured against.
+                if self.delayed_poll_at == Some(at) {
+                    return;
+                }
                 if let Some(prev) = self.last_poll {
                     let gap = at.since(prev);
                     match self.cadence {
@@ -644,7 +684,65 @@ impl TraceSink for AuditSink {
                 }
                 self.last_poll = Some(at);
             }
-            TraceKind::StationFailed { .. }
+            TraceKind::ChaosPollDelayed { .. } => {
+                self.delayed_poll_at = Some(at);
+            }
+            TraceKind::ChaosLocalStart { job, on } => {
+                if self.job_for_event(at, job, "chaos_local_start") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    let phase = a.phase;
+                    a.local_start_at = Some(at);
+                    if phase != JobPhase::Queued {
+                        self.illegal(at, job, phase, "chaos_local_start");
+                    }
+                    if let Some(&resident) = self.resident.get(&on) {
+                        self.report(
+                            at,
+                            AuditViolationKind::DoubleOccupancy {
+                                station: on,
+                                resident,
+                                incoming: job,
+                            },
+                        );
+                    }
+                    self.resident.insert(on, job);
+                    self.held.entry(job).or_default().push(on);
+                }
+            }
+            TraceKind::ChaosCkptCorrupted { job, .. } => {
+                if self.job_for_event(at, job, "chaos_ckpt_corrupted") {
+                    // The retry keeps the transfer in flight: phase and
+                    // `ckpt_in_flight` are both unchanged.
+                    let (phase, _) = self.job_snapshot(job);
+                    if phase != JobPhase::Checkpointing {
+                        self.illegal(at, job, phase, "chaos_ckpt_corrupted");
+                    }
+                }
+            }
+            TraceKind::ChaosCoordDown => self.chaos_coord_depth += 1,
+            TraceKind::ChaosCoordUp => {
+                if self.chaos_coord_depth == 0 {
+                    self.report(
+                        at,
+                        AuditViolationKind::UnmatchedChaosRecovery { event: "chaos_coord_up" },
+                    );
+                } else {
+                    self.chaos_coord_depth -= 1;
+                }
+            }
+            TraceKind::ChaosLinkDown { station } => {
+                *self.chaos_link_depth.entry(station).or_insert(0) += 1;
+            }
+            TraceKind::ChaosLinkUp { station } => match self.chaos_link_depth.get_mut(&station) {
+                Some(depth) if *depth > 0 => *depth -= 1,
+                _ => self.report(
+                    at,
+                    AuditViolationKind::UnmatchedChaosRecovery { event: "chaos_link_up" },
+                ),
+            },
+            TraceKind::ChaosPollLost
+            | TraceKind::ChaosDupDropped
+            | TraceKind::StationFailed { .. }
             | TraceKind::StationRecovered { .. }
             | TraceKind::ReservationStarted { .. }
             | TraceKind::ReservationEnded { .. } => {}
@@ -860,6 +958,109 @@ mod tests {
             v.kind,
             AuditViolationKind::PlacementThrottleBroken { .. }
         )));
+    }
+
+    #[test]
+    fn chaos_local_start_pairs_with_job_started() {
+        let job = JobId(0);
+        let on = NodeId::new(4);
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job }),
+            ev(60, TraceKind::ChaosCoordDown),
+            ev(90, TraceKind::ChaosLocalStart { job, on }),
+            ev(90, TraceKind::JobStarted { job, on }),
+            ev(200, TraceKind::ChaosCoordUp),
+            ev(400, TraceKind::JobCompleted { job, on }),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+        // Without the paired marker, Queued → Running stays illegal.
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job }),
+            ev(90, TraceKind::JobStarted { job, on }),
+        ]);
+        assert!(!sink.is_clean());
+    }
+
+    #[test]
+    fn chaos_recovery_without_fault_is_flagged() {
+        let sink = audit(&[ev(10, TraceKind::ChaosCoordUp)]);
+        assert!(matches!(
+            sink.violations()[0].kind,
+            AuditViolationKind::UnmatchedChaosRecovery { event: "chaos_coord_up" }
+        ));
+        let sink = audit(&[ev(10, TraceKind::ChaosLinkUp { station: NodeId::new(2) })]);
+        assert!(matches!(
+            sink.violations()[0].kind,
+            AuditViolationKind::UnmatchedChaosRecovery { event: "chaos_link_up" }
+        ));
+        // Matched pairs are clean, including nested partitions.
+        let s = NodeId::new(2);
+        let sink = audit(&[
+            ev(10, TraceKind::ChaosLinkDown { station: s }),
+            ev(15, TraceKind::ChaosLinkDown { station: s }),
+            ev(20, TraceKind::ChaosLinkUp { station: s }),
+            ev(25, TraceKind::ChaosLinkUp { station: s }),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+    }
+
+    #[test]
+    fn chaos_delayed_poll_is_cadence_exempt() {
+        let polled = TraceKind::CoordinatorPolled {
+            free_machines: 0,
+            waiting_jobs: 0,
+            placements: 0,
+            preemptions: 0,
+        };
+        // An off-grid poll at 270 s is announced by the delay marker and
+        // does not break the 120 s cadence or re-baseline it.
+        let sink = audit(&[
+            ev(120, polled),
+            ev(240, polled),
+            ev(270, TraceKind::ChaosPollDelayed { delay_ms: 30_000 }),
+            ev(270, polled),
+            ev(360, polled),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+        // The same off-grid poll without the marker is flagged (cadence
+        // pinned: an inferring auditor would re-baseline to the divisor).
+        let mut sink = AuditSink::new().with_poll_interval(SimDuration::from_secs(120));
+        for e in [ev(120, polled), ev(240, polled), ev(270, polled)] {
+            sink.record(&e);
+        }
+        sink.finish(SimTime::from_secs(270));
+        assert!(!sink.is_clean());
+    }
+
+    #[test]
+    fn chaos_ckpt_corrupted_requires_checkpointing_phase() {
+        let job = JobId(0);
+        let on = NodeId::new(0);
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job }),
+            ev(120, TraceKind::PlacementStarted { job, target: on }),
+            ev(121, TraceKind::JobStarted { job, on }),
+            ev(300, TraceKind::CheckpointStarted {
+                job,
+                from: on,
+                reason: crate::job::PreemptReason::OwnerReturned,
+                bytes: 10,
+            }),
+            ev(310, TraceKind::ChaosCkptCorrupted { job, from: on, attempt: 1 }),
+            ev(340, TraceKind::CheckpointCompleted { job, from: on, bytes: 10 }),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+        // Corruption outside a checkpoint is illegal.
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job }),
+            ev(120, TraceKind::PlacementStarted { job, target: on }),
+            ev(121, TraceKind::JobStarted { job, on }),
+            ev(130, TraceKind::ChaosCkptCorrupted { job, from: on, attempt: 1 }),
+        ]);
+        assert!(matches!(
+            sink.violations()[0].kind,
+            AuditViolationKind::IllegalTransition { event: "chaos_ckpt_corrupted", .. }
+        ));
     }
 
     #[test]

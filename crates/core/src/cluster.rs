@@ -29,6 +29,7 @@ use condor_sim::event::EventToken;
 use condor_sim::series::{BucketAccumulator, StepSeries};
 use condor_sim::time::{SimDuration, SimTime};
 
+use crate::chaos::{ChaosConfig, Fault};
 use crate::config::{ClusterConfig, ConfigError, EvictionStrategy, PolicyKind};
 use crate::job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
 use crate::policy::{
@@ -117,6 +118,33 @@ pub enum Event {
     StationRecover {
         /// Station index.
         station: u32,
+    },
+    /// A scheduled chaos fault fires.
+    ChaosFault {
+        /// Index into [`crate::chaos::ChaosSchedule::entries`].
+        idx: u32,
+    },
+    /// A windowed chaos fault's window closes.
+    ChaosHeal {
+        /// Index of the schedule entry whose window ends.
+        idx: u32,
+    },
+    /// The body of a poll postponed by [`Fault::CtrlDelay`].
+    ChaosDelayedPoll {
+        /// How late the body runs, for the trace announcement.
+        delay_ms: u64,
+    },
+    /// Periodic local-scheduler pass starting queued jobs autonomously
+    /// while the coordinator is unreachable (outage or partition).
+    ChaosAutonomySweep,
+    /// Re-send of a corrupted checkpoint transfer after backoff.
+    ChaosCkptRetry {
+        /// The job mid-checkpoint.
+        job: JobId,
+        /// Station the image leaves.
+        from: u32,
+        /// Transfer sequence (stale retries are dropped).
+        seq: u32,
     },
 }
 
@@ -374,6 +402,11 @@ pub struct Totals {
     pub station_failures: u64,
     /// Jobs rolled back to their last checkpoint by a host crash.
     pub crash_rollbacks: u64,
+    /// Autonomous local starts while the coordinator was unreachable
+    /// (chaos outage or partition).
+    pub local_starts: u64,
+    /// Corrupted checkpoint transfers detected and re-sent (chaos).
+    pub ckpt_retries: u64,
 }
 
 /// Everything a run produces.
@@ -520,6 +553,55 @@ pub struct Cluster {
     gangs: Vec<Option<Box<GangState>>>,
     /// Incrementally maintained poll snapshot.
     coord: CoordCache,
+    /// Live fault-injection state; `None` (no [`ChaosConfig`]) keeps the
+    /// chaos machinery to a single branch on the hot paths.
+    chaos: Option<ChaosState>,
+}
+
+/// Runtime state of the injected fault schedule (see [`crate::chaos`]).
+#[derive(Debug)]
+struct ChaosState {
+    /// The injected configuration: schedule plus retry-backoff knobs.
+    cfg: ChaosConfig,
+    /// Nesting depth of open coordinator-outage windows.
+    outage_depth: u32,
+    /// Per-station nesting depth of open partition windows.
+    partition_depth: Vec<u32>,
+    /// Control-loss window end: polls before this instant are dropped.
+    ctrl_loss_until: SimTime,
+    /// Corruption window end: non-gang checkpoint transfers completing
+    /// before this instant land damaged and are re-sent.
+    ckpt_corrupt_until: SimTime,
+    /// One-shot: the next executed poll sees (and discards) a duplicate.
+    dup_pending: bool,
+    /// One-shot: the next on-grid poll runs this much later instead.
+    delay_pending: Option<SimDuration>,
+    /// Consecutive corrupted attempts per job (index = job id), cleared
+    /// by a clean checkpoint completion.
+    retry_attempts: Vec<u32>,
+    /// Whether an autonomy-sweep chain is already scheduled.
+    sweep_pending: bool,
+}
+
+impl ChaosState {
+    fn new(cfg: ChaosConfig, stations: usize, jobs: usize) -> Self {
+        ChaosState {
+            cfg,
+            outage_depth: 0,
+            partition_depth: vec![0; stations],
+            ctrl_loss_until: SimTime::ZERO,
+            ckpt_corrupt_until: SimTime::ZERO,
+            dup_pending: false,
+            delay_pending: None,
+            retry_attempts: vec![0; jobs],
+            sweep_pending: false,
+        }
+    }
+
+    /// Whether `station` currently cannot reach the coordinator.
+    fn unreachable(&self, station: usize) -> bool {
+        self.outage_depth > 0 || self.partition_depth[station] > 0
+    }
 }
 
 /// Owned polymorphic policy (kept concrete-debuggable).
@@ -657,6 +739,10 @@ impl Cluster {
             .map(|s| user_ids.binary_search(&s.user).expect("interned user") as u32)
             .collect();
         let coord = CoordCache::new(config.stations);
+        let chaos = config
+            .chaos
+            .as_ref()
+            .map(|c| ChaosState::new(c.clone(), config.stations, specs.len()));
         Ok(Cluster {
             stations,
             dependents,
@@ -678,6 +764,7 @@ impl Cluster {
             remote_busy: BucketAccumulator::new(SimDuration::HOUR),
             coordinator_down: false,
             coord,
+            chaos,
             config,
         })
     }
@@ -728,6 +815,19 @@ impl Cluster {
                     .scheduler()
                     .at(SimTime::ZERO + ttf, Event::StationCrash { station: i as u32 });
             }
+        }
+        // Chaos schedules are pre-expanded data: each entry plants one
+        // fault event, so an empty schedule perturbs nothing at all.
+        let n_faults = engine
+            .model()
+            .chaos
+            .as_ref()
+            .map_or(0, |c| c.cfg.schedule.entries.len());
+        for idx in 0..n_faults {
+            let at = engine.model().chaos.as_ref().expect("chaos configured").cfg.schedule.entries
+                [idx]
+                .at;
+            engine.scheduler().at(at, Event::ChaosFault { idx: idx as u32 });
         }
         engine.scheduler().at(SimTime::ZERO + first_poll, Event::Poll);
     }
@@ -845,9 +945,13 @@ impl Cluster {
     /// truth shared by cache refresh and the debug full-rescan check.
     fn compute_view(&self, i: usize) -> StationView {
         let st = &self.stations[i];
+        // A partitioned station is dark to the coordinator: it takes no
+        // new placements and its queue is invisible until the link heals.
+        let cut = self.chaos.as_ref().is_some_and(|c| c.partition_depth[i] > 0);
         StationView {
             node: NodeId::new(i as u32),
-            can_host: !st.failed
+            can_host: !cut
+                && !st.failed
                 && st.reserved_for.is_none()
                 && st.owner_state == OwnerState::Idle
                 && st.foreign.is_none(),
@@ -867,7 +971,7 @@ impl Cluster {
             },
             // A downed station's local scheduler is unreachable; its queue
             // thaws on recovery.
-            waiting_jobs: if st.failed { 0 } else { st.queue.len() },
+            waiting_jobs: if st.failed || cut { 0 } else { st.queue.len() },
         }
     }
 
@@ -1268,8 +1372,59 @@ impl Cluster {
 
     fn on_poll(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
         sched.at(now + self.config.costs.coordinator_poll_interval, Event::Poll);
+        if self.coordinator_down || self.chaos_poll_suppressed(now, sched) {
+            return;
+        }
+        self.poll_body(now, sched);
+    }
+
+    /// Chaos gating for an on-grid poll. Outage windows drop polls
+    /// silently — the cadence gap stays a whole multiple of the interval,
+    /// exactly like coordinator-host downtime. Control-message loss drops
+    /// them loudly, and a pending delay postpones the body off the grid.
+    fn chaos_poll_suppressed(&mut self, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return false;
+        };
+        if chaos.outage_depth > 0 {
+            return true;
+        }
+        if now >= chaos.ctrl_loss_until {
+            if let Some(delay) = chaos.delay_pending.take() {
+                sched.at(now + delay, Event::ChaosDelayedPoll { delay_ms: delay.as_millis() });
+                return true;
+            }
+            return false;
+        }
+        self.emit(now, TraceKind::ChaosPollLost);
+        true
+    }
+
+    /// Runs the postponed body of a poll hit by [`Fault::CtrlDelay`]. The
+    /// next on-grid poll (already scheduled by the suppressed one) is
+    /// unaffected.
+    fn on_chaos_delayed_poll(&mut self, now: SimTime, delay_ms: u64, sched: &mut Scheduler<Event>) {
         if self.coordinator_down {
             return;
+        }
+        if let Some(c) = self.chaos.as_ref() {
+            if c.outage_depth > 0 || now < c.ctrl_loss_until {
+                return;
+            }
+        }
+        self.emit(now, TraceKind::ChaosPollDelayed { delay_ms });
+        self.poll_body(now, sched);
+    }
+
+    /// The poll cycle proper: reservations, policy decision, order
+    /// execution, and the poll trace/gauge emissions. Shared by on-grid
+    /// polls and chaos-delayed ones.
+    fn poll_body(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        if self.chaos.as_ref().is_some_and(|c| c.dup_pending) {
+            // The duplicated request is recognised by its sequence number
+            // and discarded before any allocation work.
+            self.chaos.as_mut().expect("dup checked").dup_pending = false;
+            self.emit(now, TraceKind::ChaosDupDropped);
         }
         self.totals.polls += 1;
         // Reserved machines are served first, outside the general policy:
@@ -1588,7 +1743,14 @@ impl Cluster {
         }
     }
 
-    fn on_checkpoint_done(&mut self, now: SimTime, job: JobId, from: u32, seq: u32) {
+    fn on_checkpoint_done(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        from: u32,
+        seq: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
         let f = from as usize;
         if self.jobs[job.0 as usize].transfer_seq != seq {
             return;
@@ -1624,6 +1786,17 @@ impl Cluster {
         }
         if !self.slot_is(f, job, |p| matches!(p, Phase::Departing)) {
             return;
+        }
+        // Corruption window: the image landed damaged (detected by
+        // checksum on receipt). The source still holds it, so nothing is
+        // lost — the job stays mid-checkpoint and the transfer is re-sent
+        // after a capped exponential backoff. Gang fan-ins are exempt.
+        if self.chaos.as_ref().is_some_and(|c| now < c.ckpt_corrupt_until) {
+            self.chaos_corrupt_ckpt(now, job, from, seq, sched);
+            return;
+        }
+        if let Some(c) = self.chaos.as_mut() {
+            c.retry_attempts[job.0 as usize] = 0;
         }
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[f].disk_used -= image;
@@ -2201,6 +2374,218 @@ impl Cluster {
         }
     }
 
+    // ----- chaos fault injection ----------------------------------------
+
+    /// Applies one schedule entry. Instantaneous faults arm a one-shot
+    /// effect; windowed faults open their window and schedule the heal.
+    fn on_chaos_fault(&mut self, now: SimTime, idx: u32, sched: &mut Scheduler<Event>) {
+        let fault = self.chaos.as_ref().expect("chaos event without config").cfg.schedule.entries
+            [idx as usize]
+            .fault;
+        match fault {
+            Fault::CtrlLoss { duration } => {
+                let c = self.chaos.as_mut().expect("checked");
+                c.ctrl_loss_until = c.ctrl_loss_until.max(now + duration);
+            }
+            Fault::CtrlDelay { delay } => {
+                self.chaos.as_mut().expect("checked").delay_pending = Some(delay);
+            }
+            Fault::CtrlDup => {
+                self.chaos.as_mut().expect("checked").dup_pending = true;
+            }
+            Fault::CkptCorrupt { duration } => {
+                let c = self.chaos.as_mut().expect("checked");
+                c.ckpt_corrupt_until = c.ckpt_corrupt_until.max(now + duration);
+            }
+            Fault::Partition { first_station, machines, duration } => {
+                for s in first_station..first_station + machines {
+                    let i = s as usize;
+                    let depth = {
+                        let c = self.chaos.as_mut().expect("checked");
+                        c.partition_depth[i] += 1;
+                        c.partition_depth[i]
+                    };
+                    if depth == 1 {
+                        self.coord.mark(i);
+                        self.emit(now, TraceKind::ChaosLinkDown { station: NodeId::new(s) });
+                    }
+                }
+                sched.at(now + duration, Event::ChaosHeal { idx });
+                self.kick_autonomy_sweep(now, sched);
+            }
+            Fault::CoordinatorOutage { duration } => {
+                let depth = {
+                    let c = self.chaos.as_mut().expect("checked");
+                    c.outage_depth += 1;
+                    c.outage_depth
+                };
+                if depth == 1 {
+                    self.emit(now, TraceKind::ChaosCoordDown);
+                }
+                sched.at(now + duration, Event::ChaosHeal { idx });
+                self.kick_autonomy_sweep(now, sched);
+            }
+        }
+    }
+
+    /// Closes a windowed fault. Overlapping windows nest: recovery is
+    /// announced only when the last one ends.
+    fn on_chaos_heal(&mut self, now: SimTime, idx: u32) {
+        let fault = self.chaos.as_ref().expect("chaos event without config").cfg.schedule.entries
+            [idx as usize]
+            .fault;
+        match fault {
+            Fault::Partition { first_station, machines, .. } => {
+                for s in first_station..first_station + machines {
+                    let i = s as usize;
+                    let depth = {
+                        let c = self.chaos.as_mut().expect("checked");
+                        c.partition_depth[i] -= 1;
+                        c.partition_depth[i]
+                    };
+                    if depth == 0 {
+                        self.coord.mark(i);
+                        self.emit(now, TraceKind::ChaosLinkUp { station: NodeId::new(s) });
+                    }
+                }
+            }
+            Fault::CoordinatorOutage { .. } => {
+                let depth = {
+                    let c = self.chaos.as_mut().expect("checked");
+                    c.outage_depth -= 1;
+                    c.outage_depth
+                };
+                if depth == 0 {
+                    self.emit(now, TraceKind::ChaosCoordUp);
+                }
+            }
+            _ => debug_assert!(false, "heal scheduled for a windowless fault"),
+        }
+    }
+
+    /// Arms the autonomy-sweep chain if it is not already running. The
+    /// sweep rides the local schedulers' own check grid: autonomy is a
+    /// station-side behaviour, reacting at owner-check granularity.
+    fn kick_autonomy_sweep(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        let interval = self.config.costs.owner_check_interval;
+        let c = self.chaos.as_mut().expect("chaos configured");
+        if c.sweep_pending {
+            return;
+        }
+        c.sweep_pending = true;
+        sched.at(now + interval, Event::ChaosAutonomySweep);
+    }
+
+    /// One pass of the cut-off local schedulers: an unreachable, idle,
+    /// unoccupied station whose queue holds a runnable width-1 job starts
+    /// it locally — paper §2.1: only the allocation of *new* capacity
+    /// stops when the coordinator is down; the stations stay autonomous.
+    fn on_chaos_autonomy_sweep(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        let all_clear = {
+            let c = self.chaos.as_ref().expect("chaos configured");
+            c.outage_depth == 0 && c.partition_depth.iter().all(|&d| d == 0)
+        };
+        if all_clear {
+            // Every window closed while the sweep was in flight: the chain
+            // dies here and re-arms with the next windowed fault.
+            self.chaos.as_mut().expect("checked").sweep_pending = false;
+            return;
+        }
+        for i in 0..self.stations.len() {
+            if !self.chaos.as_ref().expect("checked").unreachable(i) {
+                continue;
+            }
+            let st = &self.stations[i];
+            if st.failed
+                || st.reserved_for.is_some()
+                || st.owner_state != OwnerState::Idle
+                || st.foreign.is_some()
+                || st.queue.is_empty()
+            {
+                continue;
+            }
+            let arch = self.station_arch(i);
+            let disk_free = st.disk_capacity - st.disk_used;
+            // Width-1 only — a gang needs the coordinator to gather
+            // machines. First eligible job in local service order.
+            let jobs = &self.jobs;
+            let Some(job) = self.stations[i].queue.pop_next_where(|id| {
+                let j = &jobs[id.0 as usize];
+                j.spec.width == 1 && j.can_run_on(arch) && j.spec.image_bytes <= disk_free
+            }) else {
+                continue;
+            };
+            let image = self.jobs[job.0 as usize].spec.image_bytes;
+            // The running copy occupies local disk alongside the standing
+            // image, exactly as a remote placement would at its target.
+            self.stations[i].disk_used += image;
+            self.coord.mark(i);
+            self.totals.local_starts += 1;
+            self.emit(now, TraceKind::ChaosLocalStart { job, on: NodeId::new(i as u32) });
+            self.start_running(now, i, job, sched);
+        }
+        sched.at(now + self.config.costs.owner_check_interval, Event::ChaosAutonomySweep);
+    }
+
+    /// Handles a checkpoint transfer that completed inside a corruption
+    /// window: announce, count, and schedule the re-send. No job state
+    /// changes — the job stays `CheckpointingOut`, the slot `Departing`,
+    /// until a clean copy lands.
+    fn chaos_corrupt_ckpt(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        from: u32,
+        seq: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let (attempt, backoff) = {
+            let c = self.chaos.as_mut().expect("corruption window checked");
+            let slot = &mut c.retry_attempts[job.0 as usize];
+            *slot += 1;
+            let attempt = *slot;
+            let base = c.cfg.retry_backoff_base.as_millis();
+            let cap = c.cfg.retry_backoff_max.as_millis();
+            let factor = 1u64 << (attempt - 1).min(20);
+            (attempt, SimDuration::from_millis(cap.min(base.saturating_mul(factor))))
+        };
+        self.totals.ckpt_retries += 1;
+        self.emit(
+            now,
+            TraceKind::ChaosCkptCorrupted { job, from: NodeId::new(from), attempt },
+        );
+        #[cfg(test)]
+        if crate::chaos::test_hooks::BREAK_CKPT_RETRY.with(|b| b.get()) {
+            return; // deliberately broken recovery: the re-send is dropped
+        }
+        sched.at(now + backoff, Event::ChaosCkptRetry { job, from, seq });
+    }
+
+    /// Re-sends a corrupted checkpoint image. Stale if the source station
+    /// crashed in the meantime (the job has moved on).
+    fn on_chaos_ckpt_retry(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        from: u32,
+        seq: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        if self.jobs[job.0 as usize].transfer_seq != seq
+            || !self.slot_is(from as usize, job, |p| matches!(p, Phase::Departing))
+        {
+            return;
+        }
+        let (image, home) = {
+            let j = &mut self.jobs[job.0 as usize];
+            let image = j.spec.image_bytes;
+            j.charge_transfer(self.config.costs.transfer_cpu_cost(image));
+            (image, j.spec.home)
+        };
+        let booking = self.bus.book_transfer(now, NodeId::new(from), home, image);
+        sched.at(booking.completes_at, Event::CheckpointDone { job, from, seq });
+    }
+
     /// Closes open accounting intervals at the end of observation.
     fn finalize(&mut self, horizon: SimTime) {
         // Running gangs: accrue and deposit each member's utilization.
@@ -2280,7 +2665,7 @@ impl Model for Cluster {
                 self.on_placement_done(now, job, target, seq, sched)
             }
             Event::CheckpointDone { job, from, seq } => {
-                self.on_checkpoint_done(now, job, from, seq)
+                self.on_checkpoint_done(now, job, from, seq, sched)
             }
             Event::Finish { job, on } => self.on_finish(now, job, on),
             Event::GraceOver { station, job } => self.on_grace_over(now, station, job, sched),
@@ -2291,6 +2676,15 @@ impl Model for Cluster {
             Event::ReservationEnd { idx } => self.on_reservation_end(now, idx),
             Event::StationCrash { station } => self.on_station_crash(now, station, sched),
             Event::StationRecover { station } => self.on_station_recover(now, station, sched),
+            Event::ChaosFault { idx } => self.on_chaos_fault(now, idx, sched),
+            Event::ChaosHeal { idx } => self.on_chaos_heal(now, idx),
+            Event::ChaosDelayedPoll { delay_ms } => {
+                self.on_chaos_delayed_poll(now, delay_ms, sched)
+            }
+            Event::ChaosAutonomySweep => self.on_chaos_autonomy_sweep(now, sched),
+            Event::ChaosCkptRetry { job, from, seq } => {
+                self.on_chaos_ckpt_retry(now, job, from, seq, sched)
+            }
         }
     }
 }

@@ -6,6 +6,7 @@ use condor_model::station::{Arch, StationProfile};
 use condor_net::{BusConfig, NodeId};
 use condor_sim::time::{SimDuration, SimTime};
 
+use crate::chaos::ChaosConfig;
 use crate::job::JobId;
 use crate::queue::LocalOrder;
 use crate::updown::UpDownConfig;
@@ -85,6 +86,23 @@ pub enum ConfigError {
         /// Fleet size.
         stations: usize,
     },
+    /// Chaos schedule entries are not sorted by injection time.
+    ChaosScheduleUnsorted,
+    /// A chaos fault with a zero-length window or delay.
+    ChaosZeroDuration,
+    /// A chaos partition cutting off zero machines.
+    ChaosPartitionZeroMachines,
+    /// A chaos partition naming stations outside the fleet.
+    ChaosPartitionOutsideFleet {
+        /// First station in the partitioned range.
+        first_station: u32,
+        /// Number of stations cut off.
+        machines: u32,
+        /// Fleet size.
+        stations: usize,
+    },
+    /// A zero checkpoint-retry backoff base.
+    ChaosZeroBackoff,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -132,6 +150,23 @@ impl std::fmt::Display for ConfigError {
                     job.0
                 )
             }
+            ConfigError::ChaosScheduleUnsorted => {
+                f.write_str("chaos schedule entries must be sorted by time")
+            }
+            ConfigError::ChaosZeroDuration => {
+                f.write_str("chaos fault with a zero duration or delay")
+            }
+            ConfigError::ChaosPartitionZeroMachines => {
+                f.write_str("chaos partition cuts off zero machines")
+            }
+            ConfigError::ChaosPartitionOutsideFleet { first_station, machines, stations } => {
+                write!(
+                    f,
+                    "chaos partition [{first_station}, {}) outside the {stations}-station fleet",
+                    first_station + machines
+                )
+            }
+            ConfigError::ChaosZeroBackoff => f.write_str("zero chaos retry backoff base"),
         }
     }
 }
@@ -329,6 +364,10 @@ pub struct ClusterConfig {
     pub reservations: Vec<Reservation>,
     /// Record the full event trace (disable for huge benchmark runs).
     pub record_trace: bool,
+    /// Optional deterministic fault injection (see [`crate::chaos`]).
+    /// `None` — and `Some` with an empty schedule — leave the run
+    /// bit-identical to an unconfigured one.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -352,6 +391,7 @@ impl Default for ClusterConfig {
             checkpoint_server: false,
             reservations: Vec::new(),
             record_trace: true,
+            chaos: None,
         }
     }
 }
@@ -407,6 +447,9 @@ impl ClusterConfig {
         }
         for r in &self.reservations {
             r.check(self.stations)?;
+        }
+        if let Some(c) = &self.chaos {
+            c.check(self.stations)?;
         }
         Ok(())
     }
@@ -548,6 +591,12 @@ impl ClusterConfigBuilder {
     /// Enables or disables full event-trace recording.
     pub fn record_trace(mut self, enabled: bool) -> Self {
         self.config.record_trace = enabled;
+        self
+    }
+
+    /// Enables deterministic chaos fault injection.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.config.chaos = Some(chaos);
         self
     }
 

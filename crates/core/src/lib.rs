@@ -15,7 +15,10 @@
 //!   local schedulers, the coordinator, the network, and cost accounting;
 //! * [`trace`] — the replayable event trace experiments consume;
 //! * [`telemetry`] — streaming trace sinks and the O(1)-memory
-//!   [`Telemetry`] summary every run produces.
+//!   [`Telemetry`] summary every run produces;
+//! * [`chaos`] — deterministic fault injection (control-message loss /
+//!   delay / duplication, checkpoint corruption with retry, partitions,
+//!   coordinator outages) plus the schedule-exploring, shrinking harness.
 //!
 //! ## Example: run a small cluster
 //!
@@ -48,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod chaos;
 pub mod cluster;
 pub mod config;
 pub mod job;
@@ -59,6 +63,10 @@ pub mod trace;
 pub mod updown;
 
 pub use audit::{AuditSink, AuditViolation, AuditViolationKind};
+pub use chaos::{
+    ChaosConfig, ChaosEntry, ChaosFailure, ChaosGen, ChaosParseError, ChaosSchedule,
+    ExploreReport, Fault,
+};
 pub use cluster::{run_cluster, run_cluster_with_sinks, Cluster, Event, RunOutput, Totals};
 pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig, PolicyKind,

@@ -165,7 +165,8 @@ pub struct SpanMarker {
     /// The machine concerned.
     pub station: NodeId,
     /// Stable label: `suspended`, `resumed_in_place`, `killed`,
-    /// `checkpoint_out`, `periodic_checkpoint`, or `crash_rollback`.
+    /// `checkpoint_out`, `periodic_checkpoint`, `crash_rollback`,
+    /// `chaos_ckpt_corrupted`, or `chaos_local_start`.
     pub label: &'static str,
 }
 
@@ -471,6 +472,19 @@ impl TraceSink for SpanSink {
             TraceKind::JobCompleted { job, .. } => {
                 self.close(job, at);
             }
+            TraceKind::ChaosCkptCorrupted { job, from, .. } => {
+                // The job stays Checkpointing; the marker records the retry.
+                self.mark(at, job, from, "chaos_ckpt_corrupted");
+            }
+            TraceKind::ChaosLocalStart { job, on } => {
+                // An autonomous start occupies the home station just like a
+                // placed image; the paired `JobStarted` does the phase
+                // transition.
+                if let Some(open) = self.open.get_mut(&job) {
+                    open.holding.push((on, at));
+                }
+                self.mark(at, job, on, "chaos_local_start");
+            }
             TraceKind::JobRejected { .. }
             | TraceKind::PlacementDiskRejected { .. }
             | TraceKind::OwnerActive { .. }
@@ -479,7 +493,14 @@ impl TraceSink for SpanSink {
             | TraceKind::StationRecovered { .. }
             | TraceKind::ReservationStarted { .. }
             | TraceKind::ReservationEnded { .. }
-            | TraceKind::CoordinatorPolled { .. } => {}
+            | TraceKind::CoordinatorPolled { .. }
+            | TraceKind::ChaosPollLost
+            | TraceKind::ChaosPollDelayed { .. }
+            | TraceKind::ChaosDupDropped
+            | TraceKind::ChaosLinkDown { .. }
+            | TraceKind::ChaosLinkUp { .. }
+            | TraceKind::ChaosCoordDown
+            | TraceKind::ChaosCoordUp => {}
         }
     }
 

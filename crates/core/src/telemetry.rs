@@ -528,6 +528,15 @@ static MARK_ACTIONS: [MarkAction; TraceKind::COUNT] = [
     MarkAction::None,       // ReservationStarted
     MarkAction::None,       // ReservationEnded
     MarkAction::None,       // CoordinatorPolled
+    MarkAction::None,       // ChaosPollLost
+    MarkAction::None,       // ChaosPollDelayed
+    MarkAction::None,       // ChaosDupDropped
+    MarkAction::None,       // ChaosCkptCorrupted (retry keeps the job Checkpointing)
+    MarkAction::None,       // ChaosLinkDown
+    MarkAction::None,       // ChaosLinkUp
+    MarkAction::None,       // ChaosCoordDown
+    MarkAction::None,       // ChaosCoordUp
+    MarkAction::None,       // ChaosLocalStart (the paired JobStarted marks)
 ];
 
 /// Dense per-job timestamp marks (job ids are the dense sequence `0..n`).
@@ -740,6 +749,15 @@ mod tests {
                 placements: 1,
                 preemptions: 0,
             },
+            TraceKind::ChaosPollLost,
+            TraceKind::ChaosPollDelayed { delay_ms: 1 },
+            TraceKind::ChaosDupDropped,
+            TraceKind::ChaosCkptCorrupted { job, from: n, attempt: 1 },
+            TraceKind::ChaosLinkDown { station: n },
+            TraceKind::ChaosLinkUp { station: n },
+            TraceKind::ChaosCoordDown,
+            TraceKind::ChaosCoordUp,
+            TraceKind::ChaosLocalStart { job, on: n },
         ]
     }
 

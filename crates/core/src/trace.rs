@@ -158,11 +158,60 @@ pub enum TraceKind {
         /// Preemption orders issued this cycle.
         preemptions: u32,
     },
+    /// Fault injection: a scheduled coordinator poll message was lost on
+    /// the control plane; the cycle is skipped entirely.
+    ChaosPollLost,
+    /// Fault injection: a coordinator poll message was delayed; the poll
+    /// body runs off-grid at the emission time of this marker.
+    ChaosPollDelayed {
+        /// How late the poll ran, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Fault injection: a duplicated control message arrived and was
+    /// recognised by its sequence number and discarded — no state change.
+    ChaosDupDropped,
+    /// Fault injection: a checkpoint transfer arrived corrupted; the image
+    /// is discarded and the transfer retried with capped backoff.
+    ChaosCkptCorrupted {
+        /// The job whose checkpoint was corrupted.
+        job: JobId,
+        /// The station the transfer left from.
+        from: NodeId,
+        /// Retry attempt number (1 = first corruption of this transfer).
+        attempt: u32,
+    },
+    /// Fault injection: a station lost its link to the coordinator
+    /// (transient partition); it keeps its local scheduler running.
+    ChaosLinkDown {
+        /// The partitioned station.
+        station: NodeId,
+    },
+    /// Fault injection: a partitioned station's link healed.
+    ChaosLinkUp {
+        /// The reconnected station.
+        station: NodeId,
+    },
+    /// Fault injection: the coordinator process went down; polls are
+    /// skipped until recovery, local schedulers run autonomously.
+    ChaosCoordDown,
+    /// Fault injection: the coordinator recovered; polling resumes on the
+    /// next grid point.
+    ChaosCoordUp,
+    /// A local scheduler autonomously started a home-queued job on its own
+    /// idle machine while the coordinator was unreachable (the paper's
+    /// hybrid-structure degradation story: stations never depend on the
+    /// central coordinator to use their own capacity).
+    ChaosLocalStart {
+        /// The job started locally.
+        job: JobId,
+        /// The home station it started on.
+        on: NodeId,
+    },
 }
 
 impl TraceKind {
     /// Number of distinct trace-event kinds.
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 29;
 
     /// Dense index of this kind in `0..COUNT`; stable across a release,
     /// used by the telemetry layer for per-kind counter arrays.
@@ -188,6 +237,15 @@ impl TraceKind {
             TraceKind::ReservationStarted { .. } => 17,
             TraceKind::ReservationEnded { .. } => 18,
             TraceKind::CoordinatorPolled { .. } => 19,
+            TraceKind::ChaosPollLost => 20,
+            TraceKind::ChaosPollDelayed { .. } => 21,
+            TraceKind::ChaosDupDropped => 22,
+            TraceKind::ChaosCkptCorrupted { .. } => 23,
+            TraceKind::ChaosLinkDown { .. } => 24,
+            TraceKind::ChaosLinkUp { .. } => 25,
+            TraceKind::ChaosCoordDown => 26,
+            TraceKind::ChaosCoordUp => 27,
+            TraceKind::ChaosLocalStart { .. } => 28,
         }
     }
 
@@ -225,14 +283,23 @@ impl TraceKind {
             | TraceKind::JobKilled { job, .. }
             | TraceKind::PeriodicCheckpoint { job, .. }
             | TraceKind::JobCompleted { job, .. }
-            | TraceKind::CrashRollback { job, .. } => Some(*job),
+            | TraceKind::CrashRollback { job, .. }
+            | TraceKind::ChaosCkptCorrupted { job, .. }
+            | TraceKind::ChaosLocalStart { job, .. } => Some(*job),
             TraceKind::OwnerActive { .. }
             | TraceKind::OwnerIdle { .. }
             | TraceKind::StationFailed { .. }
             | TraceKind::StationRecovered { .. }
             | TraceKind::ReservationStarted { .. }
             | TraceKind::ReservationEnded { .. }
-            | TraceKind::CoordinatorPolled { .. } => None,
+            | TraceKind::CoordinatorPolled { .. }
+            | TraceKind::ChaosPollLost
+            | TraceKind::ChaosPollDelayed { .. }
+            | TraceKind::ChaosDupDropped
+            | TraceKind::ChaosLinkDown { .. }
+            | TraceKind::ChaosLinkUp { .. }
+            | TraceKind::ChaosCoordDown
+            | TraceKind::ChaosCoordUp => None,
         }
     }
 }
@@ -258,6 +325,15 @@ static KIND_NAMES: [&str; TraceKind::COUNT] = [
     "reservation_started",
     "reservation_ended",
     "coordinator_polled",
+    "chaos_poll_lost",
+    "chaos_poll_delayed",
+    "chaos_dup_dropped",
+    "chaos_ckpt_corrupted",
+    "chaos_link_down",
+    "chaos_link_up",
+    "chaos_coord_down",
+    "chaos_coord_up",
+    "chaos_local_start",
 ];
 
 /// A timestamped trace entry.
@@ -456,6 +532,23 @@ impl TraceEvent {
                 )
                 .unwrap();
             }
+            TraceKind::ChaosPollLost
+            | TraceKind::ChaosDupDropped
+            | TraceKind::ChaosCoordDown
+            | TraceKind::ChaosCoordUp => {}
+            TraceKind::ChaosPollDelayed { delay_ms } => {
+                write!(s, ",\"delay_ms\":{delay_ms}").unwrap();
+            }
+            TraceKind::ChaosCkptCorrupted { job, from, attempt } => {
+                write!(s, ",\"job\":{},\"from\":{},\"attempt\":{}", job.0, from.index(), attempt)
+                    .unwrap();
+            }
+            TraceKind::ChaosLinkDown { station } | TraceKind::ChaosLinkUp { station } => {
+                write!(s, ",\"station\":{}", station.index()).unwrap();
+            }
+            TraceKind::ChaosLocalStart { job, on } => {
+                write!(s, ",\"job\":{},\"on\":{}", job.0, on.index()).unwrap();
+            }
         }
         s.push('}');
     }
@@ -517,6 +610,21 @@ impl TraceEvent {
                 placements: f.u32("placements")?,
                 preemptions: f.u32("preemptions")?,
             },
+            "chaos_poll_lost" => TraceKind::ChaosPollLost,
+            "chaos_poll_delayed" => TraceKind::ChaosPollDelayed { delay_ms: f.u64("delay_ms")? },
+            "chaos_dup_dropped" => TraceKind::ChaosDupDropped,
+            "chaos_ckpt_corrupted" => TraceKind::ChaosCkptCorrupted {
+                job: f.job("job")?,
+                from: f.node("from")?,
+                attempt: f.u32("attempt")?,
+            },
+            "chaos_link_down" => TraceKind::ChaosLinkDown { station: f.node("station")? },
+            "chaos_link_up" => TraceKind::ChaosLinkUp { station: f.node("station")? },
+            "chaos_coord_down" => TraceKind::ChaosCoordDown,
+            "chaos_coord_up" => TraceKind::ChaosCoordUp,
+            "chaos_local_start" => {
+                TraceKind::ChaosLocalStart { job: f.job("job")?, on: f.node("on")? }
+            }
             other => return Err(TraceParseError::UnknownKind(other.into())),
         };
         Ok(TraceEvent { at, kind })
@@ -655,6 +763,15 @@ mod tests {
                 placements: 1,
                 preemptions: 0,
             },
+            TraceKind::ChaosPollLost,
+            TraceKind::ChaosPollDelayed { delay_ms: 45_000 },
+            TraceKind::ChaosDupDropped,
+            TraceKind::ChaosCkptCorrupted { job: j, from: n, attempt: 2 },
+            TraceKind::ChaosLinkDown { station: n },
+            TraceKind::ChaosLinkUp { station: n },
+            TraceKind::ChaosCoordDown,
+            TraceKind::ChaosCoordUp,
+            TraceKind::ChaosLocalStart { job: j, on: n },
         ]
     }
 

@@ -35,6 +35,12 @@ pub struct RunSummary {
     pub placements: u64,
     /// Checkpoint migrations performed.
     pub migrations: u64,
+    /// Autonomous local starts while the coordinator was unreachable
+    /// (nonzero only under chaos injection).
+    pub local_starts: u64,
+    /// Checkpoint transfers re-sent after corruption (nonzero only under
+    /// chaos injection).
+    pub ckpt_retries: u64,
 }
 
 /// Computes the summary for a run.
@@ -68,6 +74,8 @@ pub fn summarize(out: &RunOutput) -> RunSummary {
         mean_checkpoints: cks.mean(),
         placements: out.totals.placements,
         migrations: out.totals.migrations,
+        local_starts: out.totals.local_starts,
+        ckpt_retries: out.totals.ckpt_retries,
     }
 }
 

@@ -95,6 +95,11 @@ pub struct SharedBus {
     control_messages: u64,
     /// Cumulative time the medium spent occupied by bulk transfers.
     busy_time: SimDuration,
+    /// Start of the current (latest) contiguous busy run. Bookings that
+    /// find the medium free open a new run; bookings that queue extend
+    /// it. Lets [`SharedBus::utilization`] clamp the not-yet-elapsed
+    /// overhang to the run it actually belongs to.
+    run_start: SimTime,
 }
 
 impl SharedBus {
@@ -107,6 +112,7 @@ impl SharedBus {
             bytes_moved: 0,
             control_messages: 0,
             busy_time: SimDuration::ZERO,
+            run_start: SimTime::ZERO,
         }
     }
 
@@ -121,6 +127,10 @@ impl SharedBus {
     /// lands.
     pub fn book_transfer(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> Transfer {
         let starts_at = self.busy_until.max(now);
+        if starts_at > self.busy_until {
+            // The medium was idle: this booking opens a new busy run.
+            self.run_start = starts_at;
+        }
         let occupies = self.config.transfer_setup + self.config.transmission_time(bytes);
         let completes_at = starts_at + occupies;
         self.busy_until = completes_at;
@@ -154,7 +164,14 @@ impl SharedBus {
     }
 
     /// How long a transfer booked at `now` would wait before starting:
-    /// the queued work ahead of it on the medium (zero when free).
+    /// the time until the medium frees, zero when it already is.
+    ///
+    /// The medium is a single FIFO track that never backfills: a booking
+    /// always starts at [`SharedBus::busy_until`], even if requested
+    /// during an idle gap *before* the latest booking was made. A query
+    /// with `now` earlier than that booking therefore reports the full
+    /// wait such a booking would really experience — idle gap included —
+    /// not just the transmission time queued ahead of it.
     pub fn backlog_at(&self, now: SimTime) -> SimDuration {
         self.busy_until.saturating_since(now)
     }
@@ -180,12 +197,23 @@ impl SharedBus {
     }
 
     /// Medium utilisation over `[SimTime::ZERO, now]` as a fraction.
+    ///
+    /// Exact for any `now` at or after the start of the latest busy run
+    /// (in particular, for every monotone probe), and for any `now` in
+    /// the idle gap just before it. For `now` earlier still — inside or
+    /// before an already-completed busy run — the answer counts that
+    /// whole run as elapsed and is an upper bound: per-run history is
+    /// not retained.
     pub fn utilization(&self, now: SimTime) -> f64 {
         if now == SimTime::ZERO {
             return 0.0;
         }
-        // busy_until may extend past `now`; count only elapsed busy time.
-        let overhang = self.busy_until.saturating_since(now);
+        // The latest busy run [run_start, busy_until] is contiguous, so
+        // the portion after `now` — the overhang — is pure busy time and
+        // can be subtracted from the cumulative total. Clamping to
+        // run_start keeps an idle gap before the run (when `now`
+        // precedes the last booking) out of the subtraction.
+        let overhang = self.busy_until.saturating_since(now.max(self.run_start));
         let elapsed_busy = self.busy_time.saturating_sub(overhang);
         elapsed_busy.as_millis() as f64 / now.as_millis() as f64
     }
@@ -269,6 +297,35 @@ mod tests {
         // At t=5 s the transfer is still running; only 5 s of busy counts.
         let u = b.utilization(SimTime::from_secs(5));
         assert!((u - 1.0).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn utilization_is_exact_across_an_idle_gap() {
+        let mut b = bus();
+        // Run one: [0, 1.2 s]. Run two: [10, 11.2 s].
+        b.book_transfer(SimTime::ZERO, NodeId::new(0), NodeId::new(1), 750_000);
+        b.book_transfer(SimTime::from_secs(10), NodeId::new(2), NodeId::new(3), 750_000);
+        // Query inside the gap, before the last booking: only the first
+        // run has elapsed. The naive overhang subtraction would report 0.
+        let u = b.utilization(SimTime::from_secs(5));
+        assert!((u - 1.2 / 5.0).abs() < 1e-9, "utilization {u}");
+        // Query inside the second run: the gap stays excluded.
+        let u = b.utilization(SimTime::from_millis(10_600));
+        assert!((u - 1.8 / 10.6).abs() < 1e-9, "utilization {u}");
+        // Query after both runs: the full 2.4 s counts.
+        let u = b.utilization(SimTime::from_secs(12));
+        assert!((u - 2.4 / 12.0).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn backlog_before_last_booking_reports_the_real_wait() {
+        let mut b = bus();
+        b.book_transfer(SimTime::from_secs(10), NodeId::new(0), NodeId::new(1), 750_000);
+        // The medium never backfills: a booking requested at 5 s would
+        // still start at busy_until (11.2 s), so the reported backlog is
+        // that full wait, idle gap included.
+        assert_eq!(b.backlog_at(SimTime::from_secs(5)), SimDuration::from_millis(6_200));
+        assert_eq!(b.backlog_at(SimTime::from_millis(11_200)), SimDuration::ZERO);
     }
 
     #[test]

@@ -107,6 +107,9 @@ pub struct RuntimeReport {
     pub resumes_in_place: u64,
     /// Coordinator polls executed.
     pub polls: u64,
+    /// Jobs started autonomously on their idle home while the coordinator
+    /// flag was down (the hybrid structure's degraded mode).
+    pub local_starts: u64,
 }
 
 /// A live mini-Condor pool.
@@ -141,6 +144,8 @@ pub struct Runtime {
     interruptions: u64,
     resumes: u64,
     polls: u64,
+    coordinator_down: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    local_starts: u64,
 }
 
 impl Runtime {
@@ -172,6 +177,8 @@ impl Runtime {
             interruptions: 0,
             resumes: 0,
             polls: 0,
+            coordinator_down: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            local_starts: 0,
             config,
         }
     }
@@ -217,6 +224,23 @@ impl Runtime {
     /// The owner flags of every worker, for an external owner driver.
     pub fn owner_flags(&self) -> Vec<std::sync::Arc<std::sync::atomic::AtomicBool>> {
         self.workers.iter().map(|w| w.owner_flag()).collect()
+    }
+
+    /// Takes the coordinator down (`true`) or brings it back (`false`).
+    ///
+    /// While down, polls stop fleet-wide and stations degrade to autonomy:
+    /// an idle, non-hosting worker starts its own queued job locally
+    /// instead of waiting for placement — mirroring the simulated
+    /// coordinator-outage fault in `condor_core::chaos`.
+    pub fn set_coordinator_down(&self, down: bool) {
+        self.coordinator_down
+            .store(down, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The coordinator-down flag, for an external chaos driver (same
+    /// pattern as [`Runtime::owner_flags`]).
+    pub fn coordinator_flag(&self) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+        self.coordinator_down.clone()
     }
 
     /// The Up-Down schedule index of a station's home (for inspection).
@@ -335,6 +359,29 @@ impl Runtime {
         }
     }
 
+    /// Degraded-mode scheduling while the coordinator is down: each idle,
+    /// non-hosting worker starts the next job of its *own* queue. No
+    /// cross-station placement and no policy charge — autonomy, not
+    /// allocation.
+    fn autonomy_sweep(&mut self) {
+        for i in 0..self.config.workers {
+            if self.workers[i].owner_active() || self.hosting[i].is_some() {
+                continue;
+            }
+            let Some(job) = self.queues[i].pop_front() else {
+                continue;
+            };
+            let snapshot = self.fetch_snapshot(i, job);
+            let kind = self.jobs[&job].kind.clone();
+            self.hosting[i] = Some(job);
+            if let Some(j) = self.jobs.get_mut(&job) {
+                j.state = LiveState::Placing { on: i };
+            }
+            self.local_starts += 1;
+            self.workers[i].send(Command::Place { job, kind, snapshot });
+        }
+    }
+
     fn poll(&mut self) {
         self.polls += 1;
         let views: Vec<StationView> = (0..self.config.workers)
@@ -391,7 +438,11 @@ impl Runtime {
             self.enforce_grace();
             if last_poll.elapsed() >= self.config.poll_interval {
                 last_poll = Instant::now();
-                self.poll();
+                if self.coordinator_down.load(std::sync::atomic::Ordering::Relaxed) {
+                    self.autonomy_sweep();
+                } else {
+                    self.poll();
+                }
             }
             if self.jobs.values().all(|j| j.state == LiveState::Done) {
                 break;
@@ -417,6 +468,7 @@ impl Runtime {
             interruptions: self.interruptions,
             resumes_in_place: self.resumes,
             polls: self.polls,
+            local_starts: self.local_starts,
         }
     }
 
@@ -530,6 +582,30 @@ mod tests {
         assert!(rt.migrations >= 1 || rt.interruptions >= 1, "no interference observed");
         rt.set_owner_active(0, false);
         rt.set_owner_active(1, false);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn coordinator_outage_degrades_to_autonomous_local_starts() {
+        let mut rt = Runtime::new(fast_config(2));
+        rt.set_coordinator_down(true);
+        let job = rt.submit(0, &PrimeCounter::new(3_000));
+        let report = rt.run(Duration::from_secs(30));
+        assert!(report.unfinished.is_empty(), "{report:?}");
+        assert_eq!(report.polls, 0, "polls while the coordinator is down");
+        assert!(report.local_starts >= 1, "{report:?}");
+        let expected = run_to_completion(&mut PrimeCounter::new(3_000));
+        assert_eq!(report.results[&job], expected);
+        // Recovery: polls resume and placement works normally again.
+        rt.set_coordinator_down(false);
+        let job2 = rt.submit(1, &PrimeCounter::new(2_000));
+        let report = rt.run(Duration::from_secs(30));
+        assert!(report.unfinished.is_empty(), "{report:?}");
+        assert!(report.polls > 0, "polls must resume after recovery");
+        assert_eq!(
+            report.results[&job2],
+            run_to_completion(&mut PrimeCounter::new(2_000))
+        );
         rt.shutdown();
     }
 

@@ -8,6 +8,7 @@
 //! condor fairness [--seed N]
 //! condor spans   [--seed N] [--days N] [--top N]
 //! condor audit   [--jsonl FILE.jsonl] [--seed N] [--days N]
+//! condor chaos   [--seeds N] [--quick] [--schedule OUT.json] [--replay FILE.json]
 //! condor export-trace <file.csv> [--seed N]
 //! condor simulate <file.csv> [--stations N] [--days N] [--seed N]
 //! condor live    [--workers N]
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(rest),
         "spans" => cmd_spans(rest),
         "audit" => cmd_audit(rest),
+        "chaos" => cmd_chaos(rest),
         "trace" => cmd_trace(rest),
         "export-trace" => cmd_export_trace(rest),
         "simulate" => cmd_simulate(rest),
@@ -77,6 +79,14 @@ USAGE:
   condor audit    [--jsonl FILE.jsonl] [--seed N] [--stations N] [--days N]
                   check protocol invariants over a saved JSONL trace
                   (or a fresh seeded run); exits nonzero on violations
+  condor chaos    [--seeds N] [--start-seed N] [--faults N] [--quick]
+                  [--schedule OUT.json] [--replay FILE.json]
+                  run seeded fault-injection schedules over the one-week
+                  scenario, asserting every run stays audit-clean with
+                  balanced transfer accounting; failures are shrunk to a
+                  minimal schedule (--schedule saves it as JSON) and
+                  --replay re-runs a saved schedule; exits nonzero on
+                  any failure
   condor trace    [--seed N] [--days N] [--last N] [--jsonl FILE.jsonl]
                   [--kind name,name,...]
                   tail the last events of a run; optionally stream
@@ -158,6 +168,16 @@ fn print_summary(out: &condor::core::cluster::RunOutput) {
         "priority preemptions".into(),
         out.totals.preemptions_priority.to_string(),
     ]);
+    if out.totals.local_starts > 0 || out.totals.ckpt_retries > 0 {
+        t.row(vec![
+            "chaos local starts".into(),
+            out.totals.local_starts.to_string(),
+        ]);
+        t.row(vec![
+            "chaos ckpt retries".into(),
+            out.totals.ckpt_retries.to_string(),
+        ]);
+    }
     if out.totals.station_failures > 0 {
         t.row(vec![
             "station crashes".into(),
@@ -288,6 +308,91 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         }
         Err("trace violates protocol invariants".into())
     }
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let scenario_seed = opt_parse(args, "--seed", 1988u64)?;
+    let quick = has_flag(args, "--quick");
+    let scenario = one_week(scenario_seed);
+    let stations = scenario.config.stations;
+    let horizon = if quick { SimDuration::from_days(2) } else { scenario.horizon };
+
+    if let Some(path) = opt_value(args, "--replay")? {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let schedule =
+            ChaosSchedule::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        schedule
+            .check(stations)
+            .map_err(|e| format!("schedule in {path} is invalid: {e}"))?;
+        let violations = verify_schedule(&scenario.config, &scenario.jobs, horizon, &schedule);
+        return if violations.is_empty() {
+            println!(
+                "replay clean: {} fault(s) from {path}, audit clean, accounting balanced",
+                schedule.entries.len()
+            );
+            Ok(())
+        } else {
+            println!("replay of {path} FAILED with {} violation(s):", violations.len());
+            for v in &violations {
+                println!("  {v}");
+            }
+            Err("replayed chaos schedule violates protocol invariants".into())
+        };
+    }
+
+    let seeds = opt_parse(args, "--seeds", 50u64)?;
+    let start = opt_parse(args, "--start-seed", 0u64)?;
+    let faults = opt_parse(args, "--faults", if quick { 6usize } else { 12 })?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let gen = ChaosGen { horizon, stations: stations as u32, faults };
+    let started = std::time::Instant::now();
+    let report = explore(
+        &scenario.config,
+        &scenario.jobs,
+        horizon,
+        &gen,
+        start..start + seeds,
+    );
+    println!(
+        "chaos: ran {} seeded schedule(s) of {faults} fault(s) over {stations} stations in {:.0?}",
+        report.cases,
+        started.elapsed()
+    );
+    if report.is_clean() {
+        println!("all schedules audit-clean with balanced transfer accounting");
+        return Ok(());
+    }
+    for f in &report.failures {
+        println!(
+            "seed {}: {} violation(s); shrunk {} fault(s) → {} fault(s)",
+            f.seed,
+            f.violations.len(),
+            f.schedule.entries.len(),
+            f.shrunk.entries.len()
+        );
+        for v in f.violations.iter().take(5) {
+            println!("  {v}");
+        }
+        if f.violations.len() > 5 {
+            println!("  … and {} more", f.violations.len() - 5);
+        }
+    }
+    if let Some(path) = opt_value(args, "--schedule")? {
+        let json = report.failures[0].shrunk.to_json();
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote minimal failing schedule (seed {}) to {path} — \
+             re-run it with `condor chaos --replay {path}`",
+            report.failures[0].seed
+        );
+    }
+    Err(format!(
+        "{} of {} chaos schedule(s) failed",
+        report.failures.len(),
+        report.cases
+    ))
 }
 
 fn cmd_week(args: &[String]) -> Result<(), String> {

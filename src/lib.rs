@@ -50,6 +50,10 @@ pub mod prelude {
         PolicyKind,
     };
     pub use condor_core::audit::{AuditSink, AuditViolation, AuditViolationKind};
+    pub use condor_core::chaos::{
+        explore, shrink_schedule, verify_conservation, verify_schedule, ChaosConfig, ChaosGen,
+        ChaosSchedule,
+    };
     pub use condor_core::job::{Job, JobId, JobSpec, JobState, UserId};
     pub use condor_core::spans::{Breakdown, SpanLog, SpanPhase, SpanSink};
     pub use condor_core::telemetry::{

@@ -10,7 +10,8 @@
 //! scheduling rule), re-pin the digest in the same commit and say so in the
 //! commit message.
 
-use condor_core::cluster::run_cluster;
+use condor_core::chaos::ChaosConfig;
+use condor_core::cluster::{run_cluster, RunOutput};
 use condor_workload::scenarios::paper_month;
 
 /// FNV-1a, 64-bit. Implemented inline so the guard has zero dependencies
@@ -31,10 +32,7 @@ const GOLDEN_SEED: u64 = 1988;
 const GOLDEN_DIGEST: u64 = 0xE7D7_8885_6DED_7AEA;
 const GOLDEN_EVENTS: usize = 56_869;
 
-#[test]
-fn paper_month_trace_digest_is_stable() {
-    let scenario = paper_month(GOLDEN_SEED);
-    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+fn digest(out: &RunOutput) -> (u64, usize) {
     let mut hash = FNV_OFFSET;
     let mut events = 0usize;
     for ev in out.trace.events() {
@@ -42,6 +40,14 @@ fn paper_month_trace_digest_is_stable() {
         hash = fnv1a64(b"\n", hash);
         events += 1;
     }
+    (hash, events)
+}
+
+#[test]
+fn paper_month_trace_digest_is_stable() {
+    let scenario = paper_month(GOLDEN_SEED);
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    let (hash, events) = digest(&out);
     assert_eq!(
         events, GOLDEN_EVENTS,
         "paper-month event count changed — simulation behavior drifted"
@@ -50,5 +56,21 @@ fn paper_month_trace_digest_is_stable() {
         hash, GOLDEN_DIGEST,
         "paper-month JSONL trace digest changed (got {hash:#018X}) — \
          an optimization altered simulation behavior"
+    );
+}
+
+/// A configured-but-empty chaos schedule must be invisible: fault
+/// injection is pre-expanded schedule data, never a hot-path RNG draw, so
+/// zero faults means zero perturbation — bit for bit.
+#[test]
+fn zero_fault_chaos_matches_the_golden_digest() {
+    let mut scenario = paper_month(GOLDEN_SEED);
+    scenario.config.chaos = Some(ChaosConfig::default());
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    let (hash, events) = digest(&out);
+    assert_eq!(events, GOLDEN_EVENTS, "an empty chaos schedule changed the event count");
+    assert_eq!(
+        hash, GOLDEN_DIGEST,
+        "an empty chaos schedule perturbed the trace (got {hash:#018X})"
     );
 }

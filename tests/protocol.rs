@@ -31,29 +31,7 @@ fn per_job_event_sequences_are_legal() {
     }
     let mut logs: HashMap<u64, JobLog> = HashMap::new();
     for ev in out.trace.events() {
-        let job = match ev.kind {
-            TraceKind::JobArrived { job }
-            | TraceKind::JobRejected { job }
-            | TraceKind::PlacementStarted { job, .. }
-            | TraceKind::PlacementDiskRejected { job, .. }
-            | TraceKind::JobStarted { job, .. }
-            | TraceKind::JobSuspended { job, .. }
-            | TraceKind::JobResumedInPlace { job, .. }
-            | TraceKind::CheckpointStarted { job, .. }
-            | TraceKind::CheckpointCompleted { job, .. }
-            | TraceKind::JobKilled { job, .. }
-            | TraceKind::PeriodicCheckpoint { job, .. }
-            | TraceKind::JobCompleted { job, .. } => Some(job),
-            TraceKind::CrashRollback { job, .. } => Some(job),
-            TraceKind::OwnerActive { .. }
-            | TraceKind::OwnerIdle { .. }
-            | TraceKind::StationFailed { .. }
-            | TraceKind::StationRecovered { .. }
-            | TraceKind::ReservationStarted { .. }
-            | TraceKind::ReservationEnded { .. }
-            | TraceKind::CoordinatorPolled { .. } => None,
-        };
-        let Some(job) = job else { continue };
+        let Some(job) = ev.kind.job() else { continue };
         let log = logs.entry(job.0).or_default();
         if log.completed > 0 {
             log.events_after_completion += 1;
