@@ -15,6 +15,12 @@
 //! variants rerun the station-bound scenarios at 200 stations to expose
 //! per-poll scaling.
 //!
+//! The `cluster/stations/{1000,10k}` rows run the fleet-scale scenario
+//! serially; the `cluster/par/{1,2,4,8}` rows run the same 10k-station
+//! fleet split into eight pools through the space-parallel sharded
+//! runner, recording the pinned worker count per row (see DESIGN.md
+//! § Parallel simulation for how to read a regression there).
+//!
 //! Run with: `cargo run --release -p condor-bench --bin bench_report`
 //! Writes `BENCH_cluster.json` in the working directory (override with
 //! `BENCH_REPORT_PATH`). With `--quick`, runs every scenario once, checks
@@ -24,7 +30,7 @@
 use std::time::{Duration, Instant, SystemTime};
 
 use condor_core::chaos::{ChaosConfig, ChaosGen, ChaosSchedule};
-use condor_core::cluster::{run_cluster, run_cluster_with_sinks};
+use condor_core::cluster::{run_cluster, run_cluster_with_sinks, run_cluster_with_threads};
 use condor_core::config::{ClusterConfig, Reservation};
 use condor_core::job::{JobId, JobSpec, UserId};
 use condor_core::policy::{decide_from_views, StationView};
@@ -35,6 +41,7 @@ use condor_model::owner::OwnerConfig;
 use condor_net::NodeId;
 use condor_sim::engine::{Engine, Model, Scheduler};
 use condor_sim::time::{SimDuration, SimTime};
+use condor_workload::scenarios::fleet_scale;
 
 /// Bumped whenever the report's JSON shape changes incompatibly.
 const SCHEMA: &str = "condor-bench-report/2";
@@ -46,6 +53,10 @@ struct Row {
     iters: u64,
     wall_ms_per_iter: f64,
     events_per_iter: Option<u64>,
+    /// Worker threads the scenario ran with. `None` for single-threaded
+    /// scenarios; the `cluster/par/*` rows record their pinned count so a
+    /// regression diff can tell "slower" from "ran with fewer workers".
+    threads: Option<usize>,
 }
 
 impl Row {
@@ -215,6 +226,18 @@ fn emit_sample_events() -> Vec<TraceEvent> {
     ]
 }
 
+/// Worker threads available to the parallel rows. `available_parallelism`
+/// alone can report 1 on multi-core hosts (restrictive affinity masks,
+/// containers with no cgroup CPU metadata), so cross-check against the
+/// `/proc/cpuinfo` processor count and take the larger answer.
+fn detect_threads() -> usize {
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    avail.max(cpuinfo).max(1)
+}
+
 fn json_escape_free(name: &str) -> &str {
     // Scenario names are ASCII identifiers with slashes — assert rather
     // than implement escaping nobody needs.
@@ -231,10 +254,7 @@ fn render_json(meta: &Meta, rows: &[Row]) -> String {
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     s.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape_free(&meta.git_rev)));
     s.push_str(&format!("  \"created_utc\": \"{}\",\n", json_escape_free(&meta.created_utc)));
-    s.push_str(&format!(
-        "  \"threads_available\": {},\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    ));
+    s.push_str(&format!("  \"threads_available\": {},\n", detect_threads()));
     s.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str("    {");
@@ -244,6 +264,9 @@ fn render_json(meta: &Meta, rows: &[Row]) -> String {
         if let Some(e) = r.events_per_iter {
             s.push_str(&format!(", \"events_per_iter\": {e}"));
             s.push_str(&format!(", \"events_per_sec\": {:.0}", r.events_per_sec().unwrap()));
+        }
+        if let Some(t) = r.threads {
+            s.push_str(&format!(", \"threads\": {t}"));
         }
         s.push('}');
         if i + 1 < rows.len() {
@@ -281,6 +304,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
     }
     for mb in [1u64, 4] {
@@ -293,6 +317,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
     }
 
@@ -314,6 +339,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
         let gen = ChaosGen { horizon: SimDuration::from_days(7), stations: 23, faults: 12 };
         let schedule = ChaosSchedule::generate(7, &gen);
@@ -330,6 +356,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
     }
 
@@ -351,7 +378,55 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
+    }
+
+    // cluster at fleet scale: the fleet-scale scenario at 1k and 10k
+    // stations, run serially — the baselines the cluster/par rows are
+    // read against. In --quick mode the horizon drops from seven days to
+    // one so the CI smoke stays fast.
+    let fleet_days = if quick { 1 } else { 7 };
+    for (stations, label) in [(1_000usize, "1000"), (10_000, "10k")] {
+        let (iters, ms, events) = measure(budget, || {
+            let s = fleet_scale(1988, stations, 1, fleet_days);
+            run_cluster(s.config, s.jobs, s.horizon).events_dispatched
+        });
+        rows.push(Row {
+            name: format!("cluster/stations/{label}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+            threads: None,
+        });
+    }
+
+    // cluster/par: the same 10k-station scenario split into eight pools
+    // and run through the space-parallel sharded runner at pinned worker
+    // counts. CONDOR_THREADS, when set, caps the sweep so a small CI host
+    // can skip the oversubscribed points.
+    {
+        let cap = std::env::var("CONDOR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        for threads in [1usize, 2, 4, 8] {
+            if cap.is_some_and(|c| threads > c) {
+                continue;
+            }
+            let (iters, ms, events) = measure(budget, || {
+                let s = fleet_scale(1988, 10_000, 8, fleet_days);
+                run_cluster_with_threads(s.config, s.jobs, s.horizon, threads)
+                    .events_dispatched
+            });
+            rows.push(Row {
+                name: format!("cluster/par/{threads}"),
+                iters,
+                wall_ms_per_iter: ms,
+                events_per_iter: Some(events),
+                threads: Some(threads),
+            });
+        }
     }
 
     // Attribution: each row isolates one phase of the cluster loop.
@@ -373,6 +448,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(n),
+            threads: None,
         });
     }
     // flips_only — no jobs, polling pushed past the horizon: owner flips.
@@ -399,6 +475,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
         let (iters, ms, events) = measure(budget, || {
             let cfg = ClusterConfig::builder()
@@ -415,6 +492,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
     }
     // queue_only — all but one machine fenced by a standing reservation
@@ -447,6 +525,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
     }
 
@@ -454,8 +533,8 @@ fn main() {
     // baseline (StatsSink alone); the others add buffering observers.
     for extra in [0usize, 4] {
         let (iters, ms, events) = measure(budget, || {
-            let sinks: Vec<Box<dyn TraceSink>> = (0..extra)
-                .map(|i| -> Box<dyn TraceSink> {
+            let sinks: Vec<Box<dyn TraceSink + Send>> = (0..extra)
+                .map(|i| -> Box<dyn TraceSink + Send> {
                     if i % 2 == 0 {
                         Box::new(VecSink::new())
                     } else {
@@ -476,6 +555,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
     }
 
@@ -484,7 +564,7 @@ fn main() {
     // audit` pay relative to the extra_sinks/0 baseline.
     {
         let (iters, ms, events) = measure(budget, || {
-            let sinks: Vec<Box<dyn TraceSink>> = vec![
+            let sinks: Vec<Box<dyn TraceSink + Send>> = vec![
                 Box::new(condor_core::spans::SpanSink::new()),
                 Box::new(condor_core::audit::AuditSink::new()),
             ];
@@ -501,6 +581,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
     }
 
@@ -517,6 +598,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
+            threads: None,
         });
     }
     let (iters, ms, _) = measure(budget, || {
@@ -538,6 +620,7 @@ fn main() {
         iters,
         wall_ms_per_iter: ms,
         events_per_iter: Some(10_000),
+        threads: None,
     });
 
     // updown: one poll decision at three fleet sizes (as in benches/updown.rs).
@@ -553,6 +636,7 @@ fn main() {
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: None,
+            threads: None,
         });
     }
 

@@ -272,6 +272,12 @@ pub struct AuditSink {
     /// via [`AuditSink::with_poll_interval`].
     cadence: Option<SimDuration>,
     cadence_pinned: bool,
+    /// Independent coordinators feeding this stream (>1 for merged
+    /// sharded-run traces). Zero means one. With several coordinators the
+    /// poll-cadence and placement-throttle checks are per-pool properties
+    /// that an interleaved stream cannot express, so they are skipped;
+    /// every per-job and per-station check still applies.
+    pools: usize,
     last_poll: Option<SimTime>,
     /// Last placement fan-out instant and job (gang members share one).
     last_placement: Option<(SimTime, JobId)>,
@@ -303,6 +309,16 @@ impl AuditSink {
     pub fn with_poll_interval(mut self, cadence: SimDuration) -> Self {
         self.cadence = Some(cadence);
         self.cadence_pinned = true;
+        self
+    }
+
+    /// Declares how many independent pool coordinators feed this stream
+    /// (the pool count of a sharded run). With more than one, the
+    /// poll-cadence and placement-throttle checks — properties of a
+    /// single coordinator's grid — are skipped; job-lifecycle and
+    /// station-occupancy checks are unaffected.
+    pub fn with_pools(mut self, pools: usize) -> Self {
+        self.pools = pools;
         self
     }
 
@@ -443,7 +459,7 @@ impl TraceSink for AuditSink {
                             // grid by construction and is not remembered,
                             // so the next on-grid fan-out is measured
                             // against the previous on-grid one.
-                            if self.delayed_poll_at != Some(at) {
+                            if self.pools <= 1 && self.delayed_poll_at != Some(at) {
                                 if let (Some((prev, _)), Some(cadence)) =
                                     (self.last_placement, self.cadence)
                                 {
@@ -651,6 +667,10 @@ impl TraceSink for AuditSink {
                 }
             }
             TraceKind::CoordinatorPolled { .. } => {
+                // Several interleaved coordinators have no common grid.
+                if self.pools > 1 {
+                    return;
+                }
                 // A chaos-delayed poll is off the grid by construction; it
                 // neither gets the cadence check nor becomes the baseline
                 // the next on-grid poll is measured against.
@@ -740,6 +760,41 @@ impl TraceSink for AuditSink {
                     AuditViolationKind::UnmatchedChaosRecovery { event: "chaos_link_up" },
                 ),
             },
+            TraceKind::JobForwarded { job, .. } => {
+                // The job leaves this pool while still queued; it stays
+                // tracked so a merged trace can follow it into adoption.
+                if self.job_for_event(at, job, "job_forwarded") {
+                    let (phase, _) = self.job_snapshot(job);
+                    if phase != JobPhase::Queued {
+                        self.illegal(at, job, phase, "job_forwarded");
+                    }
+                }
+            }
+            TraceKind::JobAdopted { job, on: _ } => {
+                // Adoption is the destination-pool arrival of a forwarded
+                // job. In a merged trace the job is already tracked (it
+                // was forwarded while queued); in a per-pool trace this is
+                // its first appearance and plays the role of an arrival.
+                match self.jobs.entry(job) {
+                    Entry::Occupied(mut slot) => {
+                        let phase = slot.get().phase;
+                        slot.get_mut().phase = JobPhase::Queued;
+                        if phase != JobPhase::Queued {
+                            self.illegal(at, job, phase, "job_adopted");
+                        }
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(JobAudit {
+                            phase: JobPhase::Queued,
+                            ckpt_in_flight: 0,
+                            fanout_at: None,
+                            started_at: None,
+                            resumed_at: None,
+                            local_start_at: None,
+                        });
+                    }
+                }
+            }
             TraceKind::ChaosPollLost
             | TraceKind::ChaosDupDropped
             | TraceKind::StationFailed { .. }

@@ -421,6 +421,62 @@ impl ChaosConfig {
     }
 }
 
+/// Splits a chaos configuration across pool shards (see [`crate::shard`]).
+///
+/// Station-scoped faults ([`Fault::Partition`]) go to every pool whose
+/// station range they intersect, with `first_station` remapped to
+/// shard-local ids and the machine count clipped to the overlap.
+/// Control-plane faults ([`Fault::CtrlLoss`], [`Fault::CtrlDelay`],
+/// [`Fault::CtrlDup`], [`Fault::CoordinatorOutage`]) hit exactly one
+/// coordinator, so they go to the pool owning the global coordinator
+/// host. [`Fault::CkptCorrupt`] models shared-medium corruption and
+/// broadcasts to every pool. Entry order is preserved within each shard,
+/// so a one-pool topology gets back a config identical to the input.
+pub fn route_to_pools(
+    cfg: &ChaosConfig,
+    ranges: &[std::ops::Range<usize>],
+    coordinator_pool: usize,
+) -> Vec<ChaosConfig> {
+    let mut out: Vec<ChaosConfig> = ranges
+        .iter()
+        .map(|_| ChaosConfig { schedule: ChaosSchedule::default(), ..cfg.clone() })
+        .collect();
+    for entry in &cfg.schedule.entries {
+        match entry.fault {
+            Fault::Partition { first_station, machines, duration } => {
+                let lo = first_station as usize;
+                let hi = lo + machines as usize;
+                for (p, range) in ranges.iter().enumerate() {
+                    let s = lo.max(range.start);
+                    let e = hi.min(range.end);
+                    if s < e {
+                        out[p].schedule.entries.push(ChaosEntry {
+                            at: entry.at,
+                            fault: Fault::Partition {
+                                first_station: (s - range.start) as u32,
+                                machines: (e - s) as u32,
+                                duration,
+                            },
+                        });
+                    }
+                }
+            }
+            Fault::CkptCorrupt { .. } => {
+                for shard in &mut out {
+                    shard.schedule.entries.push(*entry);
+                }
+            }
+            Fault::CtrlLoss { .. }
+            | Fault::CtrlDelay { .. }
+            | Fault::CtrlDup
+            | Fault::CoordinatorOutage { .. } => {
+                out[coordinator_pool].schedule.entries.push(*entry);
+            }
+        }
+    }
+    out
+}
+
 /// Conservation checks over a finished run: work delivered, work lost,
 /// and bus/rollback accounting reconciled against the trace.
 ///
@@ -529,14 +585,16 @@ pub fn verify_schedule(
     config.chaos = Some(chaos);
     config.record_trace = true;
     let audit = SharedSink::new(
-        AuditSink::new().with_poll_interval(config.costs.coordinator_poll_interval),
+        AuditSink::new()
+            .with_poll_interval(config.costs.coordinator_poll_interval)
+            .with_pools(config.topology.as_ref().map_or(1, |t| t.pools)),
     );
     let handle = audit.clone();
     let out = run_cluster_with_sinks(
         config.clone(),
         specs.to_vec(),
         horizon,
-        vec![Box::new(audit) as Box<dyn TraceSink>],
+        vec![Box::new(audit) as Box<dyn TraceSink + Send>],
     );
     let mut failures: Vec<String> =
         handle.with(|a| a.violations().iter().map(|v| v.to_string()).collect());
@@ -871,5 +929,66 @@ mod tests {
             "failures: {:?}",
             report.failures.iter().map(|f| (&f.seed, &f.violations)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn route_to_pools_splits_station_faults_and_pins_control_faults() {
+        let schedule = ChaosSchedule {
+            entries: vec![
+                ChaosEntry {
+                    at: SimTime::from_hours(1),
+                    fault: Fault::Partition {
+                        first_station: 2,
+                        machines: 4,
+                        duration: SimDuration::from_minutes(5),
+                    },
+                },
+                ChaosEntry {
+                    at: SimTime::from_hours(2),
+                    fault: Fault::CtrlLoss { duration: SimDuration::MINUTE },
+                },
+                ChaosEntry {
+                    at: SimTime::from_hours(3),
+                    fault: Fault::CkptCorrupt { duration: SimDuration::MINUTE },
+                },
+            ],
+        };
+        let cfg = ChaosConfig::new(schedule);
+
+        // One pool: routing is the identity, entry for entry.
+        let whole = route_to_pools(&cfg, std::slice::from_ref(&(0..8)), 0);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].schedule, cfg.schedule);
+
+        // Two pools of four stations each, coordinator hosted by pool 1.
+        let routed = route_to_pools(&cfg, &[0..4, 4..8], 1);
+        assert_eq!(routed.len(), 2);
+
+        // The partition over global stations 2..6 splits into a local
+        // 2..4 cut in pool 0 and a local 0..2 cut in pool 1.
+        assert!(matches!(
+            routed[0].schedule.entries[0].fault,
+            Fault::Partition { first_station: 2, machines: 2, .. }
+        ));
+        assert!(matches!(
+            routed[1].schedule.entries[0].fault,
+            Fault::Partition { first_station: 0, machines: 2, .. }
+        ));
+
+        // The control-plane fault lands only in the coordinator's pool;
+        // the checkpoint corruption broadcasts to both.
+        assert_eq!(routed[0].schedule.entries.len(), 2);
+        assert_eq!(routed[1].schedule.entries.len(), 3);
+        assert!(matches!(routed[0].schedule.entries[1].fault, Fault::CkptCorrupt { .. }));
+        assert!(matches!(routed[1].schedule.entries[1].fault, Fault::CtrlLoss { .. }));
+        assert!(matches!(routed[1].schedule.entries[2].fault, Fault::CkptCorrupt { .. }));
+
+        // Each routed shard config stays valid for its local fleet, and
+        // non-schedule knobs (backoffs) carry over untouched.
+        for shard in &routed {
+            shard.check(4).expect("routed shard schedules stay valid");
+            assert_eq!(shard.retry_backoff_base, cfg.retry_backoff_base);
+            assert_eq!(shard.retry_backoff_max, cfg.retry_backoff_max);
+        }
     }
 }

@@ -407,6 +407,10 @@ pub struct Totals {
     pub local_starts: u64,
     /// Corrupted checkpoint transfers detected and re-sent (chaos).
     pub ckpt_retries: u64,
+    /// Jobs handed to another pool at a window barrier (sharded runs).
+    pub jobs_forwarded: u64,
+    /// Jobs received from another pool at a window barrier (sharded runs).
+    pub jobs_adopted: u64,
 }
 
 /// Everything a run produces.
@@ -524,7 +528,7 @@ pub struct Cluster {
     /// Always-on telemetry aggregation (cheap: O(1) per event).
     stats: StatsSink,
     /// Caller-attached observers, fed before the legacy trace.
-    extra_sinks: Vec<Box<dyn TraceSink>>,
+    extra_sinks: Vec<Box<dyn TraceSink + Send>>,
     totals: Totals,
     queue_total: StepSeries,
     /// Per-user queue series, indexed by dense user slot (see
@@ -860,7 +864,7 @@ impl Cluster {
     /// runs when the cluster finalizes. Use a
     /// [`SharedSink`](crate::telemetry::SharedSink) handle to keep access
     /// to the sink after the run.
-    pub fn attach_sink(&mut self, mut sink: Box<dyn TraceSink>) {
+    pub fn attach_sink(&mut self, mut sink: Box<dyn TraceSink + Send>) {
         // Flatten fan-out containers: their children become direct members
         // of `extra_sinks`, so each event pays one virtual call per leaf
         // sink instead of one per nesting level per leaf.
@@ -937,6 +941,94 @@ impl Cluster {
         let slot = self.user_slots[job.0 as usize] as usize;
         self.user_touched[slot] = true;
         self.queue_by_user[slot].add(now, delta);
+    }
+
+    // ----- pool-shard support -------------------------------------------
+
+    /// Capacity summary for window-barrier forwarding decisions:
+    /// `(free_stations, waiting_jobs)` after refreshing the coordinator
+    /// cache. Free stations are those the coordinator could place on right
+    /// now; waiting jobs is the raw queued total across the shard.
+    pub(crate) fn capacity_snapshot(&mut self) -> (u32, u32) {
+        self.flush_dirty();
+        let free: u32 = self.coord.free_bits.iter().map(|w| w.count_ones()).sum();
+        (free, self.coord.raw_queue_total)
+    }
+
+    /// Pulls one forwardable job out of this shard's queues for delivery
+    /// to `to_pool`, or `None` if nothing movable is waiting.
+    ///
+    /// Only simple jobs move: queued, width 1, no dependency edges in
+    /// either direction, and never placed (no work accrued, no image in
+    /// flight). The job leaves its local queue, frees the standing image
+    /// on its home disk, and its state becomes [`JobState::Forwarded`];
+    /// the returned spec is everything the destination pool needs to
+    /// adopt it.
+    pub(crate) fn extract_forwardable(&mut self, now: SimTime, to_pool: u32) -> Option<JobSpec> {
+        // Longest raw queue first (ties: lowest station id) so forwarding
+        // relieves the most backed-up corner of the shard.
+        let src = (0..self.stations.len())
+            .max_by_key(|&i| (self.stations[i].queue.len(), std::cmp::Reverse(i)))?;
+        let job = self.stations[src].queue.iter().find(|j| {
+            let job = &self.jobs[j.0 as usize];
+            job.state == JobState::Queued
+                && job.spec.width == 1
+                && job.spec.depends_on.is_empty()
+                && self.dependents[j.0 as usize].is_empty()
+                && job.work_done.is_zero()
+                && job.placements == 0
+        })?;
+        self.stations[src].queue.remove(job);
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        if !self.config.checkpoint_server {
+            self.stations[src].disk_used = self.stations[src].disk_used.saturating_sub(image);
+        }
+        self.jobs[job.0 as usize].state = JobState::Forwarded;
+        self.coord.mark(src);
+        self.queue_delta(now, job, -1.0);
+        self.totals.jobs_forwarded += 1;
+        self.emit(now, TraceKind::JobForwarded { job, to_pool });
+        Some(self.jobs[job.0 as usize].spec.clone())
+    }
+
+    /// Registers a job forwarded from another pool. Returns the local id
+    /// the job arrives under; the caller schedules the arrival event at
+    /// the delivery instant. The shortest local queue (ties: lowest
+    /// station id) becomes the job's new home.
+    pub(crate) fn adopt_spec(&mut self, spec: JobSpec) -> JobId {
+        let local = JobId(self.jobs.len() as u64);
+        let home = (0..self.stations.len())
+            .min_by_key(|&i| (self.stations[i].queue.len(), i))
+            .expect("shard has stations");
+        let slot = match self.user_ids.binary_search(&spec.user) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                // A user this shard has never seen: splice a new dense
+                // slot in and shift every existing mapping above it.
+                self.user_ids.insert(pos, spec.user);
+                self.queue_by_user.insert(pos, StepSeries::new(0.0));
+                self.user_touched.insert(pos, false);
+                for s in &mut self.user_slots {
+                    if *s as usize >= pos {
+                        *s += 1;
+                    }
+                }
+                pos
+            }
+        };
+        self.user_slots.push(slot as u32);
+        let spec =
+            JobSpec { id: local, home: NodeId::new(home as u32), depends_on: Vec::new(), ..spec };
+        let mut job = Job::new(spec);
+        job.adopted = true;
+        self.jobs.push(job);
+        self.dependents.push(Vec::new());
+        self.pending_deps.push(0);
+        self.gangs.push(None);
+        if let Some(c) = self.chaos.as_mut() {
+            c.retry_attempts.push(0);
+        }
+        local
     }
 
     // ----- coordinator-view cache ---------------------------------------
@@ -1352,7 +1444,12 @@ impl Cluster {
         }
         self.coord.mark(home);
         self.queue_delta(now, job, 1.0);
-        self.emit(now, TraceKind::JobArrived { job });
+        if self.jobs[job.0 as usize].adopted {
+            self.totals.jobs_adopted += 1;
+            self.emit(now, TraceKind::JobAdopted { job, on: NodeId::new(home as u32) });
+        } else {
+            self.emit(now, TraceKind::JobArrived { job });
+        }
         // §5(2) pipelines: jobs with incomplete dependencies are held; the
         // completion of the last dependency releases them into the queue.
         let unresolved = self.jobs[job.0 as usize]
@@ -2748,8 +2845,11 @@ pub fn run_cluster_with_sinks(
     config: ClusterConfig,
     specs: Vec<JobSpec>,
     horizon: SimDuration,
-    sinks: Vec<Box<dyn TraceSink>>,
+    sinks: Vec<Box<dyn TraceSink + Send>>,
 ) -> RunOutput {
+    if config.topology.is_some() {
+        return crate::shard::run_sharded(config, specs, horizon, sinks, None);
+    }
     let mut cluster = Cluster::new(config, specs);
     for sink in sinks {
         cluster.attach_sink(sink);
@@ -2758,6 +2858,29 @@ pub fn run_cluster_with_sinks(
     Cluster::prime(&mut engine);
     let end = SimTime::ZERO + horizon;
     engine.run_until(end);
+    finish_run(engine, end)
+}
+
+/// Like [`run_cluster`], but running the sharded space-parallel engine on
+/// exactly `threads` worker threads instead of reading `CONDOR_THREADS`.
+/// The config must carry a [`PoolTopology`](crate::config::PoolTopology).
+pub fn run_cluster_with_threads(
+    config: ClusterConfig,
+    specs: Vec<JobSpec>,
+    horizon: SimDuration,
+    threads: usize,
+) -> RunOutput {
+    assert!(
+        config.topology.is_some(),
+        "run_cluster_with_threads requires a pool topology on the config"
+    );
+    crate::shard::run_sharded(config, specs, horizon, Vec::new(), Some(threads))
+}
+
+/// Drains a finished engine into a [`RunOutput`]: closes open accounting
+/// intervals at `end` and re-keys the per-user series. Shared by the
+/// serial runner and each shard of the parallel runner.
+pub(crate) fn finish_run(engine: Engine<Cluster>, end: SimTime) -> RunOutput {
     let events_dispatched = engine.events_dispatched();
     let mut model = engine.into_model();
     model.finalize(end);

@@ -3,7 +3,7 @@
 use condor_model::costs::CostModel;
 use condor_model::owner::OwnerConfig;
 use condor_model::station::{Arch, StationProfile};
-use condor_net::{BusConfig, NodeId};
+use condor_net::{BusConfig, NodeId, PoolLinks};
 use condor_sim::time::{SimDuration, SimTime};
 
 use crate::chaos::ChaosConfig;
@@ -103,6 +103,31 @@ pub enum ConfigError {
     },
     /// A zero checkpoint-retry backoff base.
     ChaosZeroBackoff,
+    /// A pool topology with zero pools.
+    TopologyNoPools,
+    /// A pool topology with more pools than stations.
+    TopologyMorePoolsThanStations {
+        /// Pools requested.
+        pools: usize,
+        /// Fleet size.
+        stations: usize,
+    },
+    /// A pool topology whose synchronisation window exceeds the inter-pool
+    /// link latency — the conservative lookahead bound would be violated.
+    TopologyWindowExceedsLookahead {
+        /// The configured window.
+        window: SimDuration,
+        /// The minimum inter-pool latency (the lookahead bound).
+        lookahead: SimDuration,
+    },
+    /// A job depends on a job homed in a different pool; cross-pool
+    /// dependency release is not part of the sharded model.
+    TopologyCrossPoolDependency {
+        /// The dependent job.
+        job: JobId,
+        /// The dependency in another pool.
+        dep: JobId,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -125,6 +150,19 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptyArchPattern => f.write_str("empty architecture pattern"),
             ConfigError::ReservationZeroMachines => f.write_str("zero-machine reservation"),
             ConfigError::ReservationEmptyWindow => f.write_str("empty reservation window"),
+            ConfigError::TopologyNoPools => f.write_str("a pool topology needs at least one pool"),
+            ConfigError::TopologyMorePoolsThanStations { pools, stations } => {
+                write!(f, "{pools} pools cannot partition {stations} stations")
+            }
+            ConfigError::TopologyWindowExceedsLookahead { window, lookahead } => write!(
+                f,
+                "synchronisation window {window} exceeds the {lookahead} inter-pool \
+                 lookahead bound"
+            ),
+            ConfigError::TopologyCrossPoolDependency { job, dep } => write!(
+                f,
+                "{job} depends on {dep}, which is homed in a different pool"
+            ),
             ConfigError::ReservationHolderOutsideFleet { holder } => {
                 write!(f, "reservation holder {holder} outside the fleet")
             }
@@ -368,6 +406,116 @@ pub struct ClusterConfig {
     /// `None` — and `Some` with an empty schedule — leave the run
     /// bit-identical to an unconfigured one.
     pub chaos: Option<ChaosConfig>,
+    /// Optional pool topology. `None` runs the classic monolithic
+    /// simulation; `Some` partitions the fleet into per-pool shards that
+    /// run as a conservative space-parallel simulation (see
+    /// [`crate::shard`]). A one-pool topology is bit-identical to `None`.
+    pub topology: Option<PoolTopology>,
+}
+
+/// Partition of the fleet into independently simulated pools.
+///
+/// Stations are split into `pools` contiguous, near-equal ranges; each
+/// pool gets its own coordinator, queues, and event wheel. Pools exchange
+/// cross-shard traffic (overflow job forwards) only at synchronisation
+/// barriers, and any message sent at a barrier arrives no earlier than the
+/// [`PoolLinks`] latency later — which is what lets shards advance one
+/// window ahead of each other without risk of causality violations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolTopology {
+    /// Number of pools the fleet is split into.
+    pub pools: usize,
+    /// The inter-pool link model; its minimum latency bounds the lookahead.
+    pub links: PoolLinks,
+    /// Synchronisation-window length. `None` uses the full lookahead
+    /// (`links.min_latency()`); an explicit value must not exceed it.
+    pub window: Option<SimDuration>,
+    /// Cap on overflow jobs a saturated pool may forward to an idle pool
+    /// at each barrier. Zero disables cross-pool forwarding entirely.
+    pub max_forwards_per_window: u32,
+}
+
+impl PoolTopology {
+    /// A uniform mesh: `pools` pools, one `latency` on every inter-pool
+    /// link, window equal to the lookahead, one forward per barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is zero or `latency` is zero (delegated to
+    /// [`PoolLinks::uniform`]).
+    pub fn uniform(pools: usize, latency: SimDuration) -> Self {
+        PoolTopology {
+            pools,
+            links: PoolLinks::uniform(pools, latency),
+            window: None,
+            max_forwards_per_window: 1,
+        }
+    }
+
+    /// The effective synchronisation window: the explicit `window` if set,
+    /// otherwise the full conservative lookahead.
+    pub fn effective_window(&self) -> SimDuration {
+        self.window.unwrap_or_else(|| self.links.min_latency())
+    }
+
+    /// The station-index range owned by pool `pool` when partitioning
+    /// `stations` stations: contiguous ranges, sizes differing by at most
+    /// one, earlier pools taking the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool >= self.pools`.
+    pub fn range(&self, pool: usize, stations: usize) -> std::ops::Range<usize> {
+        assert!(pool < self.pools, "pool {pool} out of range");
+        let base = stations / self.pools;
+        let rem = stations % self.pools;
+        let start = pool * base + pool.min(rem);
+        let len = base + usize::from(pool < rem);
+        start..start + len
+    }
+
+    /// The pool owning global station index `station`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `station >= stations`.
+    pub fn pool_of(&self, station: usize, stations: usize) -> usize {
+        assert!(station < stations, "station {station} outside the fleet");
+        let base = stations / self.pools;
+        let rem = stations % self.pools;
+        let fat = rem * (base + 1); // stations held by the larger pools
+        if station < fat {
+            station / (base + 1)
+        } else {
+            rem + (station - fat) / base.max(1)
+        }
+    }
+
+    /// Checks the topology against a fleet size.
+    pub fn check(&self, stations: usize) -> Result<(), ConfigError> {
+        if self.pools == 0 {
+            return Err(ConfigError::TopologyNoPools);
+        }
+        if self.pools > stations {
+            return Err(ConfigError::TopologyMorePoolsThanStations {
+                pools: self.pools,
+                stations,
+            });
+        }
+        if let Some(w) = self.window {
+            // A zero window would never make progress; report it through
+            // the same lookahead-bound error (an empty window is outside
+            // the valid (0, lookahead] interval on both ends).
+            if w.is_zero() || w > self.links.min_latency() {
+                return Err(ConfigError::TopologyWindowExceedsLookahead {
+                    window: w,
+                    lookahead: self.links.min_latency(),
+                });
+            }
+        }
+        debug_assert_eq!(self.links.pools(), self.pools, "link mesh size mismatch");
+        Ok(())
+    }
 }
 
 impl Default for ClusterConfig {
@@ -392,6 +540,7 @@ impl Default for ClusterConfig {
             reservations: Vec::new(),
             record_trace: true,
             chaos: None,
+            topology: None,
         }
     }
 }
@@ -450,6 +599,9 @@ impl ClusterConfig {
         }
         if let Some(c) = &self.chaos {
             c.check(self.stations)?;
+        }
+        if let Some(t) = &self.topology {
+            t.check(self.stations)?;
         }
         Ok(())
     }
@@ -597,6 +749,12 @@ impl ClusterConfigBuilder {
     /// Enables deterministic chaos fault injection.
     pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
         self.config.chaos = Some(chaos);
+        self
+    }
+
+    /// Partitions the fleet into per-pool shards (see [`PoolTopology`]).
+    pub fn topology(mut self, topology: PoolTopology) -> Self {
+        self.config.topology = Some(topology);
         self
     }
 

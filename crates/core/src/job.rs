@@ -106,6 +106,10 @@ pub enum JobState {
     },
     /// All demand delivered.
     Completed,
+    /// Handed to another pool at a synchronisation barrier (sharded runs
+    /// only, see `condor_core::shard`); this record is a stub — the
+    /// adopting pool carries the job from here on.
+    Forwarded,
 }
 
 impl JobState {
@@ -115,14 +119,15 @@ impl JobState {
             JobState::Placing { target } => Some(target),
             JobState::Running { on } | JobState::Suspended { on } => Some(on),
             JobState::CheckpointingOut { from } => Some(from),
-            JobState::Held | JobState::Queued | JobState::Completed => None,
+            JobState::Held | JobState::Queued | JobState::Completed | JobState::Forwarded => None,
         }
     }
 
     /// `true` while the job occupies a slot in the system (arrived, not
     /// completed) — the paper counts jobs in service as part of the queue.
+    /// A forwarded stub left its pool's system entirely.
     pub fn in_system(self) -> bool {
-        !matches!(self, JobState::Completed)
+        !matches!(self, JobState::Completed | JobState::Forwarded)
     }
 }
 
@@ -196,6 +201,10 @@ pub struct Job {
     /// architecture would lose all work (paper §5(4)). Placements respect
     /// this binding.
     pub bound_arch: Option<Arch>,
+    /// `true` if this pool received the job from another pool at a
+    /// synchronisation barrier (sharded runs only). Adopted jobs announce
+    /// themselves with `JobAdopted` instead of `JobArrived`.
+    pub adopted: bool,
 }
 
 impl Job {
@@ -217,6 +226,7 @@ impl Job {
             rejected: false,
             transfer_seq: 0,
             bound_arch: None,
+            adopted: false,
         }
     }
 

@@ -57,6 +57,7 @@ pub mod config;
 pub mod job;
 pub mod policy;
 pub mod queue;
+pub mod shard;
 pub mod spans;
 pub mod telemetry;
 pub mod trace;

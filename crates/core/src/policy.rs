@@ -61,6 +61,12 @@ pub enum Order {
 /// The cluster maintains these sets incrementally across owner-flip and
 /// occupancy transitions; test code can derive them from views with
 /// [`decide_from_views`].
+///
+/// Under a [pool topology](crate::config::PoolTopology) every pool runs
+/// its own coordinator, so a `PollInput` is always **pool-scoped**: node
+/// ids are shard-local, the views cover one pool's stations only, and a
+/// policy never sees (or places across) another pool. Cross-pool balance
+/// happens between polls, at window barriers, via overflow forwarding.
 #[derive(Debug, Clone, Copy)]
 pub struct PollInput<'a> {
     /// One entry per station, indexed by station id.

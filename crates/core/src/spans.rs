@@ -485,6 +485,39 @@ impl TraceSink for SpanSink {
                 }
                 self.mark(at, job, on, "chaos_local_start");
             }
+            TraceKind::JobForwarded { job, .. } => {
+                // The job leaves this pool mid-queue: end its open span
+                // here without marking it completed. Forwarded jobs hold
+                // no stations, so there is nothing to release.
+                if let Some(open) = self.open.remove(&job) {
+                    let js = self.log.jobs.entry(job).or_default();
+                    js.spans.push(Span {
+                        phase: open.phase,
+                        from: open.since,
+                        until: at,
+                        station: open.station,
+                    });
+                }
+            }
+            TraceKind::JobAdopted { job, on } => {
+                // Adoption opens the job's life in the destination pool,
+                // exactly like an arrival; the marker records the station
+                // whose queue adopted it.
+                let js = self.log.jobs.entry(job).or_default();
+                if js.spans.is_empty() && js.arrived == SimTime::ZERO {
+                    js.arrived = at;
+                }
+                self.open.insert(
+                    job,
+                    OpenJob {
+                        phase: SpanPhase::Queued,
+                        since: at,
+                        station: None,
+                        holding: Vec::new(),
+                    },
+                );
+                self.mark(at, job, on, "adopted");
+            }
             TraceKind::JobRejected { .. }
             | TraceKind::PlacementDiskRejected { .. }
             | TraceKind::OwnerActive { .. }

@@ -73,7 +73,7 @@ pub trait TraceSink: std::fmt::Debug + Send {
     /// virtual call per leaf per event. Default: `None` (not a container —
     /// any sink with behavior of its own, filtering included, must keep
     /// the default).
-    fn take_children(&mut self) -> Option<Vec<Box<dyn TraceSink>>> {
+    fn take_children(&mut self) -> Option<Vec<Box<dyn TraceSink + Send>>> {
         None
     }
 }
@@ -194,7 +194,7 @@ impl TraceSink for RingSink {
 /// Broadcasts every event, sample, and finish to a set of child sinks.
 #[derive(Debug, Default)]
 pub struct FanoutSink {
-    sinks: Vec<Box<dyn TraceSink>>,
+    sinks: Vec<Box<dyn TraceSink + Send>>,
 }
 
 impl FanoutSink {
@@ -204,13 +204,13 @@ impl FanoutSink {
     }
 
     /// Adds a child sink (builder style).
-    pub fn with(mut self, sink: Box<dyn TraceSink>) -> Self {
+    pub fn with(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
         self.sinks.push(sink);
         self
     }
 
     /// Adds a child sink.
-    pub fn push(&mut self, sink: Box<dyn TraceSink>) {
+    pub fn push(&mut self, sink: Box<dyn TraceSink + Send>) {
         self.sinks.push(sink);
     }
 
@@ -244,7 +244,7 @@ impl TraceSink for FanoutSink {
         }
     }
 
-    fn take_children(&mut self) -> Option<Vec<Box<dyn TraceSink>>> {
+    fn take_children(&mut self) -> Option<Vec<Box<dyn TraceSink + Send>>> {
         Some(std::mem::take(&mut self.sinks))
     }
 }
@@ -359,7 +359,7 @@ impl<S: TraceSink> TraceSink for KindFilterSink<S> {
 /// use condor_core::telemetry::{RingSink, SharedSink, TraceSink};
 ///
 /// let tail = SharedSink::new(RingSink::new(100));
-/// let for_cluster: Box<dyn TraceSink> = Box::new(tail.clone());
+/// let for_cluster: Box<dyn TraceSink + Send> = Box::new(tail.clone());
 /// // … run the cluster with `for_cluster` attached …
 /// drop(for_cluster);
 /// let events = tail.with(|r| r.len());
@@ -481,6 +481,31 @@ impl Telemetry {
     pub fn is_empty(&self) -> bool {
         self.events_total == 0
     }
+
+    /// Merges another summary into this one — counters and histograms add
+    /// losslessly, gauge series interleave by time, and the event-span
+    /// bounds widen. Used by the sharded runner to combine per-pool
+    /// summaries into the fleet-wide one; deterministic in the inputs.
+    pub fn merge(&mut self, other: &Telemetry) {
+        self.events_total += other.events_total;
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.queue_wait_ms.merge(&other.queue_wait_ms);
+        self.remote_burst_ms.merge(&other.remote_burst_ms);
+        self.checkpoint_bytes.merge(&other.checkpoint_bytes);
+        self.bus_backlog_ms.absorb(&other.bus_backlog_ms);
+        self.updown_index.absorb(&other.updown_index);
+        self.first_event = match (self.first_event, other.first_event) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_event = match (self.last_event, other.last_event) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.finished_at = self.finished_at.max(other.finished_at);
+    }
 }
 
 /// What [`StatsSink::record`] must do with an event's per-job marks,
@@ -537,6 +562,8 @@ static MARK_ACTIONS: [MarkAction; TraceKind::COUNT] = [
     MarkAction::None,       // ChaosCoordDown
     MarkAction::None,       // ChaosCoordUp
     MarkAction::None,       // ChaosLocalStart (the paired JobStarted marks)
+    MarkAction::None,       // JobForwarded (stub leaves this pool; wait closes in the adopter)
+    MarkAction::Queue,      // JobAdopted (entered a queue in the new pool)
 ];
 
 /// Dense per-job timestamp marks (job ids are the dense sequence `0..n`).
@@ -758,6 +785,8 @@ mod tests {
             TraceKind::ChaosCoordDown,
             TraceKind::ChaosCoordUp,
             TraceKind::ChaosLocalStart { job, on: n },
+            TraceKind::JobForwarded { job, to_pool: 1 },
+            TraceKind::JobAdopted { job, on: n },
         ]
     }
 
@@ -772,9 +801,9 @@ mod tests {
         for (i, kind) in kinds.iter().enumerate() {
             assert_eq!(kind.index(), i, "fixture out of index order at {i}");
             let expected = match kind {
-                TraceKind::JobArrived { .. } | TraceKind::CheckpointCompleted { .. } => {
-                    MarkAction::Queue
-                }
+                TraceKind::JobArrived { .. }
+                | TraceKind::CheckpointCompleted { .. }
+                | TraceKind::JobAdopted { .. } => MarkAction::Queue,
                 TraceKind::JobStarted { .. } => MarkAction::Start,
                 TraceKind::JobResumedInPlace { .. } => MarkAction::Resume,
                 TraceKind::JobSuspended { .. }
@@ -864,7 +893,7 @@ mod tests {
     #[test]
     fn trace_is_a_sink() {
         let mut trace = Trace::new();
-        let sink: &mut dyn TraceSink = &mut trace;
+        let sink: &mut (dyn TraceSink + Send) = &mut trace;
         sink.record(&ev(5, TraceKind::JobArrived { job: JobId(9) }));
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.events()[0].at, SimTime::from_secs(5));

@@ -207,11 +207,28 @@ pub enum TraceKind {
         /// The home station it started on.
         on: NodeId,
     },
+    /// A saturated pool handed a queued job to an idle pool at a
+    /// synchronisation barrier (sharded runs only); the job travels the
+    /// inter-pool link and is adopted on arrival.
+    JobForwarded {
+        /// The job handed over.
+        job: JobId,
+        /// The receiving pool's index.
+        to_pool: u32,
+    },
+    /// A forwarded job arrived at its new pool and entered a local queue
+    /// there (the cross-pool counterpart of [`TraceKind::JobArrived`]).
+    JobAdopted {
+        /// The job.
+        job: JobId,
+        /// The adopting home station.
+        on: NodeId,
+    },
 }
 
 impl TraceKind {
     /// Number of distinct trace-event kinds.
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 31;
 
     /// Dense index of this kind in `0..COUNT`; stable across a release,
     /// used by the telemetry layer for per-kind counter arrays.
@@ -246,6 +263,8 @@ impl TraceKind {
             TraceKind::ChaosCoordDown => 26,
             TraceKind::ChaosCoordUp => 27,
             TraceKind::ChaosLocalStart { .. } => 28,
+            TraceKind::JobForwarded { .. } => 29,
+            TraceKind::JobAdopted { .. } => 30,
         }
     }
 
@@ -285,7 +304,9 @@ impl TraceKind {
             | TraceKind::JobCompleted { job, .. }
             | TraceKind::CrashRollback { job, .. }
             | TraceKind::ChaosCkptCorrupted { job, .. }
-            | TraceKind::ChaosLocalStart { job, .. } => Some(*job),
+            | TraceKind::ChaosLocalStart { job, .. }
+            | TraceKind::JobForwarded { job, .. }
+            | TraceKind::JobAdopted { job, .. } => Some(*job),
             TraceKind::OwnerActive { .. }
             | TraceKind::OwnerIdle { .. }
             | TraceKind::StationFailed { .. }
@@ -300,6 +321,63 @@ impl TraceKind {
             | TraceKind::ChaosLinkUp { .. }
             | TraceKind::ChaosCoordDown
             | TraceKind::ChaosCoordUp => None,
+        }
+    }
+
+    /// Rewrites every job id through `job` and every station id through
+    /// `node`, returning the remapped kind. Used by the sharded runner's
+    /// deterministic merge to translate a pool's local numbering back into
+    /// the fleet-global one; kinds without ids pass through unchanged.
+    pub(crate) fn remapped(
+        self,
+        job: &impl Fn(JobId) -> JobId,
+        node: &impl Fn(NodeId) -> NodeId,
+    ) -> TraceKind {
+        use TraceKind::*;
+        match self {
+            JobArrived { job: j } => JobArrived { job: job(j) },
+            JobRejected { job: j } => JobRejected { job: job(j) },
+            PlacementStarted { job: j, target } => {
+                PlacementStarted { job: job(j), target: node(target) }
+            }
+            PlacementDiskRejected { job: j, target } => {
+                PlacementDiskRejected { job: job(j), target: node(target) }
+            }
+            JobStarted { job: j, on } => JobStarted { job: job(j), on: node(on) },
+            JobSuspended { job: j, on } => JobSuspended { job: job(j), on: node(on) },
+            JobResumedInPlace { job: j, on } => JobResumedInPlace { job: job(j), on: node(on) },
+            CheckpointStarted { job: j, from, reason, bytes } => {
+                CheckpointStarted { job: job(j), from: node(from), reason, bytes }
+            }
+            CheckpointCompleted { job: j, from, bytes } => {
+                CheckpointCompleted { job: job(j), from: node(from), bytes }
+            }
+            JobKilled { job: j, on } => JobKilled { job: job(j), on: node(on) },
+            PeriodicCheckpoint { job: j, on } => PeriodicCheckpoint { job: job(j), on: node(on) },
+            JobCompleted { job: j, on } => JobCompleted { job: job(j), on: node(on) },
+            OwnerActive { station } => OwnerActive { station: node(station) },
+            OwnerIdle { station } => OwnerIdle { station: node(station) },
+            StationFailed { station } => StationFailed { station: node(station) },
+            StationRecovered { station } => StationRecovered { station: node(station) },
+            CrashRollback { job: j, on } => CrashRollback { job: job(j), on: node(on) },
+            ReservationStarted { holder, machines } => {
+                ReservationStarted { holder: node(holder), machines }
+            }
+            ReservationEnded { holder } => ReservationEnded { holder: node(holder) },
+            CoordinatorPolled { .. }
+            | ChaosPollLost
+            | ChaosPollDelayed { .. }
+            | ChaosDupDropped
+            | ChaosCoordDown
+            | ChaosCoordUp => self,
+            ChaosCkptCorrupted { job: j, from, attempt } => {
+                ChaosCkptCorrupted { job: job(j), from: node(from), attempt }
+            }
+            ChaosLinkDown { station } => ChaosLinkDown { station: node(station) },
+            ChaosLinkUp { station } => ChaosLinkUp { station: node(station) },
+            ChaosLocalStart { job: j, on } => ChaosLocalStart { job: job(j), on: node(on) },
+            JobForwarded { job: j, to_pool } => JobForwarded { job: job(j), to_pool },
+            JobAdopted { job: j, on } => JobAdopted { job: job(j), on: node(on) },
         }
     }
 }
@@ -334,6 +412,8 @@ static KIND_NAMES: [&str; TraceKind::COUNT] = [
     "chaos_coord_down",
     "chaos_coord_up",
     "chaos_local_start",
+    "job_forwarded",
+    "job_adopted",
 ];
 
 /// A timestamped trace entry.
@@ -549,6 +629,12 @@ impl TraceEvent {
             TraceKind::ChaosLocalStart { job, on } => {
                 write!(s, ",\"job\":{},\"on\":{}", job.0, on.index()).unwrap();
             }
+            TraceKind::JobForwarded { job, to_pool } => {
+                write!(s, ",\"job\":{},\"pool\":{}", job.0, to_pool).unwrap();
+            }
+            TraceKind::JobAdopted { job, on } => {
+                write!(s, ",\"job\":{},\"on\":{}", job.0, on.index()).unwrap();
+            }
         }
         s.push('}');
     }
@@ -625,6 +711,10 @@ impl TraceEvent {
             "chaos_local_start" => {
                 TraceKind::ChaosLocalStart { job: f.job("job")?, on: f.node("on")? }
             }
+            "job_forwarded" => {
+                TraceKind::JobForwarded { job: f.job("job")?, to_pool: f.u32("pool")? }
+            }
+            "job_adopted" => TraceKind::JobAdopted { job: f.job("job")?, on: f.node("on")? },
             other => return Err(TraceParseError::UnknownKind(other.into())),
         };
         Ok(TraceEvent { at, kind })
@@ -772,6 +862,8 @@ mod tests {
             TraceKind::ChaosCoordDown,
             TraceKind::ChaosCoordUp,
             TraceKind::ChaosLocalStart { job: j, on: n },
+            TraceKind::JobForwarded { job: j, to_pool: 1 },
+            TraceKind::JobAdopted { job: j, on: n },
         ]
     }
 

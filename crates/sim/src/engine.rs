@@ -171,6 +171,17 @@ impl<M: Model> Engine<M> {
         self.events_dispatched
     }
 
+    /// Timestamp of the earliest queued event, if any.
+    ///
+    /// This is what makes a *windowed* multi-engine run cheap: a
+    /// conservative space-parallel driver tiles [`Engine::run_until`]
+    /// calls over fixed lookahead windows, and when every engine's next
+    /// event lies beyond the current window the driver can skip empty
+    /// windows in O(1) instead of stepping each engine through them.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// A [`Scheduler`] for planting events from outside the model (initial
     /// conditions, test stimulus).
     pub fn scheduler(&mut self) -> Scheduler<'_, M::Event> {

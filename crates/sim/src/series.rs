@@ -97,6 +97,34 @@ impl StepSeries {
         self.points.len() == 1
     }
 
+    /// Point-wise sum of several step series — the merged series' value at
+    /// any instant equals the sum of every part's value there.
+    ///
+    /// Used by the space-parallel cluster runner to combine per-pool queue
+    /// series into the fleet-wide series the serial simulator would have
+    /// produced. Deterministic: depends only on the parts' contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn merge_sum(parts: &[&StepSeries]) -> StepSeries {
+        assert!(!parts.is_empty(), "merge_sum needs at least one series");
+        // Gather every change instant across all parts, then sweep.
+        let mut instants: Vec<SimTime> = parts
+            .iter()
+            .flat_map(|p| p.points.iter().map(|&(t, _)| t))
+            .collect();
+        instants.sort_unstable();
+        instants.dedup();
+        let initial: f64 = parts.iter().map(|p| p.points[0].1).sum();
+        let mut merged = StepSeries::new(initial);
+        for &t in &instants {
+            let total: f64 = parts.iter().map(|p| p.value_at(t)).sum();
+            merged.set(t, total);
+        }
+        merged
+    }
+
     /// Time-weighted mean over `[from, to)`.
     ///
     /// # Panics
@@ -231,6 +259,28 @@ impl BucketAccumulator {
             let frac = seg_end.since(cursor).as_millis() as f64 / total_ms;
             self.deposit_point(cursor, amount * frac);
             cursor = seg_end;
+        }
+    }
+
+    /// Adds every bucket of `other` into this accumulator.
+    ///
+    /// Both accumulators must share a bucket width; used to combine
+    /// per-pool busy-time ledgers into the fleet-wide one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ.
+    pub fn absorb(&mut self, other: &BucketAccumulator) {
+        assert_eq!(
+            self.width, other.width,
+            "cannot absorb a BucketAccumulator of different bucket width"
+        );
+        if other.buckets.is_empty() {
+            return;
+        }
+        self.ensure(other.buckets.len() - 1);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
         }
     }
 
@@ -406,6 +456,43 @@ impl CoarseSeries {
     pub fn stride(&self) -> u64 {
         self.stride
     }
+
+    /// Merges `other` into this series, interleaving stored points by time.
+    ///
+    /// The exact aggregates (`samples`, `mean`, `max`) combine losslessly;
+    /// the stored point shape is rebuilt by replaying both point lists in
+    /// time order, so it carries the same bounded-memory approximation any
+    /// single-writer series has. Deterministic: depends only on the two
+    /// series' contents, never on call timing.
+    pub fn absorb(&mut self, other: &CoarseSeries) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mine = self.points();
+        let theirs = other.points();
+        let mut rebuilt = CoarseSeries::new(self.capacity.max(other.capacity));
+        let (mut i, mut j) = (0, 0);
+        while i < mine.len() || j < theirs.len() {
+            let take_mine = j >= theirs.len() || (i < mine.len() && mine[i].0 <= theirs[j].0);
+            let (t, v) = if take_mine { mine[i] } else { theirs[j] };
+            if take_mine {
+                i += 1;
+            } else {
+                j += 1;
+            }
+            rebuilt.push(t, v);
+        }
+        // The replay above rebuilt the *shape*; restore the exact
+        // aggregates from both sources.
+        rebuilt.samples = self.samples + other.samples;
+        rebuilt.total_sum = self.total_sum + other.total_sum;
+        rebuilt.max = self.max.max(other.max);
+        *self = rebuilt;
+    }
 }
 
 #[cfg(test)]
@@ -577,5 +664,52 @@ mod tests {
         }
         assert!(s.len() <= 2);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn merge_sum_adds_step_series_pointwise() {
+        let mut a = StepSeries::new(1.0);
+        a.add(SimTime::from_secs(10), 2.0); // 3 from t=10
+        let mut b = StepSeries::new(0.0);
+        b.add(SimTime::from_secs(5), 5.0); // 5 from t=5
+        b.add(SimTime::from_secs(10), -5.0); // back to 0 at t=10
+        let m = StepSeries::merge_sum(&[&a, &b]);
+        assert_eq!(m.value_at(SimTime::ZERO), 1.0);
+        assert_eq!(m.value_at(SimTime::from_secs(7)), 6.0);
+        assert_eq!(m.value_at(SimTime::from_secs(10)), 3.0);
+        assert_eq!(m.value_at_end(), 3.0);
+    }
+
+    #[test]
+    fn bucket_absorb_adds_bucketwise() {
+        let mut a = BucketAccumulator::new(SimDuration::HOUR);
+        a.deposit_point(SimTime::from_secs(30 * 60), 2.0);
+        let mut b = BucketAccumulator::new(SimDuration::HOUR);
+        b.deposit_point(SimTime::from_secs(30 * 60), 1.0);
+        b.deposit_point(SimTime::from_secs(90 * 60), 4.0);
+        a.absorb(&b);
+        assert_eq!(a.bucket_totals(2), vec![3.0, 4.0]);
+        assert_eq!(a.total(), 7.0);
+    }
+
+    #[test]
+    fn coarse_absorb_preserves_exact_aggregates() {
+        let mut a = CoarseSeries::new(8);
+        let mut b = CoarseSeries::new(8);
+        for k in 0..10u64 {
+            a.push(SimTime::from_secs(2 * k), k as f64);
+            b.push(SimTime::from_secs(2 * k + 1), 100.0);
+        }
+        let (sa, sb) = (a.samples(), b.samples());
+        let (ma, mb) = (a.mean(), b.mean());
+        a.absorb(&b);
+        assert_eq!(a.samples(), sa + sb);
+        let expect = (ma * sa as f64 + mb * sb as f64) / (sa + sb) as f64;
+        assert!((a.mean() - expect).abs() < 1e-9);
+        assert_eq!(a.max(), Some(100.0));
+        // Absorbing into an empty series copies the other side verbatim.
+        let mut empty = CoarseSeries::new(8);
+        empty.absorb(&b);
+        assert_eq!(empty.samples(), sb);
     }
 }

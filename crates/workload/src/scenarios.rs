@@ -6,7 +6,7 @@
 //! users (heavy A, light B–E), 918 jobs, ≈ 4771 CPU-hours of demand over a
 //! 30-day month on 23 workstations.
 
-use condor_core::config::ClusterConfig;
+use condor_core::config::{ClusterConfig, PoolTopology};
 use condor_core::job::{JobSpec, UserId};
 use condor_model::station::{Arch, ArchSet};
 use condor_net::NodeId;
@@ -149,6 +149,54 @@ pub fn fairness_duel(seed: u64, stations: usize, days: u64) -> Scenario {
     }
 }
 
+/// A fleet-scale throughput scenario: `stations` machines over `days`
+/// days with a synthetic user population of about one submitting user per
+/// six stations, homes spread evenly across the fleet. With `pools > 1`
+/// the fleet is partitioned into equal pool shards joined by a uniform
+/// 300-second link, which routes the run through the space-parallel
+/// sharded simulation (see `condor_core::shard`); `pools == 1` keeps the
+/// classic monolithic configuration. Tracing is disabled — this scenario
+/// exists to measure simulation throughput (`cluster/stations/*` and
+/// `cluster/par/*` bench rows), not to be inspected event by event.
+pub fn fleet_scale(seed: u64, stations: usize, pools: usize, days: u64) -> Scenario {
+    assert!(pools >= 1, "at least one pool");
+    assert!(stations >= pools, "{stations} stations cannot fill {pools} pools");
+    let horizon = SimDuration::from_days(days);
+    let mut config = ClusterConfig {
+        stations,
+        seed,
+        record_trace: false,
+        ..ClusterConfig::default()
+    };
+    if pools > 1 {
+        config.topology = Some(PoolTopology::uniform(pools, SimDuration::from_secs(300)));
+    }
+    let root = SimRng::seed_from(seed);
+    let users = (stations / 6).max(1);
+    let jobs_per_user = (days as usize * 3).max(1);
+    let mut per_user = Vec::new();
+    let mut first_id = 0u64;
+    for u in 0..users {
+        let home = NodeId::new((u * stations / users) as u32);
+        let profile = UserProfile::with_mean_demand(
+            UserId(u as u32),
+            home,
+            jobs_per_user,
+            2.0,
+        );
+        let mut rng = root.substream(seed, &format!("fleet-user-{u}"));
+        let generated = profile.generate(horizon, &mut rng, first_id);
+        first_id += generated.len() as u64;
+        per_user.push(generated);
+    }
+    Scenario {
+        name: "fleet-scale",
+        config,
+        jobs: merge_users(per_user),
+        horizon,
+    }
+}
+
 /// The §5(4) what-if: the department adds SUN workstations. Half the
 /// fleet is SUN (alternating pattern); the given fraction of each user's
 /// jobs is recompiled for both architectures, the rest stay VAX-only.
@@ -251,6 +299,29 @@ mod tests {
         assert!((frac - 0.5).abs() < 0.08, "dual fraction {frac}");
         let all_vax = mixed_arch_month(9, 0.0);
         assert!(all_vax.jobs.iter().all(|j| j.binaries == ArchSet::vax_only()));
+    }
+
+    #[test]
+    fn fleet_scale_partitions_cleanly() {
+        let s = fleet_scale(11, 120, 4, 7);
+        assert_eq!(s.config.stations, 120);
+        assert!(!s.config.record_trace);
+        let topo = s.config.topology.as_ref().expect("pools > 1 sets a topology");
+        assert_eq!(topo.pools, 4);
+        // Dense ids in arrival order, homes inside the fleet, no deps —
+        // the shape the shard partitioner requires.
+        for (i, j) in s.jobs.iter().enumerate() {
+            assert_eq!(j.id.0 as usize, i);
+            assert!(j.home.as_usize() < 120);
+            assert!(j.depends_on.is_empty());
+        }
+        for w in s.jobs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        // One pool keeps the monolithic configuration; the build stays
+        // deterministic.
+        assert!(fleet_scale(11, 120, 1, 7).config.topology.is_none());
+        assert_eq!(fleet_scale(11, 120, 4, 7).jobs, s.jobs);
     }
 
     #[test]

@@ -216,7 +216,7 @@ fn cmd_month(args: &[String]) -> Result<(), String> {
     }
     let perfetto = opt_value(args, "--perfetto")?;
     let spans = SharedSink::new(SpanSink::new());
-    let sinks: Vec<Box<dyn TraceSink>> = if perfetto.is_some() {
+    let sinks: Vec<Box<dyn TraceSink + Send>> = if perfetto.is_some() {
         vec![Box::new(spans.clone())]
     } else {
         Vec::new()
@@ -480,7 +480,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let mut scenario = paper_month(seed);
     scenario.config.record_trace = false;
     let tail = SharedSink::new(KindFilterSink::new(RingSink::new(last), mask));
-    let mut sinks: Vec<Box<dyn TraceSink>> = vec![Box::new(tail.clone())];
+    let mut sinks: Vec<Box<dyn TraceSink + Send>> = vec![Box::new(tail.clone())];
     let jsonl = match opt_value(args, "--jsonl")? {
         Some(path) => {
             let file =

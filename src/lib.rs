@@ -44,11 +44,14 @@ pub use condor_workload as workload;
 
 /// The items most programs need.
 pub mod prelude {
-    pub use condor_core::cluster::{run_cluster, run_cluster_with_sinks, Cluster, RunOutput};
+    pub use condor_core::cluster::{
+        run_cluster, run_cluster_with_sinks, run_cluster_with_threads, Cluster, RunOutput,
+    };
     pub use condor_core::config::{
         ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig,
-        PolicyKind,
+        PolicyKind, PoolTopology,
     };
+    pub use condor_core::shard::default_threads;
     pub use condor_core::audit::{AuditSink, AuditViolation, AuditViolationKind};
     pub use condor_core::chaos::{
         explore, shrink_schedule, verify_conservation, verify_schedule, ChaosConfig, ChaosGen,
@@ -64,7 +67,7 @@ pub mod prelude {
     pub use condor_core::updown::{UpDown, UpDownConfig};
     pub use condor_metrics::export::{spans_to_chrome_trace, JsonlSink};
     pub use condor_metrics::report::{render_spans, render_telemetry};
-    pub use condor_net::NodeId;
+    pub use condor_net::{NodeId, PoolLinks};
     pub use condor_sim::time::{SimDuration, SimTime};
     pub use condor_workload::scenarios::{fairness_duel, one_week, paper_month};
 }

@@ -209,3 +209,58 @@ fn checkpoint_retry_accounting_balances() {
         .count();
     assert_eq!(rollbacks as u64, out.totals.crash_rollbacks);
 }
+
+/// Chaos faults route deterministically to the shard that owns them —
+/// partitions to the pools their station ranges intersect, control-plane
+/// faults to the coordinator's pool, corruption windows everywhere — so a
+/// sharded run under fault injection is still bit-identical at every
+/// worker thread count.
+#[test]
+fn chaos_under_parallelism_is_thread_invariant() {
+    let gen = ChaosGen {
+        horizon: SimDuration::from_days(2),
+        stations: 9,
+        faults: 6,
+    };
+    for seed in [7u64, 1988, 4242] {
+        let schedule = ChaosSchedule::generate(seed, &gen);
+        let mut reference: Option<Vec<TraceEvent>> = None;
+        for threads in [1usize, 2, 4] {
+            let config = ClusterConfig {
+                chaos: Some(ChaosConfig::new(schedule.clone())),
+                topology: Some(PoolTopology::uniform(3, SimDuration::from_secs(120))),
+                ..stormy(9)
+            };
+            let out = run_cluster_with_threads(
+                config,
+                jobs(12, 9),
+                SimDuration::from_days(2),
+                threads,
+            );
+            assert!(!out.trace.is_empty(), "chaos run produced no trace (seed {seed})");
+            let events = out.trace.events().to_vec();
+            match &reference {
+                None => reference = Some(events),
+                Some(r) => assert_eq!(
+                    &events, r,
+                    "chaos trace diverged at {threads} threads (seed {seed})"
+                ),
+            }
+        }
+        // With no pinned count, the runner falls back to
+        // `default_threads()`, which honors CONDOR_THREADS — the CI
+        // determinism smoke sets it to 2 to exercise a real multi-worker
+        // replay through this arm.
+        let config = ClusterConfig {
+            chaos: Some(ChaosConfig::new(schedule.clone())),
+            topology: Some(PoolTopology::uniform(3, SimDuration::from_secs(120))),
+            ..stormy(9)
+        };
+        let out = run_cluster(config, jobs(12, 9), SimDuration::from_days(2));
+        assert_eq!(
+            out.trace.events(),
+            &reference.unwrap()[..],
+            "chaos trace diverged under default_threads() (seed {seed})"
+        );
+    }
+}

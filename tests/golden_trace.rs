@@ -11,7 +11,9 @@
 //! commit message.
 
 use condor_core::chaos::ChaosConfig;
-use condor_core::cluster::{run_cluster, RunOutput};
+use condor_core::cluster::{run_cluster, run_cluster_with_threads, RunOutput};
+use condor_core::config::PoolTopology;
+use condor_sim::time::SimDuration;
 use condor_workload::scenarios::paper_month;
 
 /// FNV-1a, 64-bit. Implemented inline so the guard has zero dependencies
@@ -73,4 +75,64 @@ fn zero_fault_chaos_matches_the_golden_digest() {
         hash, GOLDEN_DIGEST,
         "an empty chaos schedule perturbed the trace (got {hash:#018X})"
     );
+}
+
+/// A one-pool topology routes through the windowed sharded runner, yet
+/// must stay bit-identical to the classic serial run — at every worker
+/// thread count. This is the anchor that lets the parallel path share the
+/// serial path's golden digest.
+#[test]
+fn one_pool_topology_matches_the_golden_digest_at_any_thread_count() {
+    for threads in [1, 2, 4, 8] {
+        let mut scenario = paper_month(GOLDEN_SEED);
+        scenario.config.topology = Some(PoolTopology::uniform(1, SimDuration::from_secs(60)));
+        let out = run_cluster_with_threads(scenario.config, scenario.jobs, scenario.horizon, threads);
+        let (hash, events) = digest(&out);
+        assert_eq!(
+            events, GOLDEN_EVENTS,
+            "one-pool sharded run changed the event count at {threads} threads"
+        );
+        assert_eq!(
+            hash, GOLDEN_DIGEST,
+            "one-pool sharded run diverged from the golden digest at \
+             {threads} threads (got {hash:#018X})"
+        );
+    }
+    // With no pinned count, the sharded runner falls back to
+    // `default_threads()`, which honors CONDOR_THREADS — the CI
+    // determinism smoke sets it to 4 so a real multi-worker run flows
+    // through this arm.
+    let mut scenario = paper_month(GOLDEN_SEED);
+    scenario.config.topology = Some(PoolTopology::uniform(1, SimDuration::from_secs(60)));
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    assert_eq!(
+        digest(&out),
+        (GOLDEN_DIGEST, GOLDEN_EVENTS),
+        "one-pool sharded run diverged under default_threads()"
+    );
+}
+
+/// The multi-pool partitioned simulation is a *different* model than the
+/// monolithic one (per-pool coordinators, decorrelated owner streams), so
+/// it has its own trace — but that trace must be bit-identical at every
+/// worker thread count: threads only change how many shards advance
+/// concurrently, never what any shard computes.
+#[test]
+fn multi_pool_trace_is_bit_identical_at_any_thread_count() {
+    let mut reference: Option<(u64, usize)> = None;
+    for threads in [1, 2, 4, 8] {
+        let mut scenario = paper_month(GOLDEN_SEED);
+        scenario.config.topology =
+            Some(PoolTopology::uniform(4, SimDuration::from_secs(300)));
+        let out = run_cluster_with_threads(scenario.config, scenario.jobs, scenario.horizon, threads);
+        let d = digest(&out);
+        assert!(d.1 > 0, "multi-pool run produced an empty trace");
+        match reference {
+            None => reference = Some(d),
+            Some(r) => assert_eq!(
+                d, r,
+                "multi-pool trace diverged between 1 and {threads} threads"
+            ),
+        }
+    }
 }

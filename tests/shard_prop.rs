@@ -1,0 +1,116 @@
+//! Property guard for the conservative-lookahead invariant.
+//!
+//! The sharded runner is safe because a message created at a barrier `T`
+//! is delivered at `T + latency`, and the synchronisation window never
+//! exceeds the minimum inter-pool latency — so no shard can receive an
+//! event from another shard's not-yet-simulated past. The property: for
+//! *any* window that respects the lookahead bound, the merged trace is a
+//! pure function of the inputs — worker thread count never reorders it —
+//! and a one-pool topology reproduces the classic serial runner bit for
+//! bit.
+//!
+//! The vendored proptest stub does not shrink, so the minimal interesting
+//! configuration (two pools, window exactly equal to the latency) is also
+//! pinned as an explicit deterministic test.
+
+use condor::prelude::*;
+use proptest::prelude::*;
+
+fn workload(n: u64, stations: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| JobSpec {
+            id: JobId(i),
+            user: UserId((i % 3) as u32),
+            home: NodeId::new((i % stations) as u32),
+            arrival: SimTime::from_secs(900 * i),
+            demand: SimDuration::from_hours(3),
+            image_bytes: 300_000,
+            syscalls_per_cpu_sec: 1.0,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+        })
+        .collect()
+}
+
+fn sharded_trace(
+    pools: usize,
+    window_secs: u64,
+    latency_secs: u64,
+    threads: usize,
+    seed: u64,
+) -> Vec<TraceEvent> {
+    let config = ClusterConfig {
+        stations: 8,
+        seed,
+        topology: Some(PoolTopology {
+            pools,
+            links: PoolLinks::uniform(pools, SimDuration::from_secs(latency_secs)),
+            window: Some(SimDuration::from_secs(window_secs)),
+            max_forwards_per_window: 2,
+        }),
+        ..ClusterConfig::default()
+    };
+    let out =
+        run_cluster_with_threads(config, workload(12, 8), SimDuration::from_days(2), threads);
+    out.trace.events().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any pool count and any window within the lookahead bound, the
+    /// parallel run's merged trace equals the single-threaded run's — the
+    /// conservative window means thread scheduling can never reorder it.
+    #[test]
+    fn windows_within_the_lookahead_are_thread_invariant(
+        pools in 1usize..=4,
+        latency_secs in 60u64..600,
+        divisor in 1u64..=4,
+        seed in 0u64..1_000,
+    ) {
+        let window_secs = (latency_secs / divisor).max(1);
+        let serial = sharded_trace(pools, window_secs, latency_secs, 1, seed);
+        let parallel = sharded_trace(pools, window_secs, latency_secs, 4, seed);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// A one-pool topology must not merely be self-consistent — it must
+    /// reproduce the classic monolithic runner exactly, windowed
+    /// `run_until` calls and all.
+    #[test]
+    fn one_pool_topology_equals_the_serial_runner(
+        latency_secs in 60u64..600,
+        seed in 0u64..1_000,
+    ) {
+        let legacy = {
+            let config = ClusterConfig { stations: 8, seed, ..ClusterConfig::default() };
+            run_cluster(config, workload(12, 8), SimDuration::from_days(2))
+        };
+        let sharded = sharded_trace(1, latency_secs, latency_secs, 4, seed);
+        prop_assert_eq!(legacy.trace.len(), sharded.len());
+        for (a, b) in legacy.trace.events().iter().zip(&sharded) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// The minimal interesting configuration, pinned deterministically: two
+/// pools, window exactly at the lookahead bound (the tightest legal
+/// window), forwarding enabled. This is what a shrinker would converge to
+/// if the conservative invariant ever broke.
+#[test]
+fn two_pools_at_the_exact_lookahead_bound_stay_deterministic() {
+    let mut reference: Option<Vec<TraceEvent>> = None;
+    for threads in [1usize, 2] {
+        let trace = sharded_trace(2, 300, 300, threads, 1988);
+        assert!(!trace.is_empty());
+        match &reference {
+            None => reference = Some(trace),
+            Some(r) => assert_eq!(&trace, r, "two-pool trace diverged at {threads} threads"),
+        }
+    }
+}
