@@ -2,6 +2,8 @@
 //! simulates a day/week of 23-station operation, and how placement +
 //! checkpoint costs scale with image size (the 5 s/MB rule).
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use condor_core::chaos::{ChaosConfig, ChaosGen, ChaosSchedule};
@@ -25,6 +27,7 @@ fn jobs(n: u64, image_bytes: u64) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect()
 }

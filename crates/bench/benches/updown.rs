@@ -18,6 +18,7 @@ fn make_views(n: usize) -> (Vec<StationView>, Vec<NodeId>) {
         .map(|i| StationView {
             node: NodeId::new(i as u32),
             can_host: i % 3 == 0,
+            free_cpu_milli: if i % 3 == 0 { 1000 } else { 0 },
             hosting_for: (i % 3 == 1).then(|| NodeId::new((i % 7) as u32)),
             waiting_jobs: if i % 5 == 0 { 4 } else { 0 },
         })

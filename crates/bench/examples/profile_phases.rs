@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::Run;
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
 use condor_net::NodeId;
@@ -22,6 +22,7 @@ fn jobs(n: u64) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect()
 }
@@ -51,21 +52,21 @@ fn main() {
             .unwrap()
     };
     time("baseline 7d 40 jobs", || {
-        run_cluster(base(), jobs(40), SimDuration::from_days(7)).events_dispatched
+        Run::new(base()).specs(jobs(40)).horizon(SimDuration::from_days(7)).execute().events_dispatched
     });
     time("no jobs (polls+flips only)", || {
-        run_cluster(base(), vec![], SimDuration::from_days(7)).events_dispatched
+        Run::new(base()).horizon(SimDuration::from_days(7)).execute().events_dispatched
     });
     let mut cfg = base();
     cfg.costs.coordinator_poll_interval = SimDuration::from_days(365);
     time("no polls (flips only, no jobs)", || {
         let mut c = cfg.clone();
         c.costs.coordinator_poll_interval = SimDuration::from_days(365);
-        run_cluster(c, vec![], SimDuration::from_days(7)).events_dispatched
+        Run::new(c).horizon(SimDuration::from_days(7)).execute().events_dispatched
     });
     let mut cfg200 = base();
     cfg200.stations = 200;
     time("200 stations, no jobs", || {
-        run_cluster(cfg200.clone(), vec![], SimDuration::from_days(7)).events_dispatched
+        Run::new(cfg200.clone()).horizon(SimDuration::from_days(7)).execute().events_dispatched
     });
 }

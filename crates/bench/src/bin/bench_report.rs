@@ -30,7 +30,7 @@
 use std::time::{Duration, Instant, SystemTime};
 
 use condor_core::chaos::{ChaosConfig, ChaosGen, ChaosSchedule};
-use condor_core::cluster::{run_cluster, run_cluster_with_sinks, run_cluster_with_threads};
+use condor_core::cluster::Run;
 use condor_core::config::{ClusterConfig, Reservation};
 use condor_core::job::{JobId, JobSpec, UserId};
 use condor_core::policy::{decide_from_views, StationView};
@@ -147,6 +147,7 @@ fn jobs(n: u64, image_bytes: u64) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect()
 }
@@ -190,6 +191,7 @@ fn make_views(n: usize) -> (Vec<StationView>, Vec<NodeId>) {
         .map(|i| StationView {
             node: NodeId::new(i as u32),
             can_host: i % 3 == 0,
+            free_cpu_milli: if i % 3 == 0 { 1000 } else { 0 },
             hosting_for: (i % 3 == 1).then(|| NodeId::new((i % 7) as u32)),
             waiting_jobs: if i % 5 == 0 { 4 } else { 0 },
         })
@@ -296,7 +298,10 @@ fn main() {
     // cluster: full-model simulation speed (as in benches/cluster.rs).
     for days in [1u64, 7] {
         let (iters, ms, events) = measure(budget, || {
-            let out = run_cluster(cluster_config(), jobs(40, 500_000), SimDuration::from_days(days));
+            let out = Run::new(cluster_config())
+                .specs(jobs(40, 500_000))
+                .horizon(SimDuration::from_days(days))
+                .execute();
             out.events_dispatched
         });
         rows.push(Row {
@@ -309,11 +314,59 @@ fn main() {
     }
     for mb in [1u64, 4] {
         let (iters, ms, events) = measure(budget, || {
-            let out = run_cluster(cluster_config(), jobs(20, mb * 1_000_000), SimDuration::from_days(1));
+            let out = Run::new(cluster_config())
+                .specs(jobs(20, mb * 1_000_000))
+                .horizon(SimDuration::from_days(1))
+                .execute();
             out.events_dispatched
         });
         rows.push(Row {
             name: format!("cluster/image_mb/{mb}"),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+            threads: None,
+        });
+    }
+
+    // frac: the fractional-capacity path. `off` is the simulate_days/7
+    // scenario under its canonical name (whole-machine demands through the
+    // legacy exclusivity fast path — must track simulate_days/7 within
+    // noise); `on` reruns the same burst with half-CPU demands packed by
+    // FracPolicy, pricing the capacity-vector bookkeeping and the
+    // JobGranted emissions.
+    {
+        let (iters, ms, events) = measure(budget, || {
+            let out = Run::new(cluster_config())
+                .specs(jobs(40, 500_000))
+                .horizon(SimDuration::from_days(7))
+                .execute();
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: "cluster/frac/off".to_string(),
+            iters,
+            wall_ms_per_iter: ms,
+            events_per_iter: Some(events),
+            threads: None,
+        });
+        let (iters, ms, events) = measure(budget, || {
+            let cfg = ClusterConfig {
+                policy: condor_core::config::PolicyKind::Frac,
+                ..cluster_config()
+            };
+            let specs: Vec<JobSpec> = jobs(40, 500_000)
+                .into_iter()
+                .map(|mut j| {
+                    j.resources = condor_model::station::ResourceVec::share(500);
+                    j
+                })
+                .collect();
+            let out = Run::new(cfg).specs(specs).horizon(SimDuration::from_days(7)).execute();
+            out.events_dispatched
+        });
+        rows.push(Row {
+            name: "cluster/frac/on".to_string(),
             iters,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
@@ -331,7 +384,7 @@ fn main() {
                 chaos: Some(ChaosConfig::default()),
                 ..cluster_config()
             };
-            let out = run_cluster(cfg, jobs(40, 500_000), SimDuration::from_days(7));
+            let out = Run::new(cfg).specs(jobs(40, 500_000)).horizon(SimDuration::from_days(7)).execute();
             out.events_dispatched
         });
         rows.push(Row {
@@ -348,7 +401,7 @@ fn main() {
                 chaos: Some(ChaosConfig::new(schedule.clone())),
                 ..cluster_config()
             };
-            let out = run_cluster(cfg, jobs(40, 500_000), SimDuration::from_days(7));
+            let out = Run::new(cfg).specs(jobs(40, 500_000)).horizon(SimDuration::from_days(7)).execute();
             out.events_dispatched
         });
         rows.push(Row {
@@ -370,7 +423,7 @@ fn main() {
                 .record_trace(false)
                 .build()
                 .expect("bench config is valid");
-            let out = run_cluster(cfg, jobs(40, 500_000), SimDuration::from_days(7));
+            let out = Run::new(cfg).specs(jobs(40, 500_000)).horizon(SimDuration::from_days(7)).execute();
             out.events_dispatched
         });
         rows.push(Row {
@@ -390,7 +443,7 @@ fn main() {
     for (stations, label) in [(1_000usize, "1000"), (10_000, "10k")] {
         let (iters, ms, events) = measure(budget, || {
             let s = fleet_scale(1988, stations, 1, fleet_days);
-            run_cluster(s.config, s.jobs, s.horizon).events_dispatched
+            Run::new(s.config).specs(s.jobs).horizon(s.horizon).execute().events_dispatched
         });
         rows.push(Row {
             name: format!("cluster/stations/{label}"),
@@ -416,7 +469,7 @@ fn main() {
             }
             let (iters, ms, events) = measure(budget, || {
                 let s = fleet_scale(1988, 10_000, 8, fleet_days);
-                run_cluster_with_threads(s.config, s.jobs, s.horizon, threads)
+                Run::new(s.config).specs(s.jobs).horizon(s.horizon).threads(threads).execute()
                     .events_dispatched
             });
             rows.push(Row {
@@ -467,7 +520,7 @@ fn main() {
                 .costs(costs)
                 .build()
                 .expect("bench config is valid");
-            let out = run_cluster(cfg, Vec::new(), SimDuration::from_days(7));
+            let out = Run::new(cfg).horizon(SimDuration::from_days(7)).execute();
             out.events_dispatched
         });
         rows.push(Row {
@@ -484,7 +537,7 @@ fn main() {
                 .owner(owners_never_flip())
                 .build()
                 .expect("bench config is valid");
-            let out = run_cluster(cfg, Vec::new(), SimDuration::from_days(7));
+            let out = Run::new(cfg).horizon(SimDuration::from_days(7)).execute();
             out.events_dispatched
         });
         rows.push(Row {
@@ -517,7 +570,7 @@ fn main() {
             for s in &mut specs {
                 s.home = NodeId::new(1 + (s.id.0 % 5) as u32);
             }
-            let out = run_cluster(cfg, specs, SimDuration::from_days(7));
+            let out = Run::new(cfg).specs(specs).horizon(SimDuration::from_days(7)).execute();
             out.events_dispatched
         });
         rows.push(Row {
@@ -542,12 +595,7 @@ fn main() {
                     }
                 })
                 .collect();
-            let out = run_cluster_with_sinks(
-                cluster_config(),
-                jobs(40, 500_000),
-                SimDuration::from_days(1),
-                sinks,
-            );
+            let out = sinks.into_iter().fold(Run::new(cluster_config()).specs(jobs(40, 500_000)).horizon(SimDuration::from_days(1)), Run::sink).execute();
             out.events_dispatched
         });
         rows.push(Row {
@@ -568,12 +616,7 @@ fn main() {
                 Box::new(condor_core::spans::SpanSink::new()),
                 Box::new(condor_core::audit::AuditSink::new()),
             ];
-            let out = run_cluster_with_sinks(
-                cluster_config(),
-                jobs(40, 500_000),
-                SimDuration::from_days(1),
-                sinks,
-            );
+            let out = sinks.into_iter().fold(Run::new(cluster_config()).specs(jobs(40, 500_000)).horizon(SimDuration::from_days(1)), Run::sink).execute();
             out.events_dispatched
         });
         rows.push(Row {

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_availability`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::run_cluster_with_sinks;
+use condor_core::cluster::Run;
 use condor_core::telemetry::SharedSink;
 use condor_metrics::availability::AvailabilitySink;
 use condor_metrics::table::{num, Align, Table};
@@ -22,12 +22,11 @@ fn main() {
     // no buffered trace, so the run holds no event storage at all.
     scenario.config.record_trace = false;
     let sink = SharedSink::new(AvailabilitySink::new(scenario.config.stations));
-    let _out = run_cluster_with_sinks(
-        scenario.config,
-        scenario.jobs,
-        scenario.horizon,
-        vec![Box::new(sink.clone())],
-    );
+    let _out = Run::new(scenario.config)
+        .specs(scenario.jobs)
+        .horizon(scenario.horizon)
+        .sink(Box::new(sink.clone()))
+        .execute();
     let profile = sink.with(|s| s.profile());
 
     println!("== ref [1] premises: workstation availability profile (simulated month) ==");

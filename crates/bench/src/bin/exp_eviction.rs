@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_eviction`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::Run;
 use condor_core::config::{ClusterConfig, EvictionStrategy};
 use condor_metrics::replicate::par_map;
 use condor_metrics::table::{num, Align, Table};
@@ -61,7 +61,7 @@ fn main() {
     let runs = par_map(&strategies, |&(_, eviction)| {
         let scenario = paper_month(EXPERIMENT_SEED);
         let config = ClusterConfig { eviction, ..scenario.config };
-        run_cluster(config, scenario.jobs, scenario.horizon)
+        Run::new(config).specs(scenario.jobs).horizon(scenario.horizon).execute()
     });
     for ((name, _), out) in strategies.iter().zip(&runs) {
         let name = *name;

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_failures`
 
 use condor_bench::{run_scenario, EXPERIMENT_SEED};
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::Run;
 use condor_core::config::{ClusterConfig, FailureConfig};
 use condor_metrics::replicate::par_map;
 use condor_metrics::summary::summarize;
@@ -61,15 +61,17 @@ fn main() {
     let runs = par_map(&sweeps, |&(_, failures)| {
         let scenario = paper_month(EXPERIMENT_SEED);
         let config = ClusterConfig { failures, ..scenario.config };
-        let out = run_cluster(config.clone(), scenario.jobs.clone(), scenario.horizon);
+        let out = Run::new(config.clone())
+            .specs(scenario.jobs.clone())
+            .horizon(scenario.horizon)
+            .execute();
         // The guarantee is *eventual* completion: redone work can push a
         // late straggler past the 30-day observation window, but with a
         // little more time everything finishes.
-        let extended = run_cluster(
-            config,
-            scenario.jobs,
-            scenario.horizon + SimDuration::from_days(10),
-        );
+        let extended = Run::new(config)
+            .specs(scenario.jobs)
+            .horizon(scenario.horizon + SimDuration::from_days(10))
+            .execute();
         (out, extended)
     });
     for ((name, _), (out, extended)) in sweeps.iter().zip(&runs) {
@@ -107,7 +109,7 @@ fn main() {
             checkpoint_server: server,
             ..scenario.config
         };
-        run_cluster(config, scenario.jobs, scenario.horizon)
+        Run::new(config).specs(scenario.jobs).horizon(scenario.horizon).execute()
     });
     for (&(disk, server), out) in disk_setups.iter().zip(&disk_runs) {
         let s = summarize(out);

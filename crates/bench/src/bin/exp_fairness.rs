@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_fairness`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::Run;
 use condor_core::config::{ClusterConfig, PolicyKind};
 use condor_core::job::UserId;
 use condor_core::updown::UpDownConfig;
@@ -44,7 +44,7 @@ fn main() {
             policy: *policy,
             ..scenario.config
         };
-        run_cluster(config, scenario.jobs, scenario.horizon)
+        Run::new(config).specs(scenario.jobs).horizon(scenario.horizon).execute()
     });
     for (policy, out) in policies.iter().zip(&runs) {
         let light_wait = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(1)).unwrap_or(f64::NAN);

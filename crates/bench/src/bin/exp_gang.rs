@@ -17,7 +17,7 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_gang`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::{run_cluster, RunOutput};
+use condor_core::cluster::{Run, RunOutput};
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
 use condor_metrics::replicate::{par_map, MeanCi};
@@ -41,6 +41,7 @@ fn workload(width: u32) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width,
+            resources: Default::default(),
         })
         .collect()
 }
@@ -71,7 +72,10 @@ fn main() {
                 seed,
                 ..ClusterConfig::default()
             };
-            run_cluster(config, workload(width), SimDuration::from_days(20))
+            Run::new(config)
+                .specs(workload(width))
+                .horizon(SimDuration::from_days(20))
+                .execute()
         });
         let turnaround = ci(&outs, |o| {
             o.completed_jobs()

@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_history`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::{run_cluster, RunOutput};
+use condor_core::cluster::{Run, RunOutput};
 use condor_core::config::ClusterConfig;
 use condor_metrics::replicate::{par_map, MeanCi};
 use condor_metrics::table::{Align, Table};
@@ -30,7 +30,7 @@ fn run_all(aware: bool) -> Vec<RunOutput> {
             history_aware_placement: aware,
             ..scenario.config
         };
-        run_cluster(config, scenario.jobs, scenario.horizon)
+        Run::new(config).specs(scenario.jobs).horizon(scenario.horizon).execute()
     })
 }
 

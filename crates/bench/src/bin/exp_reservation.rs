@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_reservation`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::run_cluster;
+use condor_core::cluster::Run;
 use condor_core::config::{ClusterConfig, PolicyKind, Reservation};
 use condor_core::job::{JobId, JobSpec, JobState, UserId};
 use condor_core::updown::UpDownConfig;
@@ -31,6 +31,7 @@ fn jobs() -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect();
     // The researcher's distributed-computation batch: 6 two-hour runs at
@@ -47,6 +48,7 @@ fn jobs() -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
     }
     jobs
@@ -70,7 +72,7 @@ fn run(policy: PolicyKind, reserve: bool) -> (String, f64, usize, u64) {
         reservations,
         ..ClusterConfig::default()
     };
-    let out = run_cluster(config, jobs(), SimDuration::from_days(6));
+    let out = Run::new(config).specs(jobs()).horizon(SimDuration::from_days(6)).execute();
     let batch: Vec<_> = out.jobs.iter().filter(|j| j.spec.user == UserId(1)).collect();
     let done_in_window = batch
         .iter()

@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release -p condor-bench --bin exp_throttle`
 
 use condor_bench::EXPERIMENT_SEED;
-use condor_core::cluster::run_cluster_with_sinks;
+use condor_core::cluster::Run;
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
 use condor_core::telemetry::{SharedSink, TraceSink};
@@ -51,6 +51,7 @@ fn burst_jobs(n: u64) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect()
 }
@@ -81,12 +82,11 @@ fn main() {
             .build()
             .expect("throttle sweep config is valid");
         let placements = SharedSink::new(PlacementTimes::default());
-        let out = run_cluster_with_sinks(
-            config,
-            burst_jobs(20),
-            SimDuration::from_days(1),
-            vec![Box::new(placements.clone())],
-        );
+        let out = Run::new(config)
+            .specs(burst_jobs(20))
+            .horizon(SimDuration::from_days(1))
+            .sink(Box::new(placements.clone()))
+            .execute();
         let starts = placements
             .try_into_inner()
             .expect("run finished; sole handle")

@@ -28,7 +28,7 @@
 
 #![warn(missing_docs)]
 
-use condor_core::cluster::{run_cluster, RunOutput};
+use condor_core::cluster::{Run, RunOutput};
 use condor_core::job::{Job, UserId};
 use condor_workload::scenarios::Scenario;
 
@@ -38,7 +38,7 @@ pub const EXPERIMENT_SEED: u64 = 1988;
 
 /// Runs a scenario to completion and returns its output.
 pub fn run_scenario(s: Scenario) -> RunOutput {
-    run_cluster(s.config, s.jobs, s.horizon)
+    Run::new(s.config).specs(s.jobs).horizon(s.horizon).execute()
 }
 
 /// The paper's user A is index 0 in every scenario; "light users" are all
@@ -54,6 +54,7 @@ pub fn hours(h: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use condor_core::job::{JobId, JobSpec};
@@ -74,6 +75,7 @@ mod tests {
                 binaries: Default::default(),
                 depends_on: Vec::new(),
                 width: 1,
+                resources: Default::default(),
             })
         };
         assert!(!is_light(&mk(0)));

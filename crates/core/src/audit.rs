@@ -11,8 +11,12 @@
 //!    terminal, and every transition follows the phase machine (including
 //!    the gang corners: k same-instant placement starts, k checkpoint
 //!    completions, resume markers paired with restarts).
-//! 2. **Station occupancy** — a machine hosts at most one foreign job at
-//!    a time, and every occupancy is closed by the job that opened it.
+//! 2. **Station capacity conservation** — the demand vectors of a
+//!    machine's resident foreign jobs never sum past its capacity in any
+//!    dimension (for whole-machine streams this degenerates to the classic
+//!    at-most-one-resident exclusivity), and every occupancy is closed by
+//!    the job that opened it. Station capacities default to whole machines;
+//!    pin a fleet's profile with [`AuditSink::with_capacities`].
 //! 3. **Owner alternation** — per-station activity transitions alternate
 //!    (never active-while-active or idle-while-idle).
 //! 4. **Coordinator cadence** — polls tick at a fixed interval (gaps are
@@ -28,6 +32,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 
+use condor_model::station::ResourceVec;
 use condor_net::NodeId;
 use condor_sim::time::{SimDuration, SimTime};
 
@@ -79,6 +84,9 @@ struct JobAudit {
     /// the coordinator is unreachable); the paired same-instant
     /// `JobStarted` is legal straight from `Queued`.
     local_start_at: Option<SimTime>,
+    /// Resource demand, set by `JobGranted` ahead of a fractional
+    /// placement; whole-machine jobs never emit the grant and stay here.
+    demand: ResourceVec,
 }
 
 /// One invariant breach, with the instant it was observed.
@@ -144,12 +152,31 @@ pub enum AuditViolationKind {
         in_flight: u32,
     },
     /// A placement targeted a station already hosting a foreign job.
+    ///
+    /// Reported for whole-machine placements only: a whole-machine demand
+    /// can never legally share, so naming the resident is more useful than
+    /// the raw capacity arithmetic. Fractional overcommits report
+    /// [`AuditViolationKind::CapacityExceeded`] instead.
     DoubleOccupancy {
         /// The station.
         station: NodeId,
         /// The job already resident.
         resident: JobId,
         /// The job being placed onto it.
+        incoming: JobId,
+    },
+    /// A placement pushed a station's granted capacity past its limit in
+    /// some dimension.
+    CapacityExceeded {
+        /// The station.
+        station: NodeId,
+        /// Dimension name: `cpu`, `mem`, or `tag`.
+        dimension: &'static str,
+        /// Milli-units granted in that dimension after the placement.
+        granted_milli: u32,
+        /// The station's capacity in that dimension, in milli-units.
+        capacity_milli: u32,
+        /// The job being placed.
         incoming: JobId,
     },
     /// A completion/checkpoint/kill named a station the job did not hold.
@@ -213,6 +240,13 @@ impl fmt::Display for AuditViolationKind {
             K::DoubleOccupancy { station, resident, incoming } => {
                 write!(f, "{station} received {incoming:?} while hosting {resident:?}")
             }
+            K::CapacityExceeded { station, dimension, granted_milli, capacity_milli, incoming } => {
+                write!(
+                    f,
+                    "{station} {dimension} over capacity: {granted_milli}/{capacity_milli} milli \
+                     after placing {incoming:?}"
+                )
+            }
             K::WrongStationRelease { station, job, event } => {
                 write!(f, "{event} for {job:?} names {station}, which it does not hold")
             }
@@ -262,9 +296,14 @@ fn whole_multiple(gap: SimDuration, cadence: SimDuration) -> bool {
 #[derive(Debug, Default)]
 pub struct AuditSink {
     jobs: HashMap<JobId, JobAudit>,
-    /// Which foreign job each station currently hosts.
-    resident: HashMap<NodeId, JobId>,
-    /// Reverse of `resident`: every station a job holds (k for gangs).
+    /// The foreign jobs each station currently hosts, with their granted
+    /// demand vectors (several residents are legal when every dimension
+    /// stays within the station's capacity).
+    residents: HashMap<NodeId, Vec<(JobId, ResourceVec)>>,
+    /// Per-station capacity vectors, indexed by station id; stations past
+    /// the end (or an empty vector) default to a whole machine.
+    capacities: Vec<ResourceVec>,
+    /// Reverse of `residents`: every station a job holds (k for gangs).
     held: HashMap<JobId, Vec<NodeId>>,
     /// Last owner transition per station (`true` = active).
     owner_active: HashMap<NodeId, bool>,
@@ -274,9 +313,10 @@ pub struct AuditSink {
     cadence_pinned: bool,
     /// Independent coordinators feeding this stream (>1 for merged
     /// sharded-run traces). Zero means one. With several coordinators the
-    /// poll-cadence and placement-throttle checks are per-pool properties
-    /// that an interleaved stream cannot express, so they are skipped;
-    /// every per-job and per-station check still applies.
+    /// pools tick one shared grid, so same-instant polls and fan-outs are
+    /// legal cross-pool ties; only those zero gaps are exempt from the
+    /// poll-cadence and placement-throttle checks. Every per-job and
+    /// per-station check applies regardless.
     pools: usize,
     last_poll: Option<SimTime>,
     /// Last placement fan-out instant and job (gang members share one).
@@ -313,12 +353,24 @@ impl AuditSink {
     }
 
     /// Declares how many independent pool coordinators feed this stream
-    /// (the pool count of a sharded run). With more than one, the
-    /// poll-cadence and placement-throttle checks — properties of a
-    /// single coordinator's grid — are skipped; job-lifecycle and
-    /// station-occupancy checks are unaffected.
+    /// (the pool count of a sharded run). With more than one, same-instant
+    /// polls and placement fan-outs are treated as legal cross-pool ties
+    /// on the shared grid; nonzero gaps still get the full poll-cadence
+    /// and placement-throttle checks, so a single pool's violations stay
+    /// visible even in a merged trace. Job-lifecycle and station-capacity
+    /// checks are unaffected.
     pub fn with_pools(mut self, pools: usize) -> Self {
         self.pools = pools;
+        self
+    }
+
+    /// Pins the fleet's per-station capacity vectors (indexed by station
+    /// id). Without this, every station is audited as a whole machine —
+    /// matching [`ClusterConfig`](crate::config::ClusterConfig)'s default
+    /// capacity profile. Stations past the end of the vector default to
+    /// whole machines.
+    pub fn with_capacities(mut self, capacities: Vec<ResourceVec>) -> Self {
+        self.capacities = capacities;
         self
     }
 
@@ -384,13 +436,73 @@ impl AuditSink {
         );
     }
 
+    /// The audited capacity of a station (whole machine unless pinned).
+    fn capacity_of(&self, station: NodeId) -> ResourceVec {
+        self.capacities
+            .get(station.as_usize())
+            .copied()
+            .unwrap_or(ResourceVec::WHOLE)
+    }
+
+    /// Admits `job` onto `station`, checking per-dimension capacity
+    /// conservation against the residents already there. Whole-machine
+    /// demands landing on an occupied station report the classic
+    /// `DoubleOccupancy`; fractional overcommits report the offending
+    /// dimension.
+    fn admit(&mut self, at: SimTime, job: JobId, station: NodeId) {
+        let demand = self.jobs.get(&job).map_or(ResourceVec::WHOLE, |a| a.demand);
+        let capacity = self.capacity_of(station);
+        let list = self.residents.entry(station).or_default();
+        let used = list
+            .iter()
+            .fold(ResourceVec::ZERO, |acc, &(_, d)| acc.add(d));
+        let first_resident = list.first().map(|&(j, _)| j);
+        list.push((job, demand));
+        self.held.entry(job).or_default().push(station);
+        let granted = used.add(demand);
+        if granted.fits(capacity) {
+            return;
+        }
+        if let (true, Some(resident)) = (demand.is_whole(), first_resident) {
+            self.report(
+                at,
+                AuditViolationKind::DoubleOccupancy { station, resident, incoming: job },
+            );
+            return;
+        }
+        let over = [
+            ("cpu", granted.cpu_milli, capacity.cpu_milli),
+            ("mem", granted.mem_milli, capacity.mem_milli),
+            ("tag", granted.tag_milli, capacity.tag_milli),
+        ];
+        for (dimension, granted_milli, capacity_milli) in over {
+            if granted_milli > capacity_milli {
+                self.report(
+                    at,
+                    AuditViolationKind::CapacityExceeded {
+                        station,
+                        dimension,
+                        granted_milli,
+                        capacity_milli,
+                        incoming: job,
+                    },
+                );
+                return;
+            }
+        }
+    }
+
     /// Removes one station from the job's holdings, reporting a
     /// wrong-station release if it was not held.
     fn release(&mut self, at: SimTime, job: JobId, station: NodeId, event: &'static str) {
         let held = self.held.entry(job).or_default();
         if let Some(pos) = held.iter().position(|&n| n == station) {
             held.swap_remove(pos);
-            self.resident.remove(&station);
+            if let Some(list) = self.residents.get_mut(&station) {
+                if let Some(p) = list.iter().position(|&(j, _)| j == job) {
+                    list.swap_remove(p);
+                }
+            }
         } else {
             self.report(at, AuditViolationKind::WrongStationRelease { station, job, event });
         }
@@ -399,7 +511,11 @@ impl AuditSink {
     /// Frees every station the job holds (completion or crash teardown).
     fn release_all(&mut self, job: JobId) {
         for station in self.held.remove(&job).unwrap_or_default() {
-            self.resident.remove(&station);
+            if let Some(list) = self.residents.get_mut(&station) {
+                if let Some(p) = list.iter().position(|&(j, _)| j == job) {
+                    list.swap_remove(p);
+                }
+            }
         }
     }
 }
@@ -420,6 +536,7 @@ impl TraceSink for AuditSink {
                             started_at: None,
                             resumed_at: None,
                             local_start_at: None,
+                            demand: ResourceVec::WHOLE,
                         });
                         false
                     }
@@ -440,12 +557,26 @@ impl TraceSink for AuditSink {
                             started_at: None,
                             resumed_at: None,
                             local_start_at: None,
+                            demand: ResourceVec::WHOLE,
                         });
                         false
                     }
                 };
                 if duplicate {
                     self.report(at, AuditViolationKind::DuplicateArrival { job });
+                }
+            }
+            TraceKind::JobGranted { job, cpu_milli, mem_milli, tag_milli, .. } => {
+                // Announces the fractional demand of the placement that
+                // follows at this same instant; the demand is fixed for
+                // the job's life, so it persists across re-placements.
+                if self.job_for_event(at, job, "job_granted") {
+                    let a = self.jobs.get_mut(&job).expect("checked");
+                    let phase = a.phase;
+                    a.demand = ResourceVec { cpu_milli, mem_milli, tag_milli };
+                    if phase != JobPhase::Queued {
+                        self.illegal(at, job, phase, "job_granted");
+                    }
                 }
             }
             TraceKind::PlacementStarted { job, target } => {
@@ -458,13 +589,17 @@ impl TraceSink for AuditSink {
                             // fan-out from a chaos-delayed poll is off the
                             // grid by construction and is not remembered,
                             // so the next on-grid fan-out is measured
-                            // against the previous on-grid one.
-                            if self.pools <= 1 && self.delayed_poll_at != Some(at) {
+                            // against the previous on-grid one. In a merged
+                            // multi-pool stream, same-instant fan-outs are
+                            // distinct pools ticking the shared grid
+                            // together — only that zero gap is exempt.
+                            if self.delayed_poll_at != Some(at) {
                                 if let (Some((prev, _)), Some(cadence)) =
                                     (self.last_placement, self.cadence)
                                 {
                                     let gap = at.since(prev);
-                                    if gap < cadence {
+                                    let cross_pool_tie = self.pools > 1 && gap.is_zero();
+                                    if gap < cadence && !cross_pool_tie {
                                         self.report(
                                             at,
                                             AuditViolationKind::PlacementThrottleBroken {
@@ -491,18 +626,7 @@ impl TraceSink for AuditSink {
                             a.fanout_at = Some(at);
                         }
                     }
-                    if let Some(&resident) = self.resident.get(&target) {
-                        self.report(
-                            at,
-                            AuditViolationKind::DoubleOccupancy {
-                                station: target,
-                                resident,
-                                incoming: job,
-                            },
-                        );
-                    }
-                    self.resident.insert(target, job);
-                    self.held.entry(job).or_default().push(target);
+                    self.admit(at, job, target);
                 }
             }
             TraceKind::PlacementDiskRejected { job, .. } => {
@@ -667,10 +791,6 @@ impl TraceSink for AuditSink {
                 }
             }
             TraceKind::CoordinatorPolled { .. } => {
-                // Several interleaved coordinators have no common grid.
-                if self.pools > 1 {
-                    return;
-                }
                 // A chaos-delayed poll is off the grid by construction; it
                 // neither gets the cadence check nor becomes the baseline
                 // the next on-grid poll is measured against.
@@ -679,6 +799,13 @@ impl TraceSink for AuditSink {
                 }
                 if let Some(prev) = self.last_poll {
                     let gap = at.since(prev);
+                    // Merged multi-pool streams tick one shared grid:
+                    // same-instant polls are distinct pools tying, which a
+                    // single coordinator can never legally produce. Only
+                    // that zero gap is exempt; nonzero gaps keep the check.
+                    if self.pools > 1 && gap.is_zero() {
+                        return;
+                    }
                     match self.cadence {
                         None => self.cadence = Some(gap),
                         Some(cadence) => {
@@ -715,18 +842,7 @@ impl TraceSink for AuditSink {
                     if phase != JobPhase::Queued {
                         self.illegal(at, job, phase, "chaos_local_start");
                     }
-                    if let Some(&resident) = self.resident.get(&on) {
-                        self.report(
-                            at,
-                            AuditViolationKind::DoubleOccupancy {
-                                station: on,
-                                resident,
-                                incoming: job,
-                            },
-                        );
-                    }
-                    self.resident.insert(on, job);
-                    self.held.entry(job).or_default().push(on);
+                    self.admit(at, job, on);
                 }
             }
             TraceKind::ChaosCkptCorrupted { job, .. } => {
@@ -791,6 +907,7 @@ impl TraceSink for AuditSink {
                             started_at: None,
                             resumed_at: None,
                             local_start_at: None,
+                            demand: ResourceVec::WHOLE,
                         });
                     }
                 }
@@ -1143,5 +1260,143 @@ mod tests {
             ev(330, TraceKind::CheckpointCompleted { job, from: b, bytes: 5 }),
         ]);
         assert!(sink.is_clean(), "{:?}", sink.violations());
+    }
+
+    fn poll(free: u32) -> TraceKind {
+        TraceKind::CoordinatorPolled {
+            free_machines: free,
+            waiting_jobs: 0,
+            placements: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Regression: `with_pools` used to skip the cadence checks wholesale.
+    /// The skip is scoped to cross-pool *ties* (zero gaps); a merged
+    /// stream whose polls come from a single pool still has its nonzero
+    /// gaps held to the established cadence.
+    #[test]
+    fn single_pool_stream_through_with_pools_still_enforces_cadence() {
+        let mut sink = AuditSink::new()
+            .with_pools(2)
+            .with_poll_interval(SimDuration::from_secs(120));
+        for e in [
+            ev(120, poll(3)),
+            ev(240, poll(3)),
+            ev(330, poll(3)), // 90 s gap: off-cadence, must be flagged
+        ] {
+            sink.record(&e);
+        }
+        sink.finish(SimTime::from_secs(400));
+        assert!(sink.violations().iter().any(|v| matches!(
+            v.kind,
+            AuditViolationKind::PollCadenceBroken { .. }
+        )));
+    }
+
+    /// Same-instant polls from sibling pools share one grid tick; the
+    /// zero gaps between them are exempt, and the nonzero gaps between
+    /// ticks still audit clean when they match the cadence.
+    #[test]
+    fn cross_pool_poll_ties_are_exempt_from_cadence() {
+        let mut sink = AuditSink::new()
+            .with_pools(2)
+            .with_poll_interval(SimDuration::from_secs(120));
+        for e in [
+            ev(120, poll(2)),
+            ev(120, poll(4)),
+            ev(240, poll(2)),
+            ev(240, poll(4)),
+        ] {
+            sink.record(&e);
+        }
+        sink.finish(SimTime::from_secs(300));
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+    }
+
+    /// Two half-CPU residents share one station: within capacity on every
+    /// dimension, so the capacity-conservation invariant holds.
+    #[test]
+    fn fractional_co_residency_within_capacity_is_clean() {
+        let (j0, j1) = (JobId(0), JobId(1));
+        let on = NodeId::new(2);
+        let grant = |job| TraceKind::JobGranted { job, on, cpu_milli: 500, mem_milli: 400, tag_milli: 0 };
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job: j0 }),
+            ev(0, TraceKind::JobArrived { job: j1 }),
+            ev(120, grant(j0)),
+            ev(120, TraceKind::PlacementStarted { job: j0, target: on }),
+            ev(240, grant(j1)),
+            ev(240, TraceKind::PlacementStarted { job: j1, target: on }),
+            ev(250, TraceKind::JobStarted { job: j0, on }),
+            ev(260, TraceKind::JobStarted { job: j1, on }),
+            ev(900, TraceKind::JobCompleted { job: j0, on }),
+            ev(950, TraceKind::JobCompleted { job: j1, on }),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+    }
+
+    /// A second resident whose demand overflows the CPU dimension trips
+    /// `CapacityExceeded` naming the offending dimension.
+    #[test]
+    fn capacity_overcommit_is_flagged_per_dimension() {
+        let (j0, j1) = (JobId(0), JobId(1));
+        let on = NodeId::new(0);
+        let grant = |job| TraceKind::JobGranted { job, on, cpu_milli: 600, mem_milli: 100, tag_milli: 0 };
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job: j0 }),
+            ev(0, TraceKind::JobArrived { job: j1 }),
+            ev(120, grant(j0)),
+            ev(120, TraceKind::PlacementStarted { job: j0, target: on }),
+            ev(240, grant(j1)),
+            ev(240, TraceKind::PlacementStarted { job: j1, target: on }),
+        ]);
+        assert!(sink.violations().iter().any(|v| matches!(
+            v.kind,
+            AuditViolationKind::CapacityExceeded { dimension: "cpu", granted_milli: 1200, capacity_milli: 1000, .. }
+        )), "{:?}", sink.violations());
+    }
+
+    /// Freed capacity is reusable: once the first resident completes, a
+    /// demand that would have overflowed alongside it fits cleanly.
+    #[test]
+    fn released_capacity_admits_new_residents() {
+        let (j0, j1) = (JobId(0), JobId(1));
+        let on = NodeId::new(0);
+        let grant = |job| TraceKind::JobGranted { job, on, cpu_milli: 700, mem_milli: 700, tag_milli: 0 };
+        let sink = audit(&[
+            ev(0, TraceKind::JobArrived { job: j0 }),
+            ev(0, TraceKind::JobArrived { job: j1 }),
+            ev(120, grant(j0)),
+            ev(120, TraceKind::PlacementStarted { job: j0, target: on }),
+            ev(130, TraceKind::JobStarted { job: j0, on }),
+            ev(300, TraceKind::JobCompleted { job: j0, on }),
+            ev(360, grant(j1)),
+            ev(360, TraceKind::PlacementStarted { job: j1, target: on }),
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+    }
+
+    /// `with_capacities` audits against per-station capacity vectors, so
+    /// a grant that fits the default whole machine can still overflow a
+    /// smaller station.
+    #[test]
+    fn with_capacities_enforces_per_station_limits() {
+        let job = JobId(0);
+        let on = NodeId::new(1);
+        let mut sink = AuditSink::new()
+            .with_capacities(vec![ResourceVec::WHOLE, ResourceVec::new(400, 1000)]);
+        for e in [
+            ev(0, TraceKind::JobArrived { job }),
+            ev(120, TraceKind::JobGranted { job, on, cpu_milli: 500, mem_milli: 200, tag_milli: 0 }),
+            ev(120, TraceKind::PlacementStarted { job, target: on }),
+        ] {
+            sink.record(&e);
+        }
+        sink.finish(SimTime::from_secs(200));
+        assert!(sink.violations().iter().any(|v| matches!(
+            v.kind,
+            AuditViolationKind::CapacityExceeded { dimension: "cpu", granted_milli: 500, capacity_milli: 400, .. }
+        )), "{:?}", sink.violations());
     }
 }

@@ -44,7 +44,7 @@ use condor_sim::rng::SimRng;
 use condor_sim::time::{SimDuration, SimTime};
 
 use crate::audit::AuditSink;
-use crate::cluster::{run_cluster_with_sinks, RunOutput};
+use crate::cluster::{Run, RunOutput};
 use crate::config::{ClusterConfig, ConfigError, EvictionStrategy};
 use crate::job::{JobSpec, JobState};
 use crate::telemetry::{SharedSink, TraceSink};
@@ -590,12 +590,11 @@ pub fn verify_schedule(
             .with_pools(config.topology.as_ref().map_or(1, |t| t.pools)),
     );
     let handle = audit.clone();
-    let out = run_cluster_with_sinks(
-        config.clone(),
-        specs.to_vec(),
-        horizon,
-        vec![Box::new(audit) as Box<dyn TraceSink + Send>],
-    );
+    let out = Run::new(config.clone())
+        .specs(specs.to_vec())
+        .horizon(horizon)
+        .sink(Box::new(audit) as Box<dyn TraceSink + Send>)
+        .execute();
     let mut failures: Vec<String> =
         handle.with(|a| a.violations().iter().map(|v| v.to_string()).collect());
     let total = handle.with(|a| a.total_violations());
@@ -711,6 +710,7 @@ pub(crate) mod test_hooks {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::cluster::run_cluster;
@@ -830,6 +830,7 @@ mod tests {
                 binaries: Default::default(),
                 depends_on: Vec::new(),
                 width: 1,
+                resources: Default::default(),
             })
             .collect()
     }

@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 
 use condor_model::owner::{build_fleet, OwnerState};
+use condor_model::station::ResourceVec;
 use condor_net::{NodeId, SharedBus};
 use condor_sim::engine::{Engine, Model, Scheduler};
 use condor_sim::event::EventToken;
@@ -33,7 +34,8 @@ use crate::chaos::{ChaosConfig, Fault};
 use crate::config::{ClusterConfig, ConfigError, EvictionStrategy, PolicyKind};
 use crate::job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
 use crate::policy::{
-    AllocationPolicy, FifoPolicy, Order, PollInput, RandomPolicy, RoundRobinPolicy, StationView,
+    AllocationPolicy, FifoPolicy, FracPolicy, Order, PollInput, RandomPolicy, RoundRobinPolicy,
+    StationView,
 };
 use crate::queue::BackgroundQueue;
 use crate::telemetry::{GaugeSample, StatsSink, Telemetry, TraceSink};
@@ -168,6 +170,10 @@ enum Phase {
 #[derive(Debug)]
 struct ForeignSlot {
     job: JobId,
+    /// Capacity granted to this resident: fixed at placement to the job's
+    /// demand vector and never rescaled while the job stays on the
+    /// station, so scheduled finish events remain exact.
+    demand: ResourceVec,
     phase: Phase,
 }
 
@@ -203,7 +209,12 @@ struct Station {
     /// placement score).
     ewma_idle_secs: f64,
     queue: BackgroundQueue,
-    foreign: Option<ForeignSlot>,
+    /// Foreign jobs resident on this station. Whole-machine demands (the
+    /// default) keep this at most one entry long; fractional demands pack
+    /// jobs until the capacity vector is exhausted.
+    residents: Vec<ForeignSlot>,
+    /// The station's resource capacity (a whole machine by default).
+    capacity: ResourceVec,
     disk_capacity: u64,
     disk_used: u64,
     detection_pending: bool,
@@ -227,6 +238,52 @@ impl Station {
             .unwrap_or(0.0);
         self.ewma_idle_secs.max(current_streak)
     }
+
+    /// Sum of the residents' granted capacity.
+    fn used(&self) -> ResourceVec {
+        self.residents
+            .iter()
+            .fold(ResourceVec::ZERO, |acc, slot| acc.add(slot.demand))
+    }
+
+    /// Capacity still unclaimed by residents.
+    fn free_capacity(&self) -> ResourceVec {
+        self.capacity.sub(self.used())
+    }
+
+    fn resident(&self, job: JobId) -> Option<&ForeignSlot> {
+        self.residents.iter().find(|slot| slot.job == job)
+    }
+
+    fn resident_mut(&mut self, job: JobId) -> Option<&mut ForeignSlot> {
+        self.residents.iter_mut().find(|slot| slot.job == job)
+    }
+
+    /// Removes and returns `job`'s resident slot, if present.
+    fn remove_resident(&mut self, job: JobId) -> Option<ForeignSlot> {
+        let idx = self.residents.iter().position(|slot| slot.job == job)?;
+        Some(self.residents.remove(idx))
+    }
+}
+
+/// Wall-clock time needed to deliver a whole-machine wall segment at a
+/// granted CPU fraction of `cpu_milli` thousandths. Exact identity for a
+/// whole grant, so default traces are bit-identical.
+fn inflate_wall(wall: SimDuration, cpu_milli: u32) -> SimDuration {
+    if cpu_milli == 1000 {
+        return wall;
+    }
+    SimDuration::from_millis((wall.as_millis() as u128 * 1000 / cpu_milli as u128) as u64)
+}
+
+/// Work actually delivered over a wall segment whose whole-machine work
+/// would be `work`, at a granted CPU fraction of `cpu_milli` thousandths.
+/// Exact identity for a whole grant.
+fn scale_work(work: SimDuration, cpu_milli: u32) -> SimDuration {
+    if cpu_milli == 1000 {
+        return work;
+    }
+    SimDuration::from_millis((work.as_millis() as u128 * cpu_milli as u128 / 1000) as u64)
 }
 
 /// Weight of accumulated history in the idle-interval EWMA that feeds
@@ -304,6 +361,7 @@ impl CoordCache {
                     can_host: false,
                     hosting_for: None,
                     waiting_jobs: 0,
+                    free_cpu_milli: 0,
                 })
                 .collect(),
             free_bits: vec![0; words],
@@ -615,6 +673,7 @@ enum PolicyHolder {
     Fifo(FifoPolicy),
     RoundRobin(RoundRobinPolicy),
     Random(RandomPolicy),
+    Frac(FracPolicy),
 }
 
 impl PolicyHolder {
@@ -624,6 +683,7 @@ impl PolicyHolder {
             PolicyHolder::Fifo(p) => p,
             PolicyHolder::RoundRobin(p) => p,
             PolicyHolder::Random(p) => p,
+            PolicyHolder::Frac(p) => p,
         }
     }
 
@@ -633,6 +693,7 @@ impl PolicyHolder {
             PolicyHolder::Fifo(_) => "fifo",
             PolicyHolder::RoundRobin(_) => "round-robin",
             PolicyHolder::Random(_) => "random",
+            PolicyHolder::Frac(_) => "frac",
         }
     }
 }
@@ -680,6 +741,14 @@ impl Cluster {
                     stations: config.stations,
                 });
             }
+            if s.resources.cpu_milli == 0 {
+                return Err(ConfigError::JobZeroCpuDemand { job: s.id });
+            }
+            // Gangs coordinate whole machines; fractional members would
+            // break the collective suspend/checkpoint protocol.
+            if s.width > 1 && !s.resources.is_whole() {
+                return Err(ConfigError::GangFractionalResources { job: s.id });
+            }
         }
         let owners = build_fleet(
             config.stations,
@@ -701,7 +770,8 @@ impl Cluster {
                     idle_since: Some(SimTime::ZERO),
                     ewma_idle_secs: 0.0,
                     queue: BackgroundQueue::new(config.local_order),
-                    foreign: None,
+                    residents: Vec::new(),
+                    capacity: config.capacity_profiles[i % config.capacity_profiles.len()],
                     disk_capacity: config.station.disk_capacity,
                     disk_used: 0,
                     detection_pending: false,
@@ -716,6 +786,7 @@ impl Cluster {
             PolicyKind::Fifo => PolicyHolder::Fifo(FifoPolicy::new()),
             PolicyKind::RoundRobin => PolicyHolder::RoundRobin(RoundRobinPolicy::new()),
             PolicyKind::Random => PolicyHolder::Random(RandomPolicy::new(config.seed)),
+            PolicyKind::Frac => PolicyHolder::Frac(FracPolicy::new()),
         };
         let trace = if config.record_trace {
             Trace::new()
@@ -925,13 +996,11 @@ impl Cluster {
         self.config.arch_pattern[i % self.config.arch_pattern.len()]
     }
 
-    /// Whether `station`'s foreign slot holds `job` in a phase accepted by
-    /// `phase_pred`.
+    /// Whether `station` hosts `job` in a phase accepted by `phase_pred`.
     fn slot_is(&self, station: usize, job: JobId, phase_pred: impl Fn(&Phase) -> bool) -> bool {
         self.stations[station]
-            .foreign
-            .as_ref()
-            .is_some_and(|slot| slot.job == job && phase_pred(&slot.phase))
+            .resident(job)
+            .is_some_and(|slot| phase_pred(&slot.phase))
     }
 
     // ----- queue-length bookkeeping -------------------------------------
@@ -997,8 +1066,13 @@ impl Cluster {
     /// station id) becomes the job's new home.
     pub(crate) fn adopt_spec(&mut self, spec: JobSpec) -> JobId {
         let local = JobId(self.jobs.len() as u64);
+        // Prefer a home whose capacity can ever grant the job's demand —
+        // a fractional fleet may mix machine sizes — falling back to the
+        // plain shortest queue when nothing in this shard fits.
         let home = (0..self.stations.len())
+            .filter(|&i| spec.resources.fits(self.stations[i].capacity))
             .min_by_key(|&i| (self.stations[i].queue.len(), i))
+            .or_else(|| (0..self.stations.len()).min_by_key(|&i| (self.stations[i].queue.len(), i)))
             .expect("shard has stations");
         let slot = match self.user_ids.binary_search(&spec.user) {
             Ok(pos) => pos,
@@ -1040,19 +1114,25 @@ impl Cluster {
         // A partitioned station is dark to the coordinator: it takes no
         // new placements and its queue is invisible until the link heals.
         let cut = self.chaos.as_ref().is_some_and(|c| c.partition_depth[i] > 0);
+        let free = st.free_capacity();
+        // With whole-machine demands (the default) any resident consumes
+        // the full capacity vector, so "has free CPU and memory" below is
+        // exactly the legacy "no foreign job resident" condition.
+        let can_host = !cut
+            && !st.failed
+            && st.reserved_for.is_none()
+            && st.owner_state == OwnerState::Idle
+            && free.cpu_milli > 0
+            && free.mem_milli > 0;
         StationView {
             node: NodeId::new(i as u32),
-            can_host: !cut
-                && !st.failed
-                && st.reserved_for.is_none()
-                && st.owner_state == OwnerState::Idle
-                && st.foreign.is_none(),
+            can_host,
             // Fenced machines are invisible to the general policy: it may
             // neither assign them nor preempt the holder's jobs on them.
             hosting_for: if st.reserved_for.is_some() {
                 None
             } else {
-                st.foreign.as_ref().and_then(|slot| {
+                st.residents.iter().find_map(|slot| {
                     let counts = matches!(slot.phase, Phase::Running { .. })
                         || (matches!(slot.phase, Phase::GangMember)
                             && self.gangs[slot.job.0 as usize]
@@ -1064,6 +1144,7 @@ impl Cluster {
             // A downed station's local scheduler is unreachable; its queue
             // thaws on recovery.
             waiting_jobs: if st.failed || cut { 0 } else { st.queue.len() },
+            free_cpu_milli: if can_host { free.cpu_milli } else { 0 },
         }
     }
 
@@ -1147,7 +1228,7 @@ impl Cluster {
                     // The foreign job ran right through this owner visit
                     // (it was shorter than the detection interval): that
                     // span belongs to the owner in the utilization ledger.
-                    let counts_as_running = st.foreign.as_ref().is_some_and(|slot| {
+                    let counts_as_running = st.residents.iter().any(|slot| {
                         matches!(slot.phase, Phase::Running { .. })
                             || (matches!(slot.phase, Phase::GangMember)
                                 && self.gangs[slot.job.0 as usize]
@@ -1162,18 +1243,17 @@ impl Cluster {
                 self.emit(now, TraceKind::OwnerIdle { station: NodeId::new(station) });
             }
         }
-        // Schedule a local-scheduler check on the 30-second grid if a
-        // foreign job might need suspending or resuming.
-        let needs_check = match (&self.stations[i].foreign, new_state) {
-            (Some(slot), OwnerState::Active) => matches!(
+        // Schedule a local-scheduler check on the 30-second grid if any
+        // resident might need suspending or resuming.
+        let needs_check = self.stations[i].residents.iter().any(|slot| match new_state {
+            OwnerState::Active => matches!(
                 slot.phase,
                 Phase::Running { .. } | Phase::Arriving | Phase::GangMember
             ),
-            (Some(slot), OwnerState::Idle) => {
+            OwnerState::Idle => {
                 matches!(slot.phase, Phase::Suspended { .. } | Phase::GangMember)
             }
-            (None, _) => false,
-        };
+        });
         if needs_check && !self.stations[i].detection_pending {
             self.stations[i].detection_pending = true;
             let grid = self.config.costs.owner_check_interval;
@@ -1192,79 +1272,80 @@ impl Cluster {
         enum SlotInfo {
             Running(EventToken, JobId),
             Suspended(EventToken, JobId),
-            Other,
+            Gang(JobId),
         }
-        // Gang members reconcile collectively.
-        if let Some(slot) = &self.stations[i].foreign {
-            if matches!(slot.phase, Phase::GangMember) {
-                let job = slot.job;
-                let Some(gang) = self.gangs[job.0 as usize].as_deref() else { return };
-                if gang.departing {
-                    return;
-                }
-                match owner_state {
-                    OwnerState::Active if gang.running => {
-                        self.gang_suspend(now, job, station, sched);
+        // Snapshot every resident needing reconciliation: the owner's
+        // return (or departure) affects all of them, not just the first.
+        let infos: Vec<SlotInfo> = self.stations[i]
+            .residents
+            .iter()
+            .filter_map(|slot| match &slot.phase {
+                Phase::Running { finish } => Some(SlotInfo::Running(*finish, slot.job)),
+                Phase::Suspended { grace } => Some(SlotInfo::Suspended(*grace, slot.job)),
+                Phase::GangMember => Some(SlotInfo::Gang(slot.job)),
+                _ => None,
+            })
+            .collect();
+        for info in infos {
+            match (owner_state, info) {
+                // Gang members reconcile collectively.
+                (_, SlotInfo::Gang(job)) => {
+                    let Some(gang) = self.gangs[job.0 as usize].as_deref() else { continue };
+                    if gang.departing {
+                        continue;
                     }
-                    OwnerState::Idle if !gang.running => {
-                        // Maybe everyone is idle again (or the last image
-                        // just arrived): try to (re)start.
-                        self.gang_try_start(now, job, sched);
+                    match owner_state {
+                        OwnerState::Active if gang.running => {
+                            self.gang_suspend(now, job, station, sched);
+                        }
+                        OwnerState::Idle if !gang.running => {
+                            // Maybe everyone is idle again (or the last image
+                            // just arrived): try to (re)start.
+                            self.gang_try_start(now, job, sched);
+                        }
+                        _ => {}
                     }
-                    _ => {}
                 }
-                return;
+                (OwnerState::Active, SlotInfo::Running(finish, job)) => {
+                    sched.cancel(finish);
+                    let owner_back = self.stations[i].owner_active_since.unwrap_or(now);
+                    self.stop_running_segment(now, i, job, owner_back);
+                    // Interference: the owner shared the machine from their
+                    // return until this detection.
+                    if let Some(active_since) = self.stations[i].owner_active_since {
+                        let overlap = now.saturating_since(active_since);
+                        self.totals.interference_ms += overlap.as_millis();
+                    }
+                    self.totals.preemptions_owner += 1;
+                    match self.config.eviction {
+                        EvictionStrategy::GraceThenCheckpoint { grace } => {
+                            let token = sched.at(now + grace, Event::GraceOver { station, job });
+                            if let Some(slot) = self.stations[i].resident_mut(job) {
+                                slot.phase = Phase::Suspended { grace: token };
+                            }
+                            self.jobs[job.0 as usize].state =
+                                JobState::Suspended { on: NodeId::new(station) };
+                            self.emit(
+                                now,
+                                TraceKind::JobSuspended { job, on: NodeId::new(station) },
+                            );
+                        }
+                        EvictionStrategy::ImmediateKill { .. } => {
+                            self.kill_in_place(now, i, job);
+                        }
+                    }
+                }
+                (OwnerState::Idle, SlotInfo::Suspended(grace, job)) => {
+                    sched.cancel(grace);
+                    self.start_running(now, i, job, sched);
+                    self.totals.resumes_in_place += 1;
+                    self.emit(
+                        now,
+                        TraceKind::JobResumedInPlace { job, on: NodeId::new(station) },
+                    );
+                }
+                _ => {} // owner flickered; nothing to reconcile
             }
-        }
-        let info = match &self.stations[i].foreign {
-            None => return,
-            Some(slot) => match &slot.phase {
-                Phase::Running { finish } => SlotInfo::Running(*finish, slot.job),
-                Phase::Suspended { grace } => SlotInfo::Suspended(*grace, slot.job),
-                _ => SlotInfo::Other,
-            },
-        };
-        match (owner_state, info) {
-            (OwnerState::Active, SlotInfo::Running(finish, job)) => {
-                sched.cancel(finish);
-                let owner_back = self.stations[i].owner_active_since.unwrap_or(now);
-                self.stop_running_segment(now, i, job, owner_back);
-                // Interference: the owner shared the machine from their
-                // return until this detection.
-                if let Some(active_since) = self.stations[i].owner_active_since {
-                    let overlap = now.saturating_since(active_since);
-                    self.totals.interference_ms += overlap.as_millis();
-                }
-                self.totals.preemptions_owner += 1;
-                match self.config.eviction {
-                    EvictionStrategy::GraceThenCheckpoint { grace } => {
-                        let token = sched.at(now + grace, Event::GraceOver { station, job });
-                        self.stations[i].foreign = Some(ForeignSlot {
-                            job,
-                            phase: Phase::Suspended { grace: token },
-                        });
-                        self.jobs[job.0 as usize].state =
-                            JobState::Suspended { on: NodeId::new(station) };
-                        self.emit(
-                            now,
-                            TraceKind::JobSuspended { job, on: NodeId::new(station) },
-                        );
-                    }
-                    EvictionStrategy::ImmediateKill { .. } => {
-                        self.kill_in_place(now, i, job);
-                    }
-                }
-            }
-            (OwnerState::Idle, SlotInfo::Suspended(grace, job)) => {
-                sched.cancel(grace);
-                self.start_running(now, i, job, sched);
-                self.totals.resumes_in_place += 1;
-                self.emit(
-                    now,
-                    TraceKind::JobResumedInPlace { job, on: NodeId::new(station) },
-                );
-            }
-            _ => {} // owner flickered; nothing to reconcile
         }
     }
 
@@ -1280,20 +1361,31 @@ impl Cluster {
     /// (the machine cannot be more than 100% busy), even though the job
     /// accrues the full wall time of background cycles it received.
     fn stop_running_segment(&mut self, now: SimTime, station: usize, job: JobId, util_end: SimTime) {
+        let cpu = self.jobs[job.0 as usize].spec.resources.cpu_milli;
         let running_since = {
             let j = &mut self.jobs[job.0 as usize];
             let wall = now.since(j.running_since);
-            let work = self.config.station.work_done_in(wall);
+            // Progress accrues at the granted CPU fraction (identity for
+            // whole-machine grants).
+            let work = scale_work(self.config.station.work_done_in(wall), cpu);
             j.accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
             j.running_since
         };
-        self.deposit_run_utilization(station, running_since, util_end.min(now));
+        self.deposit_run_utilization(station, running_since, util_end.min(now), cpu as f64 / 1000.0);
     }
 
     /// Deposits the remote-utilization share of a run segment, excising
     /// any owner-flicker overlap intervals accumulated on the station so
-    /// each hourly bucket stays within physical capacity.
-    fn deposit_run_utilization(&mut self, station: usize, running_since: SimTime, util_end: SimTime) {
+    /// each hourly bucket stays within physical capacity. `frac` scales
+    /// the deposit to the job's granted CPU share (1.0 for whole-machine
+    /// grants, which multiplies exactly).
+    fn deposit_run_utilization(
+        &mut self,
+        station: usize,
+        running_since: SimTime,
+        util_end: SimTime,
+        frac: f64,
+    ) {
         let overlaps = std::mem::take(&mut self.stations[station].run_overlaps);
         let mut cursor = running_since;
         for (o_start, o_end) in overlaps {
@@ -1303,7 +1395,7 @@ impl Cluster {
                 self.remote_busy.deposit_interval(
                     cursor,
                     o_start,
-                    o_start.since(cursor).as_millis() as f64,
+                    o_start.since(cursor).as_millis() as f64 * frac,
                 );
             }
             cursor = cursor.max(o_end);
@@ -1312,7 +1404,7 @@ impl Cluster {
             self.remote_busy.deposit_interval(
                 cursor,
                 util_end,
-                util_end.since(cursor).as_millis() as f64,
+                util_end.since(cursor).as_millis() as f64 * frac,
             );
         }
     }
@@ -1327,17 +1419,23 @@ impl Cluster {
     ) {
         let remaining = self.jobs[job.0 as usize].remaining();
         debug_assert!(!remaining.is_zero(), "starting a finished job");
-        let wall = self.config.station.wall_time_for(remaining);
+        let demand = self.jobs[job.0 as usize].spec.resources;
+        // A fractional grant stretches the wall clock; the finish event is
+        // exact for the granted rate, so remaining work is only re-derived
+        // when a segment is cut short.
+        let wall = inflate_wall(self.config.station.wall_time_for(remaining), demand.cpu_milli);
         let finish = sched.at(
             now + wall,
             Event::Finish { job, on: station as u32 },
         );
         self.coord.mark(station);
-        self.stations[station].foreign = Some(ForeignSlot {
-            job,
-            phase: Phase::Running { finish },
-        });
-        self.stations[station].run_overlaps.clear();
+        let st = &mut self.stations[station];
+        if let Some(slot) = st.resident_mut(job) {
+            slot.phase = Phase::Running { finish };
+        } else {
+            st.residents.push(ForeignSlot { job, demand, phase: Phase::Running { finish } });
+        }
+        st.run_overlaps.clear();
         let arch = self.station_arch(station);
         let j = &mut self.jobs[job.0 as usize];
         debug_assert!(
@@ -1371,7 +1469,7 @@ impl Cluster {
     fn kill_in_place(&mut self, now: SimTime, station: usize, job: JobId) {
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[station].disk_used -= image;
-        self.stations[station].foreign = None;
+        self.stations[station].remove_resident(job);
         self.coord.mark(station);
         let j = &mut self.jobs[job.0 as usize];
         j.revert_to_checkpoint();
@@ -1402,10 +1500,10 @@ impl Cluster {
             j.transfer_seq += 1;
             (image, home, j.transfer_seq)
         };
-        self.stations[station].foreign = Some(ForeignSlot {
-            job,
-            phase: Phase::Departing,
-        });
+        self.stations[station]
+            .resident_mut(job)
+            .expect("checkpointing job is resident")
+            .phase = Phase::Departing;
         self.coord.mark(station);
         let booking = self
             .bus
@@ -1539,7 +1637,7 @@ impl Cluster {
                     continue;
                 };
                 let st = &self.stations[i];
-                if st.failed || st.owner_state != OwnerState::Idle || st.foreign.is_some() {
+                if st.failed || st.owner_state != OwnerState::Idle || !st.residents.is_empty() {
                     continue;
                 }
                 if self.stations[holder.as_usize()].queue.is_empty() {
@@ -1678,6 +1776,7 @@ impl Cluster {
             let j = &self.jobs[cand_job.0 as usize];
             let width = j.spec.width.max(1) as usize;
             let image = j.spec.image_bytes;
+            let demand = j.spec.resources;
             machines.clear();
             let mut arch_ok_but_disk_full: Option<NodeId> = None;
             for cand in &candidates {
@@ -1686,6 +1785,13 @@ impl Cluster {
                 }
                 let c = cand.as_usize();
                 if !j.can_run_on(self.station_arch(c)) {
+                    continue;
+                }
+                // Capacity conservation: the grant must fit in what the
+                // residents leave free. Whole-machine demands (default)
+                // always fit a `can_host` station, so this never rejects
+                // there.
+                if !demand.fits(self.stations[c].free_capacity()) {
                     continue;
                 }
                 let disk_free = self.stations[c].disk_capacity - self.stations[c].disk_used;
@@ -1724,11 +1830,15 @@ impl Cluster {
             return true;
         }
         let target = machines[0];
-        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        let (image, demand) = {
+            let j = &self.jobs[job.0 as usize];
+            (j.spec.image_bytes, j.spec.resources)
+        };
         let t = target.as_usize();
         self.stations[t].disk_used += image;
-        self.stations[t].foreign = Some(ForeignSlot {
+        self.stations[t].residents.push(ForeignSlot {
             job,
+            demand,
             phase: Phase::Arriving,
         });
         self.coord.mark(t);
@@ -1745,6 +1855,21 @@ impl Cluster {
             Event::PlacementDone { job, target: target.index(), seq },
         );
         self.totals.placements += 1;
+        // Fractional grants are annotated just before the placement they
+        // describe; whole-machine placements never emit, keeping default
+        // traces bit-identical.
+        if !demand.is_whole() {
+            self.emit(
+                now,
+                TraceKind::JobGranted {
+                    job,
+                    on: target,
+                    cpu_milli: demand.cpu_milli,
+                    mem_milli: demand.mem_milli,
+                    tag_milli: demand.tag_milli,
+                },
+            );
+        }
         self.emit(now, TraceKind::PlacementStarted { job, target });
         true
     }
@@ -1758,7 +1883,7 @@ impl Cluster {
         let t = target.as_usize();
         // Preempting any member of a running gang vacates the whole gang
         // (its processes cannot run partially).
-        let gang_job = self.stations[t].foreign.as_ref().and_then(|slot| {
+        let gang_job = self.stations[t].residents.iter().find_map(|slot| {
             (matches!(slot.phase, Phase::GangMember)
                 && self.gangs[slot.job.0 as usize]
                     .as_deref()
@@ -1771,17 +1896,25 @@ impl Cluster {
             self.gang_checkpoint_out(now, job, PreemptReason::PriorityPreemption, sched);
             return true;
         }
-        let running = self.stations[t].foreign.as_ref().and_then(|slot| match &slot.phase {
-            Phase::Running { finish } => Some((*finish, slot.job)),
-            _ => None,
-        });
-        let Some((finish, job)) = running else {
+        // Preemption vacates the machine: every running resident is
+        // checkpointed out (at most one under whole-machine demands).
+        let running: Vec<(EventToken, JobId)> = self.stations[t]
+            .residents
+            .iter()
+            .filter_map(|slot| match &slot.phase {
+                Phase::Running { finish } => Some((*finish, slot.job)),
+                _ => None,
+            })
+            .collect();
+        if running.is_empty() {
             return false;
-        };
-        sched.cancel(finish);
-        self.stop_running_segment(now, t, job, now);
-        self.totals.preemptions_priority += 1;
-        self.begin_checkpoint_out(now, t, job, PreemptReason::PriorityPreemption, sched);
+        }
+        for (finish, job) in running {
+            sched.cancel(finish);
+            self.stop_running_segment(now, t, job, now);
+            self.totals.preemptions_priority += 1;
+            self.begin_checkpoint_out(now, t, job, PreemptReason::PriorityPreemption, sched);
+        }
         true
     }
 
@@ -1821,10 +1954,9 @@ impl Cluster {
                         now + grace,
                         Event::GraceOver { station: target, job },
                     );
-                    self.stations[t].foreign = Some(ForeignSlot {
-                        job,
-                        phase: Phase::Suspended { grace: token },
-                    });
+                    if let Some(slot) = self.stations[t].resident_mut(job) {
+                        slot.phase = Phase::Suspended { grace: token };
+                    }
                     self.jobs[job.0 as usize].state =
                         JobState::Suspended { on: NodeId::new(target) };
                     self.emit(
@@ -1855,7 +1987,7 @@ impl Cluster {
         if self.slot_is(f, job, |p| matches!(p, Phase::GangMember)) {
             let image = self.jobs[job.0 as usize].spec.image_bytes;
             self.stations[f].disk_used -= image;
-            self.stations[f].foreign = None;
+            self.stations[f].remove_resident(job);
             self.coord.mark(f);
             let all_departed = {
                 let gang = self.gangs[job.0 as usize].as_deref_mut().expect("gang exists");
@@ -1897,7 +2029,7 @@ impl Cluster {
         }
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[f].disk_used -= image;
-        self.stations[f].foreign = None;
+        self.stations[f].remove_resident(job);
         self.coord.mark(f);
         let j = &mut self.jobs[job.0 as usize];
         j.mark_checkpointed();
@@ -1938,9 +2070,14 @@ impl Cluster {
                 let util_end = self.stations[m as usize]
                     .owner_active_since
                     .map_or(now, |t| t.min(now));
-                self.deposit_run_utilization(m as usize, running_since, util_end.max(running_since));
+                self.deposit_run_utilization(
+                    m as usize,
+                    running_since,
+                    util_end.max(running_since),
+                    1.0,
+                );
                 self.stations[m as usize].disk_used -= image;
-                self.stations[m as usize].foreign = None;
+                self.stations[m as usize].remove_resident(job);
                 self.coord.mark(m as usize);
             }
             self.gangs[job.0 as usize] = None;
@@ -1956,17 +2093,18 @@ impl Cluster {
             let util_end = self.stations[o]
                 .owner_active_since
                 .map_or(now, |t| t.min(now));
+            let cpu = self.jobs[job.0 as usize].spec.resources.cpu_milli;
             let running_since = {
                 let j = &mut self.jobs[job.0 as usize];
                 let remaining = j.remaining();
                 j.accrue_run(remaining, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
                 j.running_since
             };
-            self.deposit_run_utilization(o, running_since, util_end);
+            self.deposit_run_utilization(o, running_since, util_end, cpu as f64 / 1000.0);
         }
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[o].disk_used -= image;
-        self.stations[o].foreign = None;
+        self.stations[o].remove_resident(job);
         self.coord.mark(o);
         self.finish_bookkeeping(now, job, on);
     }
@@ -2053,9 +2191,11 @@ impl Cluster {
         }
         let image = j.spec.image_bytes;
         let home = j.spec.home;
-        // The checkpoint captures the work level at this instant.
+        // The checkpoint captures the work level at this instant (accrued
+        // at the granted CPU fraction).
         let elapsed = now.since(j.running_since);
-        let work_now = self.jobs[job.0 as usize].work_done + self.config.station.work_done_in(elapsed);
+        let work_now = self.jobs[job.0 as usize].work_done
+            + scale_work(self.config.station.work_done_in(elapsed), j.spec.resources.cpu_milli);
         {
             let j = &mut self.jobs[job.0 as usize];
             j.work_checkpointed = work_now;
@@ -2084,16 +2224,16 @@ impl Cluster {
         machines: Vec<u32>,
         sched: &mut Scheduler<Event>,
     ) {
-        let (image, seq) = {
+        let (image, seq, demand) = {
             let j = &mut self.jobs[job.0 as usize];
             j.state = JobState::Placing { target: NodeId::new(machines[0]) };
             j.transfer_seq += 1;
-            (j.spec.image_bytes, j.transfer_seq)
+            (j.spec.image_bytes, j.transfer_seq, j.spec.resources)
         };
         for &m in &machines {
             let t = m as usize;
             self.stations[t].disk_used += image;
-            self.stations[t].foreign = Some(ForeignSlot { job, phase: Phase::GangMember });
+            self.stations[t].residents.push(ForeignSlot { job, demand, phase: Phase::GangMember });
             self.coord.mark(t);
             self.jobs[job.0 as usize]
                 .charge_transfer(self.config.costs.transfer_cpu_cost(image));
@@ -2199,7 +2339,7 @@ impl Cluster {
             let util_end = self.stations[m as usize]
                 .owner_active_since
                 .map_or(now, |t| t.min(now));
-            self.deposit_run_utilization(m as usize, running_since, util_end.max(running_since));
+            self.deposit_run_utilization(m as usize, running_since, util_end.max(running_since), 1.0);
             // The gang stopped running: members no longer report
             // `hosting_for`.
             self.coord.mark(m as usize);
@@ -2282,7 +2422,7 @@ impl Cluster {
             self.jobs[job.0 as usize]
                 .accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
             for &m in &gang.members {
-                if self.stations[m as usize].foreign.is_some() {
+                if self.stations[m as usize].resident(job).is_some() {
                     let util_end = self.stations[m as usize]
                         .owner_active_since
                         .map_or(now, |t| t.min(now));
@@ -2290,14 +2430,14 @@ impl Cluster {
                         m as usize,
                         running_since,
                         util_end.max(running_since),
+                        1.0,
                     );
                 }
             }
         }
         for &m in &gang.members {
             let st = &mut self.stations[m as usize];
-            if st.foreign.as_ref().is_some_and(|slot| slot.job == job) {
-                st.foreign = None;
+            if st.remove_resident(job).is_some() {
                 st.disk_used -= image;
             }
             self.coord.mark(m as usize);
@@ -2329,7 +2469,7 @@ impl Cluster {
             let st = &self.stations[i];
             if st.reserved_for.is_none()
                 && !st.failed
-                && st.foreign.is_none()
+                && st.residents.is_empty()
                 && i != r.holder.as_usize()
             {
                 self.set_reserved(i, Some(r.holder));
@@ -2344,7 +2484,7 @@ impl Cluster {
             if self.stations[i].reserved_for.is_some() || i == r.holder.as_usize() {
                 continue;
             }
-            let running_other = self.stations[i].foreign.as_ref().is_some_and(|slot| {
+            let running_other = self.stations[i].residents.iter().any(|slot| {
                 matches!(slot.phase, Phase::Running { .. })
                     && self.jobs[slot.job.0 as usize].spec.home != r.holder
             });
@@ -2379,10 +2519,11 @@ impl Cluster {
         self.set_reserved(i, None);
         self.totals.station_failures += 1;
         self.emit(now, TraceKind::StationFailed { station: NodeId::new(station) });
-        // Any foreign job here loses everything since its last durable
+        // Every foreign job here loses everything since its last durable
         // checkpoint — the §2.3 guarantee is that it restarts from that
         // checkpoint at another machine, not that nothing is lost.
-        if let Some(slot) = self.stations[i].foreign.take() {
+        let slots = std::mem::take(&mut self.stations[i].residents);
+        for slot in slots {
             let job = slot.job;
             match slot.phase {
                 Phase::Running { finish } => {
@@ -2409,11 +2550,7 @@ impl Cluster {
                         now,
                         TraceKind::CrashRollback { job, on: NodeId::new(station) },
                     );
-                    if station == self.config.coordinator_host {
-                        self.coordinator_down = true;
-                    }
-                    self.schedule_repair(now, station, sched);
-                    return;
+                    continue;
                 }
             }
             let image = self.jobs[job.0 as usize].spec.image_bytes;
@@ -2596,7 +2733,7 @@ impl Cluster {
             if st.failed
                 || st.reserved_for.is_some()
                 || st.owner_state != OwnerState::Idle
-                || st.foreign.is_some()
+                || !st.residents.is_empty()
                 || st.queue.is_empty()
             {
                 continue;
@@ -2713,7 +2850,7 @@ impl Cluster {
                     .owner_active_since
                     .unwrap_or(horizon)
                     .min(horizon);
-                self.deposit_run_utilization(m as usize, running_since, cap.max(running_since));
+                self.deposit_run_utilization(m as usize, running_since, cap.max(running_since), 1.0);
             }
             self.jobs[job.0 as usize].running_since = horizon;
         }
@@ -2725,10 +2862,12 @@ impl Cluster {
                 }
                 self.stations[i].owner_active_since = Some(horizon);
             }
-            let running_job = self.stations[i].foreign.as_ref().and_then(|slot| {
-                matches!(slot.phase, Phase::Running { .. }).then_some(slot.job)
-            });
-            if let Some(job) = running_job {
+            let running_jobs: Vec<JobId> = self.stations[i]
+                .residents
+                .iter()
+                .filter_map(|slot| matches!(slot.phase, Phase::Running { .. }).then_some(slot.job))
+                .collect();
+            for job in running_jobs {
                 let since = self.jobs[job.0 as usize].running_since;
                 if since < horizon {
                     // Cap at the owner's return if the segment is inside a
@@ -2786,13 +2925,19 @@ impl Model for Cluster {
     }
 }
 
-/// Builds, primes, and runs a cluster for `horizon`, returning the
-/// complete output.
+/// Unified entry point for executing a simulation.
+///
+/// One builder replaces the old `run_cluster` / `run_cluster_with_sinks` /
+/// `run_cluster_with_threads` trio: configure what you need, then call
+/// [`execute`](Run::execute). A config carrying a
+/// [`PoolTopology`](crate::config::PoolTopology) runs on the sharded
+/// space-parallel engine (worker count from [`threads`](Run::threads), or
+/// `CONDOR_THREADS` when unset); otherwise the run is serial.
 ///
 /// # Examples
 ///
 /// ```
-/// use condor_core::cluster::run_cluster;
+/// use condor_core::cluster::Run;
 /// use condor_core::config::ClusterConfig;
 /// use condor_core::job::{JobId, JobSpec, UserId};
 /// use condor_net::NodeId;
@@ -2809,72 +2954,155 @@ impl Model for Cluster {
 ///     binaries: Default::default(),
 ///     depends_on: Vec::new(),
 ///     width: 1,
+///     resources: Default::default(),
 /// };
-/// let out = run_cluster(ClusterConfig::default(), vec![spec], SimDuration::from_days(2));
+/// let out = Run::new(ClusterConfig::default())
+///     .specs(vec![spec])
+///     .horizon(SimDuration::from_days(2))
+///     .execute();
 /// assert_eq!(out.jobs.len(), 1);
 /// ```
-pub fn run_cluster(config: ClusterConfig, specs: Vec<JobSpec>, horizon: SimDuration) -> RunOutput {
-    run_cluster_with_sinks(config, specs, horizon, Vec::new())
-}
-
-/// Like [`run_cluster`], with additional [`TraceSink`] observers attached
-/// before the first event. Sinks stream every event as it happens — this is
-/// how experiments watch long runs without buffering a full trace. Keep a
-/// [`SharedSink`](crate::telemetry::SharedSink) handle to read a sink back
-/// after the run.
 ///
-/// # Examples
+/// Streaming observers attach with [`sink`](Run::sink); keep a
+/// [`SharedSink`](crate::telemetry::SharedSink) handle to read one back
+/// after the run:
 ///
 /// ```
-/// use condor_core::cluster::run_cluster_with_sinks;
+/// use condor_core::cluster::Run;
 /// use condor_core::config::ClusterConfig;
 /// use condor_core::telemetry::{SharedSink, VecSink};
 /// use condor_sim::time::SimDuration;
 ///
 /// let events = SharedSink::new(VecSink::new());
-/// let out = run_cluster_with_sinks(
+/// let out = Run::new(
 ///     ClusterConfig::builder().stations(4).record_trace(false).build().unwrap(),
-///     Vec::new(),
-///     SimDuration::from_hours(6),
-///     vec![Box::new(events.clone())],
-/// );
+/// )
+/// .horizon(SimDuration::from_hours(6))
+/// .sink(Box::new(events.clone()))
+/// .execute();
 /// // The sink saw the owner activity even though the trace was off.
 /// assert_eq!(events.with(|s| s.len()) as u64, out.telemetry.events_total);
 /// ```
+pub struct Run {
+    config: ClusterConfig,
+    specs: Vec<JobSpec>,
+    horizon: SimDuration,
+    sinks: Vec<Box<dyn TraceSink + Send>>,
+    threads: Option<usize>,
+}
+
+impl std::fmt::Debug for Run {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Run")
+            .field("stations", &self.config.stations)
+            .field("specs", &self.specs.len())
+            .field("horizon", &self.horizon)
+            .field("sinks", &self.sinks.len())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Run {
+    /// Starts a run description over `config` with no jobs, no sinks, and a
+    /// zero horizon (set one with [`horizon`](Run::horizon) or the run ends
+    /// immediately).
+    pub fn new(config: ClusterConfig) -> Self {
+        Run {
+            config,
+            specs: Vec::new(),
+            horizon: SimDuration::ZERO,
+            sinks: Vec::new(),
+            threads: None,
+        }
+    }
+
+    /// Sets the workload submitted to the cluster.
+    pub fn specs(mut self, specs: Vec<JobSpec>) -> Self {
+        self.specs = specs;
+        self
+    }
+
+    /// Sets how long the simulation runs.
+    pub fn horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Attaches a streaming [`TraceSink`] observer before the first event.
+    /// May be called repeatedly; sinks see events in emit order.
+    pub fn sink(mut self, sink: Box<dyn TraceSink + Send>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Pins the sharded engine to exactly `threads` worker threads instead
+    /// of reading `CONDOR_THREADS`. The config must carry a
+    /// [`PoolTopology`](crate::config::PoolTopology).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Builds, primes, and runs the cluster, returning the complete output.
+    pub fn execute(self) -> RunOutput {
+        let Run { config, specs, horizon, sinks, threads } = self;
+        if let Some(threads) = threads {
+            assert!(
+                config.topology.is_some(),
+                "Run::threads requires a pool topology on the config"
+            );
+            return crate::shard::run_sharded(config, specs, horizon, sinks, Some(threads));
+        }
+        if config.topology.is_some() {
+            return crate::shard::run_sharded(config, specs, horizon, sinks, None);
+        }
+        let mut cluster = Cluster::new(config, specs);
+        for sink in sinks {
+            cluster.attach_sink(sink);
+        }
+        let mut engine = Engine::new(cluster);
+        Cluster::prime(&mut engine);
+        let end = SimTime::ZERO + horizon;
+        engine.run_until(end);
+        finish_run(engine, end)
+    }
+}
+
+/// Builds, primes, and runs a cluster for `horizon`, returning the
+/// complete output.
+#[deprecated(since = "0.1.0", note = "use `Run::new(config).specs(..).horizon(..).execute()`")]
+pub fn run_cluster(config: ClusterConfig, specs: Vec<JobSpec>, horizon: SimDuration) -> RunOutput {
+    Run::new(config).specs(specs).horizon(horizon).execute()
+}
+
+/// Like [`run_cluster`], with additional [`TraceSink`] observers attached
+/// before the first event.
+#[deprecated(since = "0.1.0", note = "use `Run` with `.sink(..)`")]
 pub fn run_cluster_with_sinks(
     config: ClusterConfig,
     specs: Vec<JobSpec>,
     horizon: SimDuration,
     sinks: Vec<Box<dyn TraceSink + Send>>,
 ) -> RunOutput {
-    if config.topology.is_some() {
-        return crate::shard::run_sharded(config, specs, horizon, sinks, None);
-    }
-    let mut cluster = Cluster::new(config, specs);
+    let mut run = Run::new(config).specs(specs).horizon(horizon);
     for sink in sinks {
-        cluster.attach_sink(sink);
+        run = run.sink(sink);
     }
-    let mut engine = Engine::new(cluster);
-    Cluster::prime(&mut engine);
-    let end = SimTime::ZERO + horizon;
-    engine.run_until(end);
-    finish_run(engine, end)
+    run.execute()
 }
 
 /// Like [`run_cluster`], but running the sharded space-parallel engine on
 /// exactly `threads` worker threads instead of reading `CONDOR_THREADS`.
 /// The config must carry a [`PoolTopology`](crate::config::PoolTopology).
+#[deprecated(since = "0.1.0", note = "use `Run` with `.threads(..)`")]
 pub fn run_cluster_with_threads(
     config: ClusterConfig,
     specs: Vec<JobSpec>,
     horizon: SimDuration,
     threads: usize,
 ) -> RunOutput {
-    assert!(
-        config.topology.is_some(),
-        "run_cluster_with_threads requires a pool topology on the config"
-    );
-    crate::shard::run_sharded(config, specs, horizon, Vec::new(), Some(threads))
+    Run::new(config).specs(specs).horizon(horizon).threads(threads).execute()
 }
 
 /// Drains a finished engine into a [`RunOutput`]: closes open accounting
@@ -2914,6 +3142,7 @@ pub(crate) fn finish_run(engine: Engine<Cluster>, end: SimTime) -> RunOutput {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use condor_model::diurnal::DiurnalProfile;
@@ -2931,6 +3160,7 @@ mod tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         }
     }
 
@@ -3343,6 +3573,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod failure_tests {
     use super::*;
     use crate::config::FailureConfig;
@@ -3361,6 +3592,7 @@ mod failure_tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         }
     }
 
@@ -3509,6 +3741,7 @@ mod failure_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod arch_tests {
     use super::*;
     use condor_model::diurnal::DiurnalProfile;
@@ -3527,6 +3760,7 @@ mod arch_tests {
             binaries,
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         }
     }
 
@@ -3646,6 +3880,7 @@ mod arch_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod reservation_tests {
     use super::*;
     use crate::config::Reservation;
@@ -3664,6 +3899,7 @@ mod reservation_tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         }
     }
 
@@ -3845,6 +4081,7 @@ mod reservation_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod dependency_tests {
     use super::*;
     use condor_model::diurnal::DiurnalProfile;
@@ -3862,6 +4099,7 @@ mod dependency_tests {
             binaries: Default::default(),
             depends_on: deps.into_iter().map(JobId).collect(),
             width: 1,
+            resources: Default::default(),
         }
     }
 
@@ -3961,6 +4199,7 @@ mod dependency_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod gang_tests {
     use super::*;
     use condor_model::diurnal::DiurnalProfile;
@@ -3978,6 +4217,7 @@ mod gang_tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width,
+            resources: Default::default(),
         }
     }
 
@@ -4141,6 +4381,7 @@ mod gang_tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
         let out = run_cluster(quiet(4), jobs, SimDuration::from_days(4));
         assert_eq!(out.jobs[1].state, JobState::Completed, "{:?}", out.totals);

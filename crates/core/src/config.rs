@@ -2,7 +2,7 @@
 
 use condor_model::costs::CostModel;
 use condor_model::owner::OwnerConfig;
-use condor_model::station::{Arch, StationProfile};
+use condor_model::station::{Arch, ResourceVec, StationProfile};
 use condor_net::{BusConfig, NodeId, PoolLinks};
 use condor_sim::time::{SimDuration, SimTime};
 
@@ -40,6 +40,26 @@ pub enum ConfigError {
     },
     /// `arch_pattern` is empty.
     EmptyArchPattern,
+    /// `capacity_profiles` is empty.
+    EmptyCapacityProfiles,
+    /// A capacity profile with zero CPU — such a station could never host
+    /// anything, which is always a configuration mistake (fence stations
+    /// with reservations or failures instead).
+    CapacityProfileZeroCpu {
+        /// Index of the offending profile in `capacity_profiles`.
+        index: usize,
+    },
+    /// A job demanding zero CPU — it would never make progress.
+    JobZeroCpuDemand {
+        /// The job.
+        job: JobId,
+    },
+    /// A gang (`width > 1`) with a fractional resource demand; gangs
+    /// coordinate whole machines and cannot share them.
+    GangFractionalResources {
+        /// The job.
+        job: JobId,
+    },
     /// A reservation fences zero machines.
     ReservationZeroMachines,
     /// A reservation window with `from >= until`.
@@ -148,6 +168,20 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "coordinator host {host} outside the fleet")
             }
             ConfigError::EmptyArchPattern => f.write_str("empty architecture pattern"),
+            ConfigError::EmptyCapacityProfiles => f.write_str("empty capacity-profile pattern"),
+            ConfigError::CapacityProfileZeroCpu { index } => {
+                write!(f, "capacity profile {index} has zero CPU")
+            }
+            ConfigError::JobZeroCpuDemand { job } => {
+                write!(f, "job {} demands zero CPU", job.0)
+            }
+            ConfigError::GangFractionalResources { job } => {
+                write!(
+                    f,
+                    "job {} is a gang with a fractional resource demand — gangs need whole machines",
+                    job.0
+                )
+            }
             ConfigError::ReservationZeroMachines => f.write_str("zero-machine reservation"),
             ConfigError::ReservationEmptyWindow => f.write_str("empty reservation window"),
             ConfigError::TopologyNoPools => f.write_str("a pool topology needs at least one pool"),
@@ -344,6 +378,12 @@ pub enum PolicyKind {
     RoundRobin,
     /// Uniformly random demanding station; no preemption.
     Random,
+    /// Capacity-aware best-fit packing for fractional workloads: serves
+    /// requesting stations first-come-first-served but targets the free
+    /// station with the *least* free CPU that still has any, packing
+    /// residents together and keeping whole machines open for whole-demand
+    /// jobs. No preemption.
+    Frac,
 }
 
 impl Default for PolicyKind {
@@ -393,6 +433,12 @@ pub struct ClusterConfig {
     /// (`vec![Arch::Vax]`); a mixed pattern reproduces the §5(4) planned
     /// SUN port, where placement must respect job binaries.
     pub arch_pattern: Vec<Arch>,
+    /// Capacity vector of each station, cycled over the fleet (station `i`
+    /// has `capacity_profiles[i % len]`), mirroring `arch_pattern`. The
+    /// default — `vec![ResourceVec::WHOLE]` — gives every station exactly
+    /// one whole machine, which together with whole-machine job demands
+    /// reproduces the legacy single-occupancy model bit for bit.
+    pub capacity_profiles: Vec<ResourceVec>,
     /// Store checkpoint files on a dedicated checkpoint server instead of
     /// the submitting workstation's disk (the §4 disk-server idea). The
     /// server has unbounded capacity, so home disks only gate the number
@@ -536,6 +582,7 @@ impl Default for ClusterConfig {
             failures: None,
             coordinator_host: 0,
             arch_pattern: vec![Arch::Vax],
+            capacity_profiles: vec![ResourceVec::WHOLE],
             checkpoint_server: false,
             reservations: Vec::new(),
             record_trace: true,
@@ -593,6 +640,14 @@ impl ClusterConfig {
         }
         if self.arch_pattern.is_empty() {
             return Err(ConfigError::EmptyArchPattern);
+        }
+        if self.capacity_profiles.is_empty() {
+            return Err(ConfigError::EmptyCapacityProfiles);
+        }
+        for (index, p) in self.capacity_profiles.iter().enumerate() {
+            if p.cpu_milli == 0 {
+                return Err(ConfigError::CapacityProfileZeroCpu { index });
+            }
         }
         for r in &self.reservations {
             r.check(self.stations)?;
@@ -719,6 +774,12 @@ impl ClusterConfigBuilder {
     /// Sets the architecture pattern cycled over the fleet.
     pub fn arch_pattern(mut self, pattern: Vec<Arch>) -> Self {
         self.config.arch_pattern = pattern;
+        self
+    }
+
+    /// Sets the capacity-profile pattern cycled over the fleet.
+    pub fn capacity_profiles(mut self, profiles: Vec<ResourceVec>) -> Self {
+        self.config.capacity_profiles = profiles;
         self
     }
 
@@ -861,6 +922,27 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, ConfigError::ZeroPeriodicCheckpoint);
         assert!(err.to_string().contains("periodic-checkpoint"));
+    }
+
+    #[test]
+    fn capacity_profiles_validated() {
+        let err = ClusterConfig { capacity_profiles: Vec::new(), ..ClusterConfig::default() }
+            .check()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyCapacityProfiles);
+
+        let err = ClusterConfig::builder()
+            .capacity_profiles(vec![ResourceVec::WHOLE, ResourceVec::new(0, 1000)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::CapacityProfileZeroCpu { index: 1 });
+        assert!(err.to_string().contains("zero CPU"));
+
+        let c = ClusterConfig::builder()
+            .capacity_profiles(vec![ResourceVec::share(2000)])
+            .build()
+            .expect("oversized capacity is legal");
+        assert_eq!(c.capacity_profiles[0].cpu_milli, 2000);
     }
 
     #[test]

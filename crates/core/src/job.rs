@@ -7,7 +7,7 @@
 //! evaluation: wait ratio (Fig. 4), checkpoint rate (Fig. 8), and leverage
 //! (Fig. 9).
 
-use condor_model::station::{Arch, ArchSet};
+use condor_model::station::{Arch, ArchSet, ResourceVec};
 use condor_net::NodeId;
 use condor_sim::time::{SimDuration, SimTime};
 
@@ -73,6 +73,13 @@ pub struct JobSpec {
     /// members as a coordinated cut (the §2.3 quiescence rule writ large).
     /// Width 1 — the 1988 reality — is the default.
     pub width: u32,
+    /// Resource demand per machine the job occupies, in milli-units.
+    /// Defaults to [`ResourceVec::WHOLE`] (full CPU + memory, no tag),
+    /// which reproduces the legacy single-occupancy model exactly. A job
+    /// demanding less than a whole CPU runs at fractionally scaled speed
+    /// and can share its station with other sub-whole residents. Gangs
+    /// (`width > 1`) must demand whole machines.
+    pub resources: ResourceVec,
 }
 
 /// Where a job is in its lifecycle.
@@ -338,6 +345,7 @@ mod tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         }
     }
 

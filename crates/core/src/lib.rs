@@ -23,7 +23,7 @@
 //! ## Example: run a small cluster
 //!
 //! ```
-//! use condor_core::cluster::run_cluster;
+//! use condor_core::cluster::Run;
 //! use condor_core::config::ClusterConfig;
 //! use condor_core::job::{JobId, JobSpec, UserId};
 //! use condor_net::NodeId;
@@ -41,9 +41,13 @@
 //!         binaries: Default::default(),
 //!         depends_on: Vec::new(),
 //!         width: 1,
+//!         resources: Default::default(),
 //!     })
 //!     .collect();
-//! let out = run_cluster(ClusterConfig::default(), jobs, SimDuration::from_days(3));
+//! let out = Run::new(ClusterConfig::default())
+//!     .specs(jobs)
+//!     .horizon(SimDuration::from_days(3))
+//!     .execute();
 //! assert!(out.totals.placements > 0);
 //! ```
 
@@ -68,7 +72,9 @@ pub use chaos::{
     ChaosConfig, ChaosEntry, ChaosFailure, ChaosGen, ChaosParseError, ChaosSchedule,
     ExploreReport, Fault,
 };
-pub use cluster::{run_cluster, run_cluster_with_sinks, Cluster, Event, RunOutput, Totals};
+pub use cluster::{Cluster, Event, Run, RunOutput, Totals};
+#[allow(deprecated)]
+pub use cluster::{run_cluster, run_cluster_with_sinks};
 pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig, PolicyKind,
     Reservation,

@@ -31,6 +31,12 @@ pub struct StationView {
     pub hosting_for: Option<NodeId>,
     /// Jobs waiting in this station's background queue.
     pub waiting_jobs: usize,
+    /// Unallocated CPU share in milli-machines (1000 = a whole free CPU).
+    /// Zero whenever `can_host` is false. Under the legacy whole-machine
+    /// model this is always exactly 0 or 1000; fractional fleets expose
+    /// partially used stations here so capacity-aware policies (e.g.
+    /// [`FracPolicy`]) can pack residents.
+    pub free_cpu_milli: u32,
 }
 
 /// An instruction from the coordinator to the cluster.
@@ -199,6 +205,82 @@ impl AllocationPolicy for FifoPolicy {
     }
 }
 
+/// Capacity-aware best-fit packing for fractional workloads: serves
+/// requesting stations in [`FifoPolicy`] line order, but grants each one
+/// the hostable station with the **least** free CPU (ties to the
+/// cluster's preference order). Packing residents onto partially used
+/// stations keeps whole machines open for whole-demand jobs — the
+/// classic best-fit bin-packing argument, applied to CPU shares. Never
+/// preempts.
+///
+/// Under the legacy whole-machine model every free station shows exactly
+/// 1000 free milli-CPU, so best-fit degenerates to FIFO order and this
+/// policy behaves like [`FifoPolicy`].
+#[derive(Debug, Default)]
+pub struct FracPolicy {
+    /// Homes with outstanding demand, oldest first.
+    line: Vec<NodeId>,
+}
+
+impl FracPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FracPolicy::default()
+    }
+
+    fn refresh_line(&mut self, input: &PollInput<'_>) {
+        self.line.retain(|h| {
+            input
+                .views
+                .get(h.as_usize())
+                .is_some_and(|v| v.waiting_jobs > 0)
+        });
+        for r in input.requesters {
+            if !self.line.contains(r) {
+                self.line.push(*r);
+            }
+        }
+    }
+}
+
+impl AllocationPolicy for FracPolicy {
+    fn name(&self) -> &'static str {
+        "frac"
+    }
+
+    fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
+        self.refresh_line(input);
+        if self.line.is_empty() {
+            return Vec::new();
+        }
+        // Best-fit order: most free CPU first, so pop() yields the least
+        // free (tightest) station. Within equal free CPU, keep the
+        // cluster's preference order: later-preferred first, so pop()
+        // yields the preferred one. The sort is stable, so equal keys
+        // preserve the reversed preference list.
+        let mut free: Vec<NodeId> = input.free.to_vec();
+        free.reverse();
+        free.sort_by_key(|n| std::cmp::Reverse(input.views[n.as_usize()].free_cpu_milli));
+        let mut remaining: Vec<usize> = self
+            .line
+            .iter()
+            .map(|h| input.views[h.as_usize()].waiting_jobs)
+            .collect();
+        let mut orders = Vec::new();
+        'outer: for (i, home) in self.line.iter().enumerate() {
+            while remaining[i] > 0 {
+                if orders.len() >= input.max_placements {
+                    break 'outer;
+                }
+                let Some(target) = free.pop() else { break 'outer };
+                orders.push(Order::Assign { home: *home, target });
+                remaining[i] -= 1;
+            }
+        }
+        orders
+    }
+}
+
 /// Rotates a cursor over the stations, granting one machine to each
 /// demanding station in turn; never preempts.
 #[derive(Debug, Default)]
@@ -356,6 +438,7 @@ mod tests {
                 can_host,
                 hosting_for: hosting.map(NodeId::new),
                 waiting_jobs: waiting,
+                free_cpu_milli: if can_host { 1000 } else { 0 },
             })
             .collect()
     }
@@ -400,6 +483,47 @@ mod tests {
         let v = views(&[(false, None, 5), (true, None, 0), (true, None, 0), (true, None, 0)]);
         let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 1);
         assert_eq!(orders.len(), 1);
+    }
+
+    #[test]
+    fn frac_policy_packs_tightest_station_first() {
+        let mut p = FracPolicy::new();
+        // Station 0 demands 2 jobs; stations 1–3 are free with different
+        // amounts of free CPU. Best fit targets the tightest first.
+        let mut v = views(&[
+            (false, None, 2),
+            (true, None, 0),
+            (true, None, 0),
+            (true, None, 0),
+        ]);
+        v[1].free_cpu_milli = 1000;
+        v[2].free_cpu_milli = 300;
+        v[3].free_cpu_milli = 600;
+        let orders = decide_from_views(&mut p, SimTime::ZERO, &v, &free_of(&v), 10);
+        validate_orders(&orders, &v).unwrap();
+        assert_eq!(
+            orders,
+            vec![
+                Order::Assign { home: NodeId::new(0), target: NodeId::new(2) },
+                Order::Assign { home: NodeId::new(0), target: NodeId::new(3) },
+            ]
+        );
+    }
+
+    #[test]
+    fn frac_policy_degenerates_to_fifo_on_whole_machines() {
+        // All free stations show a whole free CPU → same orders as FIFO.
+        let v = views(&[
+            (false, None, 1),
+            (false, None, 3),
+            (true, None, 0),
+            (true, None, 0),
+        ]);
+        let mut frac = FracPolicy::new();
+        let mut fifo = FifoPolicy::new();
+        let a = decide_from_views(&mut frac, SimTime::ZERO, &v, &free_of(&v), 10);
+        let b = decide_from_views(&mut fifo, SimTime::ZERO, &v, &free_of(&v), 10);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -139,6 +139,11 @@ fn shard_config(
     c.seed = shard_seed(config.seed, pool);
     let n = config.arch_pattern.len();
     c.arch_pattern = (0..n).map(|k| config.arch_pattern[(range.start + k) % n]).collect();
+    // Capacity profiles cycle over global station ids exactly like the
+    // arch pattern: rotate so every station keeps its global capacity.
+    let m = config.capacity_profiles.len();
+    c.capacity_profiles =
+        (0..m).map(|k| config.capacity_profiles[(range.start + k) % m]).collect();
     let coord = config.coordinator_host as usize;
     // Each pool runs its own coordinator. The pool holding the global
     // coordinator host keeps it; the others default to their station 0.
@@ -622,6 +627,7 @@ mod tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         }
     }
 

@@ -152,6 +152,11 @@ pub struct Occupancy {
     pub from: SimTime,
     /// When the station was freed.
     pub until: SimTime,
+    /// Granted CPU in milli-units (1000 = the whole machine). Fractional
+    /// grants come from [`TraceKind::JobGranted`], which the cluster emits
+    /// just before the placement whenever a job demands less than a whole
+    /// machine; whole-machine placements never emit it and stay at 1000.
+    pub cpu_milli: u32,
 }
 
 /// An instantaneous lifecycle marker (rendered as an instant event in the
@@ -276,6 +281,9 @@ struct OpenJob {
     /// Stations this job occupies, with the occupancy start (one for a
     /// plain job, k for a width-k gang).
     holding: Vec<(NodeId, SimTime)>,
+    /// Granted CPU milli-fraction, set by `JobGranted` ahead of the
+    /// placement it describes; 1000 when no grant event was seen.
+    cpu_milli: u32,
 }
 
 /// A [`TraceSink`] that folds the event stream into a [`SpanLog`] online.
@@ -374,7 +382,7 @@ impl SpanSink {
                 .stations
                 .entry(node)
                 .or_default()
-                .push(Occupancy { job, from: since, until: at });
+                .push(Occupancy { job, from: since, until: at, cpu_milli: open.cpu_milli });
         }
     }
 
@@ -383,23 +391,25 @@ impl SpanSink {
         let Some(open) = self.open.get_mut(&job) else { return };
         if let Some(pos) = open.holding.iter().position(|(n, _)| *n == node) {
             let (_, since) = open.holding.swap_remove(pos);
+            let cpu_milli = open.cpu_milli;
             self.log
                 .stations
                 .entry(node)
                 .or_default()
-                .push(Occupancy { job, from: since, until: at });
+                .push(Occupancy { job, from: since, until: at, cpu_milli });
         }
     }
 
     /// Releases every station the job holds (crash teardown).
     fn release_all(&mut self, job: JobId, at: SimTime) {
         let Some(open) = self.open.get_mut(&job) else { return };
+        let cpu_milli = open.cpu_milli;
         for (node, since) in std::mem::take(&mut open.holding) {
             self.log
                 .stations
                 .entry(node)
                 .or_default()
-                .push(Occupancy { job, from: since, until: at });
+                .push(Occupancy { job, from: since, until: at, cpu_milli });
         }
     }
 
@@ -422,8 +432,16 @@ impl TraceSink for SpanSink {
                         since: at,
                         station: None,
                         holding: Vec::new(),
+                        cpu_milli: 1000,
                     },
                 );
+            }
+            TraceKind::JobGranted { job, cpu_milli, .. } => {
+                // Emitted immediately ahead of the placement it describes;
+                // the grant is fixed for the job's stay on that station.
+                if let Some(open) = self.open.get_mut(&job) {
+                    open.cpu_milli = cpu_milli;
+                }
             }
             TraceKind::PlacementStarted { job, target } => {
                 self.transition(job, at, SpanPhase::Transfer, Some(target));
@@ -514,6 +532,7 @@ impl TraceSink for SpanSink {
                         since: at,
                         station: None,
                         holding: Vec::new(),
+                        cpu_milli: 1000,
                     },
                 );
                 self.mark(at, job, on, "adopted");
@@ -557,7 +576,7 @@ impl TraceSink for SpanSink {
                     .stations
                     .entry(node)
                     .or_default()
-                    .push(Occupancy { job, from: since, until: at });
+                    .push(Occupancy { job, from: since, until: at, cpu_milli: open.cpu_milli });
             }
         }
         // Occupancy lists fill in release order; present them in start

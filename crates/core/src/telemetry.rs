@@ -564,6 +564,7 @@ static MARK_ACTIONS: [MarkAction; TraceKind::COUNT] = [
     MarkAction::None,       // ChaosLocalStart (the paired JobStarted marks)
     MarkAction::None,       // JobForwarded (stub leaves this pool; wait closes in the adopter)
     MarkAction::Queue,      // JobAdopted (entered a queue in the new pool)
+    MarkAction::None,       // JobGranted (annotation; the paired JobStarted marks)
 ];
 
 /// Dense per-job timestamp marks (job ids are the dense sequence `0..n`).
@@ -787,6 +788,7 @@ mod tests {
             TraceKind::ChaosLocalStart { job, on: n },
             TraceKind::JobForwarded { job, to_pool: 1 },
             TraceKind::JobAdopted { job, on: n },
+            TraceKind::JobGranted { job, on: n, cpu_milli: 500, mem_milli: 500, tag_milli: 0 },
         ]
     }
 

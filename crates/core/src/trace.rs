@@ -224,11 +224,28 @@ pub enum TraceKind {
         /// The adopting home station.
         on: NodeId,
     },
+    /// A *fractional* capacity grant: the coordinator granted the job a
+    /// sub-whole share of a station, emitted immediately before the
+    /// matching [`TraceKind::PlacementStarted`]. Whole-machine placements
+    /// (the legacy default) never emit this, keeping default traces
+    /// bit-identical to the single-occupancy model.
+    JobGranted {
+        /// The job.
+        job: JobId,
+        /// The granted station.
+        on: NodeId,
+        /// Granted CPU share in milli-machines.
+        cpu_milli: u32,
+        /// Granted memory share in milli-machines.
+        mem_milli: u32,
+        /// Granted tag/accelerator share in milli-units.
+        tag_milli: u32,
+    },
 }
 
 impl TraceKind {
     /// Number of distinct trace-event kinds.
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 32;
 
     /// Dense index of this kind in `0..COUNT`; stable across a release,
     /// used by the telemetry layer for per-kind counter arrays.
@@ -265,6 +282,7 @@ impl TraceKind {
             TraceKind::ChaosLocalStart { .. } => 28,
             TraceKind::JobForwarded { .. } => 29,
             TraceKind::JobAdopted { .. } => 30,
+            TraceKind::JobGranted { .. } => 31,
         }
     }
 
@@ -306,7 +324,8 @@ impl TraceKind {
             | TraceKind::ChaosCkptCorrupted { job, .. }
             | TraceKind::ChaosLocalStart { job, .. }
             | TraceKind::JobForwarded { job, .. }
-            | TraceKind::JobAdopted { job, .. } => Some(*job),
+            | TraceKind::JobAdopted { job, .. }
+            | TraceKind::JobGranted { job, .. } => Some(*job),
             TraceKind::OwnerActive { .. }
             | TraceKind::OwnerIdle { .. }
             | TraceKind::StationFailed { .. }
@@ -378,6 +397,9 @@ impl TraceKind {
             ChaosLocalStart { job: j, on } => ChaosLocalStart { job: job(j), on: node(on) },
             JobForwarded { job: j, to_pool } => JobForwarded { job: job(j), to_pool },
             JobAdopted { job: j, on } => JobAdopted { job: job(j), on: node(on) },
+            JobGranted { job: j, on, cpu_milli, mem_milli, tag_milli } => {
+                JobGranted { job: job(j), on: node(on), cpu_milli, mem_milli, tag_milli }
+            }
         }
     }
 }
@@ -414,6 +436,7 @@ static KIND_NAMES: [&str; TraceKind::COUNT] = [
     "chaos_local_start",
     "job_forwarded",
     "job_adopted",
+    "job_granted",
 ];
 
 /// A timestamped trace entry.
@@ -635,6 +658,15 @@ impl TraceEvent {
             TraceKind::JobAdopted { job, on } => {
                 write!(s, ",\"job\":{},\"on\":{}", job.0, on.index()).unwrap();
             }
+            TraceKind::JobGranted { job, on, cpu_milli, mem_milli, tag_milli } => {
+                write!(
+                    s,
+                    ",\"job\":{},\"on\":{},\"cpu_m\":{cpu_milli},\"mem_m\":{mem_milli},\"tag_m\":{tag_milli}",
+                    job.0,
+                    on.index()
+                )
+                .unwrap();
+            }
         }
         s.push('}');
     }
@@ -715,6 +747,13 @@ impl TraceEvent {
                 TraceKind::JobForwarded { job: f.job("job")?, to_pool: f.u32("pool")? }
             }
             "job_adopted" => TraceKind::JobAdopted { job: f.job("job")?, on: f.node("on")? },
+            "job_granted" => TraceKind::JobGranted {
+                job: f.job("job")?,
+                on: f.node("on")?,
+                cpu_milli: f.u32("cpu_m")?,
+                mem_milli: f.u32("mem_m")?,
+                tag_milli: f.u32("tag_m")?,
+            },
             other => return Err(TraceParseError::UnknownKind(other.into())),
         };
         Ok(TraceEvent { at, kind })
@@ -864,6 +903,7 @@ mod tests {
             TraceKind::ChaosLocalStart { job: j, on: n },
             TraceKind::JobForwarded { job: j, to_pool: 1 },
             TraceKind::JobAdopted { job: j, on: n },
+            TraceKind::JobGranted { job: j, on: n, cpu_milli: 500, mem_milli: 250, tag_milli: 0 },
         ]
     }
 

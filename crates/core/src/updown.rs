@@ -319,6 +319,7 @@ mod tests {
             .map(|(i, &(can_host, hosting, waiting))| StationView {
                 node: NodeId::new(i as u32),
                 can_host,
+                free_cpu_milli: if can_host { 1000 } else { 0 },
                 hosting_for: hosting.map(NodeId::new),
                 waiting_jobs: waiting,
             })

@@ -30,6 +30,7 @@ fn arb_views(stations: usize) -> impl Strategy<Value = Vec<StationView>> {
                     node: NodeId::new(i as u32),
                     // A station cannot both host and be free.
                     can_host: free && hosting.is_none(),
+                    free_cpu_milli: if free && hosting.is_none() { 1000 } else { 0 },
                     hosting_for: hosting,
                     waiting_jobs: waiting,
                 }
@@ -140,6 +141,7 @@ proptest! {
             .map(|i| StationView {
                 node: NodeId::new(i as u32),
                 can_host: false,
+                free_cpu_milli: 0,
                 hosting_for: None,
                 waiting_jobs: 0,
             })
@@ -190,6 +192,7 @@ fn fleet_shrinkage_is_tolerated() {
         .map(|i| StationView {
             node: NodeId::new(i),
             can_host: false,
+            free_cpu_milli: 0,
             hosting_for: None,
             waiting_jobs: 3,
         })
@@ -197,6 +200,7 @@ fn fleet_shrinkage_is_tolerated() {
     let small: Vec<StationView> = vec![StationView {
         node: NodeId::new(0),
         can_host: true,
+        free_cpu_milli: 1000,
         hosting_for: None,
         waiting_jobs: 1,
     }];

@@ -204,6 +204,7 @@ pub fn lag1_autocorr(xs: &[f64]) -> Option<f64> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use condor_core::cluster::{run_cluster, run_cluster_with_sinks};

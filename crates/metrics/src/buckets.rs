@@ -111,6 +111,7 @@ mod tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         };
         let mut j = Job::new(spec);
         j.accrue_run(demand, 0);

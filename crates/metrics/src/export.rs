@@ -315,6 +315,7 @@ pub fn spans_to_chrome_trace(log: &SpanLog) -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -418,6 +419,7 @@ mod tests {
                 binaries: Default::default(),
                 depends_on: Vec::new(),
                 width: 1,
+                resources: Default::default(),
             })
             .collect();
         let spans = SharedSink::new(SpanSink::new());

@@ -167,6 +167,7 @@ pub fn render_spans(log: &SpanLog, limit: usize) -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use condor_core::cluster::run_cluster;
@@ -215,6 +216,7 @@ mod tests {
                 binaries: Default::default(),
                 depends_on: Vec::new(),
                 width: 1,
+                resources: Default::default(),
             })
             .collect();
         let spans = SharedSink::new(SpanSink::new());

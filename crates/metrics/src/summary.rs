@@ -128,6 +128,7 @@ pub fn mean_leverage(jobs: &[Job], filter: impl Fn(&Job) -> bool) -> Option<f64>
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use condor_core::cluster::run_cluster;
@@ -149,6 +150,7 @@ mod tests {
                 binaries: Default::default(),
                 depends_on: Vec::new(),
                 width: 1,
+                resources: Default::default(),
             })
             .collect();
         run_cluster(ClusterConfig { stations: 5, ..ClusterConfig::default() }, jobs, SimDuration::from_days(5))

@@ -7,6 +7,8 @@
 //! results, which is what makes seed-order aggregation sufficient for
 //! reproducibility.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor_core::cluster::run_cluster;
 use condor_core::config::ClusterConfig;
 use condor_core::job::{JobId, JobSpec, UserId};
@@ -30,6 +32,7 @@ fn run_small(seed: u64) -> condor_core::cluster::RunOutput {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect();
     let config = ClusterConfig {

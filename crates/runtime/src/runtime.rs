@@ -388,6 +388,11 @@ impl Runtime {
             .map(|i| StationView {
                 node: NodeId::new(i as u32),
                 can_host: !self.workers[i].owner_active() && self.hosting[i].is_none(),
+                free_cpu_milli: if !self.workers[i].owner_active() && self.hosting[i].is_none() {
+                    1000
+                } else {
+                    0
+                },
                 hosting_for: self.hosting[i].and_then(|job| {
                     let j = &self.jobs[&job];
                     matches!(j.state, LiveState::Running { .. })

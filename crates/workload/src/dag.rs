@@ -91,6 +91,7 @@ impl DagBuilder {
             binaries: Default::default(),
             depends_on: deps.to_vec(),
             width: 1,
+            resources: Default::default(),
         });
         id
     }
@@ -133,6 +134,7 @@ impl DagBuilder {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

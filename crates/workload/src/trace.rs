@@ -161,6 +161,7 @@ pub fn from_csv(csv: &str) -> Result<Vec<JobSpec>, CsvError> {
             // independent jobs.
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
     }
     Ok(out)
@@ -182,6 +183,7 @@ mod tests {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         }
     }
 

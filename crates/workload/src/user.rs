@@ -105,6 +105,7 @@ impl UserProfile {
                     binaries: self.binaries,
                     depends_on: Vec::new(),
                     width: 1,
+                    resources: Default::default(),
                 });
                 next_id += 1;
             }

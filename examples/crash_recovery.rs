@@ -34,10 +34,11 @@ fn main() {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect();
 
-    let out = run_cluster(config, jobs, SimDuration::from_days(14));
+    let out = Run::new(config).specs(jobs).horizon(SimDuration::from_days(14)).execute();
 
     println!("two weeks on 8 crash-prone stations (MTBF 1 day, MTTR 2 h):\n");
     println!("station crashes    : {}", out.totals.station_failures);

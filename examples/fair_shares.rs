@@ -30,6 +30,7 @@ fn duel(policy: PolicyKind) -> (String, f64, f64, u64) {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
     }
     // Light user: three 1-hour jobs on day 2, when the heavy user has
@@ -46,9 +47,10 @@ fn duel(policy: PolicyKind) -> (String, f64, f64, u64) {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
     }
-    let out = run_cluster(config, jobs, SimDuration::from_days(8));
+    let out = Run::new(config).specs(jobs).horizon(SimDuration::from_days(8)).execute();
     let light = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(1)).unwrap_or(f64::NAN);
     let heavy = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(0)).unwrap_or(f64::NAN);
     (out.policy_name, light, heavy, out.totals.preemptions_priority)

@@ -21,7 +21,7 @@ fn main() {
     );
     let rows = table1_rows(&scenario.jobs);
     let started = std::time::Instant::now();
-    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    let out = Run::new(scenario.config).specs(scenario.jobs).horizon(scenario.horizon).execute();
     println!("…done in {:.0?} of real time\n", started.elapsed());
 
     // Who asked for what (Table 1).

@@ -30,6 +30,7 @@ fn main() {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         },
         JobSpec {
             id: JobId(1),
@@ -42,6 +43,7 @@ fn main() {
             binaries: Default::default(),
             depends_on: vec![JobId(0)],
             width: 4, // four communicating processes, four machines at once
+            resources: Default::default(),
         },
         JobSpec {
             id: JobId(2),
@@ -54,10 +56,11 @@ fn main() {
             binaries: Default::default(),
             depends_on: vec![JobId(1)],
             width: 1,
+            resources: Default::default(),
         },
     ];
 
-    let out = run_cluster(config, jobs, SimDuration::from_days(4));
+    let out = Run::new(config).specs(jobs).horizon(SimDuration::from_days(4)).execute();
 
     println!("a three-stage workflow with a width-4 gang in the middle:\n");
     for ev in out.trace.events() {

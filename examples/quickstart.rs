@@ -32,6 +32,7 @@ fn main() {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
     }
     for i in 6..9u64 {
@@ -46,11 +47,12 @@ fn main() {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
     }
 
     // Two simulated days.
-    let out = run_cluster(config, jobs, SimDuration::from_days(2));
+    let out = Run::new(config).specs(jobs).horizon(SimDuration::from_days(2)).execute();
 
     println!("policy           : {}", out.policy_name);
     println!("jobs completed   : {}/9", out.completed_jobs().count());

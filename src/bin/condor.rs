@@ -222,7 +222,7 @@ fn cmd_month(args: &[String]) -> Result<(), String> {
         Vec::new()
     };
     let started = std::time::Instant::now();
-    let out = run_cluster_with_sinks(scenario.config, scenario.jobs, scenario.horizon, sinks);
+    let out = sinks.into_iter().fold(Run::new(scenario.config).specs(scenario.jobs).horizon(scenario.horizon), Run::sink).execute();
     println!(
         "simulated one month of {} stations in {:.0?}\n",
         out.stations,
@@ -246,12 +246,11 @@ fn cmd_spans(args: &[String]) -> Result<(), String> {
     scenario.config.stations = stations.max(5); // homes 0..5 must exist
     scenario.config.record_trace = false; // spans fold online; no buffer needed
     let spans = SharedSink::new(SpanSink::new());
-    let _ = run_cluster_with_sinks(
-        scenario.config,
-        scenario.jobs,
-        SimDuration::from_days(days),
-        vec![Box::new(spans.clone())],
-    );
+    let _ = Run::new(scenario.config)
+        .specs(scenario.jobs)
+        .horizon(SimDuration::from_days(days))
+        .sink(Box::new(spans.clone()))
+        .execute();
     let log = spans.with(|s| s.log().clone());
     println!("{}", render_spans(&log, top));
     Ok(())
@@ -279,12 +278,11 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             scenario.config.stations = stations.max(5); // homes 0..5 must exist
             scenario.config.record_trace = false;
             let shared = SharedSink::new(AuditSink::new());
-            let _ = run_cluster_with_sinks(
-                scenario.config,
-                scenario.jobs,
-                SimDuration::from_days(days),
-                vec![Box::new(shared.clone())],
-            );
+            let _ = Run::new(scenario.config)
+                .specs(scenario.jobs)
+                .horizon(SimDuration::from_days(days))
+                .sink(Box::new(shared.clone()))
+                .execute();
             shared
                 .try_into_inner()
                 .ok_or("audit sink still shared after the run")?
@@ -398,7 +396,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
 fn cmd_week(args: &[String]) -> Result<(), String> {
     let seed = opt_parse(args, "--seed", 1988u64)?;
     let scenario = one_week(seed);
-    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    let out = Run::new(scenario.config).specs(scenario.jobs).horizon(scenario.horizon).execute();
     print_summary(&out);
     Ok(())
 }
@@ -417,7 +415,7 @@ fn cmd_fairness(args: &[String]) -> Result<(), String> {
     ] {
         let scenario = fairness_duel(seed, 10, 6);
         let config = ClusterConfig { policy, ..scenario.config };
-        let out = run_cluster(config, scenario.jobs, scenario.horizon);
+        let out = Run::new(config).specs(scenario.jobs).horizon(scenario.horizon).execute();
         let light = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(1)).unwrap_or(f64::NAN);
         let heavy = mean_wait_ratio(&out.jobs, |j| j.spec.user == UserId(0)).unwrap_or(f64::NAN);
         t.row(vec![
@@ -438,7 +436,10 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut scenario = paper_month(seed);
     scenario.config.stations = stations.max(5); // homes 0..5 must exist
     scenario.config.record_trace = false; // telemetry streams; no buffer needed
-    let out = run_cluster(scenario.config, scenario.jobs, SimDuration::from_days(days));
+    let out = Run::new(scenario.config)
+        .specs(scenario.jobs)
+        .horizon(SimDuration::from_days(days))
+        .execute();
     print_summary(&out);
     println!();
     println!("{}", render_telemetry(&out.telemetry));
@@ -494,12 +495,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let out = run_cluster_with_sinks(
-        scenario.config,
-        scenario.jobs,
-        SimDuration::from_days(days),
-        sinks,
-    );
+    let out = sinks.into_iter().fold(Run::new(scenario.config).specs(scenario.jobs).horizon(SimDuration::from_days(days)), Run::sink).execute();
     tail.with(|f| {
         if filtered {
             println!(
@@ -571,7 +567,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         seed,
         ..ClusterConfig::default()
     };
-    let out = run_cluster(config, jobs, SimDuration::from_days(days));
+    let out = Run::new(config).specs(jobs).horizon(SimDuration::from_days(days)).execute();
     print_summary(&out);
     Ok(())
 }

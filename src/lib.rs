@@ -27,7 +27,10 @@
 //! // The paper's month: 23 stations, 5 users, 918 jobs.
 //! let scenario = condor::workload::scenarios::paper_month(1988);
 //! // (Run a shorter horizon here to keep the doctest fast.)
-//! let out = run_cluster(scenario.config, scenario.jobs, SimDuration::from_days(2));
+//! let out = Run::new(scenario.config)
+//!     .specs(scenario.jobs)
+//!     .horizon(SimDuration::from_days(2))
+//!     .execute();
 //! assert!(out.totals.placements > 0);
 //! ```
 
@@ -44,9 +47,9 @@ pub use condor_workload as workload;
 
 /// The items most programs need.
 pub mod prelude {
-    pub use condor_core::cluster::{
-        run_cluster, run_cluster_with_sinks, run_cluster_with_threads, Cluster, RunOutput,
-    };
+    pub use condor_core::cluster::{Cluster, Run, RunOutput};
+    #[allow(deprecated)]
+    pub use condor_core::cluster::{run_cluster, run_cluster_with_sinks, run_cluster_with_threads};
     pub use condor_core::config::{
         ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig,
         PolicyKind, PoolTopology,

@@ -3,6 +3,8 @@
 //! replay bit-identically through their JSON form, and each recovery path
 //! (autonomous local starts, checkpoint retries) must actually engage.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor::core::chaos::{ChaosEntry, Fault};
 use condor::model::diurnal::DiurnalProfile;
 use condor::model::owner::OwnerConfig;
@@ -35,6 +37,7 @@ fn jobs(n: u64, stations: u64) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect()
 }

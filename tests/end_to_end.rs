@@ -1,6 +1,8 @@
 //! End-to-end integration tests over the full stack: workload generation →
 //! cluster simulation → metrics, on the paper's own scenarios.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor::metrics::summary::{heavy_users, mean_leverage, mean_wait_ratio, summarize};
 use condor::prelude::*;
 use condor::workload::scenarios::{one_week, paper_month};

@@ -10,6 +10,8 @@
 //! scheduling rule), re-pin the digest in the same commit and say so in the
 //! commit message.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor_core::chaos::ChaosConfig;
 use condor_core::cluster::{run_cluster, run_cluster_with_threads, RunOutput};
 use condor_core::config::PoolTopology;

@@ -6,6 +6,8 @@
 //! run and checks the global invariants still hold. Interactions between
 //! features are where schedulers rot.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor::core::config::{FailureConfig, Reservation};
 use condor::core::trace::TraceKind;
 use condor::model::station::{Arch, ArchSet};
@@ -46,6 +48,7 @@ fn build_everything() -> (ClusterConfig, Vec<JobSpec>) {
             binaries: if i % 3 == 0 { ArchSet::both() } else { ArchSet::vax_only() },
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
     }
     // The reservation holder's batch, timed for its window.
@@ -61,6 +64,7 @@ fn build_everything() -> (ClusterConfig, Vec<JobSpec>) {
             binaries: ArchSet::both(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         });
     }
     // A workflow with a gang in the middle (prep → width-3 gang → report),

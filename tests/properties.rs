@@ -2,6 +2,8 @@
 //! behaviours: conservation laws and determinism must hold for *any*
 //! configuration, not just the paper's.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor::prelude::*;
 use condor_model::diurnal::DiurnalProfile;
 use condor_model::owner::OwnerConfig;
@@ -33,6 +35,7 @@ fn arb_jobs(max_jobs: usize, stations: u32) -> impl Strategy<Value = Vec<JobSpec
                 binaries: Default::default(),
                 depends_on: Vec::new(),
                 width: 1,
+                resources: Default::default(),
             })
             .collect();
         jobs.sort_by_key(|j| j.arrival);
@@ -186,6 +189,7 @@ fn owner_flicker_never_overdraws_a_bucket() {
         binaries: Default::default(),
         depends_on: Vec::new(),
         width: 1,
+        resources: Default::default(),
     };
     let jobs = vec![mk(0, 79_200_000, 39_600_000), mk(1, 82_800_000, 43_200_000)];
     let cfg = ClusterConfig {

@@ -1,6 +1,8 @@
 //! Protocol-invariant tests: replay the cluster's event trace and verify
 //! that every observable sequence is legal — per job *and* per station.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use std::collections::HashMap;
 
 use condor::core::trace::TraceKind;

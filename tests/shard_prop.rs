@@ -13,6 +13,8 @@
 //! configuration (two pools, window exactly equal to the latency) is also
 //! pinned as an explicit deterministic test.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor::prelude::*;
 use proptest::prelude::*;
 
@@ -29,6 +31,7 @@ fn workload(n: u64, stations: u64) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect()
 }

@@ -7,6 +7,8 @@
 //! * the [`AuditSink`] must report **zero** violations on seeded
 //!   paper-month and stormy runs under every allocation policy.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor::core::audit::AuditSink;
 use condor::core::config::FailureConfig;
 use condor::core::spans::{SpanLog, SpanSink};
@@ -74,6 +76,7 @@ fn stormy_jobs(n: u64) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            resources: Default::default(),
         })
         .collect()
 }

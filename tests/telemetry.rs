@@ -5,6 +5,8 @@
 //! per-kind event counts match the legacy trace of an identical seeded
 //! run that *did* record.
 
+#![allow(deprecated)] // tests exercise the legacy run_cluster* wrappers
+
 use condor::prelude::*;
 
 #[test]
