@@ -10,21 +10,27 @@
 //! DESIGN.md § Performance): `emit_only` is the trace/stats sink path in
 //! isolation, `flips_only` is a job-free fleet with polling effectively
 //! disabled (owner-transition cost), `poll_only` is a job-free, flip-free
-//! fleet (pure coordinator-poll cost), and `queue_only` reserves almost
-//! the whole fleet so arrivals queue without being placed. The `_200`
-//! variants rerun the station-bound scenarios at 200 stations to expose
-//! per-poll scaling.
+//! fleet (pure coordinator-poll cost — all memoized after the first
+//! poll), and `queue_only` reserves almost the whole fleet so arrivals
+//! queue without being placed. The `_200`/`_10k` variants rerun the
+//! station-bound scenarios at larger fleets to expose per-poll scaling.
 //!
-//! The `cluster/stations/{1000,10k}` rows run the fleet-scale scenario
-//! serially; the `cluster/par/{1,2,4,8}` rows run the same 10k-station
-//! fleet split into eight pools through the space-parallel sharded
-//! runner, recording the pinned worker count per row (see DESIGN.md
-//! § Parallel simulation for how to read a regression there).
+//! The `cluster/stations/{1000,10k,100k}` rows run the fleet-scale
+//! scenario serially; the `cluster/par/{1,2,4,8}` rows run the same
+//! 10k-station fleet split into eight pools through the space-parallel
+//! sharded runner, recording the pinned worker count per row (see
+//! DESIGN.md § Parallel simulation for how to read a regression there).
+//!
+//! Every row reports the *fastest* of its measured iterations along with
+//! `iters_measured`: fast scenarios iterate for `BENCH_REPORT_MS`, slow
+//! ones (over 500 ms/iter) get up to three iterations bounded by
+//! `BENCH_REPORT_SLOW_MS`, so a single descheduling spike cannot read as
+//! a regression.
 //!
 //! Run with: `cargo run --release -p condor-bench --bin bench_report`
 //! Writes `BENCH_cluster.json` in the working directory (override with
-//! `BENCH_REPORT_PATH`). With `--quick`, runs every scenario once, checks
-//! that each event scenario reports nonzero throughput, and writes
+//! `BENCH_REPORT_PATH`). With `--quick`, times every scenario once,
+//! checks that each event scenario reports nonzero throughput, and writes
 //! nothing — the CI smoke mode.
 
 use std::time::{Duration, Instant, SystemTime};
@@ -44,19 +50,29 @@ use condor_sim::time::{SimDuration, SimTime};
 use condor_workload::scenarios::fleet_scale;
 
 /// Bumped whenever the report's JSON shape changes incompatibly.
-const SCHEMA: &str = "condor-bench-report/2";
+/// `/3`: `iters` became `iters_measured`, `wall_ms_per_iter` reports the
+/// *fastest* measured iteration (min-of-N), and poll-heavy rows carry
+/// `polls`/`poll_memo_hits`.
+const SCHEMA: &str = "condor-bench-report/3";
 
-/// One measured scenario: wall-clock per iteration, plus event throughput
-/// where the scenario dispatches simulation events.
+/// One measured scenario: wall-clock of the best iteration, plus event
+/// throughput where the scenario dispatches simulation events.
 struct Row {
     name: String,
-    iters: u64,
+    /// Timed iterations behind `wall_ms_per_iter` (the warm-up iteration
+    /// is not counted). A slow scenario that hit the time cap before its
+    /// third iteration reports how many it actually got.
+    iters_measured: u64,
+    /// Fastest measured iteration, milliseconds.
     wall_ms_per_iter: f64,
     events_per_iter: Option<u64>,
     /// Worker threads the scenario ran with. `None` for single-threaded
     /// scenarios; the `cluster/par/*` rows record their pinned count so a
     /// regression diff can tell "slower" from "ran with fewer workers".
     threads: Option<usize>,
+    /// Coordinator polls executed and how many of them were answered from
+    /// the memo fast path, for the rows where that ratio is the point.
+    memo: Option<(u64, u64)>,
 }
 
 impl Row {
@@ -114,24 +130,91 @@ fn utc_string(epoch_secs: u64) -> String {
     )
 }
 
-/// Runs `f` repeatedly for at least `budget`, returning (iterations, mean
-/// per-iteration wall time in ms, events per iteration). `f` returns the
-/// number of simulation events it dispatched (0 for non-event scenarios).
-/// At least one iteration is always timed, so a zero budget (the `--quick`
-/// smoke mode) runs each scenario exactly once.
+/// A single iteration longer than this is a "slow" scenario: it cannot
+/// amortize noise across many iterations inside the budget, so it gets
+/// the min-of-3 treatment instead.
+const SLOW_ITER: Duration = Duration::from_millis(500);
+
+/// Total measured time a slow scenario may consume chasing its three
+/// iterations (override with `BENCH_REPORT_SLOW_MS`). A scenario whose
+/// single iteration blows even this cap stands on one measurement — and
+/// says so via `iters_measured`.
+fn slow_cap() -> Duration {
+    Duration::from_millis(
+        std::env::var("BENCH_REPORT_SLOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20_000),
+    )
+}
+
+/// CI perf gate for `--quick` mode: the fleet-scale 1,000-station row must
+/// clear this floor, set ~3x below the recorded quick-mode baseline
+/// (~3.2M events/sec on the reference host; the full-budget numbers live
+/// in BENCH_cluster.json). Generous enough that shared-runner noise never
+/// trips it; tight enough that an accidental O(stations) term creeping
+/// back into the poll path (the regression class this report exists to
+/// catch) fails CI instead of landing silently. Override with
+/// `BENCH_SMOKE_FLOOR_EPS` (events/sec); 0 disables.
+const QUICK_FLOOR_1000_EPS: f64 = 1_000_000.0;
+
+fn perf_floor_check(rows: &[Row]) {
+    let floor = std::env::var("BENCH_SMOKE_FLOOR_EPS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(QUICK_FLOOR_1000_EPS);
+    if floor <= 0.0 {
+        return;
+    }
+    let row = rows
+        .iter()
+        .find(|r| r.name == "cluster/stations/1000")
+        .expect("fleet-scale 1000-station row missing from report");
+    let eps = row.events_per_sec().unwrap_or(0.0);
+    if eps < floor {
+        eprintln!(
+            "perf smoke FAILED: cluster/stations/1000 ran at {eps:.0} events/sec, floor is {floor:.0}"
+        );
+        std::process::exit(1);
+    }
+    println!("perf smoke ok: cluster/stations/1000 at {eps:.0} events/sec (floor {floor:.0})");
+}
+
+/// Times `f` repeatedly and keeps the *fastest* iteration, returning
+/// (iterations measured, best per-iteration wall time in ms, events per
+/// iteration). Minima are the robust estimator on a shared host — outside
+/// interference only ever adds time. Fast scenarios iterate until
+/// `budget` is spent; slow scenarios (single iteration over [`SLOW_ITER`])
+/// still get up to three measured iterations so one descheduling spike
+/// cannot masquerade as a regression, bounded by [`slow_cap`]. `f` returns
+/// the number of simulation events it dispatched (0 for non-event
+/// scenarios). A warm-up iteration always precedes timing and at least one
+/// iteration is always timed, so a zero budget (the `--quick` smoke mode)
+/// times each scenario exactly once.
 fn measure(budget: Duration, mut f: impl FnMut() -> u64) -> (u64, f64, u64) {
     let events = f(); // warm-up iteration, also records the event count
+    let cap = slow_cap();
     let start = Instant::now();
     let mut iters = 0u64;
+    let mut best = Duration::MAX;
     loop {
+        let t0 = Instant::now();
         std::hint::black_box(f());
+        best = best.min(t0.elapsed());
         iters += 1;
-        if start.elapsed() >= budget {
+        let total = start.elapsed();
+        let done = if budget.is_zero() {
+            true // --quick: one timed iteration regardless of speed
+        } else if best > SLOW_ITER {
+            iters >= 3 || total >= cap
+        } else {
+            total >= budget
+        };
+        if done {
             break;
         }
     }
-    let per_iter = start.elapsed().as_secs_f64() * 1_000.0 / iters as f64;
-    (iters, per_iter, events)
+    (iters, best.as_secs_f64() * 1_000.0, events)
 }
 
 fn jobs(n: u64, image_bytes: u64) -> Vec<JobSpec> {
@@ -261,7 +344,7 @@ fn render_json(meta: &Meta, rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         s.push_str("    {");
         s.push_str(&format!("\"name\": \"{}\", ", json_escape_free(&r.name)));
-        s.push_str(&format!("\"iters\": {}, ", r.iters));
+        s.push_str(&format!("\"iters_measured\": {}, ", r.iters_measured));
         s.push_str(&format!("\"wall_ms_per_iter\": {:.3}", r.wall_ms_per_iter));
         if let Some(e) = r.events_per_iter {
             s.push_str(&format!(", \"events_per_iter\": {e}"));
@@ -269,6 +352,9 @@ fn render_json(meta: &Meta, rows: &[Row]) -> String {
         }
         if let Some(t) = r.threads {
             s.push_str(&format!(", \"threads\": {t}"));
+        }
+        if let Some((polls, hits)) = r.memo {
+            s.push_str(&format!(", \"polls\": {polls}, \"poll_memo_hits\": {hits}"));
         }
         s.push('}');
         if i + 1 < rows.len() {
@@ -306,7 +392,8 @@ fn main() {
         });
         rows.push(Row {
             name: format!("cluster/simulate_days/{days}"),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -322,7 +409,8 @@ fn main() {
         });
         rows.push(Row {
             name: format!("cluster/image_mb/{mb}"),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -345,7 +433,8 @@ fn main() {
         });
         rows.push(Row {
             name: "cluster/frac/off".to_string(),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -367,7 +456,8 @@ fn main() {
         });
         rows.push(Row {
             name: "cluster/frac/on".to_string(),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -389,7 +479,8 @@ fn main() {
         });
         rows.push(Row {
             name: "cluster/chaos/empty".to_string(),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -406,7 +497,8 @@ fn main() {
         });
         rows.push(Row {
             name: "cluster/chaos/faults_12".to_string(),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -428,7 +520,8 @@ fn main() {
         });
         rows.push(Row {
             name: "cluster/stations/200".to_string(),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -440,14 +533,18 @@ fn main() {
     // read against. In --quick mode the horizon drops from seven days to
     // one so the CI smoke stays fast.
     let fleet_days = if quick { 1 } else { 7 };
-    for (stations, label) in [(1_000usize, "1000"), (10_000, "10k")] {
+    for (stations, label) in [(1_000usize, "1000"), (10_000, "10k"), (100_000, "100k")] {
+        let mut memo = (0u64, 0u64);
         let (iters, ms, events) = measure(budget, || {
             let s = fleet_scale(1988, stations, 1, fleet_days);
-            Run::new(s.config).specs(s.jobs).horizon(s.horizon).execute().events_dispatched
+            let out = Run::new(s.config).specs(s.jobs).horizon(s.horizon).execute();
+            memo = (out.totals.polls, out.totals.poll_memo_hits);
+            out.events_dispatched
         });
         rows.push(Row {
             name: format!("cluster/stations/{label}"),
-            iters,
+            iters_measured: iters,
+            memo: Some(memo),
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -474,7 +571,8 @@ fn main() {
             });
             rows.push(Row {
                 name: format!("cluster/par/{threads}"),
-                iters,
+                iters_measured: iters,
+                memo: None,
                 wall_ms_per_iter: ms,
                 events_per_iter: Some(events),
                 threads: Some(threads),
@@ -498,17 +596,20 @@ fn main() {
         });
         rows.push(Row {
             name: "cluster/attrib/emit_only".to_string(),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(n),
             threads: None,
         });
     }
     // flips_only — no jobs, polling pushed past the horizon: owner flips.
-    // poll_only — no jobs, owners pinned idle: coordinator polls.
-    // Both repeated at 200 stations to expose per-poll scaling.
-    for stations in [23usize, 200] {
-        let suffix = if stations == 23 { String::new() } else { format!("_{stations}") };
+    // poll_only — no jobs, owners pinned idle: coordinator polls. With no
+    // station ever changing, every poll after the first hits the memo fast
+    // path, so poll_only prices the memoized poll; its `poll_memo_hits`
+    // field proves it. Repeated at 200 and 10k stations to expose
+    // per-poll scaling.
+    for (stations, suffix) in [(23usize, ""), (200, "_200"), (10_000, "_10k")] {
         let (iters, ms, events) = measure(budget, || {
             let costs = condor_model::costs::CostModel {
                 coordinator_poll_interval: SimDuration::from_days(30),
@@ -525,11 +626,13 @@ fn main() {
         });
         rows.push(Row {
             name: format!("cluster/attrib/flips_only{suffix}"),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
         });
+        let mut memo = (0u64, 0u64);
         let (iters, ms, events) = measure(budget, || {
             let cfg = ClusterConfig::builder()
                 .stations(stations)
@@ -538,11 +641,13 @@ fn main() {
                 .build()
                 .expect("bench config is valid");
             let out = Run::new(cfg).horizon(SimDuration::from_days(7)).execute();
+            memo = (out.totals.polls, out.totals.poll_memo_hits);
             out.events_dispatched
         });
         rows.push(Row {
             name: format!("cluster/attrib/poll_only{suffix}"),
-            iters,
+            iters_measured: iters,
+            memo: Some(memo),
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -575,7 +680,8 @@ fn main() {
         });
         rows.push(Row {
             name: "cluster/attrib/queue_only".to_string(),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -600,7 +706,8 @@ fn main() {
         });
         rows.push(Row {
             name: format!("cluster/extra_sinks/{extra}"),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -621,7 +728,8 @@ fn main() {
         });
         rows.push(Row {
             name: "cluster/span_audit_sinks".to_string(),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -638,7 +746,8 @@ fn main() {
         });
         rows.push(Row {
             name: format!("engine/dispatch/{n}"),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: Some(events),
             threads: None,
@@ -660,7 +769,8 @@ fn main() {
     });
     rows.push(Row {
         name: "engine/schedule_cancel_10k".into(),
-        iters,
+        iters_measured: iters,
+        memo: None,
         wall_ms_per_iter: ms,
         events_per_iter: Some(10_000),
         threads: None,
@@ -676,7 +786,8 @@ fn main() {
         });
         rows.push(Row {
             name: format!("updown_decide/{n}"),
-            iters,
+            iters_measured: iters,
+            memo: None,
             wall_ms_per_iter: ms,
             events_per_iter: None,
             threads: None,
@@ -699,6 +810,7 @@ fn main() {
             eprintln!("quick check FAILED: zero events/sec in {bad:?}");
             std::process::exit(1);
         }
+        perf_floor_check(&rows);
         return;
     }
     let path = std::env::var("BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_cluster.json".into());

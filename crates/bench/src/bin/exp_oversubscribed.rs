@@ -9,7 +9,8 @@
 //!
 //! * **whole** — every job demands the whole machine; Up-Down places one
 //!   resident per station (the paper's model).
-//! * **frac**  — every job demands half a CPU; the best-fit [`FracPolicy`]
+//! * **frac**  — every job demands half a CPU; the best-fit
+//!   [`FracPolicy`](condor_core::policy::FracPolicy)
 //!   packs two residents per station, each running at half speed.
 //!
 //! Halving the speed doubles a job's wall time, so fractional only pays

@@ -30,12 +30,13 @@ use condor_sim::event::EventToken;
 use condor_sim::series::{BucketAccumulator, StepSeries};
 use condor_sim::time::{SimDuration, SimTime};
 
+use crate::bits::Bits;
 use crate::chaos::{ChaosConfig, Fault};
 use crate::config::{ClusterConfig, ConfigError, EvictionStrategy, PolicyKind};
 use crate::job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
 use crate::policy::{
-    AllocationPolicy, FifoPolicy, FracPolicy, Order, PollInput, RandomPolicy, RoundRobinPolicy,
-    StationView,
+    AllocationPolicy, CapacityIndex, FifoPolicy, FracPolicy, Order, PollInput, RandomPolicy,
+    RoundRobinPolicy, StationView,
 };
 use crate::queue::BackgroundQueue;
 use crate::telemetry::{GaugeSample, StatsSink, Telemetry, TraceSink};
@@ -203,11 +204,6 @@ struct Station {
     /// Persistent per-station stream for owner dwell draws.
     rng: condor_sim::rng::SimRng,
     owner_state: OwnerState,
-    owner_active_since: Option<SimTime>,
-    idle_since: Option<SimTime>,
-    /// EWMA of completed idle-interval lengths, seconds (history-aware
-    /// placement score).
-    ewma_idle_secs: f64,
     queue: BackgroundQueue,
     /// Foreign jobs resident on this station. Whole-machine demands (the
     /// default) keep this at most one entry long; fractional demands pack
@@ -231,24 +227,13 @@ struct Station {
 }
 
 impl Station {
-    fn idle_score(&self, now: SimTime) -> f64 {
-        let current_streak = self
-            .idle_since
-            .map(|t| now.saturating_since(t).as_secs_f64())
-            .unwrap_or(0.0);
-        self.ewma_idle_secs.max(current_streak)
-    }
-
-    /// Sum of the residents' granted capacity.
+    /// Sum of the residents' granted capacity, folded from scratch — the
+    /// reference the rescan check compares the maintained
+    /// [`StationHot::used_cap`] total against.
     fn used(&self) -> ResourceVec {
         self.residents
             .iter()
             .fold(ResourceVec::ZERO, |acc, slot| acc.add(slot.demand))
-    }
-
-    /// Capacity still unclaimed by residents.
-    fn free_capacity(&self) -> ResourceVec {
-        self.capacity.sub(self.used())
     }
 
     fn resident(&self, job: JobId) -> Option<&ForeignSlot> {
@@ -263,6 +248,38 @@ impl Station {
     fn remove_resident(&mut self, job: JobId) -> Option<ForeignSlot> {
         let idx = self.residents.iter().position(|slot| slot.job == job)?;
         Some(self.residents.remove(idx))
+    }
+}
+
+/// Struct-of-arrays hot state: the per-station scalars the owner-flip,
+/// utilization-deposit, and view-refresh paths touch on every event.
+/// Keeping them in dense parallel arrays (a few hundred KB at 100k
+/// stations) means those paths stay cache-resident instead of scattering
+/// reads across the much larger [`Station`] structs.
+#[derive(Debug)]
+struct StationHot {
+    /// Start of the current owner-active stretch (`None` while idle).
+    owner_active_since: Vec<Option<SimTime>>,
+    /// Start of the current owner-idle stretch (`None` while active).
+    idle_since: Vec<Option<SimTime>>,
+    /// EWMA of completed idle-interval lengths, seconds (history-aware
+    /// placement score).
+    ewma_idle_secs: Vec<f64>,
+    /// Sum of resident demands — the capacity remainder's complement —
+    /// maintained at every slot insert/remove so `compute_view` and
+    /// admission checks read `capacity − used` without folding the
+    /// residents list.
+    used_cap: Vec<ResourceVec>,
+}
+
+impl StationHot {
+    fn new(stations: usize) -> Self {
+        StationHot {
+            owner_active_since: vec![None; stations],
+            idle_since: vec![Some(SimTime::ZERO); stations],
+            ewma_idle_secs: vec![0.0; stations],
+            used_cap: vec![ResourceVec::ZERO; stations],
+        }
     }
 }
 
@@ -323,12 +340,17 @@ struct CoordCache {
     /// Cached per-station views, kept equal to what a full rescan would
     /// produce whenever `dirty` is empty.
     views: Vec<StationView>,
-    /// Bit per station: `can_host`.
-    free_bits: Vec<u64>,
-    /// Bit per station: `waiting_jobs > 0`.
-    req_bits: Vec<u64>,
-    /// Bit per station: `hosting_for.is_some()`.
-    host_bits: Vec<u64>,
+    /// Membership set: `can_host`, with a maintained count and a summary
+    /// level so the poll extracts its free head in O(head + active words).
+    free_bits: Bits,
+    /// Membership set: `waiting_jobs > 0`.
+    req_bits: Bits,
+    /// Membership set: `hosting_for.is_some()`.
+    host_bits: Bits,
+    /// Bucketed free-capacity index over the hostable set, maintained in
+    /// lockstep with `free_bits` (same transitions, keyed by the view's
+    /// `free_cpu_milli`). Handed to capacity-aware policies each poll.
+    capacity: CapacityIndex,
     /// Bit per station: queued for refresh (dedupes `dirty`).
     dirty_bits: Vec<u64>,
     /// Stations awaiting refresh.
@@ -346,14 +368,16 @@ struct CoordCache {
     free: Vec<NodeId>,
     requesters: Vec<NodeId>,
     hosts: Vec<NodeId>,
-    pool: Vec<NodeId>,
-    candidates: Vec<NodeId>,
+    /// Machines granted so far this poll — the exclusion list that lets
+    /// order execution iterate the live free set lazily instead of
+    /// copying and shrinking a pool vector.
+    granted: Vec<NodeId>,
+    machines: Vec<NodeId>,
     service: Vec<JobId>,
 }
 
 impl CoordCache {
     fn new(stations: usize) -> Self {
-        let words = stations.div_ceil(64);
         let mut cache = CoordCache {
             views: (0..stations)
                 .map(|i| StationView {
@@ -364,10 +388,11 @@ impl CoordCache {
                     free_cpu_milli: 0,
                 })
                 .collect(),
-            free_bits: vec![0; words],
-            req_bits: vec![0; words],
-            host_bits: vec![0; words],
-            dirty_bits: vec![0; words],
+            free_bits: Bits::new(stations),
+            req_bits: Bits::new(stations),
+            host_bits: Bits::new(stations),
+            capacity: CapacityIndex::new(stations),
+            dirty_bits: vec![0; stations.div_ceil(64)],
             dirty: Vec::with_capacity(stations),
             raw_queue: vec![0; stations],
             raw_queue_total: 0,
@@ -375,8 +400,8 @@ impl CoordCache {
             free: Vec::new(),
             requesters: Vec::new(),
             hosts: Vec::new(),
-            pool: Vec::new(),
-            candidates: Vec::new(),
+            granted: Vec::new(),
+            machines: Vec::new(),
             service: Vec::new(),
         };
         for i in 0..stations {
@@ -397,30 +422,19 @@ impl CoordCache {
             self.dirty.push(station as u32);
         }
     }
+}
 
-    #[inline]
-    fn set_bit(bits: &mut [u64], station: usize, on: bool) {
-        let word = station / 64;
-        let bit = 1u64 << (station % 64);
-        if on {
-            bits[word] |= bit;
-        } else {
-            bits[word] &= !bit;
-        }
-    }
-
-    /// Expands a bitset into ascending station ids.
-    fn collect(bits: &[u64], out: &mut Vec<NodeId>) {
-        out.clear();
-        for (w, &word) in bits.iter().enumerate() {
-            let mut word = word;
-            while word != 0 {
-                let bit = word.trailing_zeros();
-                out.push(NodeId::new(w as u32 * 64 + bit));
-                word &= word - 1;
-            }
-        }
-    }
+/// Where `execute_assign` finds fallback machines when the policy's
+/// preferred target cannot serve the job it negotiates for.
+enum AssignFallback<'a> {
+    /// No fallback: the grant is for this fenced machine or nothing
+    /// (reservation pass).
+    None,
+    /// The coordinator's free set in ascending id order — the default
+    /// preference order, iterated lazily off the bitset.
+    FreeSet,
+    /// An explicit preference-ordered list (history-aware placement).
+    List(&'a [NodeId]),
 }
 
 /// Aggregate counters over a run.
@@ -449,6 +463,10 @@ pub struct Totals {
     pub submit_rejections: u64,
     /// Coordinator poll cycles executed.
     pub polls: u64,
+    /// Poll cycles answered from the memo fast path: nothing changed since
+    /// the last poll and the policy was provably quiescent, so the
+    /// coordinator emitted its telemetry without running `decide` at all.
+    pub poll_memo_hits: u64,
     /// Owner-active time overlapping a running foreign job (detection
     /// latency interference), in milliseconds.
     pub interference_ms: u64,
@@ -579,6 +597,8 @@ impl RunOutput {
 pub struct Cluster {
     config: ClusterConfig,
     stations: Vec<Station>,
+    /// Parallel hot-state arrays for `stations` (struct-of-arrays).
+    hot: StationHot,
     jobs: Vec<Job>,
     policy: PolicyHolder,
     bus: SharedBus,
@@ -766,9 +786,6 @@ impl Cluster {
                     rng: root.substream(config.seed, &format!("station-dwell-{i}")),
                     owner,
                     owner_state,
-                    owner_active_since: None,
-                    idle_since: Some(SimTime::ZERO),
-                    ewma_idle_secs: 0.0,
                     queue: BackgroundQueue::new(config.local_order),
                     residents: Vec::new(),
                     capacity: config.capacity_profiles[i % config.capacity_profiles.len()],
@@ -819,6 +836,7 @@ impl Cluster {
             .as_ref()
             .map(|c| ChaosState::new(c.clone(), config.stations, specs.len()));
         Ok(Cluster {
+            hot: StationHot::new(config.stations),
             stations,
             dependents,
             pending_deps,
@@ -858,9 +876,9 @@ impl Cluster {
                 (dwell, st.owner_state)
             };
             if state == OwnerState::Active {
-                let st = &mut engine.model_mut().stations[i];
-                st.owner_active_since = Some(SimTime::ZERO);
-                st.idle_since = None;
+                let hot = &mut engine.model_mut().hot;
+                hot.owner_active_since[i] = Some(SimTime::ZERO);
+                hot.idle_since[i] = None;
             }
             engine
                 .scheduler()
@@ -1020,8 +1038,7 @@ impl Cluster {
     /// now; waiting jobs is the raw queued total across the shard.
     pub(crate) fn capacity_snapshot(&mut self) -> (u32, u32) {
         self.flush_dirty();
-        let free: u32 = self.coord.free_bits.iter().map(|w| w.count_ones()).sum();
-        (free, self.coord.raw_queue_total)
+        (self.coord.free_bits.count(), self.coord.raw_queue_total)
     }
 
     /// Pulls one forwardable job out of this shard's queues for delivery
@@ -1107,6 +1124,30 @@ impl Cluster {
 
     // ----- coordinator-view cache ---------------------------------------
 
+    /// Capacity still unclaimed by station `i`'s residents, from the
+    /// incrementally maintained occupancy total.
+    #[inline]
+    fn free_capacity(&self, i: usize) -> ResourceVec {
+        self.stations[i].capacity.sub(self.hot.used_cap[i])
+    }
+
+    /// History-aware placement score: the longer of the current idle
+    /// streak and the EWMA of completed idle intervals.
+    fn idle_score(&self, i: usize, now: SimTime) -> f64 {
+        let current_streak = self.hot.idle_since[i]
+            .map(|t| now.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.0);
+        self.hot.ewma_idle_secs[i].max(current_streak)
+    }
+
+    /// Removes `job`'s slot from station `i`, keeping the struct-of-arrays
+    /// occupancy total in lockstep with the residents list.
+    fn remove_resident(&mut self, i: usize, job: JobId) -> Option<ForeignSlot> {
+        let slot = self.stations[i].remove_resident(job)?;
+        self.hot.used_cap[i] = self.hot.used_cap[i].sub_exact(slot.demand);
+        Some(slot)
+    }
+
     /// Recomputes one station's view from scratch — the single source of
     /// truth shared by cache refresh and the debug full-rescan check.
     fn compute_view(&self, i: usize) -> StationView {
@@ -1114,7 +1155,7 @@ impl Cluster {
         // A partitioned station is dark to the coordinator: it takes no
         // new placements and its queue is invisible until the link heals.
         let cut = self.chaos.as_ref().is_some_and(|c| c.partition_depth[i] > 0);
-        let free = st.free_capacity();
+        let free = self.free_capacity(i);
         // With whole-machine demands (the default) any resident consumes
         // the full capacity vector, so "has free CPU and memory" below is
         // exactly the legacy "no foreign job resident" condition.
@@ -1154,9 +1195,10 @@ impl Cluster {
         let c = &mut self.coord;
         c.raw_queue_total = c.raw_queue_total - c.raw_queue[i] + raw;
         c.raw_queue[i] = raw;
-        CoordCache::set_bit(&mut c.free_bits, i, view.can_host);
-        CoordCache::set_bit(&mut c.req_bits, i, view.waiting_jobs > 0);
-        CoordCache::set_bit(&mut c.host_bits, i, view.hosting_for.is_some());
+        c.free_bits.set(i, view.can_host);
+        c.req_bits.set(i, view.waiting_jobs > 0);
+        c.host_bits.set(i, view.hosting_for.is_some());
+        c.capacity.update(i, c.views[i].free_cpu_milli, view.free_cpu_milli);
         c.views[i] = view;
     }
 
@@ -1169,17 +1211,76 @@ impl Cluster {
         }
     }
 
-    /// Debug-only cross-check: after a flush the cache must match a full
-    /// rescan. Catches any transition that forgot to mark its station.
+    /// Debug builds run the full rescan cross-check after every poll's
+    /// flush; release builds skip it (it is O(stations) per poll, exactly
+    /// the scan the incremental cache exists to avoid).
     #[cfg(debug_assertions)]
     fn debug_check_coord(&self) {
+        self.check_coord_rescan();
+    }
+
+    /// Test hook: flushes pending view refreshes, then cross-checks every
+    /// incrementally maintained coordinator structure against a
+    /// from-scratch recomputation — in every build profile. Panics on
+    /// divergence. Driven between arbitrary events by the consistency
+    /// suite; a flush here is safe because the next poll would perform
+    /// the identical refreshes anyway.
+    #[doc(hidden)]
+    pub fn verify_coord_cache(&mut self) {
+        self.flush_dirty();
+        self.check_coord_rescan();
+    }
+
+    /// Full-rescan cross-check: with no station dirty, the cache must
+    /// match recomputation from scratch — the views, every membership set,
+    /// the maintained counts and occupancy totals, and the bucketed
+    /// capacity index. Catches any transition that forgot to mark its
+    /// station.
+    fn check_coord_rescan(&self) {
+        let mut free = 0u32;
+        let mut req = 0u32;
+        let mut host = 0u32;
         for i in 0..self.stations.len() {
+            let fresh = self.compute_view(i);
             assert_eq!(
-                self.coord.views[i],
-                self.compute_view(i),
+                self.hot.used_cap[i],
+                self.stations[i].used(),
+                "struct-of-arrays occupancy total drifted at {i}"
+            );
+            assert_eq!(
+                self.coord.views[i], fresh,
                 "stale cached view for station {i} — a transition forgot to mark it dirty"
             );
+            assert_eq!(self.coord.free_bits.get(i), fresh.can_host, "free set wrong at {i}");
+            assert_eq!(
+                self.coord.req_bits.get(i),
+                fresh.waiting_jobs > 0,
+                "requester set wrong at {i}"
+            );
+            assert_eq!(
+                self.coord.host_bits.get(i),
+                fresh.hosting_for.is_some(),
+                "host set wrong at {i}"
+            );
+            free += fresh.can_host as u32;
+            req += (fresh.waiting_jobs > 0) as u32;
+            host += fresh.hosting_for.is_some() as u32;
         }
+        assert_eq!(self.coord.free_bits.count(), free, "free count drifted");
+        assert_eq!(self.coord.req_bits.count(), req, "requester count drifted");
+        assert_eq!(self.coord.host_bits.count(), host, "host count drifted");
+        let mut expect: Vec<(u32, u32)> = (0..self.stations.len())
+            .filter_map(|i| {
+                let v = &self.coord.views[i];
+                v.can_host.then_some((v.free_cpu_milli, i as u32))
+            })
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(
+            self.coord.capacity.entries(),
+            expect,
+            "bucketed capacity index diverged from the hostable set"
+        );
         let raw: u32 = self.stations.iter().map(|s| s.queue.len() as u32).sum();
         assert_eq!(raw, self.coord.raw_queue_total, "raw queue total drifted");
     }
@@ -1210,24 +1311,25 @@ impl Cluster {
         };
         sched.at(now + dwell, Event::OwnerFlip { station });
         self.coord.mark(i);
-        let st = &mut self.stations[i];
-        st.owner_state = new_state;
+        self.stations[i].owner_state = new_state;
         match new_state {
             OwnerState::Active => {
-                st.owner_active_since = Some(now);
-                if let Some(t) = st.idle_since.take() {
+                self.hot.owner_active_since[i] = Some(now);
+                if let Some(t) = self.hot.idle_since[i].take() {
                     let len = now.since(t).as_secs_f64();
-                    st.ewma_idle_secs = ewma_idle_update(st.ewma_idle_secs, len);
+                    self.hot.ewma_idle_secs[i] =
+                        ewma_idle_update(self.hot.ewma_idle_secs[i], len);
                 }
                 self.emit(now, TraceKind::OwnerActive { station: NodeId::new(station) });
             }
             OwnerState::Idle => {
-                if let Some(t) = st.owner_active_since.take() {
+                if let Some(t) = self.hot.owner_active_since[i].take() {
                     self.local_busy
                         .deposit_interval(t, now, now.since(t).as_millis() as f64);
                     // The foreign job ran right through this owner visit
                     // (it was shorter than the detection interval): that
                     // span belongs to the owner in the utilization ledger.
+                    let st = &mut self.stations[i];
                     let counts_as_running = st.residents.iter().any(|slot| {
                         matches!(slot.phase, Phase::Running { .. })
                             || (matches!(slot.phase, Phase::GangMember)
@@ -1239,7 +1341,7 @@ impl Cluster {
                         st.run_overlaps.push((t, now));
                     }
                 }
-                st.idle_since = Some(now);
+                self.hot.idle_since[i] = Some(now);
                 self.emit(now, TraceKind::OwnerIdle { station: NodeId::new(station) });
             }
         }
@@ -1308,11 +1410,11 @@ impl Cluster {
                 }
                 (OwnerState::Active, SlotInfo::Running(finish, job)) => {
                     sched.cancel(finish);
-                    let owner_back = self.stations[i].owner_active_since.unwrap_or(now);
+                    let owner_back = self.hot.owner_active_since[i].unwrap_or(now);
                     self.stop_running_segment(now, i, job, owner_back);
                     // Interference: the owner shared the machine from their
                     // return until this detection.
-                    if let Some(active_since) = self.stations[i].owner_active_since {
+                    if let Some(active_since) = self.hot.owner_active_since[i] {
                         let overlap = now.saturating_since(active_since);
                         self.totals.interference_ms += overlap.as_millis();
                     }
@@ -1434,6 +1536,7 @@ impl Cluster {
             slot.phase = Phase::Running { finish };
         } else {
             st.residents.push(ForeignSlot { job, demand, phase: Phase::Running { finish } });
+            self.hot.used_cap[station] = self.hot.used_cap[station].add(demand);
         }
         st.run_overlaps.clear();
         let arch = self.station_arch(station);
@@ -1469,7 +1572,7 @@ impl Cluster {
     fn kill_in_place(&mut self, now: SimTime, station: usize, job: JobId) {
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[station].disk_used -= image;
-        self.stations[station].remove_resident(job);
+        self.remove_resident(station, job);
         self.coord.mark(station);
         let j = &mut self.jobs[job.0 as usize];
         j.revert_to_checkpoint();
@@ -1628,6 +1731,8 @@ impl Cluster {
         // wholesale when nothing is fenced (the common case).
         let mut placements = 0u32;
         let mut budget = self.config.placements_per_poll;
+        let mut granted = std::mem::take(&mut self.coord.granted);
+        granted.clear();
         if self.coord.reserved_count > 0 {
             for i in 0..self.stations.len() {
                 if budget == 0 {
@@ -1644,8 +1749,7 @@ impl Cluster {
                     continue;
                 }
                 let target = NodeId::new(i as u32);
-                let mut pool = vec![target];
-                if self.execute_assign(now, holder, target, &mut pool, sched) {
+                if self.execute_assign(now, holder, target, AssignFallback::None, &mut granted, sched) {
                     placements += 1;
                     budget -= 1;
                     self.totals.reservation_placements += 1;
@@ -1657,21 +1761,48 @@ impl Cluster {
         self.flush_dirty();
         #[cfg(debug_assertions)]
         self.debug_check_coord();
+        // Memo fast path: nothing fenced, no station wants or hosts
+        // anything, and the policy is provably quiescent — `decide` would
+        // return no orders and mutate nothing, so emit the poll telemetry
+        // directly. (Reservation placements require `reserved_count > 0`,
+        // so `placements` is provably zero here too.)
+        if self.coord.reserved_count == 0
+            && self.coord.req_bits.count() == 0
+            && self.coord.host_bits.count() == 0
+            && self.policy.as_dyn().quiescent()
+        {
+            self.totals.poll_memo_hits += 1;
+            self.coord.granted = granted;
+            let free_machines = self.coord.free_bits.count();
+            self.emit_poll_telemetry(now, free_machines, 0, 0);
+            return;
+        }
+        let free_machines = self.coord.free_bits.count();
         let mut free = std::mem::take(&mut self.coord.free);
-        CoordCache::collect(&self.coord.free_bits, &mut free);
         if self.config.history_aware_placement {
-            // Longest expected idle first; stable so ids break ties.
+            // Longest expected idle first; stable so ids break ties. The
+            // preference order is not id order here, so the policy gets the
+            // full sorted list and no capacity index.
+            self.coord.free_bits.collect_into(&mut free);
             free.sort_by(|a, b| {
-                let sa = self.stations[a.as_usize()].idle_score(now);
-                let sb = self.stations[b.as_usize()].idle_score(now);
+                let sa = self.idle_score(a.as_usize(), now);
+                let sb = self.idle_score(b.as_usize(), now);
                 sb.partial_cmp(&sa).expect("no NaN scores")
             });
+        } else {
+            // Policies take at most `budget` targets from the front of the
+            // preference order, so a budget-sized head of the free set is
+            // indistinguishable from the whole fleet — and O(budget) to
+            // build. (`max(1)` keeps "no machine free at all" observable in
+            // the degenerate budget-0 poll.)
+            self.coord.free_bits.collect_head(budget.max(1), &mut free);
         }
         let mut requesters = std::mem::take(&mut self.coord.requesters);
         let mut hosts = std::mem::take(&mut self.coord.hosts);
-        CoordCache::collect(&self.coord.req_bits, &mut requesters);
-        CoordCache::collect(&self.coord.host_bits, &mut hosts);
+        self.coord.req_bits.collect_into(&mut requesters);
+        self.coord.host_bits.collect_into(&mut hosts);
         let views = std::mem::take(&mut self.coord.views);
+        let capacity = (!self.config.history_aware_placement).then_some(&self.coord.capacity);
         let orders = self.policy.as_dyn().decide(
             now,
             &PollInput {
@@ -1679,6 +1810,8 @@ impl Cluster {
                 requesters: &requesters,
                 hosts: &hosts,
                 free: &free,
+                free_total: free_machines as usize,
+                capacity,
                 max_placements: budget,
             },
         );
@@ -1689,16 +1822,20 @@ impl Cluster {
         self.coord.views = views;
         self.coord.requesters = requesters;
         self.coord.hosts = hosts;
-        let free_machines = free.len() as u32;
-        let mut pool = std::mem::take(&mut self.coord.pool);
-        pool.clear();
-        pool.extend_from_slice(&free);
-        self.coord.free = free;
+        // Reservation-pass grants are already reflected in the freshly
+        // flushed free set; the exclusion list restarts for the order loop.
+        granted.clear();
+        let history = self.config.history_aware_placement;
         let mut preemptions = 0u32;
         for order in orders {
             match order {
                 Order::Assign { home, target } => {
-                    if self.execute_assign(now, home, target, &mut pool, sched) {
+                    let fallback = if history {
+                        AssignFallback::List(&free)
+                    } else {
+                        AssignFallback::FreeSet
+                    };
+                    if self.execute_assign(now, home, target, fallback, &mut granted, sched) {
                         placements += 1;
                     }
                 }
@@ -1709,10 +1846,24 @@ impl Cluster {
                 }
             }
         }
-        self.coord.pool = pool;
+        self.coord.free = free;
+        self.coord.granted = granted;
         // Order execution may have dirtied stations; the reported waiting
         // count is the post-execution raw queue total, as before.
         self.flush_dirty();
+        self.emit_poll_telemetry(now, free_machines, placements, preemptions);
+    }
+
+    /// The `CoordinatorPolled` event plus the per-poll gauge sample —
+    /// shared verbatim by the full poll path and the memo fast path, so
+    /// memoized polls are bit-identical on the trace.
+    fn emit_poll_telemetry(
+        &mut self,
+        now: SimTime,
+        free_machines: u32,
+        placements: u32,
+        preemptions: u32,
+    ) {
         let waiting = self.coord.raw_queue_total;
         self.emit(
             now,
@@ -1748,30 +1899,35 @@ impl Cluster {
         now: SimTime,
         home: NodeId,
         target: NodeId,
-        pool: &mut Vec<NodeId>,
+        fallback: AssignFallback<'_>,
+        granted: &mut Vec<NodeId>,
         sched: &mut Scheduler<Event>,
     ) -> bool {
         let h = home.as_usize();
         if self.stations[h].queue.is_empty() {
             return false; // policy over-granted this home
         }
-        // Candidates: the policy's choice first, then the rest of this
-        // poll's free machines in preference order (reused scratch).
-        let mut candidates = std::mem::take(&mut self.coord.candidates);
-        candidates.clear();
-        if pool.contains(&target) {
-            candidates.push(target);
-        }
-        candidates.extend(pool.iter().copied().filter(|t| *t != target));
+        // The preferred target leads the candidate order when the free
+        // snapshot still lists it un-granted; a reservation-pass target is
+        // fenced (never in the free set) and eligible by construction.
+        let target_ok = match fallback {
+            AssignFallback::None => true,
+            AssignFallback::FreeSet | AssignFallback::List(_) => {
+                self.coord.free_bits.get(target.as_usize()) && !granted.contains(&target)
+            }
+        };
         // Job-major negotiation: the local scheduler walks its queue in
         // service order and places the first job for which enough
         // compatible machines are free — one machine normally, k for a
-        // width-k gang.
+        // width-k gang. Candidates after the preferred target come lazily
+        // from the fallback source with this poll's earlier grants
+        // excluded, so a grant costs O(candidates inspected), not a
+        // materialised copy of the whole free list.
         let mut service = std::mem::take(&mut self.coord.service);
         self.stations[h].queue.service_order_into(&mut service);
+        let mut machines = std::mem::take(&mut self.coord.machines);
         let mut disk_blocked: Option<(JobId, NodeId)> = None;
         let mut chosen: Option<JobId> = None;
-        let mut machines: Vec<NodeId> = Vec::new();
         for &cand_job in &service {
             let j = &self.jobs[cand_job.0 as usize];
             let width = j.spec.width.max(1) as usize;
@@ -1779,29 +1935,59 @@ impl Cluster {
             let demand = j.spec.resources;
             machines.clear();
             let mut arch_ok_but_disk_full: Option<NodeId> = None;
-            for cand in &candidates {
+            // Returns `false` once the job's machine list is full.
+            let mut scan = |cand: NodeId| -> bool {
                 if machines.len() == width {
-                    break;
+                    return false;
                 }
                 let c = cand.as_usize();
                 if !j.can_run_on(self.station_arch(c)) {
-                    continue;
+                    return true;
                 }
                 // Capacity conservation: the grant must fit in what the
                 // residents leave free. Whole-machine demands (default)
                 // always fit a `can_host` station, so this never rejects
                 // there.
-                if !demand.fits(self.stations[c].free_capacity()) {
-                    continue;
+                if !demand.fits(self.free_capacity(c)) {
+                    return true;
                 }
                 let disk_free = self.stations[c].disk_capacity - self.stations[c].disk_used;
                 if image > disk_free {
                     // Paper §4: an idle processor is useless if its disk
                     // is full.
-                    arch_ok_but_disk_full.get_or_insert(*cand);
-                    continue;
+                    arch_ok_but_disk_full.get_or_insert(cand);
+                    return true;
                 }
-                machines.push(*cand);
+                machines.push(cand);
+                machines.len() < width
+            };
+            let mut more = true;
+            if target_ok {
+                more = scan(target);
+            }
+            if more {
+                match fallback {
+                    AssignFallback::None => {}
+                    AssignFallback::FreeSet => {
+                        self.coord.free_bits.for_each(|id| {
+                            let cand = NodeId::new(id);
+                            if cand == target || granted.contains(&cand) {
+                                return true;
+                            }
+                            scan(cand)
+                        });
+                    }
+                    AssignFallback::List(list) => {
+                        for &cand in list {
+                            if cand == target || granted.contains(&cand) {
+                                continue;
+                            }
+                            if !scan(cand) {
+                                break;
+                            }
+                        }
+                    }
+                }
             }
             if machines.len() == width {
                 chosen = Some(cand_job);
@@ -1811,9 +1997,10 @@ impl Cluster {
                 disk_blocked.get_or_insert((cand_job, c));
             }
         }
-        self.coord.candidates = candidates;
         self.coord.service = service;
         let Some(job) = chosen else {
+            machines.clear();
+            self.coord.machines = machines;
             if let Some((job, target)) = disk_blocked {
                 self.totals.placement_disk_rejections += 1;
                 self.emit(now, TraceKind::PlacementDiskRejected { job, target });
@@ -1824,12 +2011,19 @@ impl Cluster {
         };
         self.stations[h].queue.remove(job);
         self.coord.mark(h);
-        pool.retain(|t| !machines.contains(t));
+        // These machines are spoken for until the next flush; later orders
+        // this poll must not fall back onto them.
+        granted.extend_from_slice(&machines);
         if machines.len() > 1 {
-            self.gang_place(now, home, job, machines.iter().map(|m| m.index()).collect(), sched);
+            let members: Vec<u32> = machines.iter().map(|m| m.index()).collect();
+            machines.clear();
+            self.coord.machines = machines;
+            self.gang_place(now, home, job, members, sched);
             return true;
         }
         let target = machines[0];
+        machines.clear();
+        self.coord.machines = machines;
         let (image, demand) = {
             let j = &self.jobs[job.0 as usize];
             (j.spec.image_bytes, j.spec.resources)
@@ -1841,6 +2035,7 @@ impl Cluster {
             demand,
             phase: Phase::Arriving,
         });
+        self.hot.used_cap[t] = self.hot.used_cap[t].add(demand);
         self.coord.mark(t);
         let seq = {
             let j = &mut self.jobs[job.0 as usize];
@@ -1987,7 +2182,7 @@ impl Cluster {
         if self.slot_is(f, job, |p| matches!(p, Phase::GangMember)) {
             let image = self.jobs[job.0 as usize].spec.image_bytes;
             self.stations[f].disk_used -= image;
-            self.stations[f].remove_resident(job);
+            self.remove_resident(f, job);
             self.coord.mark(f);
             let all_departed = {
                 let gang = self.gangs[job.0 as usize].as_deref_mut().expect("gang exists");
@@ -2029,7 +2224,7 @@ impl Cluster {
         }
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[f].disk_used -= image;
-        self.stations[f].remove_resident(job);
+        self.remove_resident(f, job);
         self.coord.mark(f);
         let j = &mut self.jobs[job.0 as usize];
         j.mark_checkpointed();
@@ -2067,9 +2262,7 @@ impl Cluster {
             }
             let image = self.jobs[job.0 as usize].spec.image_bytes;
             for &m in &members {
-                let util_end = self.stations[m as usize]
-                    .owner_active_since
-                    .map_or(now, |t| t.min(now));
+                let util_end = self.hot.owner_active_since[m as usize].map_or(now, |t| t.min(now));
                 self.deposit_run_utilization(
                     m as usize,
                     running_since,
@@ -2077,7 +2270,7 @@ impl Cluster {
                     1.0,
                 );
                 self.stations[m as usize].disk_used -= image;
-                self.stations[m as usize].remove_resident(job);
+                self.remove_resident(m as usize, job);
                 self.coord.mark(m as usize);
             }
             self.gangs[job.0 as usize] = None;
@@ -2090,9 +2283,7 @@ impl Cluster {
         // The finish event corresponds exactly to the remaining work at the
         // segment start: accrue precisely that, avoiding rounding residue.
         {
-            let util_end = self.stations[o]
-                .owner_active_since
-                .map_or(now, |t| t.min(now));
+            let util_end = self.hot.owner_active_since[o].map_or(now, |t| t.min(now));
             let cpu = self.jobs[job.0 as usize].spec.resources.cpu_milli;
             let running_since = {
                 let j = &mut self.jobs[job.0 as usize];
@@ -2104,7 +2295,7 @@ impl Cluster {
         }
         let image = self.jobs[job.0 as usize].spec.image_bytes;
         self.stations[o].disk_used -= image;
-        self.stations[o].remove_resident(job);
+        self.remove_resident(o, job);
         self.coord.mark(o);
         self.finish_bookkeeping(now, job, on);
     }
@@ -2234,6 +2425,7 @@ impl Cluster {
             let t = m as usize;
             self.stations[t].disk_used += image;
             self.stations[t].residents.push(ForeignSlot { job, demand, phase: Phase::GangMember });
+            self.hot.used_cap[t] = self.hot.used_cap[t].add(demand);
             self.coord.mark(t);
             self.jobs[job.0 as usize]
                 .charge_transfer(self.config.costs.transfer_cpu_cost(image));
@@ -2336,9 +2528,7 @@ impl Cluster {
         self.jobs[job.0 as usize]
             .accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
         for &m in &members {
-            let util_end = self.stations[m as usize]
-                .owner_active_since
-                .map_or(now, |t| t.min(now));
+            let util_end = self.hot.owner_active_since[m as usize].map_or(now, |t| t.min(now));
             self.deposit_run_utilization(m as usize, running_since, util_end.max(running_since), 1.0);
             // The gang stopped running: members no longer report
             // `hosting_for`.
@@ -2350,7 +2540,7 @@ impl Cluster {
     /// blocks (its processes communicate), so everyone suspends together.
     fn gang_suspend(&mut self, now: SimTime, job: JobId, station: u32, sched: &mut Scheduler<Event>) {
         self.gang_stop_accrual(now, job, sched);
-        if let Some(active_since) = self.stations[station as usize].owner_active_since {
+        if let Some(active_since) = self.hot.owner_active_since[station as usize] {
             self.totals.interference_ms += now.saturating_since(active_since).as_millis();
         }
         self.totals.preemptions_owner += 1;
@@ -2423,9 +2613,8 @@ impl Cluster {
                 .accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
             for &m in &gang.members {
                 if self.stations[m as usize].resident(job).is_some() {
-                    let util_end = self.stations[m as usize]
-                        .owner_active_since
-                        .map_or(now, |t| t.min(now));
+                    let util_end =
+                        self.hot.owner_active_since[m as usize].map_or(now, |t| t.min(now));
                     self.deposit_run_utilization(
                         m as usize,
                         running_since,
@@ -2436,11 +2625,11 @@ impl Cluster {
             }
         }
         for &m in &gang.members {
-            let st = &mut self.stations[m as usize];
-            if st.remove_resident(job).is_some() {
-                st.disk_used -= image;
+            let mi = m as usize;
+            if self.remove_resident(mi, job).is_some() {
+                self.stations[mi].disk_used -= image;
             }
-            self.coord.mark(m as usize);
+            self.coord.mark(mi);
         }
         let j = &mut self.jobs[job.0 as usize];
         if rollback {
@@ -2523,6 +2712,7 @@ impl Cluster {
         // checkpoint — the §2.3 guarantee is that it restarts from that
         // checkpoint at another machine, not that nothing is lost.
         let slots = std::mem::take(&mut self.stations[i].residents);
+        self.hot.used_cap[i] = ResourceVec::ZERO;
         for slot in slots {
             let job = slot.job;
             match slot.phase {
@@ -2846,8 +3036,7 @@ impl Cluster {
                 .members
                 .clone();
             for &m in &members {
-                let cap = self.stations[m as usize]
-                    .owner_active_since
+                let cap = self.hot.owner_active_since[m as usize]
                     .unwrap_or(horizon)
                     .min(horizon);
                 self.deposit_run_utilization(m as usize, running_since, cap.max(running_since), 1.0);
@@ -2855,12 +3044,12 @@ impl Cluster {
             self.jobs[job.0 as usize].running_since = horizon;
         }
         for i in 0..self.stations.len() {
-            if let Some(t) = self.stations[i].owner_active_since {
+            if let Some(t) = self.hot.owner_active_since[i] {
                 if t < horizon {
                     self.local_busy
                         .deposit_interval(t, horizon, horizon.since(t).as_millis() as f64);
                 }
-                self.stations[i].owner_active_since = Some(horizon);
+                self.hot.owner_active_since[i] = Some(horizon);
             }
             let running_jobs: Vec<JobId> = self.stations[i]
                 .residents
@@ -2872,8 +3061,7 @@ impl Cluster {
                 if since < horizon {
                     // Cap at the owner's return if the segment is inside a
                     // not-yet-detected interference window.
-                    let cap = self.stations[i]
-                        .owner_active_since
+                    let cap = self.hot.owner_active_since[i]
                         .unwrap_or(horizon)
                         .min(horizon);
                     self.stop_running_segment(horizon, i, job, cap);

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bits;
 pub mod audit;
 pub mod chaos;
 pub mod cluster;

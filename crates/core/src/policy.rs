@@ -18,6 +18,93 @@ use condor_net::NodeId;
 use condor_sim::rng::SimRng;
 use condor_sim::time::SimTime;
 
+use crate::bits::Bits;
+
+/// Bucketed index of hostable stations keyed by free CPU share.
+///
+/// One bucket per distinct `free_cpu_milli` value, each holding a
+/// two-level bitset (`bits::Bits`) of its stations. Membership updates are
+/// O(log buckets) on a value change and O(1) within a bucket, and best-fit
+/// iteration ([`CapacityIndex::for_each_best_fit`]) visits stations in
+/// ascending `(free_cpu_milli, id)` order at O(matches + buckets) — so
+/// [`FracPolicy`] finds its tightest targets without sorting the fleet's
+/// whole free list every poll. The distinct-value set is small in practice
+/// (a whole-machine fleet has exactly one bucket, 1000; fractional fleets
+/// add one per remainder value seen), and a drained bucket keeps its slot.
+#[derive(Debug)]
+pub struct CapacityIndex {
+    /// `(free_cpu_milli, members)`, sorted ascending by value.
+    buckets: Vec<(u32, Bits)>,
+    stations: usize,
+}
+
+impl CapacityIndex {
+    /// An empty index over a fleet of `stations`.
+    pub fn new(stations: usize) -> Self {
+        CapacityIndex { buckets: Vec::new(), stations }
+    }
+
+    /// Moves `station` from the `old_milli` bucket to the `new_milli`
+    /// bucket; zero means "not hostable" (absent from the index). Callers
+    /// pass the view's previous and next `free_cpu_milli`, which is zero
+    /// exactly when `can_host` is false, so index membership always equals
+    /// the hostable set.
+    pub fn update(&mut self, station: usize, old_milli: u32, new_milli: u32) {
+        if old_milli == new_milli {
+            return;
+        }
+        if old_milli > 0 {
+            if let Ok(b) = self.buckets.binary_search_by_key(&old_milli, |e| e.0) {
+                self.buckets[b].1.set(station, false);
+            }
+        }
+        if new_milli > 0 {
+            let b = match self.buckets.binary_search_by_key(&new_milli, |e| e.0) {
+                Ok(b) => b,
+                Err(b) => {
+                    self.buckets.insert(b, (new_milli, Bits::new(self.stations)));
+                    b
+                }
+            };
+            self.buckets[b].1.set(station, true);
+        }
+    }
+
+    /// Total hostable stations across all buckets.
+    pub fn total(&self) -> u32 {
+        self.buckets.iter().map(|(_, b)| b.count()).sum()
+    }
+
+    /// Calls `f` for each hostable station in ascending
+    /// `(free_cpu_milli, id)` order — best-fit order — until it returns
+    /// `false`.
+    pub fn for_each_best_fit(&self, mut f: impl FnMut(NodeId) -> bool) {
+        for (_, bucket) in &self.buckets {
+            let mut go = true;
+            bucket.for_each(|id| {
+                go = f(NodeId::new(id));
+                go
+            });
+            if !go {
+                return;
+            }
+        }
+    }
+
+    /// The full best-fit ordering as `(free_cpu_milli, station)` pairs —
+    /// the from-scratch comparison hook for consistency tests.
+    pub fn entries(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (value, bucket) in &self.buckets {
+            bucket.for_each(|id| {
+                out.push((*value, id));
+                true
+            });
+        }
+        out
+    }
+}
+
 /// What the coordinator learned about one station during a poll.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StationView {
@@ -84,8 +171,22 @@ pub struct PollInput<'a> {
     /// Machines able to host, in the **cluster's placement preference
     /// order** (plain id order normally; longest-expected-idle first when
     /// history-aware placement is enabled). Policies take targets from the
-    /// front of this list.
+    /// front of this list. May be a *budget-sized prefix* of the hostable
+    /// set: the cluster hands over only as many machines as
+    /// `max_placements` allows it to grant, so check [`free_total`] — not
+    /// `free.len()` — for "is any machine free at all".
+    ///
+    /// [`free_total`]: PollInput::free_total
     pub free: &'a [NodeId],
+    /// Total hostable machines this poll. At least `free.len()`; larger
+    /// when `free` is a truncated prefix.
+    pub free_total: usize,
+    /// Bucketed free-capacity index over the whole hostable set, when the
+    /// coordinator maintains one. Capacity-aware policies use it to pick
+    /// best-fit targets in O(matches) instead of sorting `free`; `None`
+    /// means fall back to sorting (test drivers, history-aware placement
+    /// where the preference order is not id order).
+    pub capacity: Option<&'a CapacityIndex>,
     /// Upper bound on `Assign` orders this cycle (paper §4: one placement
     /// per two minutes protects the network and the submitting machines).
     pub max_placements: usize,
@@ -102,9 +203,19 @@ pub trait AllocationPolicy: std::fmt::Debug {
     /// Decides this poll's orders.
     ///
     /// Policies must not assign the same target twice, must only assign
-    /// targets drawn from `input.free`, and must only preempt stations
-    /// with `hosting_for` set.
+    /// hostable targets (drawn from `input.free` or `input.capacity`), and
+    /// must only preempt stations with `hosting_for` set.
     fn decide(&mut self, now: SimTime, input: &PollInput<'_>) -> Vec<Order>;
+
+    /// `true` when a `decide` whose input carries **no requesters and no
+    /// hosts** is a provable no-op: it would return no orders and leave the
+    /// policy state bit-identical. The coordinator memoizes idle polls on
+    /// this — a policy with latent per-poll state (an index still drifting,
+    /// a line still draining) must answer `false` until that state reaches
+    /// its fixed point. The conservative default is "never".
+    fn quiescent(&self) -> bool {
+        false
+    }
 }
 
 /// Derives the requester/host sets by scanning `views` and calls
@@ -130,7 +241,15 @@ pub fn decide_from_views(
         .collect();
     policy.decide(
         now,
-        &PollInput { views, requesters: &requesters, hosts: &hosts, free, max_placements },
+        &PollInput {
+            views,
+            requesters: &requesters,
+            hosts: &hosts,
+            free,
+            free_total: free.len(),
+            capacity: None,
+            max_placements,
+        },
     )
 }
 
@@ -173,6 +292,13 @@ impl FifoPolicy {
 impl AllocationPolicy for FifoPolicy {
     fn name(&self) -> &'static str {
         "fifo"
+    }
+
+    /// With no requesters the only state change `decide` can make is
+    /// dropping satisfied homes from the line; an empty line is a fixed
+    /// point.
+    fn quiescent(&self) -> bool {
+        self.line.is_empty()
     }
 
     fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
@@ -248,19 +374,36 @@ impl AllocationPolicy for FracPolicy {
         "frac"
     }
 
+    /// Same argument as [`FifoPolicy::quiescent`]: no requesters means the
+    /// only possible mutation is line shrinkage.
+    fn quiescent(&self) -> bool {
+        self.line.is_empty()
+    }
+
     fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
         self.refresh_line(input);
         if self.line.is_empty() {
             return Vec::new();
         }
-        // Best-fit order: most free CPU first, so pop() yields the least
-        // free (tightest) station. Within equal free CPU, keep the
-        // cluster's preference order: later-preferred first, so pop()
-        // yields the preferred one. The sort is stable, so equal keys
-        // preserve the reversed preference list.
-        let mut free: Vec<NodeId> = input.free.to_vec();
-        free.reverse();
-        free.sort_by_key(|n| std::cmp::Reverse(input.views[n.as_usize()].free_cpu_milli));
+        // Targets in best-fit order: ascending free CPU, ties in the
+        // cluster's preference order. The bucketed index yields exactly
+        // this order directly (its tie order is ascending id — the default
+        // preference order), capped at the placement budget; without an
+        // index, sort the free list. The sort path reverses first so the
+        // stable sort preserves the preference order within equal keys,
+        // then pops from the back.
+        let mut targets: Vec<NodeId> = Vec::new();
+        if let Some(cap) = input.capacity {
+            cap.for_each_best_fit(|n| {
+                targets.push(n);
+                targets.len() < input.max_placements
+            });
+            targets.reverse(); // pop() below yields tightest-first
+        } else {
+            targets = input.free.to_vec();
+            targets.reverse();
+            targets.sort_by_key(|n| std::cmp::Reverse(input.views[n.as_usize()].free_cpu_milli));
+        }
         let mut remaining: Vec<usize> = self
             .line
             .iter()
@@ -272,7 +415,7 @@ impl AllocationPolicy for FracPolicy {
                 if orders.len() >= input.max_placements {
                     break 'outer;
                 }
-                let Some(target) = free.pop() else { break 'outer };
+                let Some(target) = targets.pop() else { break 'outer };
                 orders.push(Order::Assign { home: *home, target });
                 remaining[i] -= 1;
             }
@@ -298,6 +441,12 @@ impl RoundRobinPolicy {
 impl AllocationPolicy for RoundRobinPolicy {
     fn name(&self) -> &'static str {
         "round-robin"
+    }
+
+    /// The cursor only moves when an order is issued, and no requesters
+    /// means no orders.
+    fn quiescent(&self) -> bool {
+        true
     }
 
     fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
@@ -361,6 +510,12 @@ impl RandomPolicy {
 impl AllocationPolicy for RandomPolicy {
     fn name(&self) -> &'static str {
         "random"
+    }
+
+    /// `decide` returns before any RNG draw when no station requests, so
+    /// the stream position is untouched.
+    fn quiescent(&self) -> bool {
+        true
     }
 
     fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {

@@ -333,6 +333,7 @@ fn add_totals(acc: &mut Totals, t: &Totals) {
     acc.arch_starvation += t.arch_starvation;
     acc.submit_rejections += t.submit_rejections;
     acc.polls += t.polls;
+    acc.poll_memo_hits += t.poll_memo_hits;
     acc.interference_ms += t.interference_ms;
     acc.reservation_placements += t.reservation_placements;
     acc.gang_placements += t.gang_placements;

@@ -22,8 +22,6 @@
 //!   than a consumer's before the consumer's job is preempted, adding
 //!   hysteresis so near-equals do not thrash.
 
-use std::collections::BTreeMap;
-
 use condor_net::NodeId;
 use condor_sim::time::SimTime;
 
@@ -71,10 +69,16 @@ impl Default for UpDownConfig {
 #[derive(Debug)]
 pub struct UpDown {
     config: UpDownConfig,
-    /// Sparse schedule index: stations at exactly zero carry no entry, so
-    /// per-poll bookkeeping scales with the *active* stations rather than
-    /// the fleet. Ordered so iteration (drift, sums) is deterministic.
-    index: BTreeMap<NodeId, f64>,
+    /// Sparse schedule index as a sorted `(station, index)` vector:
+    /// stations at exactly zero carry no entry, so per-poll bookkeeping
+    /// scales with the *active* stations rather than the fleet, and entry
+    /// count is self-limiting — idle drift compacts every entry back to
+    /// zero within `|index| / idle_drift` polls of going quiet. The flat
+    /// sorted layout (vs. the previous `BTreeMap`) keeps the per-poll
+    /// drift-and-compact walk a single linear merge over contiguous
+    /// memory, which is what lets a 100k-station fleet's index stay cheap
+    /// even when tens of thousands of entries are briefly live.
+    index: Vec<(NodeId, f64)>,
     // Scratch buffers reused across polls (taken out with `mem::take` for
     // the duration of a `decide`, then put back).
     scratch_requesters: Vec<(f64, NodeId, usize)>,
@@ -83,6 +87,8 @@ pub struct UpDown {
     scratch_free: Vec<NodeId>,
     scratch_victims: Vec<(f64, NodeId, NodeId)>,
     scratch_active: Vec<(NodeId, usize, usize)>,
+    /// Double buffer for the index merge pass.
+    scratch_index: Vec<(NodeId, f64)>,
 }
 
 /// Sorted-vec counter map: the key sets here (active homes within one
@@ -108,19 +114,23 @@ impl UpDown {
         assert!(config.idle_drift >= 0.0, "negative drift");
         UpDown {
             config,
-            index: BTreeMap::new(),
+            index: Vec::new(),
             scratch_requesters: Vec::new(),
             scratch_used: Vec::new(),
             scratch_granted: Vec::new(),
             scratch_free: Vec::new(),
             scratch_victims: Vec::new(),
             scratch_active: Vec::new(),
+            scratch_index: Vec::new(),
         }
     }
 
     /// The current schedule index of a station (zero if never seen).
     pub fn index_of(&self, node: NodeId) -> f64 {
-        self.index.get(&node).copied().unwrap_or(0.0)
+        self.index
+            .binary_search_by_key(&node, |e| e.0)
+            .map(|i| self.index[i].1)
+            .unwrap_or(0.0)
     }
 
     /// Sum of all station indices. Stations at zero carry no entry and
@@ -128,7 +138,7 @@ impl UpDown {
     /// summing `index_of` over every station in id order (zero terms never
     /// change a running sum, and the sum can never sit at `-0.0`).
     pub fn index_sum(&self) -> f64 {
-        self.index.values().sum()
+        self.index.iter().map(|e| e.1).sum()
     }
 
     /// The configuration in force.
@@ -162,6 +172,13 @@ impl AllocationPolicy for UpDown {
         "up-down"
     }
 
+    /// With no requesters and no hosts, a `decide` issues no orders and
+    /// the index pass reduces to pure idle drift — a no-op exactly when
+    /// the index is already empty.
+    fn quiescent(&self) -> bool {
+        self.index.is_empty()
+    }
+
     fn decide(&mut self, _now: SimTime, input: &PollInput<'_>) -> Vec<Order> {
         // Every pass below walks the pre-extracted requester/host sets, so
         // a poll costs O(active stations), not O(fleet). Scratch buffers
@@ -186,12 +203,51 @@ impl AllocationPolicy for UpDown {
         }
 
         // 2. Requesters sorted by (index, node id) — lowest index wins.
-        //    The input set is in ascending id order, so the stable sort
-        //    yields the same order as the old full-fleet scan.
-        for &r in input.requesters {
-            requesters.push((self.index_of(r), r, input.views[r.as_usize()].waiting_jobs));
+        //    Both the requester set and the index are in ascending id
+        //    order, so one co-walk annotates every requester with its
+        //    index — no per-requester binary search. The same pass seeds
+        //    the step-6 `active` accumulator (pure appends while ids
+        //    ascend), saving a second scattered read of the views later.
+        let mut active: Vec<(NodeId, usize, usize)> = std::mem::take(&mut self.scratch_active);
+        active.clear();
+        {
+            let mut ix = 0usize;
+            for &r in input.requesters {
+                while ix < self.index.len() && self.index[ix].0 < r {
+                    ix += 1;
+                }
+                let idx = if ix < self.index.len() && self.index[ix].0 == r {
+                    self.index[ix].1
+                } else {
+                    0.0
+                };
+                let waiting = input.views[r.as_usize()].waiting_jobs;
+                requesters.push((idx, r, waiting));
+                active.push((r, 0, waiting));
+            }
         }
-        requesters.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN index").then(a.1.cmp(&b.1)));
+        // Steps 4 and 5 below read the priority order only up to a provable
+        // prefix: the grant pass serves at most `max_placements` distinct
+        // requesters (round one hands each unmet requester one machine
+        // until the budget is gone), and the preemption pass visits at most
+        // one requester per satisfied grantee or issued preemption before
+        // breaking. Selecting and sorting just that prefix is therefore
+        // order-identical to a full sort — and O(r) instead of O(r log r)
+        // on a backlogged fleet. Distinct station ids make `(index, id)` a
+        // total order with no equal elements, so the unstable select/sort
+        // pair is deterministic.
+        let need = input
+            .max_placements
+            .saturating_add(self.config.max_preemptions_per_poll)
+            .saturating_add(1);
+        let cmp = |a: &(f64, NodeId, usize), b: &(f64, NodeId, usize)| {
+            a.0.partial_cmp(&b.0).expect("no NaN index").then(a.1.cmp(&b.1))
+        };
+        if requesters.len() > need {
+            requesters.select_nth_unstable_by(need - 1, cmp);
+            requesters.truncate(need);
+        }
+        requesters.sort_unstable_by(cmp);
 
         // 3. Free machines in the cluster's preference order (history-aware
         //    placement reorders this list before the call).
@@ -220,9 +276,13 @@ impl AllocationPolicy for UpDown {
         // 5. Preemption: requesters that remain unsatisfied with no free
         //    machines may claim capacity from consumers whose index exceeds
         //    theirs by the margin. Victim = running job whose *home* has
-        //    the highest index.
+        //    the highest index. "No free machines" is judged against the
+        //    whole hostable set, not the (possibly budget-truncated)
+        //    `free` prefix: every order so far is an assign consuming one
+        //    machine, so the fleet is exhausted exactly when the assign
+        //    count reaches `free_total`.
         let mut preemptions = 0usize;
-        if free.is_empty() {
+        if input.free_total == orders.len() {
             for &h in input.hosts {
                 let home = input.views[h.as_usize()]
                     .hosting_for
@@ -262,37 +322,68 @@ impl AllocationPolicy for UpDown {
         //    zero, so only the sparse map's existing entries are walked and
         //    entries landing on zero are dropped. A station not listed here
         //    behaves exactly as if its (absent) zero entry had drifted.
-        let mut active: Vec<(NodeId, usize, usize)> = std::mem::take(&mut self.scratch_active);
-        active.clear();
+        //    `active` was seeded with the requesters in step 2; fold in the
+        //    (small) consumer and grant maps.
         for &(n, u) in &used_map {
             merge_active(&mut active, n, u, 0);
         }
         for &(n, g) in &granted {
             merge_active(&mut active, n, g, 0);
         }
-        for &r in input.requesters {
-            merge_active(&mut active, r, 0, input.views[r.as_usize()].waiting_jobs);
-        }
-        for &(node, used, waiting) in &active {
-            let entry = self.index.entry(node).or_insert(0.0);
+        // One linear merge over the sorted index and the sorted active
+        // list replaces the old per-entry map lookups: active entries are
+        // bumped (starting from an implicit 0.0 when absent), inactive
+        // entries drift toward zero, and entries landing exactly on zero
+        // are compacted away. The per-node arithmetic is identical to the
+        // previous entry/retain pair, so every surviving value — and the
+        // id-ordered `index_sum` — stays bit-identical.
+        let config = self.config;
+        let bump_entry = |value: f64, used: usize, waiting: usize, granted_n: usize| -> f64 {
+            let mut v = value;
             if used > 0 {
-                *entry += self.config.up_per_machine * used as f64;
+                v += config.up_per_machine * used as f64;
             }
-            let unmet = waiting > lookup(&granted, node);
+            let unmet = waiting > granted_n;
             if unmet {
-                *entry -= self.config.down_when_denied;
+                v -= config.down_when_denied;
             }
             if used == 0 && !unmet {
-                *entry = Self::drift_toward_zero(*entry, self.config.idle_drift);
+                v = Self::drift_toward_zero(v, config.idle_drift);
+            }
+            v
+        };
+        let mut merged = std::mem::take(&mut self.scratch_index);
+        merged.clear();
+        let mut ai = 0usize;
+        for &(node, value) in &self.index {
+            while ai < active.len() && active[ai].0 < node {
+                let (n, used, waiting) = active[ai];
+                let v = bump_entry(0.0, used, waiting, lookup(&granted, n));
+                if v != 0.0 {
+                    merged.push((n, v));
+                }
+                ai += 1;
+            }
+            let v = if ai < active.len() && active[ai].0 == node {
+                let (n, used, waiting) = active[ai];
+                ai += 1;
+                bump_entry(value, used, waiting, lookup(&granted, n))
+            } else {
+                Self::drift_toward_zero(value, config.idle_drift)
+            };
+            if v != 0.0 {
+                merged.push((node, v));
             }
         }
-        let (drift, active_ref) = (self.config.idle_drift, &active);
-        self.index.retain(|node, v| {
-            if active_ref.binary_search_by_key(node, |e| e.0).is_err() {
-                *v = Self::drift_toward_zero(*v, drift);
+        while ai < active.len() {
+            let (n, used, waiting) = active[ai];
+            let v = bump_entry(0.0, used, waiting, lookup(&granted, n));
+            if v != 0.0 {
+                merged.push((n, v));
             }
-            *v != 0.0
-        });
+            ai += 1;
+        }
+        self.scratch_index = std::mem::replace(&mut self.index, merged);
 
         self.scratch_active = active;
         self.scratch_requesters = requesters;

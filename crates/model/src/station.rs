@@ -166,6 +166,20 @@ impl ResourceVec {
     pub const fn is_whole(self) -> bool {
         self.cpu_milli >= 1000 && self.mem_milli >= 1000
     }
+
+    /// Difference of a running total and one of its summands. Unlike
+    /// [`ResourceVec::sub`] this must not clamp: debug builds assert the
+    /// subtrahend really is contained, so incrementally maintained
+    /// occupancy totals fail loudly instead of silently drifting.
+    pub fn sub_exact(self, other: ResourceVec) -> ResourceVec {
+        debug_assert!(other.fits(self), "sub_exact underflow: {other} from {self}");
+        self.sub(other)
+    }
+
+    /// `true` when every dimension is zero.
+    pub const fn is_zero(self) -> bool {
+        self.cpu_milli == 0 && self.mem_milli == 0 && self.tag_milli == 0
+    }
 }
 
 impl Default for ResourceVec {
@@ -213,6 +227,16 @@ mod resource_tests {
         assert_eq!(a.add(b).sub(b), a);
         // sub clamps at zero rather than wrapping.
         assert_eq!(ResourceVec::ZERO.sub(a), ResourceVec::ZERO);
+        assert_eq!(a.add(b).sub_exact(b), a);
+        assert!(ResourceVec::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sub_exact underflow")]
+    fn sub_exact_rejects_underflow() {
+        ResourceVec::share(100).sub_exact(ResourceVec::share(200));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Consistency suite for the incrementally maintained coordinator state:
+//! the free/requester/host membership sets, the bucketed free-capacity
+//! index, the struct-of-arrays occupancy totals, and the raw queue total
+//! must equal a from-scratch recomputation at *any* point in a run, not
+//! just at poll boundaries.
+//!
+//! Debug builds already cross-check after every poll's flush
+//! (`debug_check_coord`); these tests drive the same rescan through the
+//! public `verify_coord_cache` hook between arbitrary events, in every
+//! build profile, across seeded workloads that exercise the paths most
+//! likely to forget a dirty-mark: fractional capacity packing, chaos
+//! schedules (partitions make stations dark, outages drop polls), station
+//! failures, reservations, and gang placements.
+
+use condor::core::chaos::{ChaosConfig, ChaosGen, ChaosSchedule};
+use condor::model::station::ResourceVec;
+use condor::core::config::Reservation;
+use condor::prelude::*;
+use condor::sim::engine::Engine;
+use proptest::prelude::*;
+
+/// Steps the cluster to `horizon`, rescanning the coordinator cache every
+/// `stride` events and once at the end. Panics (inside the hook) on any
+/// divergence between maintained and recomputed state.
+fn drive_and_verify(
+    cfg: ClusterConfig,
+    specs: Vec<JobSpec>,
+    horizon: SimDuration,
+    stride: u64,
+) -> u64 {
+    let mut eng = Engine::new(Cluster::new(cfg, specs));
+    Cluster::prime(&mut eng);
+    let end = SimTime::ZERO + horizon;
+    let mut dispatched = 0u64;
+    while eng.next_event_time().is_some_and(|t| t <= end) {
+        eng.step();
+        dispatched += 1;
+        if dispatched.is_multiple_of(stride) {
+            eng.model_mut().verify_coord_cache();
+        }
+    }
+    eng.model_mut().verify_coord_cache();
+    dispatched
+}
+
+fn mixed_jobs(n: u64, stations: u64, fractional: bool) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| JobSpec {
+            id: JobId(i),
+            user: UserId((i % 4) as u32),
+            home: NodeId::new((i % stations) as u32),
+            arrival: SimTime::from_secs(400 * i),
+            demand: SimDuration::from_hours(1 + i % 3),
+            image_bytes: 300_000 + 40_000 * (i % 5),
+            syscalls_per_cpu_sec: 0.5,
+            binaries: Default::default(),
+            depends_on: Vec::new(),
+            width: 1,
+            resources: if fractional {
+                // Mixed shares so stations pack at different remainders.
+                ResourceVec::share(250 + 250 * (i % 3) as u32)
+            } else {
+                ResourceVec::WHOLE
+            },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Default policy under a seeded chaos schedule: partitions, outages,
+    /// duplicated and delayed polls must all keep the maintained indexes
+    /// equal to recomputation mid-run.
+    #[test]
+    fn chaos_runs_keep_indexes_consistent(
+        seed in 0u64..1_000,
+        stations in 8usize..32,
+        faults in 1usize..10,
+    ) {
+        let horizon = SimDuration::from_days(2);
+        let gen = ChaosGen { horizon, stations: stations as u32, faults };
+        let schedule = ChaosSchedule::generate(seed, &gen);
+        let cfg = ClusterConfig::builder()
+            .stations(stations)
+            .seed(seed)
+            .record_trace(false)
+            .chaos(ChaosConfig::new(schedule))
+            .build()
+            .expect("valid config");
+        let events = drive_and_verify(cfg, mixed_jobs(18, stations as u64, false), horizon, 157);
+        prop_assert!(events > 0);
+    }
+
+    /// Fractional capacity profiles under FracPolicy: the bucketed
+    /// capacity index tracks partial remainders as slots pack and drain,
+    /// which is exactly where a stale `free_cpu_milli` key would hide.
+    #[test]
+    fn fractional_runs_keep_capacity_index_consistent(
+        seed in 0u64..1_000,
+        stations in 8usize..28,
+    ) {
+        let cfg = ClusterConfig::builder()
+            .stations(stations)
+            .seed(seed)
+            .record_trace(false)
+            .policy(PolicyKind::Frac)
+            .capacity_profiles(vec![
+                ResourceVec::WHOLE,
+                ResourceVec::share(1500),
+                ResourceVec::new(2000, 1000),
+            ])
+            .build()
+            .expect("valid config");
+        let events =
+            drive_and_verify(cfg, mixed_jobs(24, stations as u64, true), SimDuration::from_days(2), 131);
+        prop_assert!(events > 0);
+    }
+}
+
+/// Kitchen-sink determinism case: failures, a standing reservation, a
+/// width-2 gang, and history-aware placement together — the paths that
+/// mutate occupancy outside the plain place/finish cycle (crash teardown
+/// zeroes a station's total wholesale, gang teardown walks members).
+#[test]
+fn failures_reservations_and_gangs_stay_consistent() {
+    let mut specs = mixed_jobs(20, 12, false);
+    specs[7].width = 2;
+    specs[13].width = 2;
+    let cfg = ClusterConfig::builder()
+        .stations(12)
+        .seed(77)
+        .record_trace(false)
+        .history_aware_placement(true)
+        .failures(FailureConfig {
+            mtbf: SimDuration::from_days(1),
+            mttr: SimDuration::from_hours(4),
+        })
+        .reservation(Reservation {
+            holder: NodeId::new(0),
+            machines: 3,
+            from: SimTime::from_hours(6),
+            until: SimTime::from_hours(30),
+        })
+        .build()
+        .expect("valid config");
+    let events = drive_and_verify(cfg, specs, SimDuration::from_days(3), 97);
+    assert!(events > 1_000, "scenario too quiet to exercise the cache ({events} events)");
+}

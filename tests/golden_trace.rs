@@ -16,7 +16,7 @@ use condor_core::chaos::ChaosConfig;
 use condor_core::cluster::{run_cluster, run_cluster_with_threads, RunOutput};
 use condor_core::config::PoolTopology;
 use condor_sim::time::SimDuration;
-use condor_workload::scenarios::paper_month;
+use condor_workload::scenarios::{fleet_scale, paper_month};
 
 /// FNV-1a, 64-bit. Implemented inline so the guard has zero dependencies
 /// and an auditable definition.
@@ -60,6 +60,32 @@ fn paper_month_trace_digest_is_stable() {
         hash, GOLDEN_DIGEST,
         "paper-month JSONL trace digest changed (got {hash:#018X}) — \
          an optimization altered simulation behavior"
+    );
+}
+
+/// Fleet-scale pin: 1,000 stations over two days at the same seed. The
+/// 40-station paper month exercises every subsystem but touches only a
+/// handful of coordinator-cache words; this digest pins the *scale* path —
+/// bitset maintenance, truncated free lists, capacity indexes — where an
+/// off-by-one would never perturb a small fleet. `fleet_scale` ships with
+/// tracing off (it is a throughput scenario); the pin turns it back on.
+const FLEET_GOLDEN_DIGEST: u64 = 0xB4B1_335B_8FE9_A915;
+const FLEET_GOLDEN_EVENTS: usize = 61_415;
+
+#[test]
+fn fleet_scale_1000_station_trace_digest_is_stable() {
+    let mut scenario = fleet_scale(GOLDEN_SEED, 1000, 1, 2);
+    scenario.config.record_trace = true;
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    let (hash, events) = digest(&out);
+    assert_eq!(
+        events, FLEET_GOLDEN_EVENTS,
+        "1,000-station event count changed — simulation behavior drifted"
+    );
+    assert_eq!(
+        hash, FLEET_GOLDEN_DIGEST,
+        "1,000-station JSONL trace digest changed (got {hash:#018X}) — \
+         a fleet-scale optimization altered simulation behavior"
     );
 }
 
