@@ -23,6 +23,7 @@ fn jobs(n: u64) -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect()
 }

@@ -231,6 +231,7 @@ fn jobs(n: u64, image_bytes: u64) -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect()
 }
@@ -503,6 +504,40 @@ fn main() {
             events_per_iter: Some(events),
             threads: None,
         });
+    }
+
+    // redundancy: the speculative-replication policy family. `off` is the
+    // simulate_days/7 week under PolicyKind::Redundant with replication
+    // disabled — bit-identical to Up-Down by the golden-trace pin, so it
+    // must track simulate_days/7 within noise (the off-path tax is the
+    // k == 0 early-returns). `k2` arms two replicas per job and prices
+    // the full machinery: spawn scans, demand reclaim, replica events.
+    {
+        use condor_core::redundancy::RedundancyConfig;
+        for (label, rc) in [
+            ("off", RedundancyConfig::off()),
+            ("k2", RedundancyConfig::default()),
+        ] {
+            let (iters, ms, events) = measure(budget, || {
+                let cfg = ClusterConfig {
+                    policy: condor_core::config::PolicyKind::Redundant(rc),
+                    ..cluster_config()
+                };
+                let out = Run::new(cfg)
+                    .specs(jobs(40, 500_000))
+                    .horizon(SimDuration::from_days(7))
+                    .execute();
+                out.events_dispatched
+            });
+            rows.push(Row {
+                name: format!("cluster/redundancy/{label}"),
+                iters_measured: iters,
+                memo: None,
+                wall_ms_per_iter: ms,
+                events_per_iter: Some(events),
+                threads: None,
+            });
+        }
     }
 
     // cluster at paper-future scale: the coordinator poll is the station-

@@ -42,6 +42,7 @@ fn workload(width: u32) -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect()
 }

@@ -55,6 +55,7 @@ fn burst(demand: ResourceVec) -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: demand,
+            speedup: Default::default(),
         });
     }
     for i in 10..50u64 {
@@ -70,6 +71,7 @@ fn burst(demand: ResourceVec) -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: demand,
+            speedup: Default::default(),
         });
     }
     specs

@@ -32,6 +32,7 @@ fn jobs() -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect();
     // The researcher's distributed-computation batch: 6 two-hour runs at
@@ -49,6 +50,7 @@ fn jobs() -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
     }
     jobs

@@ -76,6 +76,7 @@ mod tests {
                 depends_on: Vec::new(),
                 width: 1,
                 resources: Default::default(),
+                speedup: Default::default(),
             })
         };
         assert!(!is_light(&mk(0)));

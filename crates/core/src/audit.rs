@@ -215,6 +215,31 @@ pub enum AuditViolationKind {
         /// Trace-kind name of the offending event.
         event: &'static str,
     },
+    /// `ReplicaSpawned` for a station already holding a live replica of
+    /// the same job.
+    DuplicateReplica {
+        /// The job.
+        job: JobId,
+        /// The station.
+        station: NodeId,
+    },
+    /// `ReplicaCancelled` naming a (job, station) pair with no live
+    /// replica there.
+    UnmatchedReplicaCancel {
+        /// The job.
+        job: JobId,
+        /// The station.
+        station: NodeId,
+    },
+    /// Replica conservation broken: spawned copies neither cancelled nor
+    /// consumed by the job's completion (observed at completion or at the
+    /// end of the run).
+    ReplicaLeaked {
+        /// The job.
+        job: JobId,
+        /// Live replicas left dangling.
+        live: u32,
+    },
 }
 
 impl fmt::Display for AuditViolationKind {
@@ -262,6 +287,15 @@ impl fmt::Display for AuditViolationKind {
             }
             K::UnmatchedChaosRecovery { event } => {
                 write!(f, "{event} with no matching chaos fault in effect")
+            }
+            K::DuplicateReplica { job, station } => {
+                write!(f, "{station} spawned a second live replica of {job:?}")
+            }
+            K::UnmatchedReplicaCancel { job, station } => {
+                write!(f, "replica_cancelled for {job:?} on {station} with no live replica there")
+            }
+            K::ReplicaLeaked { job, live } => {
+                write!(f, "{job:?} left {live} replica(s) neither cancelled nor completed")
             }
         }
     }
@@ -330,6 +364,16 @@ pub struct AuditSink {
     chaos_coord_depth: u32,
     /// Nesting depth of chaos partitions, per cut-off station.
     chaos_link_depth: HashMap<NodeId, u32>,
+    /// Stations holding a live speculative replica of each job (see
+    /// [`crate::redundancy`]); every entry must be closed by a
+    /// `ReplicaCancelled` or consumed by the job's completion.
+    live_replicas: HashMap<JobId, Vec<NodeId>>,
+    /// `ReplicaSpawned` events observed.
+    replicas_spawned: u64,
+    /// `ReplicaCancelled` events observed.
+    replicas_cancelled: u64,
+    /// Sum of the `wasted_ms` carried by cancellations.
+    replica_wasted_ms: u64,
     events: u64,
     total: u64,
     violations: Vec<AuditViolation>,
@@ -393,6 +437,15 @@ impl AuditSink {
     /// Whether no invariant was breached.
     pub fn is_clean(&self) -> bool {
         self.total == 0
+    }
+
+    /// Replica accounting observed so far: `(spawned, cancelled,
+    /// wasted_ms)`. With the conservation invariant clean,
+    /// `spawned - cancelled` is exactly the number of completions a
+    /// replica delivered, and `wasted_ms` sums the work the cancelled
+    /// copies threw away.
+    pub fn replica_totals(&self) -> (u64, u64, u64) {
+        (self.replicas_spawned, self.replicas_cancelled, self.replica_wasted_ms)
     }
 
     /// Consumes the auditor, yielding the recorded violations.
@@ -746,11 +799,26 @@ impl TraceSink for AuditSink {
             }
             TraceKind::JobCompleted { job, on } => {
                 if self.job_for_event(at, job, "job_completed") {
+                    // A completion delivered by a live replica on `on` is
+                    // legal from *any* primary phase: the win tears the
+                    // primary down wherever it was — queued, mid-transfer,
+                    // suspended, even mid-checkpoint (that transfer will
+                    // never complete, so its in-flight count is forgiven).
+                    let replica_win = self
+                        .live_replicas
+                        .get(&job)
+                        .is_some_and(|stations| stations.contains(&on));
                     let (phase, _) = self.job_snapshot(job);
-                    if phase != JobPhase::Running {
+                    if phase != JobPhase::Running && !replica_win {
                         self.illegal(at, job, phase, "job_completed");
                     }
-                    self.jobs.get_mut(&job).expect("checked").phase = JobPhase::Done;
+                    {
+                        let a = self.jobs.get_mut(&job).expect("checked");
+                        a.phase = JobPhase::Done;
+                        if replica_win {
+                            a.ckpt_in_flight = 0;
+                        }
+                    }
                     if !self.held.get(&job).is_some_and(|h| h.contains(&on)) {
                         self.report(
                             at,
@@ -762,6 +830,20 @@ impl TraceSink for AuditSink {
                         );
                     }
                     self.release_all(job);
+                    // Completion consumes at most the winning replica;
+                    // rivals must have been cancelled beforehand.
+                    if let Some(mut stations) = self.live_replicas.remove(&job) {
+                        stations.retain(|&n| n != on);
+                        if !stations.is_empty() {
+                            self.report(
+                                at,
+                                AuditViolationKind::ReplicaLeaked {
+                                    job,
+                                    live: stations.len() as u32,
+                                },
+                            );
+                        }
+                    }
                 }
             }
             TraceKind::CrashRollback { job, on: _ } => {
@@ -912,6 +994,46 @@ impl TraceSink for AuditSink {
                     }
                 }
             }
+            TraceKind::ReplicaSpawned { job, on } => {
+                // Replicas are phase-independent of the primary (they
+                // spawn alongside its placement and outlive its evictions)
+                // but still occupy real capacity on their station.
+                if self.job_for_event(at, job, "replica_spawned") {
+                    let list = self.live_replicas.entry(job).or_default();
+                    if list.contains(&on) {
+                        self.report(
+                            at,
+                            AuditViolationKind::DuplicateReplica { job, station: on },
+                        );
+                    } else {
+                        list.push(on);
+                    }
+                    self.replicas_spawned += 1;
+                    self.admit(at, job, on);
+                }
+            }
+            TraceKind::ReplicaCancelled { job, on, wasted_ms } => {
+                if self.job_for_event(at, job, "replica_cancelled") {
+                    let matched = self
+                        .live_replicas
+                        .get_mut(&job)
+                        .and_then(|list| {
+                            list.iter().position(|&n| n == on).map(|p| {
+                                list.swap_remove(p);
+                            })
+                        })
+                        .is_some();
+                    if !matched {
+                        self.report(
+                            at,
+                            AuditViolationKind::UnmatchedReplicaCancel { job, station: on },
+                        );
+                    }
+                    self.replicas_cancelled += 1;
+                    self.replica_wasted_ms += wasted_ms;
+                    self.release(at, job, on, "replica_cancelled");
+                }
+            }
             TraceKind::ChaosPollLost
             | TraceKind::ChaosDupDropped
             | TraceKind::StationFailed { .. }
@@ -933,6 +1055,19 @@ impl TraceSink for AuditSink {
         imbalanced.sort_unstable_by_key(|&(job, _)| job);
         for (job, in_flight) in imbalanced {
             self.report(at, AuditViolationKind::CheckpointImbalance { job, in_flight });
+        }
+        // Replica conservation: every spawned copy must have been
+        // cancelled or consumed by its job's completion by the horizon
+        // (the simulation cancels survivors in `finalize`).
+        let mut leaked: Vec<(JobId, u32)> = self
+            .live_replicas
+            .iter()
+            .filter(|(_, stations)| !stations.is_empty())
+            .map(|(&job, stations)| (job, stations.len() as u32))
+            .collect();
+        leaked.sort_unstable_by_key(|&(job, _)| job);
+        for (job, live) in leaked {
+            self.report(at, AuditViolationKind::ReplicaLeaked { job, live });
         }
     }
 }

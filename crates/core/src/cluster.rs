@@ -36,9 +36,10 @@ use crate::config::{ClusterConfig, ConfigError, EvictionStrategy, PolicyKind};
 use crate::job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
 use crate::policy::{
     AllocationPolicy, CapacityIndex, FifoPolicy, FracPolicy, Order, PollInput, RandomPolicy,
-    RoundRobinPolicy, StationView,
+    RedundantPolicy, RoundRobinPolicy, StationView,
 };
 use crate::queue::BackgroundQueue;
+use crate::redundancy::CkptTiming;
 use crate::telemetry::{GaugeSample, StatsSink, Telemetry, TraceSink};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::updown::UpDown;
@@ -149,6 +150,33 @@ pub enum Event {
         /// Transfer sequence (stale retries are dropped).
         seq: u32,
     },
+    /// A speculative replica's image transfer finished (see
+    /// [`crate::redundancy`]). Cancellation is by [`EventToken`], so no
+    /// staleness sequence is needed.
+    ReplicaPlaced {
+        /// The replicated job.
+        job: JobId,
+        /// Destination station.
+        target: u32,
+    },
+    /// A running replica delivered the job's remaining demand before the
+    /// primary copy did: the replica wins, every rival is cancelled.
+    ReplicaFinish {
+        /// The replicated job.
+        job: JobId,
+        /// Hosting station.
+        on: u32,
+    },
+    /// Hazard-driven checkpoint evaluation for a running primary under
+    /// [`CkptTiming::Opportunistic`].
+    OpportunisticCkpt {
+        /// The job.
+        job: JobId,
+        /// Hosting station.
+        on: u32,
+        /// Run epoch the timer chain belongs to (stale epochs are ignored).
+        epoch: u32,
+    },
 }
 
 /// Phase of a foreign job occupying a station.
@@ -166,6 +194,20 @@ enum Phase {
     Suspended { grace: EventToken },
     /// Image outbound.
     Departing,
+    /// Speculative copy racing the primary (see [`crate::redundancy`]).
+    /// Replicas carry their own lifecycle in [`ReplicaState`] — never the
+    /// job's: `Job::state` always describes the primary copy.
+    Replica(ReplicaState),
+}
+
+/// Lifecycle of one speculative replica slot.
+#[derive(Debug)]
+enum ReplicaState {
+    /// Image inbound; `arrive` is the pending [`Event::ReplicaPlaced`].
+    Arriving { arrive: EventToken },
+    /// Executing from the job's last checkpoint; `finish` is the pending
+    /// [`Event::ReplicaFinish`].
+    Running { started: SimTime, finish: EventToken },
 }
 
 #[derive(Debug)]
@@ -487,6 +529,17 @@ pub struct Totals {
     pub jobs_forwarded: u64,
     /// Jobs received from another pool at a window barrier (sharded runs).
     pub jobs_adopted: u64,
+    /// Speculative replicas spawned (redundancy policy).
+    pub replicas_spawned: u64,
+    /// Replicas cancelled — by a rival copy finishing first, a returning
+    /// owner, a crash, a reservation fence, a policy preemption, or the
+    /// horizon. Replicas that *win* complete instead of cancelling, so
+    /// `replicas_spawned - replicas_cancelled` is the number of jobs a
+    /// replica finished.
+    pub replicas_cancelled: u64,
+    /// Reference-machine work thrown away with cancelled replicas, in
+    /// milliseconds — the price paid for the speculation.
+    pub wasted_replica_work: u64,
 }
 
 /// Everything a run produces.
@@ -638,6 +691,23 @@ pub struct Cluster {
     /// Live fault-injection state; `None` (no [`ChaosConfig`]) keeps the
     /// chaos machinery to a single branch on the hot paths.
     chaos: Option<ChaosState>,
+    /// Live replica bookkeeping for [`PolicyKind::Redundant`]; `None`
+    /// (any other policy) keeps the replica machinery to a single branch
+    /// on the hot paths and the trace bit-identical.
+    redundancy: Option<RedundancyRuntime>,
+}
+
+/// Runtime state of the speculative-replication policy (see
+/// [`crate::redundancy`]).
+#[derive(Debug)]
+struct RedundancyRuntime {
+    /// Maximum live replicas per job (`0` disables spawning entirely).
+    k: u32,
+    /// Which checkpoint timer running primaries use.
+    ckpt: CkptTiming,
+    /// Stations currently holding a replica of each job (index = job id).
+    /// Kept tiny (≤ k entries) so cancel-on-first-finish is O(k).
+    by_job: Vec<Vec<u32>>,
 }
 
 /// Runtime state of the injected fault schedule (see [`crate::chaos`]).
@@ -694,6 +764,7 @@ enum PolicyHolder {
     RoundRobin(RoundRobinPolicy),
     Random(RandomPolicy),
     Frac(FracPolicy),
+    Redundant(RedundantPolicy),
 }
 
 impl PolicyHolder {
@@ -704,6 +775,7 @@ impl PolicyHolder {
             PolicyHolder::RoundRobin(p) => p,
             PolicyHolder::Random(p) => p,
             PolicyHolder::Frac(p) => p,
+            PolicyHolder::Redundant(p) => p,
         }
     }
 
@@ -714,6 +786,7 @@ impl PolicyHolder {
             PolicyHolder::RoundRobin(_) => "round-robin",
             PolicyHolder::Random(_) => "random",
             PolicyHolder::Frac(_) => "frac",
+            PolicyHolder::Redundant(_) => "redundant",
         }
     }
 }
@@ -804,6 +877,15 @@ impl Cluster {
             PolicyKind::RoundRobin => PolicyHolder::RoundRobin(RoundRobinPolicy::new()),
             PolicyKind::Random => PolicyHolder::Random(RandomPolicy::new(config.seed)),
             PolicyKind::Frac => PolicyHolder::Frac(FracPolicy::new()),
+            PolicyKind::Redundant(rc) => PolicyHolder::Redundant(RedundantPolicy::new(rc)),
+        };
+        let redundancy = match config.policy {
+            PolicyKind::Redundant(rc) => Some(RedundancyRuntime {
+                k: rc.replicas,
+                ckpt: rc.checkpointing,
+                by_job: vec![Vec::new(); specs.len()],
+            }),
+            _ => None,
         };
         let trace = if config.record_trace {
             Trace::new()
@@ -858,6 +940,7 @@ impl Cluster {
             coordinator_down: false,
             coord,
             chaos,
+            redundancy,
             config,
         })
     }
@@ -1005,6 +1088,7 @@ impl Cluster {
     pub fn updown_index(&self, node: NodeId) -> Option<f64> {
         match &self.policy {
             PolicyHolder::UpDown(p) => Some(p.index_of(node)),
+            PolicyHolder::Redundant(p) => Some(p.inner().index_of(node)),
             _ => None,
         }
     }
@@ -1063,6 +1147,12 @@ impl Cluster {
                 && self.dependents[j.0 as usize].is_empty()
                 && job.work_done.is_zero()
                 && job.placements == 0
+                // A job with live replicas must finish (or cancel them)
+                // in this pool; forwarding it would orphan the copies.
+                && self
+                    .redundancy
+                    .as_ref()
+                    .is_none_or(|r| r.by_job[j.0 as usize].is_empty())
         })?;
         self.stations[src].queue.remove(job);
         let image = self.jobs[job.0 as usize].spec.image_bytes;
@@ -1119,6 +1209,9 @@ impl Cluster {
         if let Some(c) = self.chaos.as_mut() {
             c.retry_attempts.push(0);
         }
+        if let Some(r) = self.redundancy.as_mut() {
+            r.by_job.push(Vec::new());
+        }
         local
     }
 
@@ -1174,11 +1267,16 @@ impl Cluster {
                 None
             } else {
                 st.residents.iter().find_map(|slot| {
-                    let counts = matches!(slot.phase, Phase::Running { .. })
-                        || (matches!(slot.phase, Phase::GangMember)
-                            && self.gangs[slot.job.0 as usize]
-                                .as_deref()
-                                .is_some_and(|g| g.running));
+                    // A running replica counts as hosting: replication
+                    // spends the home's own Up-Down standing, and a rival
+                    // user's preemption order cancels the replica.
+                    let counts = matches!(
+                        slot.phase,
+                        Phase::Running { .. } | Phase::Replica(ReplicaState::Running { .. })
+                    ) || (matches!(slot.phase, Phase::GangMember)
+                        && self.gangs[slot.job.0 as usize]
+                            .as_deref()
+                            .is_some_and(|g| g.running));
                     counts.then(|| self.jobs[slot.job.0 as usize].spec.home)
                 })
             },
@@ -1331,11 +1429,13 @@ impl Cluster {
                     // span belongs to the owner in the utilization ledger.
                     let st = &mut self.stations[i];
                     let counts_as_running = st.residents.iter().any(|slot| {
-                        matches!(slot.phase, Phase::Running { .. })
-                            || (matches!(slot.phase, Phase::GangMember)
-                                && self.gangs[slot.job.0 as usize]
-                                    .as_deref()
-                                    .is_some_and(|g| g.running))
+                        matches!(
+                            slot.phase,
+                            Phase::Running { .. } | Phase::Replica(ReplicaState::Running { .. })
+                        ) || (matches!(slot.phase, Phase::GangMember)
+                            && self.gangs[slot.job.0 as usize]
+                                .as_deref()
+                                .is_some_and(|g| g.running))
                     });
                     if counts_as_running {
                         st.run_overlaps.push((t, now));
@@ -1350,7 +1450,7 @@ impl Cluster {
         let needs_check = self.stations[i].residents.iter().any(|slot| match new_state {
             OwnerState::Active => matches!(
                 slot.phase,
-                Phase::Running { .. } | Phase::Arriving | Phase::GangMember
+                Phase::Running { .. } | Phase::Arriving | Phase::GangMember | Phase::Replica(_)
             ),
             OwnerState::Idle => {
                 matches!(slot.phase, Phase::Suspended { .. } | Phase::GangMember)
@@ -1375,6 +1475,7 @@ impl Cluster {
             Running(EventToken, JobId),
             Suspended(EventToken, JobId),
             Gang(JobId),
+            Replica(JobId),
         }
         // Snapshot every resident needing reconciliation: the owner's
         // return (or departure) affects all of them, not just the first.
@@ -1385,6 +1486,7 @@ impl Cluster {
                 Phase::Running { finish } => Some(SlotInfo::Running(*finish, slot.job)),
                 Phase::Suspended { grace } => Some(SlotInfo::Suspended(*grace, slot.job)),
                 Phase::GangMember => Some(SlotInfo::Gang(slot.job)),
+                Phase::Replica(_) => Some(SlotInfo::Replica(slot.job)),
                 _ => None,
             })
             .collect();
@@ -1446,6 +1548,15 @@ impl Cluster {
                         TraceKind::JobResumedInPlace { job, on: NodeId::new(station) },
                     );
                 }
+                (OwnerState::Active, SlotInfo::Replica(job)) => {
+                    // Replicas are pure speculation: no grace period, no
+                    // checkpoint — the owner's return kills them outright.
+                    if let Some(active_since) = self.hot.owner_active_since[i] {
+                        let overlap = now.saturating_since(active_since);
+                        self.totals.interference_ms += overlap.as_millis();
+                    }
+                    self.cancel_replica(now, i, job, sched);
+                }
                 _ => {} // owner flickered; nothing to reconcile
             }
         }
@@ -1464,12 +1575,14 @@ impl Cluster {
     /// accrues the full wall time of background cycles it received.
     fn stop_running_segment(&mut self, now: SimTime, station: usize, job: JobId, util_end: SimTime) {
         let cpu = self.jobs[job.0 as usize].spec.resources.cpu_milli;
+        let eff = self.jobs[job.0 as usize].spec.speedup.effective_milli(cpu);
         let running_since = {
             let j = &mut self.jobs[job.0 as usize];
             let wall = now.since(j.running_since);
-            // Progress accrues at the granted CPU fraction (identity for
-            // whole-machine grants).
-            let work = scale_work(self.config.station.work_done_in(wall), cpu);
+            // Progress accrues at the job's *effective* rate for the
+            // granted CPU fraction — the speedup curve prices sub-whole
+            // grants; identity for whole-machine grants.
+            let work = scale_work(self.config.station.work_done_in(wall), eff);
             j.accrue_run(work, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
             j.running_since
         };
@@ -1522,10 +1635,17 @@ impl Cluster {
         let remaining = self.jobs[job.0 as usize].remaining();
         debug_assert!(!remaining.is_zero(), "starting a finished job");
         let demand = self.jobs[job.0 as usize].spec.resources;
-        // A fractional grant stretches the wall clock; the finish event is
+        // A fractional grant stretches the wall clock by the job's
+        // effective rate under its speedup curve; the finish event is
         // exact for the granted rate, so remaining work is only re-derived
-        // when a segment is cut short.
-        let wall = inflate_wall(self.config.station.wall_time_for(remaining), demand.cpu_milli);
+        // when a segment is cut short. A thrashing job never stalls
+        // entirely — it crawls at one milli so the finish event exists.
+        let eff = self.jobs[job.0 as usize]
+            .spec
+            .speedup
+            .effective_milli(demand.cpu_milli)
+            .max(1);
+        let wall = inflate_wall(self.config.station.wall_time_for(remaining), eff);
         let finish = sched.at(
             now + wall,
             Event::Finish { job, on: station as u32 },
@@ -1551,15 +1671,25 @@ impl Cluster {
         j.state = JobState::Running { on: NodeId::new(station as u32) };
         j.running_since = now;
         j.epoch += 1;
-        if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.config.eviction {
-            sched.at(
-                now + checkpoint_every,
-                Event::PeriodicCkpt {
-                    job,
-                    on: station as u32,
-                    epoch: j.epoch,
-                },
-            );
+        let epoch = j.epoch;
+        // The opportunistic timer replaces the fixed-period chain when the
+        // redundancy policy arms it; otherwise the immediate-kill strategy's
+        // periodic chain runs exactly as before.
+        match self.opportunistic_ckpt() {
+            Some((check_every, _)) => {
+                sched.at(
+                    now + check_every,
+                    Event::OpportunisticCkpt { job, on: station as u32, epoch },
+                );
+            }
+            None => {
+                if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.config.eviction {
+                    sched.at(
+                        now + checkpoint_every,
+                        Event::PeriodicCkpt { job, on: station as u32, epoch },
+                    );
+                }
+            }
         }
         self.emit(
             now,
@@ -1725,6 +1855,7 @@ impl Cluster {
             self.emit(now, TraceKind::ChaosDupDropped);
         }
         self.totals.polls += 1;
+        self.reclaim_replicas_for_demand(now, sched);
         // Reserved machines are served first, outside the general policy:
         // one placement per poll for the whole system (the §4 throttle),
         // with reservation holders at the front of the line. Skipped
@@ -1877,6 +2008,9 @@ impl Cluster {
         // Gauges no event carries: sampled once per poll, deterministically.
         let updown_mean_index = match &self.policy {
             PolicyHolder::UpDown(p) => Some(p.index_sum() / self.stations.len() as f64),
+            PolicyHolder::Redundant(p) => {
+                Some(p.inner().index_sum() / self.stations.len() as f64)
+            }
             _ => None,
         };
         self.emit_sample(GaugeSample {
@@ -2066,6 +2200,7 @@ impl Cluster {
             );
         }
         self.emit(now, TraceKind::PlacementStarted { job, target });
+        self.maybe_spawn_replicas(now, job, target, granted, sched);
         true
     }
 
@@ -2089,6 +2224,21 @@ impl Cluster {
             self.gang_stop_accrual(now, job, sched);
             self.totals.preemptions_priority += 1;
             self.gang_checkpoint_out(now, job, PreemptReason::PriorityPreemption, sched);
+            return true;
+        }
+        // A replica surrenders instantly — no checkpoint dance, the
+        // machine frees right now, which is strictly better for the
+        // preempting user than waiting out a checkpoint transfer.
+        let replicas: Vec<JobId> = self.stations[t]
+            .residents
+            .iter()
+            .filter_map(|slot| matches!(slot.phase, Phase::Replica(_)).then_some(slot.job))
+            .collect();
+        if !replicas.is_empty() {
+            for job in replicas {
+                self.totals.preemptions_priority += 1;
+                self.cancel_replica(now, t, job, sched);
+            }
             return true;
         }
         // Preemption vacates the machine: every running resident is
@@ -2241,7 +2391,7 @@ impl Cluster {
         );
     }
 
-    fn on_finish(&mut self, now: SimTime, job: JobId, on: u32) {
+    fn on_finish(&mut self, now: SimTime, job: JobId, on: u32, sched: &mut Scheduler<Event>) {
         let o = on as usize;
         if self.jobs[job.0 as usize].spec.width > 1 {
             // Gang completion: the single Finish event covers all members.
@@ -2280,6 +2430,8 @@ impl Cluster {
         if !self.slot_is(o, job, |p| matches!(p, Phase::Running { .. })) {
             return;
         }
+        // The primary won the race: every speculative copy loses.
+        self.cancel_replicas_of(now, job, sched);
         // The finish event corresponds exactly to the remaining work at the
         // segment start: accrue precisely that, avoiding rounding residue.
         {
@@ -2372,21 +2524,38 @@ impl Cluster {
         sched: &mut Scheduler<Event>,
     ) {
         // Stale chain from a previous run segment?
-        let j = &self.jobs[job.0 as usize];
-        if j.epoch != epoch {
+        if self.jobs[job.0 as usize].epoch != epoch {
             return;
         }
         let still_running = self.slot_is(on as usize, job, |p| matches!(p, Phase::Running { .. }));
         if !still_running {
             return;
         }
+        self.take_running_checkpoint(now, job, on);
+        if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.config.eviction {
+            sched.at(
+                now + checkpoint_every,
+                Event::PeriodicCkpt { job, on, epoch },
+            );
+        }
+    }
+
+    /// Takes one while-running checkpoint of a job executing on `on`:
+    /// captures the current work level, charges the transfer, and books
+    /// the image home while the job keeps running. Shared by the periodic
+    /// chain and the opportunistic hazard timer.
+    fn take_running_checkpoint(&mut self, now: SimTime, job: JobId, on: u32) {
+        let j = &self.jobs[job.0 as usize];
         let image = j.spec.image_bytes;
         let home = j.spec.home;
         // The checkpoint captures the work level at this instant (accrued
         // at the granted CPU fraction).
         let elapsed = now.since(j.running_since);
-        let work_now = self.jobs[job.0 as usize].work_done
-            + scale_work(self.config.station.work_done_in(elapsed), j.spec.resources.cpu_milli);
+        let work_now = j.work_done
+            + scale_work(
+                self.config.station.work_done_in(elapsed),
+                j.spec.speedup.effective_milli(j.spec.resources.cpu_milli),
+            );
         {
             let j = &mut self.jobs[job.0 as usize];
             j.work_checkpointed = work_now;
@@ -2395,13 +2564,461 @@ impl Cluster {
         // The image travels home while the job keeps running.
         self.bus.book_transfer(now, NodeId::new(on), home, image);
         self.totals.periodic_checkpoints += 1;
-        if let EvictionStrategy::ImmediateKill { checkpoint_every } = self.config.eviction {
-            sched.at(
-                now + checkpoint_every,
-                Event::PeriodicCkpt { job, on, epoch },
-            );
-        }
         self.emit(now, TraceKind::PeriodicCheckpoint { job, on: NodeId::new(on) });
+    }
+
+    /// The opportunistic checkpoint knobs, if the redundancy policy arms
+    /// them; `None` means the inherited (periodic or none) timer applies.
+    fn opportunistic_ckpt(&self) -> Option<(SimDuration, f64)> {
+        match self.redundancy.as_ref()?.ckpt {
+            CkptTiming::Opportunistic { check_every, hazard_threshold } => {
+                Some((check_every, hazard_threshold))
+            }
+            CkptTiming::Inherited => None,
+        }
+    }
+
+    /// Hazard-driven checkpoint evaluation: checkpoint only when the
+    /// owner's return looks imminent — the station's current idle streak
+    /// has consumed its typical idle interval (EWMA). Stations with no
+    /// idle history yet never trigger (hazard 0), and the chain re-arms
+    /// every `check_every` until the run segment ends.
+    fn on_opportunistic_ckpt(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        on: u32,
+        epoch: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let Some((check_every, threshold)) = self.opportunistic_ckpt() else { return };
+        if self.jobs[job.0 as usize].epoch != epoch {
+            return;
+        }
+        let o = on as usize;
+        if !self.slot_is(o, job, |p| matches!(p, Phase::Running { .. })) {
+            return;
+        }
+        let streak = self.hot.idle_since[o]
+            .map(|t| now.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.0);
+        let ewma = self.hot.ewma_idle_secs[o];
+        let hazard = if ewma > 0.0 { streak / ewma } else { 0.0 };
+        if hazard >= threshold {
+            self.take_running_checkpoint(now, job, on);
+        }
+        sched.at(now + check_every, Event::OpportunisticCkpt { job, on, epoch });
+    }
+
+    // ----- redundancy: speculative replicas (see crate::redundancy) ------
+
+    /// Tops the job up to `k` live replicas on otherwise-idle stations,
+    /// right after a successful primary placement. Replicas are strictly
+    /// parasitic: they take only whole machines that are idle, unfenced,
+    /// unpartitioned, and empty, and they run the same binary as the
+    /// primary (candidates are restricted to the primary target's
+    /// architecture so whichever copy starts first binds the same arch).
+    /// Frees replica-held stations when queued demand outstrips the
+    /// fleet's genuinely free machines, so speculation never delays a real
+    /// job past the poll that notices it. Runs at the top of every poll;
+    /// cancels at most this poll's placement budget, cheapest copies
+    /// first — arriving replicas cost nothing, then the youngest running
+    /// ones. A replica whose primary is *not* running is spared: it is
+    /// the job's only progress (the insurance actively paying out), and
+    /// cancelling it would trade finished work for a fresh placement.
+    fn reclaim_replicas_for_demand(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        let Some(r) = self.redundancy.as_ref() else { return };
+        // `k == 0` first: the disabled policy must cost nothing per poll,
+        // not even the per-job liveness scan below.
+        if r.k == 0 || r.by_job.iter().all(|v| v.is_empty()) {
+            return;
+        }
+        let waiting: usize = self.stations.iter().map(|st| st.queue.len()).sum();
+        if waiting == 0 {
+            return;
+        }
+        let free = self
+            .stations
+            .iter()
+            .filter(|st| {
+                st.reserved_for.is_none()
+                    && !st.failed
+                    && st.owner_state == OwnerState::Idle
+                    && st.residents.is_empty()
+            })
+            .count();
+        let deficit = waiting
+            .min(self.config.placements_per_poll)
+            .saturating_sub(free);
+        if deficit == 0 {
+            return;
+        }
+        // `None` progress marks an arriving copy (free to cancel); running
+        // copies carry their start time so the sort keeps the oldest —
+        // the likeliest winners — alive. Ties break on (job, station) for
+        // determinism.
+        let mut cands: Vec<(JobId, usize, Option<SimTime>)> = Vec::new();
+        let r = self.redundancy.as_ref().expect("checked above");
+        for (jid, stations) in r.by_job.iter().enumerate() {
+            if stations.is_empty() {
+                continue;
+            }
+            if !matches!(self.jobs[jid].state, JobState::Running { .. }) {
+                continue;
+            }
+            let job = JobId(jid as u64);
+            for &s in stations {
+                let i = s as usize;
+                let slot = self.stations[i]
+                    .residents
+                    .iter()
+                    .find(|sl| sl.job == job)
+                    .expect("by_job lists live replicas");
+                match slot.phase {
+                    Phase::Replica(ReplicaState::Arriving { .. }) => cands.push((job, i, None)),
+                    Phase::Replica(ReplicaState::Running { started, .. }) => {
+                        cands.push((job, i, Some(started)));
+                    }
+                    _ => unreachable!("by_job entries are replica slots"),
+                }
+            }
+        }
+        cands.sort_by(|a, b| match (a.2, b.2) {
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (x, y) => y.cmp(&x).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))),
+        });
+        for &(job, i, _) in cands.iter().take(deficit) {
+            self.cancel_replica(now, i, job, sched);
+        }
+    }
+
+    fn maybe_spawn_replicas(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        primary: NodeId,
+        granted: &mut Vec<NodeId>,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let Some(r) = self.redundancy.as_ref() else { return };
+        let k = r.k;
+        if k == 0 {
+            return;
+        }
+        let live = r.by_job[job.0 as usize].len() as u32;
+        if live >= k {
+            return;
+        }
+        let (image, home, width, whole) = {
+            let spec = &self.jobs[job.0 as usize].spec;
+            (spec.image_bytes, spec.home, spec.width, spec.resources.is_whole())
+        };
+        // Gangs already coordinate k machines, and fractional jobs share
+        // hosts; speculation covers only solo whole-machine jobs.
+        if width > 1 || !whole {
+            return;
+        }
+        // Strictly parasitic: speculation spends only *surplus* idle
+        // machines. A job still queued anywhere has first claim on idle
+        // stations at upcoming polls (the §4 throttle serves one per
+        // poll), so replication stands down whenever real demand waits.
+        if self.stations.iter().any(|st| !st.queue.is_empty()) {
+            return;
+        }
+        let arch = self.station_arch(primary.as_usize());
+        let demand = self.jobs[job.0 as usize].spec.resources;
+        // Rank eligible stations by expected *remaining* idle time — the
+        // EWMA of completed idle intervals minus the current streak, the
+        // same history signal placement uses. A replica lives only until
+        // its host's owner returns, so the least-overdue stations make
+        // the sturdiest hosts. Ties break on station id for determinism.
+        let mut eligible: Vec<(f64, usize)> = Vec::new();
+        for i in 0..self.stations.len() {
+            let cand = NodeId::new(i as u32);
+            if cand == home || granted.contains(&cand) {
+                continue;
+            }
+            let st = &self.stations[i];
+            let empty_idle = st.reserved_for.is_none()
+                && !st.failed
+                && st.owner_state == OwnerState::Idle
+                && st.residents.is_empty();
+            if !empty_idle
+                || self.chaos.as_ref().is_some_and(|c| c.partition_depth[i] > 0)
+                || self.station_arch(i) != arch
+                || image > st.disk_capacity - st.disk_used
+                || !demand.fits(st.capacity)
+            {
+                continue;
+            }
+            let streak = self.hot.idle_since[i]
+                .map(|t| now.saturating_since(t).as_secs_f64())
+                .unwrap_or(0.0);
+            eligible.push((self.hot.ewma_idle_secs[i] - streak, i));
+        }
+        eligible.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("no NaN idle scores").then(a.1.cmp(&b.1))
+        });
+        for &(_, i) in eligible.iter().take((k - live) as usize) {
+            let cand = NodeId::new(i as u32);
+            self.stations[i].disk_used += image;
+            let booking = self.bus.book_transfer(now, home, cand, image);
+            let arrive = sched.at(
+                booking.completes_at,
+                Event::ReplicaPlaced { job, target: i as u32 },
+            );
+            self.stations[i].residents.push(ForeignSlot {
+                job,
+                demand,
+                phase: Phase::Replica(ReplicaState::Arriving { arrive }),
+            });
+            self.hot.used_cap[i] = self.hot.used_cap[i].add(demand);
+            self.coord.mark(i);
+            self.jobs[job.0 as usize]
+                .charge_transfer(self.config.costs.transfer_cpu_cost(image));
+            self.redundancy
+                .as_mut()
+                .expect("checked above")
+                .by_job[job.0 as usize]
+                .push(i as u32);
+            self.totals.replicas_spawned += 1;
+            self.emit(now, TraceKind::ReplicaSpawned { job, on: cand });
+            // Spoken for until the next flush, like any other grant.
+            granted.push(cand);
+        }
+    }
+
+    /// A replica image arrived: start executing from the job's last
+    /// checkpoint if the station is still idle, otherwise give up at once
+    /// (zero work wasted — it never ran).
+    fn on_replica_placed(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        target: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let t = target as usize;
+        // Every cancellation path removes the slot and cancels the pending
+        // arrival token, so a live event implies a live Arriving slot.
+        if !self.slot_is(t, job, |p| {
+            matches!(p, Phase::Replica(ReplicaState::Arriving { .. }))
+        }) {
+            return;
+        }
+        if self.stations[t].owner_state != OwnerState::Idle {
+            self.cancel_replica(now, t, job, sched);
+            return;
+        }
+        // The replica resumes the image it was sent: the last checkpoint.
+        let (remaining, demand) = {
+            let j = &self.jobs[job.0 as usize];
+            (j.spec.demand.saturating_sub(j.work_checkpointed), j.spec.resources)
+        };
+        let eff = self.jobs[job.0 as usize]
+            .spec
+            .speedup
+            .effective_milli(demand.cpu_milli)
+            .max(1);
+        let wall = inflate_wall(self.config.station.wall_time_for(remaining), eff);
+        let finish = sched.at(now + wall, Event::ReplicaFinish { job, on: target });
+        let st = &mut self.stations[t];
+        st.resident_mut(job).expect("slot checked above").phase =
+            Phase::Replica(ReplicaState::Running { started: now, finish });
+        st.run_overlaps.clear();
+        self.coord.mark(t);
+        let arch = self.station_arch(t);
+        let j = &mut self.jobs[job.0 as usize];
+        debug_assert!(
+            j.bound_arch.is_none_or(|b| b == arch),
+            "replica bound to {:?} started on {arch:?}",
+            j.bound_arch
+        );
+        // A replica's progress could win, so it binds the job's
+        // architecture exactly like a primary start does.
+        j.bound_arch = Some(arch);
+    }
+
+    /// A replica delivered the job's remaining demand first: it wins.
+    /// Rival replicas are cancelled, the primary copy is torn down
+    /// wherever it is, and the job completes on the winning station.
+    fn on_replica_finish(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        on: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let o = on as usize;
+        if !self.slot_is(o, job, |p| {
+            matches!(p, Phase::Replica(ReplicaState::Running { .. }))
+        }) {
+            return;
+        }
+        let slot = self.remove_resident(o, job).expect("slot checked above");
+        let Phase::Replica(ReplicaState::Running { started, .. }) = slot.phase else {
+            unreachable!("phase checked above")
+        };
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        self.stations[o].disk_used -= image;
+        self.coord.mark(o);
+        let util_end = self.hot.owner_active_since[o].map_or(now, |t| t.min(now));
+        self.deposit_run_utilization(o, started, util_end.max(started), 1.0);
+        self.redundancy
+            .as_mut()
+            .expect("replica without runtime")
+            .by_job[job.0 as usize]
+            .retain(|&s| s as usize != o);
+        // Losers first, then the primary: the job's ledgers close below.
+        self.cancel_replicas_of(now, job, sched);
+        self.retire_primary(now, job, sched);
+        {
+            let j = &mut self.jobs[job.0 as usize];
+            let remaining = j.remaining();
+            j.accrue_run(remaining, self.config.costs.remote_syscall_cost.as_millis() * 1_000);
+        }
+        self.finish_bookkeeping(now, job, on);
+    }
+
+    /// Cancels every live replica of `job` (cancel-on-first-finish, owner
+    /// return at the primary, crash of the primary's host, horizon).
+    fn cancel_replicas_of(&mut self, now: SimTime, job: JobId, sched: &mut Scheduler<Event>) {
+        let Some(r) = self.redundancy.as_ref() else { return };
+        let stations: Vec<u32> = r.by_job[job.0 as usize].clone();
+        for s in stations {
+            self.cancel_replica(now, s as usize, job, sched);
+        }
+    }
+
+    /// Cancels the replica of `job` living on station `i`, freeing the
+    /// slot and disk and accounting the thrown-away work.
+    fn cancel_replica(&mut self, now: SimTime, i: usize, job: JobId, sched: &mut Scheduler<Event>) {
+        let Some(slot) = self.remove_resident(i, job) else { return };
+        let Phase::Replica(state) = slot.phase else {
+            unreachable!("cancel_replica on a non-replica slot")
+        };
+        self.stations[i].disk_used -= self.jobs[job.0 as usize].spec.image_bytes;
+        self.coord.mark(i);
+        self.account_replica_cancel(now, i, job, state, Some(sched));
+    }
+
+    /// Shared cancellation tail: cancels the pending event (when a live
+    /// scheduler exists — at the horizon none does, and pending events are
+    /// moot), deposits any run utilization, unregisters the replica, and
+    /// emits the accounting. `wasted_ms` on the trace event is exactly the
+    /// reference-machine work the cancelled copy had accrued, so summing
+    /// the events reproduces `Totals::wasted_replica_work`.
+    fn account_replica_cancel(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        job: JobId,
+        state: ReplicaState,
+        sched: Option<&mut Scheduler<Event>>,
+    ) {
+        let wasted = match state {
+            ReplicaState::Arriving { arrive } => {
+                if let Some(s) = sched {
+                    s.cancel(arrive);
+                }
+                SimDuration::ZERO
+            }
+            ReplicaState::Running { started, finish } => {
+                if let Some(s) = sched {
+                    s.cancel(finish);
+                }
+                let util_end = self.hot.owner_active_since[i].map_or(now, |t| t.min(now));
+                self.deposit_run_utilization(i, started, util_end.max(started), 1.0);
+                self.config.station.work_done_in(now.since(started))
+            }
+        };
+        self.redundancy
+            .as_mut()
+            .expect("replica without runtime")
+            .by_job[job.0 as usize]
+            .retain(|&s| s as usize != i);
+        self.totals.replicas_cancelled += 1;
+        let wasted_ms = wasted.as_millis();
+        self.totals.wasted_replica_work += wasted_ms;
+        self.emit(
+            now,
+            TraceKind::ReplicaCancelled { job, on: NodeId::new(i as u32), wasted_ms },
+        );
+    }
+
+    /// Tears down the primary copy of a job a replica just finished,
+    /// whatever the primary was doing: its queue entry, in-flight image,
+    /// run segment, or suspended slot disappears; its accrued work stays
+    /// on the job's ledgers (the paper's gross remote-CPU accounting).
+    fn retire_primary(&mut self, now: SimTime, job: JobId, sched: &mut Scheduler<Event>) {
+        let image = self.jobs[job.0 as usize].spec.image_bytes;
+        match self.jobs[job.0 as usize].state {
+            JobState::Queued => {
+                let home = self.jobs[job.0 as usize].spec.home.as_usize();
+                self.stations[home].queue.remove(job);
+                self.coord.mark(home);
+            }
+            JobState::Placing { target } => {
+                let t = target.as_usize();
+                self.stations[t].disk_used -= image;
+                self.remove_resident(t, job);
+                self.coord.mark(t);
+                // Orphan the in-flight PlacementDone.
+                self.jobs[job.0 as usize].transfer_seq += 1;
+            }
+            JobState::Running { on } => {
+                let o = on.as_usize();
+                let finish = self.stations[o].residents.iter().find_map(|slot| {
+                    (slot.job == job)
+                        .then_some(match &slot.phase {
+                            Phase::Running { finish } => Some(*finish),
+                            _ => None,
+                        })
+                        .flatten()
+                });
+                if let Some(finish) = finish {
+                    sched.cancel(finish);
+                }
+                let util_end = self.hot.owner_active_since[o].map_or(now, |t| t.min(now));
+                self.stop_running_segment(now, o, job, util_end);
+                self.stations[o].disk_used -= image;
+                self.remove_resident(o, job);
+                self.coord.mark(o);
+                // Kill any periodic/opportunistic checkpoint chain.
+                self.jobs[job.0 as usize].epoch += 1;
+            }
+            JobState::Suspended { on } => {
+                let o = on.as_usize();
+                let grace = self.stations[o].residents.iter().find_map(|slot| {
+                    (slot.job == job)
+                        .then_some(match &slot.phase {
+                            Phase::Suspended { grace } => Some(*grace),
+                            _ => None,
+                        })
+                        .flatten()
+                });
+                if let Some(grace) = grace {
+                    sched.cancel(grace);
+                }
+                self.stations[o].disk_used -= image;
+                self.remove_resident(o, job);
+                self.coord.mark(o);
+            }
+            JobState::CheckpointingOut { from } => {
+                let f = from.as_usize();
+                self.stations[f].disk_used -= image;
+                self.remove_resident(f, job);
+                self.coord.mark(f);
+                // Orphan the in-flight CheckpointDone (and any retry).
+                self.jobs[job.0 as usize].transfer_seq += 1;
+            }
+            // Replicas spawn at placement and die with completion, so the
+            // primary can only be in an in-flight state here.
+            JobState::Held | JobState::Completed | JobState::Forwarded => {
+                debug_assert!(false, "replica finished for a settled primary");
+            }
+        }
     }
 
     // ----- gangs: §5(2) parallel programs ---------------------------------
@@ -2673,8 +3290,10 @@ impl Cluster {
             if self.stations[i].reserved_for.is_some() || i == r.holder.as_usize() {
                 continue;
             }
+            // Replica-occupied machines are fair game too: the copy is
+            // cancelled instantly inside `execute_preempt`.
             let running_other = self.stations[i].residents.iter().any(|slot| {
-                matches!(slot.phase, Phase::Running { .. })
+                matches!(slot.phase, Phase::Running { .. } | Phase::Replica(_))
                     && self.jobs[slot.job.0 as usize].spec.home != r.holder
             });
             if running_other {
@@ -2740,6 +3359,14 @@ impl Cluster {
                         now,
                         TraceKind::CrashRollback { job, on: NodeId::new(station) },
                     );
+                    continue;
+                }
+                Phase::Replica(state) => {
+                    // A crash destroys the speculative copy outright; the
+                    // primary (elsewhere) is untouched, so no rollback.
+                    let image = self.jobs[job.0 as usize].spec.image_bytes;
+                    self.stations[i].disk_used -= image;
+                    self.account_replica_cancel(now, i, job, state, Some(sched));
                     continue;
                 }
             }
@@ -2919,6 +3546,43 @@ impl Cluster {
             if !self.chaos.as_ref().expect("checked").unreachable(i) {
                 continue;
             }
+            // Speculative copies yield to the station's own queued demand
+            // just as they yield to the coordinator's (see
+            // `reclaim_replicas_for_demand`) — without this a replica
+            // could block the very autonomy the outage path guarantees.
+            // Copies whose primary is not running are spared: they are
+            // their job's only progress.
+            let yieldable = {
+                let st = &self.stations[i];
+                !st.failed
+                    && st.reserved_for.is_none()
+                    && st.owner_state == OwnerState::Idle
+                    && !st.queue.is_empty()
+                    && !st.residents.is_empty()
+                    && st.residents.iter().all(|sl| {
+                        matches!(sl.phase, Phase::Replica(_))
+                            && matches!(
+                                self.jobs[sl.job.0 as usize].state,
+                                JobState::Running { .. }
+                            )
+                    })
+            };
+            if yieldable {
+                let mut order = Vec::new();
+                self.stations[i].queue.service_order_into(&mut order);
+                let arch = self.station_arch(i);
+                let runnable = order.iter().any(|id| {
+                    let j = &self.jobs[id.0 as usize];
+                    j.spec.width == 1 && j.can_run_on(arch)
+                });
+                if runnable {
+                    let replicas: Vec<JobId> =
+                        self.stations[i].residents.iter().map(|sl| sl.job).collect();
+                    for job in replicas {
+                        self.cancel_replica(now, i, job, sched);
+                    }
+                }
+            }
             let st = &self.stations[i];
             if st.failed
                 || st.reserved_for.is_some()
@@ -3012,6 +3676,31 @@ impl Cluster {
 
     /// Closes open accounting intervals at the end of observation.
     fn finalize(&mut self, horizon: SimTime) {
+        // Horizon cut: every live replica dies unfinished and its progress
+        // is wasted — conservation demands the books close on them before
+        // the sinks do. No scheduler exists any more, and none is needed:
+        // pending events will never fire.
+        if self.redundancy.is_some() {
+            let live: Vec<(JobId, u32)> = self
+                .redundancy
+                .as_ref()
+                .expect("checked above")
+                .by_job
+                .iter()
+                .enumerate()
+                .flat_map(|(j, stations)| {
+                    stations.iter().map(move |&s| (JobId(j as u64), s))
+                })
+                .collect();
+            for (job, s) in live {
+                let i = s as usize;
+                let Some(slot) = self.remove_resident(i, job) else { continue };
+                let Phase::Replica(state) = slot.phase else { continue };
+                self.stations[i].disk_used -= self.jobs[job.0 as usize].spec.image_bytes;
+                self.coord.mark(i);
+                self.account_replica_cancel(horizon, i, job, state, None);
+            }
+        }
         // Running gangs: accrue and deposit each member's utilization.
         // `gangs` is a job-indexed Vec, so this iteration is deterministic.
         let running_gangs: Vec<JobId> = self
@@ -3091,7 +3780,7 @@ impl Model for Cluster {
             Event::CheckpointDone { job, from, seq } => {
                 self.on_checkpoint_done(now, job, from, seq, sched)
             }
-            Event::Finish { job, on } => self.on_finish(now, job, on),
+            Event::Finish { job, on } => self.on_finish(now, job, on, sched),
             Event::GraceOver { station, job } => self.on_grace_over(now, station, job, sched),
             Event::PeriodicCkpt { job, on, epoch } => {
                 self.on_periodic_ckpt(now, job, on, epoch, sched)
@@ -3108,6 +3797,13 @@ impl Model for Cluster {
             Event::ChaosAutonomySweep => self.on_chaos_autonomy_sweep(now, sched),
             Event::ChaosCkptRetry { job, from, seq } => {
                 self.on_chaos_ckpt_retry(now, job, from, seq, sched)
+            }
+            Event::ReplicaPlaced { job, target } => {
+                self.on_replica_placed(now, job, target, sched)
+            }
+            Event::ReplicaFinish { job, on } => self.on_replica_finish(now, job, on, sched),
+            Event::OpportunisticCkpt { job, on, epoch } => {
+                self.on_opportunistic_ckpt(now, job, on, epoch, sched)
             }
         }
     }
@@ -3143,6 +3839,7 @@ impl Model for Cluster {
 ///     depends_on: Vec::new(),
 ///     width: 1,
 ///     resources: Default::default(),
+///     speedup: Default::default(),
 /// };
 /// let out = Run::new(ClusterConfig::default())
 ///     .specs(vec![spec])
@@ -3349,6 +4046,7 @@ mod tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 
@@ -3781,6 +4479,7 @@ mod failure_tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 
@@ -3949,6 +4648,7 @@ mod arch_tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 
@@ -4088,6 +4788,7 @@ mod reservation_tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 
@@ -4288,6 +4989,7 @@ mod dependency_tests {
             depends_on: deps.into_iter().map(JobId).collect(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 
@@ -4406,6 +5108,7 @@ mod gang_tests {
             depends_on: Vec::new(),
             width,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 
@@ -4570,6 +5273,7 @@ mod gang_tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
         let out = run_cluster(quiet(4), jobs, SimDuration::from_days(4));
         assert_eq!(out.jobs[1].state, JobState::Completed, "{:?}", out.totals);

@@ -9,6 +9,7 @@ use condor_sim::time::{SimDuration, SimTime};
 use crate::chaos::ChaosConfig;
 use crate::job::JobId;
 use crate::queue::LocalOrder;
+use crate::redundancy::RedundancyConfig;
 use crate::updown::UpDownConfig;
 
 /// Why a configuration (or the job set submitted with it) is invalid.
@@ -148,6 +149,14 @@ pub enum ConfigError {
         /// The dependency in another pool.
         dep: JobId,
     },
+    /// An opportunistic checkpoint timer with a zero evaluation interval.
+    RedundancyZeroCheckInterval,
+    /// An opportunistic checkpoint hazard threshold that is not a finite
+    /// positive number.
+    RedundancyBadHazardThreshold {
+        /// The offending threshold.
+        threshold: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -239,6 +248,12 @@ impl std::fmt::Display for ConfigError {
                 )
             }
             ConfigError::ChaosZeroBackoff => f.write_str("zero chaos retry backoff base"),
+            ConfigError::RedundancyZeroCheckInterval => {
+                f.write_str("zero opportunistic-checkpoint evaluation interval")
+            }
+            ConfigError::RedundancyBadHazardThreshold { threshold } => {
+                write!(f, "opportunistic-checkpoint hazard threshold {threshold} must be a finite positive number")
+            }
         }
     }
 }
@@ -384,6 +399,11 @@ pub enum PolicyKind {
     /// residents together and keeping whole machines open for whole-demand
     /// jobs. No preemption.
     Frac,
+    /// Up-Down plus speculative replication and an optional opportunistic
+    /// checkpoint timer (see [`crate::redundancy`]). With
+    /// [`RedundancyConfig::off`] this is bit-identical to
+    /// [`PolicyKind::UpDown`].
+    Redundant(RedundancyConfig),
 }
 
 impl Default for PolicyKind {
@@ -657,6 +677,9 @@ impl ClusterConfig {
         }
         if let Some(t) = &self.topology {
             t.check(self.stations)?;
+        }
+        if let PolicyKind::Redundant(r) = &self.policy {
+            r.check()?;
         }
         Ok(())
     }

@@ -36,6 +36,52 @@ impl std::fmt::Display for UserId {
     }
 }
 
+/// How a job's execution rate responds to the CPU fraction it is granted.
+///
+/// The legacy model is linear: a job granted `c` milli-CPUs progresses at
+/// `c/1000` of reference speed. Real workloads deviate — I/O-bound jobs
+/// saturate (extra CPU buys little), memory-thrashing jobs collapse below
+/// a threshold — and the replication/checkpointing experiments need those
+/// shapes to price speculative copies honestly. Every curve maps a whole
+/// grant (1000 milli) to exactly 1000, so whole-machine runs — the 1988
+/// default — are bit-identical whatever the curve says below 1000.
+///
+/// Arithmetic is pure integer math, keeping runs deterministic across
+/// platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpeedupCurve {
+    /// Rate is proportional to the grant (the legacy model).
+    #[default]
+    Linear,
+    /// The job reaches full speed at `knee_milli` already: rate climbs
+    /// with slope `1000/knee` and saturates at reference speed. I/O-bound
+    /// jobs, which cannot use a whole CPU to begin with.
+    Saturating {
+        /// The grant (milli-CPUs) at which the job hits full speed.
+        knee_milli: u32,
+    },
+    /// Rate collapses quadratically below a whole grant (`(c/1000)²`):
+    /// a half-machine share runs at a quarter speed. Working sets that
+    /// thrash when squeezed.
+    Thrashing,
+}
+
+impl SpeedupCurve {
+    /// Effective execution rate (milli-units of reference speed) for a
+    /// grant of `granted_milli` CPU. Always `1000` for a whole grant.
+    pub fn effective_milli(self, granted_milli: u32) -> u32 {
+        let c = granted_milli.min(1000);
+        match self {
+            SpeedupCurve::Linear => c,
+            SpeedupCurve::Saturating { knee_milli } => {
+                let knee = u64::from(knee_milli.clamp(1, 1000));
+                (u64::from(c) * 1000 / knee).min(1000) as u32
+            }
+            SpeedupCurve::Thrashing => (u64::from(c) * u64::from(c) / 1000) as u32,
+        }
+    }
+}
+
 /// Immutable description of a submitted job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -73,6 +119,10 @@ pub struct JobSpec {
     /// members as a coordinated cut (the §2.3 quiescence rule writ large).
     /// Width 1 — the 1988 reality — is the default.
     pub width: u32,
+    /// How execution rate responds to a fractional CPU grant. The default,
+    /// [`SpeedupCurve::Linear`], reproduces the legacy model exactly;
+    /// whole-machine grants run at reference speed under every curve.
+    pub speedup: SpeedupCurve,
     /// Resource demand per machine the job occupies, in milli-units.
     /// Defaults to [`ResourceVec::WHOLE`] (full CPU + memory, no tag),
     /// which reproduces the legacy single-occupancy model exactly. A job
@@ -346,6 +396,7 @@ mod tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 
@@ -465,5 +516,50 @@ mod tests {
             PreemptReason::PriorityPreemption.to_string(),
             "priority preemption"
         );
+    }
+
+    #[test]
+    fn every_speedup_curve_is_identity_at_a_whole_grant() {
+        for curve in [
+            SpeedupCurve::Linear,
+            SpeedupCurve::Saturating { knee_milli: 1 },
+            SpeedupCurve::Saturating { knee_milli: 400 },
+            SpeedupCurve::Saturating { knee_milli: 1000 },
+            SpeedupCurve::Thrashing,
+        ] {
+            assert_eq!(curve.effective_milli(1000), 1000, "{curve:?}");
+            // Over-grants clamp rather than over-speed.
+            assert_eq!(curve.effective_milli(1500), 1000, "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn speedup_curves_shape_fractional_grants() {
+        // Linear: proportional.
+        assert_eq!(SpeedupCurve::Linear.effective_milli(250), 250);
+        // Saturating with knee 400: full speed from 400 up, linear below.
+        let sat = SpeedupCurve::Saturating { knee_milli: 400 };
+        assert_eq!(sat.effective_milli(400), 1000);
+        assert_eq!(sat.effective_milli(700), 1000);
+        assert_eq!(sat.effective_milli(200), 500);
+        // Thrashing: quadratic collapse — half the CPU, a quarter the speed.
+        assert_eq!(SpeedupCurve::Thrashing.effective_milli(500), 250);
+        assert_eq!(SpeedupCurve::Thrashing.effective_milli(0), 0);
+    }
+
+    #[test]
+    fn speedup_curves_are_monotone_in_the_grant() {
+        for curve in [
+            SpeedupCurve::Linear,
+            SpeedupCurve::Saturating { knee_milli: 300 },
+            SpeedupCurve::Thrashing,
+        ] {
+            let mut prev = 0;
+            for c in (0..=1000).step_by(50) {
+                let eff = curve.effective_milli(c);
+                assert!(eff >= prev, "{curve:?} dipped at {c}");
+                prev = eff;
+            }
+        }
     }
 }

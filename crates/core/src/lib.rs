@@ -9,6 +9,8 @@
 //! * [`policy`] — the coordinator-side allocation policies: the trait, and
 //!   FIFO / round-robin / random baselines;
 //! * [`updown`] — the Up-Down fair-allocation algorithm (paper §2.4);
+//! * [`redundancy`] — speculative job replication with
+//!   cancel-on-first-finish and the opportunistic checkpoint timer;
 //! * [`config`] — cluster configuration, including the §4 eviction
 //!   strategies (grace-then-checkpoint vs immediate-kill);
 //! * [`cluster`] — the full discrete-event cluster model binding owners,
@@ -42,6 +44,7 @@
 //!         depends_on: Vec::new(),
 //!         width: 1,
 //!         resources: Default::default(),
+//!         speedup: Default::default(),
 //!     })
 //!     .collect();
 //! let out = Run::new(ClusterConfig::default())
@@ -62,6 +65,7 @@ pub mod config;
 pub mod job;
 pub mod policy;
 pub mod queue;
+pub mod redundancy;
 pub mod shard;
 pub mod spans;
 pub mod telemetry;
@@ -80,9 +84,13 @@ pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig, PolicyKind,
     Reservation,
 };
-pub use job::{Job, JobId, JobSpec, JobState, PreemptReason, UserId};
-pub use policy::{AllocationPolicy, FifoPolicy, Order, RandomPolicy, RoundRobinPolicy, StationView};
+pub use job::{Job, JobId, JobSpec, JobState, PreemptReason, SpeedupCurve, UserId};
+pub use policy::{
+    AllocationPolicy, FifoPolicy, Order, RandomPolicy, RedundantPolicy, RoundRobinPolicy,
+    StationView,
+};
 pub use queue::{BackgroundQueue, LocalOrder};
+pub use redundancy::{CkptTiming, RedundancyConfig};
 pub use spans::{
     Breakdown, JobBreakdown, JobSpans, Occupancy, Span, SpanLog, SpanMarker, SpanPhase, SpanSink,
 };

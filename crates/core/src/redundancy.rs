@@ -1,0 +1,157 @@
+//! Speculative replication and opportunistic checkpointing.
+//!
+//! Condor's core bet is that remote cycles are cheap; this module spends a
+//! few of them on purpose. Following the speculative-replication model of
+//! Xu et al. (arXiv:1707.01655), the [`Redundant`](crate::config::PolicyKind::Redundant)
+//! policy places up to `k` extra copies of a queued whole-machine job on
+//! stations that would otherwise sit idle, under *cancel-on-first-finish*:
+//! the first copy (primary or replica) to complete wins, and every other
+//! copy is cancelled on the spot. Replicas are strictly parasitic — they
+//! spawn only when every queue in the fleet is empty, are reclaimed at
+//! the top of each poll whenever waiting demand outstrips the free
+//! machines (arriving copies first, then the youngest running), yield
+//! during coordinator outages to a station's own runnable local work,
+//! and evaporate the instant the station's owner returns (no grace
+//! period, no checkpoint: their work is the redundancy budget). Hosts
+//! are chosen by expected *remaining* idle time — the station's EWMA of
+//! past idle intervals minus its current streak — so speculation lands
+//! on the machines statistically furthest from an owner's return.
+//!
+//! The same module also hosts the *opportunistic* checkpoint timer: instead
+//! of checkpointing every fixed interval, checkpoint when the owner-return
+//! hazard crosses a threshold. The hazard estimate is the ratio of the
+//! current idle streak to the station's EWMA of past idle intervals — the
+//! same signal history-aware placement uses — so a job checkpoints exactly
+//! when its host has been idle *longer than usual*, i.e. when the owner is
+//! statistically overdue.
+//!
+//! Accounting: every spawn emits
+//! [`TraceKind::ReplicaSpawned`](crate::trace::TraceKind::ReplicaSpawned),
+//! every loser emits
+//! [`TraceKind::ReplicaCancelled`](crate::trace::TraceKind::ReplicaCancelled)
+//! carrying the burst progress it had accrued, and
+//! [`Totals::wasted_replica_work`](crate::cluster::Totals::wasted_replica_work)
+//! sums those losses. The [`AuditSink`](crate::audit::AuditSink) enforces
+//! conservation: every spawn matched by exactly one cancellation or one
+//! completion, wasted work equal to the cancelled copies' progress.
+//!
+//! With `replicas == 0` and [`CkptTiming::Inherited`] the policy is
+//! bit-identical to plain Up-Down — the golden-trace guard pins this.
+
+use condor_sim::time::SimDuration;
+
+use crate::config::ConfigError;
+use crate::updown::UpDownConfig;
+
+/// When a running job writes periodic checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CkptTiming {
+    /// Keep the cluster-wide behavior: checkpoint on the fixed interval of
+    /// [`EvictionStrategy::ImmediateKill`](crate::config::EvictionStrategy::ImmediateKill),
+    /// or not at all under grace-then-checkpoint eviction. Bit-identical
+    /// to not using the redundancy policy.
+    Inherited,
+    /// Checkpoint when the owner-return hazard crosses a threshold. Every
+    /// `check_every`, compare the host's current idle streak against its
+    /// EWMA of completed idle intervals; when
+    /// `streak / ewma >= hazard_threshold` the owner is overdue and the
+    /// job checkpoints. Stations with no idle history yet never trigger.
+    Opportunistic {
+        /// How often the hazard is evaluated.
+        check_every: SimDuration,
+        /// Hazard level that triggers a checkpoint. `1.0` fires once the
+        /// idle streak reaches the EWMA; lower is more anxious, higher
+        /// more relaxed. Must be finite and positive.
+        hazard_threshold: f64,
+    },
+}
+
+/// Configuration of the replication-aware policy
+/// ([`PolicyKind::Redundant`](crate::config::PolicyKind::Redundant)).
+///
+/// Wraps the paper's Up-Down allocator: primary placements and fairness
+/// are exactly Up-Down's; replication only spends stations Up-Down left
+/// idle after its placement pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedundancyConfig {
+    /// Maximum replicas (extra copies beyond the primary) kept alive per
+    /// job. `0` disables replication entirely — bit-identical to
+    /// [`PolicyKind::UpDown`](crate::config::PolicyKind::UpDown) with the
+    /// same inner config.
+    pub replicas: u32,
+    /// The inner Up-Down fairness configuration.
+    pub updown: UpDownConfig,
+    /// Checkpoint-timer selection for running jobs.
+    pub checkpointing: CkptTiming,
+}
+
+impl Default for RedundancyConfig {
+    fn default() -> Self {
+        RedundancyConfig {
+            replicas: 2,
+            updown: UpDownConfig::default(),
+            checkpointing: CkptTiming::Inherited,
+        }
+    }
+}
+
+impl RedundancyConfig {
+    /// A configuration with replication and opportunistic checkpointing
+    /// both off — the audit anchor proven bit-identical to plain Up-Down.
+    pub fn off() -> Self {
+        RedundancyConfig { replicas: 0, ..Default::default() }
+    }
+
+    /// Checks the configuration for structural impossibilities.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if let CkptTiming::Opportunistic { check_every, hazard_threshold } = self.checkpointing {
+            if check_every.is_zero() {
+                return Err(ConfigError::RedundancyZeroCheckInterval);
+            }
+            if !(hazard_threshold.is_finite() && hazard_threshold > 0.0) {
+                return Err(ConfigError::RedundancyBadHazardThreshold {
+                    threshold: hazard_threshold,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_config_disables_replication() {
+        let c = RedundancyConfig::off();
+        assert_eq!(c.replicas, 0);
+        assert_eq!(c.checkpointing, CkptTiming::Inherited);
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn opportunistic_timer_rejects_degenerate_knobs() {
+        let zero_interval = RedundancyConfig {
+            checkpointing: CkptTiming::Opportunistic {
+                check_every: SimDuration::ZERO,
+                hazard_threshold: 1.0,
+            },
+            ..Default::default()
+        };
+        assert_eq!(
+            zero_interval.check(),
+            Err(ConfigError::RedundancyZeroCheckInterval)
+        );
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let c = RedundancyConfig {
+                checkpointing: CkptTiming::Opportunistic {
+                    check_every: SimDuration::from_minutes(10),
+                    hazard_threshold: bad,
+                },
+                ..Default::default()
+            };
+            assert!(c.check().is_err(), "threshold {bad} accepted");
+        }
+    }
+}

@@ -343,6 +343,9 @@ fn add_totals(acc: &mut Totals, t: &Totals) {
     acc.ckpt_retries += t.ckpt_retries;
     acc.jobs_forwarded += t.jobs_forwarded;
     acc.jobs_adopted += t.jobs_adopted;
+    acc.replicas_spawned += t.replicas_spawned;
+    acc.replicas_cancelled += t.replicas_cancelled;
+    acc.wasted_replica_work += t.wasted_replica_work;
 }
 
 /// K-way merge of the per-shard traces by `(time, pool)` — each shard's
@@ -629,6 +632,7 @@ mod tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 

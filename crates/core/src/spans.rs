@@ -171,7 +171,8 @@ pub struct SpanMarker {
     pub station: NodeId,
     /// Stable label: `suspended`, `resumed_in_place`, `killed`,
     /// `checkpoint_out`, `periodic_checkpoint`, `crash_rollback`,
-    /// `chaos_ckpt_corrupted`, or `chaos_local_start`.
+    /// `chaos_ckpt_corrupted`, `chaos_local_start`, `adopted`,
+    /// `replica_spawned`, or `replica_cancelled`.
     pub label: &'static str,
 }
 
@@ -536,6 +537,15 @@ impl TraceSink for SpanSink {
                     },
                 );
                 self.mark(at, job, on, "adopted");
+            }
+            // Replicas never alter the primary's phase timeline — the job
+            // stays Queued (or Running elsewhere) while copies race. The
+            // markers record where and when the redundancy budget went.
+            TraceKind::ReplicaSpawned { job, on } => {
+                self.mark(at, job, on, "replica_spawned");
+            }
+            TraceKind::ReplicaCancelled { job, on, .. } => {
+                self.mark(at, job, on, "replica_cancelled");
             }
             TraceKind::JobRejected { .. }
             | TraceKind::PlacementDiskRejected { .. }

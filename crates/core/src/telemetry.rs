@@ -565,6 +565,8 @@ static MARK_ACTIONS: [MarkAction; TraceKind::COUNT] = [
     MarkAction::None,       // JobForwarded (stub leaves this pool; wait closes in the adopter)
     MarkAction::Queue,      // JobAdopted (entered a queue in the new pool)
     MarkAction::None,       // JobGranted (annotation; the paired JobStarted marks)
+    MarkAction::None,       // ReplicaSpawned (primary's own events mark)
+    MarkAction::None,       // ReplicaCancelled (wasted work is accounting, not a wait edge)
 ];
 
 /// Dense per-job timestamp marks (job ids are the dense sequence `0..n`).
@@ -789,6 +791,8 @@ mod tests {
             TraceKind::JobForwarded { job, to_pool: 1 },
             TraceKind::JobAdopted { job, on: n },
             TraceKind::JobGranted { job, on: n, cpu_milli: 500, mem_milli: 500, tag_milli: 0 },
+            TraceKind::ReplicaSpawned { job, on: n },
+            TraceKind::ReplicaCancelled { job, on: n, wasted_ms: 1_000 },
         ]
     }
 

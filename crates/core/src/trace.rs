@@ -241,11 +241,36 @@ pub enum TraceKind {
         /// Granted tag/accelerator share in milli-units.
         tag_milli: u32,
     },
+    /// A speculative replica of a queued job started placement on an
+    /// otherwise-idle station (see [`crate::redundancy`]). The job's own
+    /// lifecycle events keep tracking the primary copy; replicas announce
+    /// themselves only through this pair of events.
+    ReplicaSpawned {
+        /// The replicated job.
+        job: JobId,
+        /// The station hosting the replica.
+        on: NodeId,
+    },
+    /// A replica was cancelled — by the primary finishing first, another
+    /// replica winning, the host's owner returning, a station crash, a
+    /// reservation fence, or the end of the run. Every
+    /// [`TraceKind::ReplicaSpawned`] is matched by exactly one
+    /// `ReplicaCancelled` or one job completion on the replica's station.
+    ReplicaCancelled {
+        /// The replicated job.
+        job: JobId,
+        /// The station that hosted the replica.
+        on: NodeId,
+        /// Reference-machine work the replica had accrued, in
+        /// milliseconds — the cancellation's contribution to
+        /// [`Totals::wasted_replica_work`](crate::cluster::Totals::wasted_replica_work).
+        wasted_ms: u64,
+    },
 }
 
 impl TraceKind {
     /// Number of distinct trace-event kinds.
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 34;
 
     /// Dense index of this kind in `0..COUNT`; stable across a release,
     /// used by the telemetry layer for per-kind counter arrays.
@@ -283,6 +308,8 @@ impl TraceKind {
             TraceKind::JobForwarded { .. } => 29,
             TraceKind::JobAdopted { .. } => 30,
             TraceKind::JobGranted { .. } => 31,
+            TraceKind::ReplicaSpawned { .. } => 32,
+            TraceKind::ReplicaCancelled { .. } => 33,
         }
     }
 
@@ -325,7 +352,9 @@ impl TraceKind {
             | TraceKind::ChaosLocalStart { job, .. }
             | TraceKind::JobForwarded { job, .. }
             | TraceKind::JobAdopted { job, .. }
-            | TraceKind::JobGranted { job, .. } => Some(*job),
+            | TraceKind::JobGranted { job, .. }
+            | TraceKind::ReplicaSpawned { job, .. }
+            | TraceKind::ReplicaCancelled { job, .. } => Some(*job),
             TraceKind::OwnerActive { .. }
             | TraceKind::OwnerIdle { .. }
             | TraceKind::StationFailed { .. }
@@ -400,6 +429,10 @@ impl TraceKind {
             JobGranted { job: j, on, cpu_milli, mem_milli, tag_milli } => {
                 JobGranted { job: job(j), on: node(on), cpu_milli, mem_milli, tag_milli }
             }
+            ReplicaSpawned { job: j, on } => ReplicaSpawned { job: job(j), on: node(on) },
+            ReplicaCancelled { job: j, on, wasted_ms } => {
+                ReplicaCancelled { job: job(j), on: node(on), wasted_ms }
+            }
         }
     }
 }
@@ -437,6 +470,8 @@ static KIND_NAMES: [&str; TraceKind::COUNT] = [
     "job_forwarded",
     "job_adopted",
     "job_granted",
+    "replica_spawned",
+    "replica_cancelled",
 ];
 
 /// A timestamped trace entry.
@@ -667,6 +702,13 @@ impl TraceEvent {
                 )
                 .unwrap();
             }
+            TraceKind::ReplicaSpawned { job, on } => {
+                write!(s, ",\"job\":{},\"on\":{}", job.0, on.index()).unwrap();
+            }
+            TraceKind::ReplicaCancelled { job, on, wasted_ms } => {
+                write!(s, ",\"job\":{},\"on\":{},\"wasted_ms\":{wasted_ms}", job.0, on.index())
+                    .unwrap();
+            }
         }
         s.push('}');
     }
@@ -753,6 +795,14 @@ impl TraceEvent {
                 cpu_milli: f.u32("cpu_m")?,
                 mem_milli: f.u32("mem_m")?,
                 tag_milli: f.u32("tag_m")?,
+            },
+            "replica_spawned" => {
+                TraceKind::ReplicaSpawned { job: f.job("job")?, on: f.node("on")? }
+            }
+            "replica_cancelled" => TraceKind::ReplicaCancelled {
+                job: f.job("job")?,
+                on: f.node("on")?,
+                wasted_ms: f.u64("wasted_ms")?,
             },
             other => return Err(TraceParseError::UnknownKind(other.into())),
         };
@@ -904,6 +954,8 @@ mod tests {
             TraceKind::JobForwarded { job: j, to_pool: 1 },
             TraceKind::JobAdopted { job: j, on: n },
             TraceKind::JobGranted { job: j, on: n, cpu_milli: 500, mem_milli: 250, tag_milli: 0 },
+            TraceKind::ReplicaSpawned { job: j, on: n },
+            TraceKind::ReplicaCancelled { job: j, on: n, wasted_ms: 4_200 },
         ]
     }
 

@@ -301,11 +301,19 @@ impl AllocationPolicy for UpDown {
                     continue;
                 }
                 // Find the next victim not belonging to the requester
-                // itself and exceeding the margin.
+                // itself and exceeding the margin. Under fractional
+                // capacities a station can be hosting *and* still
+                // hostable, so a machine already claimed by an assign
+                // this poll is off the victim list — one order per
+                // target.
                 let victim = victim_iter
                     .by_ref()
-                    .find(|&(v_idx, v_home, _)| {
-                        v_home != req_home && v_idx > req_idx + self.config.preemption_margin
+                    .find(|&(v_idx, v_home, target)| {
+                        v_home != req_home
+                            && v_idx > req_idx + self.config.preemption_margin
+                            && !orders.iter().any(|o| {
+                                matches!(o, Order::Assign { target: t, .. } if *t == target)
+                            })
                     });
                 match victim {
                     Some((_, _, target)) => {

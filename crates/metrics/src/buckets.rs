@@ -112,6 +112,7 @@ mod tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         };
         let mut j = Job::new(spec);
         j.accrue_run(demand, 0);

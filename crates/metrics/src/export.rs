@@ -420,6 +420,7 @@ mod tests {
                 depends_on: Vec::new(),
                 width: 1,
                 resources: Default::default(),
+                speedup: Default::default(),
             })
             .collect();
         let spans = SharedSink::new(SpanSink::new());

@@ -217,6 +217,7 @@ mod tests {
                 depends_on: Vec::new(),
                 width: 1,
                 resources: Default::default(),
+                speedup: Default::default(),
             })
             .collect();
         let spans = SharedSink::new(SpanSink::new());

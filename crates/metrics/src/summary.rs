@@ -41,6 +41,13 @@ pub struct RunSummary {
     /// Checkpoint transfers re-sent after corruption (nonzero only under
     /// chaos injection).
     pub ckpt_retries: u64,
+    /// Speculative replicas spawned (nonzero only under the redundant policy).
+    pub replicas_spawned: u64,
+    /// Speculative replicas cancelled; `replicas_spawned - replicas_cancelled`
+    /// is the number of jobs a replica finished first.
+    pub replicas_cancelled: u64,
+    /// CPU-hours burned by cancelled replicas (the price of speculation).
+    pub wasted_replica_hours: f64,
 }
 
 /// Computes the summary for a run.
@@ -76,6 +83,9 @@ pub fn summarize(out: &RunOutput) -> RunSummary {
         migrations: out.totals.migrations,
         local_starts: out.totals.local_starts,
         ckpt_retries: out.totals.ckpt_retries,
+        replicas_spawned: out.totals.replicas_spawned,
+        replicas_cancelled: out.totals.replicas_cancelled,
+        wasted_replica_hours: out.totals.wasted_replica_work as f64 / 3_600_000.0,
     }
 }
 
@@ -151,6 +161,7 @@ mod tests {
                 depends_on: Vec::new(),
                 width: 1,
                 resources: Default::default(),
+                speedup: Default::default(),
             })
             .collect();
         run_cluster(ClusterConfig { stations: 5, ..ClusterConfig::default() }, jobs, SimDuration::from_days(5))

@@ -33,6 +33,7 @@ fn run_small(seed: u64) -> condor_core::cluster::RunOutput {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect();
     let config = ClusterConfig {

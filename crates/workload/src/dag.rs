@@ -92,6 +92,7 @@ impl DagBuilder {
             depends_on: deps.to_vec(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
         id
     }

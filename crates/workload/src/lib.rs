@@ -35,6 +35,9 @@ pub mod trace;
 pub mod user;
 
 pub use dag::DagBuilder;
-pub use scenarios::{fairness_duel, mixed_arch_month, one_week, paper_month, Scenario, PAPER_USERS};
+pub use scenarios::{
+    assign_speedup_mix, fairness_duel, mixed_arch_month, one_week, paper_month, Scenario,
+    PAPER_USERS,
+};
 pub use trace::{from_csv, merge_users, table1_rows, to_csv, CsvError, UserRow};
 pub use user::UserProfile;

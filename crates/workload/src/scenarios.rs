@@ -7,7 +7,7 @@
 //! 30-day month on 23 workstations.
 
 use condor_core::config::{ClusterConfig, PoolTopology};
-use condor_core::job::{JobSpec, UserId};
+use condor_core::job::{JobSpec, SpeedupCurve, UserId};
 use condor_model::station::{Arch, ArchSet};
 use condor_net::NodeId;
 use condor_sim::rng::SimRng;
@@ -197,6 +197,35 @@ pub fn fleet_scale(seed: u64, stations: usize, pools: usize, days: u64) -> Scena
     }
 }
 
+/// Stamps a deterministic mix of speedup curves onto a job trace: a
+/// `saturating` fraction of jobs become I/O-bound
+/// ([`SpeedupCurve::Saturating`] with a knee drawn uniformly from
+/// 400–900 milli-CPUs), a `thrashing` fraction get the quadratic
+/// [`SpeedupCurve::Thrashing`] collapse, and the rest stay
+/// [`SpeedupCurve::Linear`]. Whole-machine grants run at reference speed
+/// under every curve, so scenarios that never split a station are
+/// bit-identical with or without this call — the curves only matter to
+/// fractional-capacity placements.
+pub fn assign_speedup_mix(jobs: &mut [JobSpec], seed: u64, saturating: f64, thrashing: f64) {
+    assert!(
+        saturating >= 0.0 && thrashing >= 0.0 && saturating + thrashing <= 1.0,
+        "fractions {saturating}+{thrashing} must fit in [0, 1]"
+    );
+    let mut rng = SimRng::seed_from(seed ^ 0x5bee_d0b5);
+    for job in jobs.iter_mut() {
+        let roll = rng.uniform_f64();
+        job.speedup = if roll < saturating {
+            SpeedupCurve::Saturating {
+                knee_milli: rng.uniform_range_u64(400, 900) as u32,
+            }
+        } else if roll < saturating + thrashing {
+            SpeedupCurve::Thrashing
+        } else {
+            SpeedupCurve::Linear
+        };
+    }
+}
+
 /// The §5(4) what-if: the department adds SUN workstations. Half the
 /// fleet is SUN (alternating pattern); the given fraction of each user's
 /// jobs is recompiled for both architectures, the rest stay VAX-only.
@@ -322,6 +351,36 @@ mod tests {
         // deterministic.
         assert!(fleet_scale(11, 120, 1, 7).config.topology.is_none());
         assert_eq!(fleet_scale(11, 120, 4, 7).jobs, s.jobs);
+    }
+
+    #[test]
+    fn speedup_mix_is_deterministic_and_proportional() {
+        let mut a = paper_month(4).jobs;
+        let mut b = paper_month(4).jobs;
+        assign_speedup_mix(&mut a, 77, 0.3, 0.2);
+        assign_speedup_mix(&mut b, 77, 0.3, 0.2);
+        assert_eq!(a, b);
+        let sat = a
+            .iter()
+            .filter(|j| matches!(j.speedup, SpeedupCurve::Saturating { .. }))
+            .count() as f64
+            / a.len() as f64;
+        let thrash = a
+            .iter()
+            .filter(|j| j.speedup == SpeedupCurve::Thrashing)
+            .count() as f64
+            / a.len() as f64;
+        assert!((sat - 0.3).abs() < 0.07, "saturating fraction {sat}");
+        assert!((thrash - 0.2).abs() < 0.07, "thrashing fraction {thrash}");
+        for j in &a {
+            if let SpeedupCurve::Saturating { knee_milli } = j.speedup {
+                assert!((400..900).contains(&knee_milli));
+            }
+        }
+        // Zero fractions leave the trace untouched.
+        let mut c = paper_month(4).jobs;
+        assign_speedup_mix(&mut c, 77, 0.0, 0.0);
+        assert_eq!(c, paper_month(4).jobs);
     }
 
     #[test]

@@ -162,6 +162,7 @@ pub fn from_csv(csv: &str) -> Result<Vec<JobSpec>, CsvError> {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
     }
     Ok(out)
@@ -184,6 +185,7 @@ mod tests {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         }
     }
 

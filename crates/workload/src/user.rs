@@ -106,6 +106,7 @@ impl UserProfile {
                     depends_on: Vec::new(),
                     width: 1,
                     resources: Default::default(),
+                    speedup: Default::default(),
                 });
                 next_id += 1;
             }

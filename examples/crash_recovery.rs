@@ -35,6 +35,7 @@ fn main() {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect();
 

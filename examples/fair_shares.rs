@@ -31,6 +31,7 @@ fn duel(policy: PolicyKind) -> (String, f64, f64, u64) {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
     }
     // Light user: three 1-hour jobs on day 2, when the heavy user has
@@ -48,6 +49,7 @@ fn duel(policy: PolicyKind) -> (String, f64, f64, u64) {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
     }
     let out = Run::new(config).specs(jobs).horizon(SimDuration::from_days(8)).execute();

@@ -31,6 +31,7 @@ fn main() {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         },
         JobSpec {
             id: JobId(1),
@@ -44,6 +45,7 @@ fn main() {
             depends_on: vec![JobId(0)],
             width: 4, // four communicating processes, four machines at once
             resources: Default::default(),
+            speedup: Default::default(),
         },
         JobSpec {
             id: JobId(2),
@@ -57,6 +59,7 @@ fn main() {
             depends_on: vec![JobId(1)],
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         },
     ];
 

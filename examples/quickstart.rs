@@ -33,6 +33,7 @@ fn main() {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
     }
     for i in 6..9u64 {
@@ -48,6 +49,7 @@ fn main() {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
     }
 

@@ -54,13 +54,14 @@ pub mod prelude {
         ClusterConfig, ClusterConfigBuilder, ConfigError, EvictionStrategy, FailureConfig,
         PolicyKind, PoolTopology,
     };
+    pub use condor_core::redundancy::{CkptTiming, RedundancyConfig};
     pub use condor_core::shard::default_threads;
     pub use condor_core::audit::{AuditSink, AuditViolation, AuditViolationKind};
     pub use condor_core::chaos::{
         explore, shrink_schedule, verify_conservation, verify_schedule, ChaosConfig, ChaosGen,
         ChaosSchedule,
     };
-    pub use condor_core::job::{Job, JobId, JobSpec, JobState, UserId};
+    pub use condor_core::job::{Job, JobId, JobSpec, JobState, SpeedupCurve, UserId};
     pub use condor_core::spans::{Breakdown, SpanLog, SpanPhase, SpanSink};
     pub use condor_core::telemetry::{
         FanoutSink, GaugeSample, KindFilterSink, RingSink, SharedSink, StatsSink, Telemetry,

@@ -38,6 +38,7 @@ fn jobs(n: u64, stations: u64) -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect()
 }

@@ -56,6 +56,7 @@ fn mixed_jobs(n: u64, stations: u64, fractional: bool) -> Vec<JobSpec> {
             binaries: Default::default(),
             depends_on: Vec::new(),
             width: 1,
+            speedup: Default::default(),
             resources: if fractional {
                 // Mixed shares so stations pack at different remainders.
                 ResourceVec::share(250 + 250 * (i % 3) as u32)

@@ -50,6 +50,7 @@ fn job(id: u64, resources: ResourceVec) -> JobSpec {
         binaries: Default::default(),
         depends_on: Vec::new(),
         width: 1,
+        speedup: Default::default(),
         resources,
     }
 }
@@ -159,6 +160,7 @@ proptest! {
                     depends_on: Vec::new(),
                     width: 1,
                     resources: ResourceVec::share(milli),
+                    speedup: Default::default(),
                 }
             })
             .collect();

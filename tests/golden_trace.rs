@@ -105,6 +105,47 @@ fn zero_fault_chaos_matches_the_golden_digest() {
     );
 }
 
+/// The redundancy policy with replication off (`k = 0`, inherited
+/// checkpoint timing) must be bit-identical to plain Up-Down: placement
+/// decisions delegate to the inner Up-Down allocator and every
+/// spawn/reclaim hook short-circuits on `k == 0` before touching state.
+/// This is the anchor that lets the speculation machinery ship inside the
+/// hot path at zero cost.
+#[test]
+fn redundancy_off_matches_the_golden_digest() {
+    use condor_core::config::PolicyKind;
+    use condor_core::redundancy::RedundancyConfig;
+    let mut scenario = paper_month(GOLDEN_SEED);
+    scenario.config.policy = PolicyKind::Redundant(RedundancyConfig::off());
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    let (hash, events) = digest(&out);
+    assert_eq!(events, GOLDEN_EVENTS, "redundancy-off changed the event count");
+    assert_eq!(
+        hash, GOLDEN_DIGEST,
+        "redundancy-off perturbed the trace (got {hash:#018X}) — the \
+         disabled policy must be invisible bit for bit"
+    );
+    assert_eq!(out.totals.replicas_spawned, 0);
+    assert_eq!(out.totals.wasted_replica_work, 0);
+}
+
+/// Same guarantee at fleet scale: 1,000 stations through the scale path
+/// (bitsets, truncated free lists) with the disabled policy.
+#[test]
+fn redundancy_off_matches_the_fleet_golden_digest() {
+    use condor_core::config::PolicyKind;
+    use condor_core::redundancy::RedundancyConfig;
+    let mut scenario = fleet_scale(GOLDEN_SEED, 1000, 1, 2);
+    scenario.config.record_trace = true;
+    scenario.config.policy = PolicyKind::Redundant(RedundancyConfig::off());
+    let out = run_cluster(scenario.config, scenario.jobs, scenario.horizon);
+    assert_eq!(
+        digest(&out),
+        (FLEET_GOLDEN_DIGEST, FLEET_GOLDEN_EVENTS),
+        "redundancy-off perturbed the 1,000-station trace"
+    );
+}
+
 /// A one-pool topology routes through the windowed sharded runner, yet
 /// must stay bit-identical to the classic serial run — at every worker
 /// thread count. This is the anchor that lets the parallel path share the

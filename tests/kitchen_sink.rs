@@ -10,7 +10,7 @@
 
 use condor::core::config::{FailureConfig, Reservation};
 use condor::core::trace::TraceKind;
-use condor::model::station::{Arch, ArchSet};
+use condor::model::station::{Arch, ArchSet, ResourceVec};
 use condor::prelude::*;
 use condor_workload::dag::DagBuilder;
 
@@ -49,6 +49,7 @@ fn build_everything() -> (ClusterConfig, Vec<JobSpec>) {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
     }
     // The reservation holder's batch, timed for its window.
@@ -65,6 +66,7 @@ fn build_everything() -> (ClusterConfig, Vec<JobSpec>) {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         });
     }
     // A workflow with a gang in the middle (prep → width-3 gang → report),
@@ -148,4 +150,80 @@ fn everything_on_at_once_still_upholds_the_guarantees() {
     let out2 = run_cluster(config2, jobs2, SimDuration::from_days(30));
     assert_eq!(out.totals, out2.totals);
     assert_eq!(out.trace.len(), out2.trace.len());
+}
+
+/// Every placement policy — the paper's Up-Down, the three baselines, the
+/// capacity-aware packer, and both flavors of the replication family —
+/// drives one fractional workload on a heterogeneous-capacity fleet, and
+/// each recorded trace replays through the capacity-armed [`AuditSink`]
+/// with zero violations. Policies differ in *which* station they pick;
+/// none may ever overdraw one.
+#[test]
+fn every_policy_survives_the_capacity_armed_auditor() {
+    let policies: Vec<(&str, PolicyKind)> = vec![
+        ("up-down", PolicyKind::default()),
+        ("fifo", PolicyKind::Fifo),
+        ("round-robin", PolicyKind::RoundRobin),
+        ("random", PolicyKind::Random),
+        ("frac", PolicyKind::Frac),
+        ("redundant k=2", PolicyKind::Redundant(RedundancyConfig::default())),
+        (
+            "redundant k=2 + opp-ckpt",
+            PolicyKind::Redundant(RedundancyConfig {
+                checkpointing: CkptTiming::Opportunistic {
+                    check_every: SimDuration::from_minutes(10),
+                    hazard_threshold: 1.0,
+                },
+                ..RedundancyConfig::default()
+            }),
+        ),
+    ];
+    // Alternating whole machines and half-capacity stations.
+    let profiles = vec![ResourceVec::WHOLE, ResourceVec::new(500, 500)];
+    let stations = 8usize;
+    for (name, policy) in policies {
+        let config = ClusterConfig::builder()
+            .stations(stations)
+            .seed(1988)
+            .policy(policy)
+            .capacity_profiles(profiles.clone())
+            .build()
+            .expect("kitchen-sink policy config is valid");
+        // Whole-machine jobs interleaved with quarter- and half-share
+        // jobs, spread across homes so queues form and drain.
+        let shares = [1000u32, 250, 500, 1000, 250];
+        let jobs: Vec<JobSpec> = (0..24u64)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                user: UserId((i % 3) as u32),
+                home: NodeId::new((i % stations as u64) as u32),
+                arrival: SimTime::from_secs(i * 1800),
+                demand: SimDuration::from_hours(1 + i % 4),
+                image_bytes: 250_000,
+                syscalls_per_cpu_sec: 0.5,
+                binaries: Default::default(),
+                depends_on: Vec::new(),
+                width: 1,
+                resources: ResourceVec::share(shares[i as usize % shares.len()]),
+                speedup: Default::default(),
+            })
+            .collect();
+        let out = Run::new(config)
+            .specs(jobs)
+            .horizon(SimDuration::from_days(4))
+            .execute();
+        let capacities: Vec<ResourceVec> =
+            (0..stations).map(|i| profiles[i % profiles.len()]).collect();
+        let mut audit = AuditSink::new().with_capacities(capacities);
+        for ev in out.trace.events() {
+            audit.record(ev);
+        }
+        audit.finish(out.horizon);
+        assert!(
+            audit.is_clean(),
+            "policy {name}: audit violations {:?}",
+            audit.violations()
+        );
+        assert!(out.totals.placements > 0, "policy {name} placed nothing");
+    }
 }

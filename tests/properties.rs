@@ -36,6 +36,7 @@ fn arb_jobs(max_jobs: usize, stations: u32) -> impl Strategy<Value = Vec<JobSpec
                 depends_on: Vec::new(),
                 width: 1,
                 resources: Default::default(),
+                speedup: Default::default(),
             })
             .collect();
         jobs.sort_by_key(|j| j.arrival);
@@ -190,6 +191,7 @@ fn owner_flicker_never_overdraws_a_bucket() {
         depends_on: Vec::new(),
         width: 1,
         resources: Default::default(),
+        speedup: Default::default(),
     };
     let jobs = vec![mk(0, 79_200_000, 39_600_000), mk(1, 82_800_000, 43_200_000)];
     let cfg = ClusterConfig {

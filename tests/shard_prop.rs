@@ -32,6 +32,7 @@ fn workload(n: u64, stations: u64) -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect()
 }
@@ -43,9 +44,21 @@ fn sharded_trace(
     threads: usize,
     seed: u64,
 ) -> Vec<TraceEvent> {
+    sharded_policy_trace(pools, window_secs, latency_secs, threads, seed, PolicyKind::default())
+}
+
+fn sharded_policy_trace(
+    pools: usize,
+    window_secs: u64,
+    latency_secs: u64,
+    threads: usize,
+    seed: u64,
+    policy: PolicyKind,
+) -> Vec<TraceEvent> {
     let config = ClusterConfig {
         stations: 8,
         seed,
+        policy,
         topology: Some(PoolTopology {
             pools,
             links: PoolLinks::uniform(pools, SimDuration::from_secs(latency_secs)),
@@ -96,6 +109,31 @@ proptest! {
         let sharded = sharded_trace(1, latency_secs, latency_secs, 4, seed);
         prop_assert_eq!(legacy.trace.len(), sharded.len());
         for (a, b) in legacy.trace.events().iter().zip(&sharded) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The replica lifecycle (spawn, arrival, cancel-on-first-finish,
+    /// demand reclaim) rides the same event grid as everything else, so an
+    /// armed redundancy policy must stay thread-invariant through the
+    /// sharded runner: worker count changes how many shards advance
+    /// concurrently, never what any shard computes.
+    #[test]
+    fn redundancy_armed_shards_are_thread_invariant(
+        pools in 1usize..=3,
+        latency_secs in 60u64..600,
+        seed in 0u64..1_000,
+    ) {
+        let policy = PolicyKind::Redundant(RedundancyConfig::default());
+        let serial =
+            sharded_policy_trace(pools, latency_secs, latency_secs, 1, seed, policy);
+        let parallel = sharded_policy_trace(pools, latency_secs, latency_secs, 4, seed, policy);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
             prop_assert_eq!(a, b);
         }
     }

@@ -77,6 +77,7 @@ fn stormy_jobs(n: u64) -> Vec<JobSpec> {
             depends_on: Vec::new(),
             width: 1,
             resources: Default::default(),
+            speedup: Default::default(),
         })
         .collect()
 }
